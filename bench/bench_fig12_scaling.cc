@@ -1,0 +1,86 @@
+// Reproduces Figure 12: per-stage training time of the Amazon, TIMIT and
+// ImageNet pipelines as the cluster grows from 8 to 128 nodes.
+//
+// Paper shape: the featurization-bound ImageNet pipeline scales
+// near-linearly to 128 nodes; Amazon and TIMIT scale well to 64 nodes and
+// flatten after, because the solve stage (Amazon: aggregation tree in
+// featurization; TIMIT: coordination-bound solver) stops scaling.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/pipelines.h"
+
+namespace keystone {
+namespace {
+
+template <typename In>
+void Sweep(const char* name,
+           const std::function<Pipeline<In, std::vector<double>>()>& build) {
+  std::printf("\n-- %s --\n", name);
+  std::printf("  %8s %10s %12s %10s %12s %10s\n", "nodes", "load",
+              "featurize", "solve", "total (s)", "vs ideal");
+  double base_total = 0.0;
+  for (int nodes : {8, 16, 32, 64, 128}) {
+    PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(nodes),
+                              OptimizationConfig::Full());
+    PipelineReport report;
+    executor.Fit(build(), &report);
+    const double total = report.total_train_seconds;
+    if (nodes == 8) base_total = total;
+    const double ideal = base_total * 8.0 / nodes;
+    std::printf("  %8d %10.2f %12.2f %10.2f %12.2f %9.2fx\n", nodes,
+                report.load_seconds, report.featurize_seconds,
+                report.solve_seconds, total, total / ideal);
+  }
+}
+
+void Run() {
+  using namespace workloads;
+  {
+    TextCorpus corpus = AmazonLike(3000, 0, 50, 2000, 101);
+    corpus.train_docs->set_virtual_scale(65e6 / 3000);
+    corpus.train_labels->set_virtual_scale(65e6 / 3000);
+    LinearSolverConfig solver;
+    solver.num_classes = 2;
+    solver.lbfgs_iterations = 50;
+    Sweep<std::string>("Amazon", [&] {
+      return BuildAmazonPipeline(corpus, 4000, solver);
+    });
+  }
+  {
+    DenseCorpus corpus = DenseClasses(3000, 0, 64, 8, 7.0, 103);
+    corpus.train->set_virtual_scale(2.25e6 / 3000);
+    corpus.train_labels->set_virtual_scale(2.25e6 / 3000);
+    LinearSolverConfig solver;
+    solver.num_classes = 8;
+    Sweep<std::vector<double>>("TIMIT", [&] {
+      return BuildTimitPipeline(corpus, 4, 256, 0.3, solver, 107);
+    });
+  }
+  {
+    ImageCorpus corpus = TexturedImages(120, 0, 32, 3, 4, 0.05, 109);
+    corpus.train->set_virtual_scale(1.28e6 / 120);
+    corpus.train_labels->set_virtual_scale(1.28e6 / 120);
+    LinearSolverConfig solver;
+    solver.num_classes = 4;
+    Sweep<Image>("ImageNet", [&] {
+      return BuildImageNetPipeline(corpus, 8, 8, 5, solver);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main() {
+  keystone::bench::Banner(
+      "Figure 12: strong scaling, 8 -> 128 nodes",
+      "Per-stage simulated seconds; 'vs ideal' is the slowdown relative to\n"
+      "perfect linear scaling from the 8-node time (1.0x = ideal).");
+  keystone::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 7: time to convolve an image with a filter bank as the
+// filter size k grows, for the three physical strategies (separable
+// matrix-vector, BLAS im2col, FFT).
+//
+// This benchmark runs the real kernels and reports measured wall-clock
+// milliseconds (the paper's y-axis is also milliseconds), alongside the
+// cost-model prediction used by the optimizer. Sizes are scaled from the
+// paper's 256x256x3 / 50 filters to keep single-core runtime reasonable;
+// the crossover structure (BLAS wins small k, FFT flat and wins large k,
+// separable cheapest when applicable) is preserved.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/ops/convolution.h"
+
+namespace keystone {
+namespace {
+
+void Run() {
+  Rng rng(11);
+  const size_t image_size = 128;
+  const size_t channels = 3;
+  const size_t num_filters = 16;
+  Image img(image_size, image_size, channels);
+  for (auto& v : img.data) v = rng.NextDouble();
+
+  const auto local = ClusterResourceDescriptor::LocalWorkstation();
+  std::printf("%6s %16s %16s %16s   (measured ms | model ms)\n", "k",
+              "Separable", "BLAS", "FFT");
+  for (size_t k : {2, 4, 6, 10, 16, 24, 32, 40}) {
+    // Separable filters so all three strategies are applicable.
+    FilterBank bank =
+        FilterBank::RandomSeparable(num_filters, k, channels, &rng);
+    std::printf("%6zu", k);
+    for (auto strategy :
+         {ConvolutionStrategy::kSeparable, ConvolutionStrategy::kBlas,
+          ConvolutionStrategy::kFft}) {
+      Convolver conv(bank, strategy);
+      Timer timer;
+      const Image out = conv.Apply(img);
+      const double measured_ms = timer.ElapsedMillis();
+      const double model_ms =
+          1e3 * local.SecondsFor(convolution_costs::Cost(
+                    strategy, image_size, channels, k, num_filters, 1, 1));
+      std::printf("  %7.1f | %6.1f", measured_ms, model_ms);
+      (void)out;
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main() {
+  keystone::bench::Banner(
+      "Figure 7: convolution strategy vs. filter size",
+      "Paper shape: BLAS fastest at small k, cost grows with k^2; FFT flat\n"
+      "in k and fastest at large k; separable cheapest when applicable.");
+  keystone::Run();
+  return 0;
+}

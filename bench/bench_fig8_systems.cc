@@ -1,0 +1,140 @@
+// Reproduces Figure 8: end-to-end solve time of KeystoneML's optimizing
+// solver vs. Vowpal-Wabbit-like and SystemML-like baselines, across feature
+// sizes, for binary Amazon (sparse) and binary TIMIT (dense).
+//
+// Cluster times are virtual seconds at the paper's record counts, from each
+// system's cost structure (KeystoneML: the optimizer-chosen solver;
+// VW: multi-pass normalized SGD; SystemML: conversion + CG on the normal
+// equations). A laptop-scale real run cross-checks that all three reach
+// comparable training loss.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/core/exec_context.h"
+#include "src/optimizer/operator_optimizer.h"
+#include "src/solvers/solver_costs.h"
+#include "src/solvers/solvers.h"
+#include "src/workloads/datasets.h"
+
+namespace keystone {
+namespace {
+
+double KeystoneSeconds(const DataStats& stats, bool sparse,
+                       const ClusterResourceDescriptor& cluster) {
+  LinearSolverConfig config;
+  config.num_classes = 2;
+  // Iterations to the common target loss; L-BFGS needs far fewer passes
+  // than first-order SGD on this objective.
+  config.lbfgs_iterations = 20;
+  auto logical = sparse ? MakeSparseLinearSolver(config)
+                        : MakeDenseLinearSolver(config);
+  const auto choice = ChooseEstimatorOption(*logical, stats, cluster);
+  return cluster.SecondsFor(
+      logical->options()[choice.option_index]->EstimateCost(
+          stats, cluster.num_nodes));
+}
+
+double VwSeconds(const DataStats& stats,
+                 const ClusterResourceDescriptor& cluster) {
+  // SGD needs many more passes than L-BFGS to reach the same loss; 50
+  // passes of normalized SGD with model averaging between passes.
+  CostProfile cost;
+  const int passes = 50;
+  const double w = cluster.num_nodes;
+  cost.flops = passes * 4.0 * stats.num_records * stats.avg_nnz * 2.0 / w;
+  cost.bytes = passes * 8.0 * stats.num_records * stats.avg_nnz / w;
+  cost.network = passes * 8.0 * stats.dim * 2.0;
+  cost.rounds = 2.0 * passes;
+  return cluster.SecondsFor(cost);
+}
+
+double SystemMlSeconds(const DataStats& stats,
+                       const ClusterResourceDescriptor& cluster) {
+  const int iterations = 10;
+  // Generic block-matrix operators pay a constant-factor penalty over the
+  // specialized kernels (the paper measures SystemML's solve step alone at
+  // ~1.5x and the end-to-end run far slower due to the conversion stage).
+  const double kBlockOverhead = 3.0;
+  const double w = cluster.num_nodes;
+  CostProfile cost;
+  // Conversion: scan, serialize and shuffle into the block-matrix format.
+  cost.bytes = 3.0 * 8.0 * stats.num_records * stats.avg_nnz / w;
+  cost.network = 8.0 * stats.num_records * stats.avg_nnz / w;
+  cost.rounds = 4.0;
+  cost.flops = kBlockOverhead * iterations * 4.0 * stats.num_records *
+               stats.avg_nnz * 2.0 / w;
+  cost.bytes += kBlockOverhead * iterations * 8.0 * stats.num_records *
+                stats.avg_nnz / w;
+  cost.network += iterations * 8.0 * stats.dim * 2.0;
+  cost.rounds += 2.0 * iterations;
+  return cluster.SecondsFor(cost);
+}
+
+void Panel(const char* title, bool sparse, double n, double avg_nnz) {
+  const auto cluster = ClusterResourceDescriptor::C3_4xlarge(16);
+  std::printf("\n-- %s --\n", title);
+  std::printf("%10s %14s %16s %14s\n", "features", "KeystoneML(s)",
+              "VowpalWabbit(s)", "SystemML(s)");
+  for (double d : {1024.0, 2048.0, 4096.0, 8192.0, 16384.0}) {
+    DataStats stats;
+    stats.num_records = static_cast<size_t>(n);
+    stats.dim = static_cast<size_t>(d);
+    // Text documents have a fixed number of distinct terms regardless of
+    // the hash/vocabulary width d.
+    stats.avg_nnz = sparse ? std::min(avg_nnz, d) : d;
+    stats.sparsity = stats.avg_nnz / d;
+    stats.bytes_per_record = stats.avg_nnz * (sparse ? 12.0 : 8.0);
+    std::printf("%10.0f %14.1f %16.1f %14.1f\n", d,
+                KeystoneSeconds(stats, sparse, cluster),
+                VwSeconds(stats, cluster), SystemMlSeconds(stats, cluster));
+  }
+}
+
+void LossCrossCheck() {
+  std::printf("\n-- Training-loss cross-check (real, laptop scale) --\n");
+  auto corpus = workloads::DenseClasses(2500, 0, 128, 2, 3.0, 55);
+  Matrix a(corpus.train->NumRecords(), 128);
+  Matrix b(corpus.train->NumRecords(), 2);
+  size_t row = 0;
+  const auto labels = corpus.train_labels->Collect();
+  for (const auto& rec : corpus.train->Collect()) {
+    std::copy(rec.begin(), rec.end(), a.RowPtr(row));
+    b(row, 0) = labels[row][0];
+    b(row, 1) = labels[row][1];
+    ++row;
+  }
+  const auto cluster = ClusterResourceDescriptor::C3_4xlarge(16);
+
+  LinearSolverConfig config;
+  config.num_classes = 2;
+  ExecContext ctx(cluster);
+  const DistributedExactSolver keystone_solver(config);
+  auto model = keystone_solver.Fit(*corpus.train, *corpus.train_labels, &ctx);
+  auto* typed = dynamic_cast<LinearMapModel*>(model.get());
+  std::printf("  KeystoneML (exact) loss: %.5f\n",
+              LeastSquaresLoss(a, typed->weights(), b));
+
+  const auto vw = baselines::VwLikeSolveDense(a, b, 10, cluster);
+  std::printf("  VW-like (10-pass SGD)  loss: %.5f\n", vw.train_loss);
+  const auto sysml = baselines::SystemMlLikeSolveDense(a, b, 10, cluster);
+  std::printf("  SystemML-like (CG)     loss: %.5f\n", sysml.train_loss);
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main() {
+  keystone::bench::Banner(
+      "Figure 8: KeystoneML vs. Vowpal Wabbit vs. SystemML",
+      "Paper shape: KeystoneML at or below both baselines at every size,\n"
+      "because it picks exact solves at small d and L-BFGS/sparse methods\n"
+      "elsewhere instead of one fixed algorithm.");
+  keystone::Panel("Amazon binary (sparse, n = 65M, ~100 nnz/doc)", true,
+                  65e6, 100.0);
+  keystone::Panel("TIMIT binary (dense, n = 2.25M)", false, 2.25e6, 1.0);
+  keystone::LossCrossCheck();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks for the numeric kernels underlying the operator library
+// (google-benchmark). These are not paper experiments; they document the
+// single-core throughput of the substrate the simulator's GFLOP/s
+// calibration refers to.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/linalg/fft.h"
+#include "src/linalg/gemm.h"
+#include "src/linalg/qr.h"
+#include "src/linalg/svd.h"
+#include "src/ops/convolution.h"
+
+namespace keystone {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(1);
+  const Matrix a = Matrix::GaussianRandom(n, n, &rng);
+  const Matrix b = Matrix::GaussianRandom(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gemm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(2);
+  const Matrix a = Matrix::GaussianRandom(2 * n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HouseholderQr(a));
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ExactSvd(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(3);
+  const Matrix a = Matrix::GaussianRandom(2 * n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSvd(a));
+  }
+}
+BENCHMARK(BM_ExactSvd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(4);
+  const Matrix a = Matrix::GaussianRandom(2 * n, n, &rng);
+  for (auto _ : state) {
+    Rng local(5);
+    benchmark::DoNotOptimize(TruncatedSvd(a, 8, &local));
+  }
+}
+BENCHMARK(BM_TruncatedSvd)->Arg(64)->Arg(128);
+
+void BM_Fft(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(6);
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = Complex(rng.NextGaussian(), 0.0);
+  for (auto _ : state) {
+    auto copy = data;
+    Fft(&copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(16384);
+
+void BM_Convolution(benchmark::State& state) {
+  Rng rng(7);
+  const size_t k = state.range(0);
+  FilterBank bank = FilterBank::Random(8, k, 1, &rng);
+  Image img(64, 64, 1);
+  for (auto& v : img.data) v = rng.NextDouble();
+  const Convolver blas(bank, ConvolutionStrategy::kBlas);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blas.Apply(img));
+  }
+}
+BENCHMARK(BM_Convolution)->Arg(3)->Arg(9);
+
+}  // namespace
+}  // namespace keystone
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+#ifndef KEYSTONE_BENCH_BENCH_UTIL_H_
+#define KEYSTONE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/data/data_stats.h"
+
+namespace keystone {
+namespace bench {
+
+/// Prints a banner naming the experiment being regenerated.
+inline void Banner(const char* title, const char* description) {
+  std::printf("==============================================================="
+              "=\n%s\n%s\n"
+              "==============================================================="
+              "=\n",
+              title, description);
+}
+
+/// Builds paper-scale dataset statistics from laptop-scale measured
+/// per-record statistics: the simulator charges virtual time for the
+/// paper's n while the kernels were validated on the real, smaller run.
+inline DataStats ScaleStats(const DataStats& measured, size_t paper_records) {
+  DataStats out = measured;
+  out.num_records = paper_records;
+  return out;
+}
+
+inline const char* Feasible(bool ok) { return ok ? "" : " (x: exceeds mem)"; }
+
+}  // namespace bench
+}  // namespace keystone
+
+#endif  // KEYSTONE_BENCH_BENCH_UTIL_H_

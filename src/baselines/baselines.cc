@@ -1,0 +1,266 @@
+#include "src/baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/linalg/gemm.h"
+#include "src/solvers/linear_model.h"
+
+namespace keystone {
+namespace baselines {
+
+namespace {
+
+// Shared SGD body over an abstract row accessor.
+template <typename RowFn, typename NnzFn>
+BaselineSolveResult SgdSolve(size_t n, size_t d, const Matrix& b, int passes,
+                             double avg_nnz, const RowFn& row_dot,
+                             const NnzFn& row_update,
+                             const ClusterResourceDescriptor& resources) {
+  const size_t k = b.cols();
+  Matrix w(d, k);
+  std::vector<double> adagrad(d, 1e-8);
+  std::vector<double> scores(k);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    for (size_t i = 0; i < n; ++i) {
+      row_dot(i, w, &scores);
+      for (size_t c = 0; c < k; ++c) scores[c] -= b(i, c);
+      row_update(i, scores, &w, &adagrad);
+    }
+  }
+
+  BaselineSolveResult result;
+  result.weights = std::move(w);
+
+  CostProfile cost;
+  const double workers = std::max(1, resources.num_nodes);
+  cost.flops = passes * 4.0 * n * avg_nnz * k / workers;
+  cost.bytes = passes * 8.0 * n * avg_nnz / workers;
+  // Model averaging after every pass.
+  cost.network = passes * 8.0 * static_cast<double>(d) * k;
+  cost.rounds = 2.0 * passes;
+  result.virtual_seconds = resources.SecondsFor(cost);
+  return result;
+}
+
+}  // namespace
+
+BaselineSolveResult VwLikeSolve(const SparseMatrix& a, const Matrix& b,
+                                int passes,
+                                const ClusterResourceDescriptor& resources) {
+  const size_t n = a.rows();
+  const size_t d = a.cols();
+  const double avg_nnz = n > 0 ? static_cast<double>(a.nnz()) / n : 0.0;
+  const double eta = 0.5;
+
+  auto row_dot = [&](size_t i, const Matrix& w, std::vector<double>* scores) {
+    std::fill(scores->begin(), scores->end(), 0.0);
+    const auto [begin, end] = a.RowRange(i);
+    for (size_t p = begin; p < end; ++p) {
+      const double v = a.values()[p];
+      const double* wrow = w.RowPtr(a.indices()[p]);
+      for (size_t c = 0; c < scores->size(); ++c) {
+        (*scores)[c] += v * wrow[c];
+      }
+    }
+  };
+  auto row_update = [&](size_t i, const std::vector<double>& residual,
+                        Matrix* w, std::vector<double>* adagrad) {
+    (void)adagrad;
+    const auto [begin, end] = a.RowRange(i);
+    // Normalized LMS: scale the step by the example's squared norm so the
+    // per-example correction never overshoots (VW's normalized updates).
+    double norm_sq = 1e-8;
+    for (size_t p = begin; p < end; ++p) {
+      norm_sq += a.values()[p] * a.values()[p];
+    }
+    const double lr = eta / norm_sq;
+    for (size_t p = begin; p < end; ++p) {
+      const uint32_t j = a.indices()[p];
+      const double v = a.values()[p];
+      double* wrow = w->RowPtr(j);
+      for (size_t c = 0; c < residual.size(); ++c) {
+        wrow[c] -= lr * v * residual[c];
+      }
+    }
+  };
+  BaselineSolveResult result =
+      SgdSolve(n, d, b, passes, avg_nnz, row_dot, row_update, resources);
+  const Matrix pred = a.MatMul(result.weights);
+  const double fro = (pred - b).FrobeniusNorm();
+  result.train_loss = fro * fro / std::max<size_t>(1, n);
+  return result;
+}
+
+BaselineSolveResult VwLikeSolveDense(
+    const Matrix& a, const Matrix& b, int passes,
+    const ClusterResourceDescriptor& resources) {
+  const size_t n = a.rows();
+  const size_t d = a.cols();
+  const double eta = 0.5;
+
+  auto row_dot = [&](size_t i, const Matrix& w, std::vector<double>* scores) {
+    std::fill(scores->begin(), scores->end(), 0.0);
+    const double* row = a.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double v = row[j];
+      if (v == 0.0) continue;
+      const double* wrow = w.RowPtr(j);
+      for (size_t c = 0; c < scores->size(); ++c) {
+        (*scores)[c] += v * wrow[c];
+      }
+    }
+  };
+  auto row_update = [&](size_t i, const std::vector<double>& residual,
+                        Matrix* w, std::vector<double>* adagrad) {
+    (void)adagrad;
+    const double* row = a.RowPtr(i);
+    double norm_sq = 1e-8;
+    for (size_t j = 0; j < d; ++j) norm_sq += row[j] * row[j];
+    const double lr = eta / norm_sq;
+    for (size_t j = 0; j < d; ++j) {
+      const double v = row[j];
+      if (v == 0.0) continue;
+      double* wrow = w->RowPtr(j);
+      for (size_t c = 0; c < residual.size(); ++c) {
+        wrow[c] -= lr * v * residual[c];
+      }
+    }
+  };
+  BaselineSolveResult result = SgdSolve(n, d, b, passes,
+                                        static_cast<double>(d), row_dot,
+                                        row_update, resources);
+  result.train_loss = LeastSquaresLoss(a, result.weights, b);
+  return result;
+}
+
+namespace {
+
+// Conjugate gradient on the normal equations (CGNR), matrix right-hand
+// sides handled column-block-wise. `apply_gram` computes A^T (A x).
+template <typename GramFn>
+Matrix Cgnr(const GramFn& apply_gram, const Matrix& atb, int iterations,
+            double ridge) {
+  const size_t d = atb.rows();
+  const size_t k = atb.cols();
+  Matrix x(d, k);
+  Matrix r = atb;  // Residual of the normal equations (x = 0).
+  Matrix p = r;
+  std::vector<double> rs_old(k);
+  for (size_t c = 0; c < k; ++c) {
+    double s = 0.0;
+    for (size_t i = 0; i < d; ++i) s += r(i, c) * r(i, c);
+    rs_old[c] = s;
+  }
+  for (int it = 0; it < iterations; ++it) {
+    Matrix ap = apply_gram(p);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t c = 0; c < k; ++c) ap(i, c) += ridge * p(i, c);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      double pap = 0.0;
+      for (size_t i = 0; i < d; ++i) pap += p(i, c) * ap(i, c);
+      if (pap <= 1e-300) continue;
+      const double alpha = rs_old[c] / pap;
+      double rs_new = 0.0;
+      for (size_t i = 0; i < d; ++i) {
+        x(i, c) += alpha * p(i, c);
+        r(i, c) -= alpha * ap(i, c);
+        rs_new += r(i, c) * r(i, c);
+      }
+      const double beta = rs_new / std::max(rs_old[c], 1e-300);
+      for (size_t i = 0; i < d; ++i) {
+        p(i, c) = r(i, c) + beta * p(i, c);
+      }
+      rs_old[c] = rs_new;
+    }
+  }
+  return x;
+}
+
+CostProfile SystemMlCost(double n, double d, double k, double s,
+                         int iterations, int workers) {
+  const double w = std::max(1, workers);
+  CostProfile cost;
+  // Conversion stage: two full scans plus a shuffle into the internal
+  // block-matrix format.
+  cost.bytes = 3.0 * 8.0 * n * s / w;
+  cost.network = 8.0 * n * s / w;
+  cost.rounds = 4.0;
+  // CG iterations: two matrix products per iteration.
+  cost.flops = iterations * 4.0 * n * s * k / w;
+  cost.bytes += iterations * 8.0 * n * s / w;
+  cost.network += iterations * 8.0 * d * k;
+  cost.rounds += 2.0 * iterations;
+  return cost;
+}
+
+}  // namespace
+
+BaselineSolveResult SystemMlLikeSolve(
+    const SparseMatrix& a, const Matrix& b, int iterations,
+    const ClusterResourceDescriptor& resources) {
+  const size_t n = a.rows();
+  const double avg_nnz = n > 0 ? static_cast<double>(a.nnz()) / n : 0.0;
+  const Matrix atb = a.TransMatMul(b);
+  BaselineSolveResult result;
+  result.weights = Cgnr(
+      [&](const Matrix& p) { return a.TransMatMul(a.MatMul(p)); }, atb,
+      iterations, 1e-8);
+  const Matrix pred = a.MatMul(result.weights);
+  const double fro = (pred - b).FrobeniusNorm();
+  result.train_loss = fro * fro / std::max<size_t>(1, n);
+  result.virtual_seconds = resources.SecondsFor(
+      SystemMlCost(n, a.cols(), b.cols(), avg_nnz, iterations,
+                   resources.num_nodes));
+  return result;
+}
+
+BaselineSolveResult SystemMlLikeSolveDense(
+    const Matrix& a, const Matrix& b, int iterations,
+    const ClusterResourceDescriptor& resources) {
+  const Matrix atb = GemmTransA(a, b);
+  BaselineSolveResult result;
+  result.weights = Cgnr(
+      [&](const Matrix& p) { return GemmTransA(a, Gemm(a, p)); }, atb,
+      iterations, 1e-8);
+  result.train_loss = LeastSquaresLoss(a, result.weights, b);
+  result.virtual_seconds = resources.SecondsFor(
+      SystemMlCost(a.rows(), a.cols(), b.cols(), a.cols(), iterations,
+                   resources.num_nodes));
+  return result;
+}
+
+TfScalingResult SimulateTensorFlowCifar(int machines, bool weak_scaling) {
+  KS_CHECK_GE(machines, 1);
+  // Calibrated against the paper's published Table 6 row for TensorFlow
+  // v0.8 on CPUs: single-machine time 184 minutes; synchronization cost
+  // grows ~m^1.4 (gradient exchange + stragglers).
+  constexpr double kSingleMachineMinutes = 184.0;
+  constexpr double kSyncScale = 2.23;
+  constexpr double kSyncExponent = 1.4;
+  const double m = static_cast<double>(machines);
+  TfScalingResult result;
+  if (!weak_scaling) {
+    // Strong scaling: global batch 128, compute shrinks with m, sync grows.
+    result.minutes = kSingleMachineMinutes / m +
+                     kSyncScale * std::pow(m, kSyncExponent);
+    return result;
+  }
+  // Weak scaling: batch = 128 m. Statistical efficiency improves sublinearly
+  // and collapses for very large batches (the paper's "xxx" entries).
+  if (machines >= 16) {
+    result.converged = false;
+    result.minutes = 0.0;
+    return result;
+  }
+  const double efficiency = std::max(0.6, 1.0 / std::sqrt(m));
+  result.minutes = efficiency * (kSingleMachineMinutes +
+                                 kSyncScale * std::pow(m, kSyncExponent));
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace keystone

@@ -1,0 +1,73 @@
+#ifndef KEYSTONE_COMMON_CHECK_H_
+#define KEYSTONE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace keystone {
+namespace internal {
+
+/// Prints a fatal error and aborts. Used by the KS_CHECK family below.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream-style message collector for KS_CHECK macros. The destructor of
+/// CheckMessageVoidify swallows the stream so the macro can be used as a
+/// statement with an optional trailing `<< "context"`.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace keystone
+
+/// Aborts the program with a diagnostic if `condition` is false. Always
+/// enabled (including release builds); use for invariants whose violation
+/// means a programming error.
+#define KS_CHECK(condition)                                              \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::keystone::internal::CheckFailureStream(__FILE__, __LINE__,         \
+                                             #condition)
+
+#define KS_CHECK_EQ(a, b) KS_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define KS_CHECK_NE(a, b) KS_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define KS_CHECK_LT(a, b) KS_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define KS_CHECK_LE(a, b) KS_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define KS_CHECK_GT(a, b) KS_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define KS_CHECK_GE(a, b) KS_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define KS_DCHECK(condition) \
+  if (true) {                \
+  } else                     \
+    ::keystone::internal::CheckFailureStream(__FILE__, __LINE__, #condition)
+#else
+#define KS_DCHECK(condition) KS_CHECK(condition)
+#endif
+
+#endif  // KEYSTONE_COMMON_CHECK_H_

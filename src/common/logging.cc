@@ -1,0 +1,50 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace keystone {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_log_level.load()),
+      level_(level),
+      file_(file),
+      line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
+               line_, stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace keystone

@@ -1,0 +1,47 @@
+#ifndef KEYSTONE_COMMON_LOGGING_H_
+#define KEYSTONE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace keystone {
+
+/// Severity levels for the KS_LOG macro.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement. Emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace keystone
+
+#define KS_LOG(level)                                   \
+  ::keystone::internal::LogMessage(                     \
+      ::keystone::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // KEYSTONE_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#ifndef KEYSTONE_COMMON_RNG_H_
+#define KEYSTONE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace keystone {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. All synthetic workloads in this repository draw from Rng so
+/// experiments are exactly reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextIndex(uint64_t n);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Fills `out` with standard normal samples.
+  void FillGaussian(std::vector<double>* out);
+
+  /// Derives an independent generator (useful for per-partition streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_COMMON_RNG_H_

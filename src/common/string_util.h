@@ -1,0 +1,28 @@
+#ifndef KEYSTONE_COMMON_STRING_UTIL_H_
+#define KEYSTONE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keystone {
+
+/// Splits `input` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view input,
+                                     std::string_view delims);
+
+/// Lowercases ASCII characters in place semantics (returns a copy).
+std::string ToLowerAscii(std::string_view input);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string TrimWhitespace(std::string_view input);
+
+/// Renders a byte count human-readably, e.g. "1.50 GB".
+std::string HumanBytes(double bytes);
+
+/// Renders seconds human-readably, e.g. "2.35 s" or "118 ms".
+std::string HumanSeconds(double seconds);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,54 @@
+#ifndef KEYSTONE_COMMON_THREAD_POOL_H_
+#define KEYSTONE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace keystone {
+
+/// Fixed-size worker pool used to execute dataset partitions concurrently.
+/// The pool executes real work; virtual cluster time is accounted separately
+/// by the simulator (see src/sim). Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
+  /// until all iterations finish.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_COMMON_THREAD_POOL_H_

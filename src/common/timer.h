@@ -1,0 +1,31 @@
+#ifndef KEYSTONE_COMMON_TIMER_H_
+#define KEYSTONE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace keystone {
+
+/// Wall-clock stopwatch for measuring real execution time (used by the
+/// pipeline profiler and the benchmark harnesses).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_COMMON_TIMER_H_

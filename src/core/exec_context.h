@@ -1,0 +1,51 @@
+#ifndef KEYSTONE_CORE_EXEC_CONTEXT_H_
+#define KEYSTONE_CORE_EXEC_CONTEXT_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/thread_pool.h"
+#include "src/sim/cost_profile.h"
+#include "src/sim/resources.h"
+#include "src/sim/virtual_time.h"
+
+namespace keystone {
+
+/// Everything an operator needs at execution time: the cluster description,
+/// the virtual-time ledger, and a worker pool for real (in-process) compute.
+/// Operators run their real kernels on the pool and report the cost profile
+/// of the equivalent distributed execution, which the executor charges to
+/// the ledger.
+class ExecContext {
+ public:
+  explicit ExecContext(const ClusterResourceDescriptor& resources)
+      : resources_(resources),
+        ledger_(resources),
+        pool_(&ThreadPool::Global()) {}
+
+  const ClusterResourceDescriptor& resources() const { return resources_; }
+  VirtualTimeLedger* ledger() { return &ledger_; }
+  ThreadPool* pool() { return pool_; }
+
+  /// Operators whose cost depends on runtime behaviour (e.g. iterative
+  /// solvers whose iteration count is data dependent) call this during
+  /// ApplyAny/FitAny; the executor reads and clears it afterwards, falling
+  /// back to the operator's a-priori cost estimate when absent.
+  void ReportActualCost(const CostProfile& cost) { actual_cost_ = cost; }
+
+  std::optional<CostProfile> TakeActualCost() {
+    auto out = actual_cost_;
+    actual_cost_.reset();
+    return out;
+  }
+
+ private:
+  ClusterResourceDescriptor resources_;
+  VirtualTimeLedger ledger_;
+  ThreadPool* pool_;
+  std::optional<CostProfile> actual_cost_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_CORE_EXEC_CONTEXT_H_

@@ -1,0 +1,588 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+#include "src/optimizer/operator_optimizer.h"
+
+namespace keystone {
+
+namespace {
+
+/// Spark-like admission control for the LRU baseline: objects above this
+/// fraction of the cache are never admitted (§5.4 discusses the implicit
+/// policy and its failure mode).
+constexpr double kLruAdmitFraction = 0.35;
+
+/// Resolves the physical transformer for a node, honoring a chosen option
+/// when the node's operator is Optimizable.
+std::shared_ptr<TransformerBase> EffectiveTransformer(
+    const GraphNode& node, const std::map<const void*, int>& chosen) {
+  auto* optimizable =
+      dynamic_cast<OptimizableTransformer*>(node.transformer.get());
+  if (optimizable == nullptr) return node.transformer;
+  auto it = chosen.find(optimizable);
+  const int index = it == chosen.end() ? 0 : it->second;
+  return optimizable->options()[index];
+}
+
+std::shared_ptr<EstimatorBase> EffectiveEstimator(
+    const GraphNode& node, const std::map<const void*, int>& chosen) {
+  auto* optimizable =
+      dynamic_cast<OptimizableEstimator*>(node.estimator.get());
+  if (optimizable == nullptr) return node.estimator;
+  auto it = chosen.find(optimizable);
+  const int index = it == chosen.end() ? 0 : it->second;
+  return optimizable->options()[index];
+}
+
+}  // namespace
+
+const char* CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kNone:
+      return "none";
+    case CachePolicy::kRuleBased:
+      return "rule-based";
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kGreedy:
+      return "greedy";
+    case CachePolicy::kExhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+OptimizationConfig OptimizationConfig::None() {
+  OptimizationConfig cfg;
+  cfg.operator_selection = false;
+  cfg.common_subexpression = false;
+  cfg.cache_policy = CachePolicy::kNone;
+  return cfg;
+}
+
+OptimizationConfig OptimizationConfig::PipeOnly() {
+  OptimizationConfig cfg;
+  cfg.operator_selection = false;
+  cfg.common_subexpression = true;
+  cfg.cache_policy = CachePolicy::kGreedy;
+  return cfg;
+}
+
+OptimizationConfig OptimizationConfig::Full() { return OptimizationConfig(); }
+
+std::string PipelineReport::ToString() const {
+  std::ostringstream os;
+  os << "PipelineReport{optimize=" << HumanSeconds(optimize_seconds)
+     << ", load=" << HumanSeconds(load_seconds)
+     << ", featurize=" << HumanSeconds(featurize_seconds)
+     << ", solve=" << HumanSeconds(solve_seconds)
+     << ", total=" << HumanSeconds(total_train_seconds)
+     << ", cse_eliminated=" << cse_eliminated << ", cache="
+     << HumanBytes(cache_used_bytes) << "/" << HumanBytes(cache_budget_bytes)
+     << "}\n";
+  for (const auto& node : nodes) {
+    os << "  [" << node.id << "] " << node.name;
+    if (!node.chosen_physical.empty()) os << " -> " << node.chosen_physical;
+    os << " t/pass=" << HumanSeconds(node.compute_seconds)
+       << " w=" << node.weight << " out=" << HumanBytes(node.output_bytes)
+       << (node.cached ? " [cached]" : "") << "\n";
+  }
+  return os.str();
+}
+
+FittedPipelineUntyped::FittedPipelineUntyped(
+    std::shared_ptr<PipelineGraph> graph, int placeholder, int sink,
+    std::map<int, std::shared_ptr<TransformerBase>> models,
+    std::map<int, std::shared_ptr<TransformerBase>> chosen_transformers)
+    : graph_(std::move(graph)),
+      placeholder_(placeholder),
+      sink_(sink),
+      models_(std::move(models)),
+      chosen_transformers_(std::move(chosen_transformers)) {}
+
+std::shared_ptr<TransformerBase> FittedPipelineUntyped::ModelFor(
+    int estimator_node) const {
+  auto it = models_.find(estimator_node);
+  KS_CHECK(it != models_.end())
+      << "no model fitted for node " << estimator_node;
+  return it->second;
+}
+
+AnyDataset FittedPipelineUntyped::Apply(const AnyDataset& input,
+                                        ExecContext* ctx) const {
+  const auto runtime_mask = graph_->ReachableFrom(placeholder_);
+  const auto needed = graph_->AncestorsOf(sink_);
+  const auto& resources = ctx->resources();
+
+  // Charge loading the evaluation data.
+  const DataStats input_stats = input->ComputeStats();
+  ctx->ledger()->ChargeSeconds(
+      "LoadTest", resources.DiskReadSeconds(input_stats.TotalBytes() /
+                                            std::max(1, resources.num_nodes)));
+
+  std::map<int, AnyDataset> outputs;
+  outputs[placeholder_] = input;
+
+  for (int id = 0; id < graph_->size(); ++id) {
+    if (!runtime_mask[id] || !needed[id] || id == placeholder_) continue;
+    const GraphNode& node = graph_->node(id);
+    std::vector<AnyDataset> inputs;
+    for (int dep : node.inputs) {
+      auto it = outputs.find(dep);
+      KS_CHECK(it != outputs.end())
+          << "runtime node " << node.name << " depends on train-only data";
+      inputs.push_back(it->second);
+    }
+    const DataStats in_stats = inputs[0]->ComputeStats();
+
+    std::shared_ptr<TransformerBase> op;
+    switch (node.kind) {
+      case NodeKind::kTransformer:
+      case NodeKind::kGather: {
+        auto it = chosen_transformers_.find(id);
+        op = it != chosen_transformers_.end() ? it->second : node.transformer;
+        break;
+      }
+      case NodeKind::kApplyModel:
+        op = ModelFor(node.model_input);
+        break;
+      default:
+        KS_CHECK(false) << "unexpected " << NodeKindName(node.kind)
+                        << " on the runtime path";
+    }
+    outputs[id] = op->ApplyAny(inputs, ctx);
+    outputs[id]->set_virtual_scale(inputs[0]->virtual_scale());
+    const auto actual = ctx->TakeActualCost();
+    const CostProfile cost =
+        (actual.has_value() && inputs[0]->virtual_scale() <= 1.0)
+            ? *actual
+            : op->EstimateCost(in_stats, resources.num_nodes);
+    ctx->ledger()->Charge("Eval", cost);
+  }
+  auto it = outputs.find(sink_);
+  KS_CHECK(it != outputs.end());
+  return it->second;
+}
+
+PipelineExecutor::PipelineExecutor(const ClusterResourceDescriptor& resources,
+                                   const OptimizationConfig& config)
+    : config_(config), context_(resources) {}
+
+void PipelineExecutor::ProfilePass(PipelineGraph* graph,
+                                   const std::vector<bool>& train_mask,
+                                   size_t sample_size, bool select_ops,
+                                   bool record_large,
+                                   std::map<int, int>* chosen_options,
+                                   std::vector<ProfileEntry>* profile,
+                                   PipelineReport* report) {
+  const auto& resources = context_.resources();
+  std::map<int, AnyDataset> outputs;
+  std::map<int, std::shared_ptr<TransformerBase>> sample_models;
+  std::map<const void*, int> chosen_ptrs;
+  for (const auto& [id, index] : *chosen_options) {
+    const GraphNode& node = graph->node(id);
+    const void* op = node.transformer != nullptr
+                         ? static_cast<const void*>(node.transformer.get())
+                         : static_cast<const void*>(node.estimator.get());
+    chosen_ptrs[op] = index;
+  }
+
+  for (int id = 0; id < graph->size(); ++id) {
+    if (!train_mask[id]) continue;
+    GraphNode& node = *graph->mutable_node(id);
+    ProfileEntry& entry = (*profile)[id];
+    double seconds = 0.0;
+    DataStats out_stats;
+
+    switch (node.kind) {
+      case NodeKind::kSource: {
+        entry.full_records = static_cast<size_t>(
+            node.bound_data->NumRecords() * node.bound_data->virtual_scale());
+        auto sample = node.bound_data->SamplePrefix(sample_size);
+        outputs[id] = sample;
+        out_stats = sample->ComputeStats();
+        seconds = resources.DiskReadSeconds(out_stats.TotalBytes() /
+                                            std::max(1, resources.num_nodes));
+        break;
+      }
+      case NodeKind::kTransformer:
+      case NodeKind::kGather: {
+        std::vector<AnyDataset> inputs;
+        for (int dep : node.inputs) inputs.push_back(outputs.at(dep));
+        const DataStats in_stats = inputs[0]->ComputeStats();
+        entry.full_records = (*profile)[node.inputs[0]].full_records;
+
+        auto* optimizable =
+            dynamic_cast<OptimizableTransformer*>(node.transformer.get());
+        if (select_ops && optimizable != nullptr &&
+            chosen_ptrs.count(optimizable) == 0) {
+          const DataStats full_stats = in_stats.ScaledTo(entry.full_records);
+          const PhysicalChoice choice =
+              ChooseTransformerOption(*optimizable, full_stats, resources);
+          (*chosen_options)[id] = choice.option_index;
+          chosen_ptrs[optimizable] = choice.option_index;
+        }
+        auto op = EffectiveTransformer(node, chosen_ptrs);
+        outputs[id] = op->ApplyAny(inputs, &context_);
+        const auto actual = context_.TakeActualCost();
+        CostProfile cost = actual.has_value()
+                               ? *actual
+                               : op->EstimateCost(in_stats,
+                                                  resources.num_nodes);
+        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        seconds = resources.SecondsFor(cost);
+        out_stats = outputs[id]->ComputeStats();
+        break;
+      }
+      case NodeKind::kEstimator: {
+        const AnyDataset data = outputs.at(node.inputs[0]);
+        const AnyDataset labels =
+            node.inputs.size() > 1 ? outputs.at(node.inputs[1]) : nullptr;
+        const DataStats in_stats = data->ComputeStats();
+        entry.full_records = 0;  // Output is a model, not a dataset.
+
+        auto* optimizable =
+            dynamic_cast<OptimizableEstimator*>(node.estimator.get());
+        if (select_ops && optimizable != nullptr &&
+            chosen_ptrs.count(optimizable) == 0) {
+          const size_t full_n = (*profile)[node.inputs[0]].full_records;
+          const DataStats full_stats = in_stats.ScaledTo(full_n);
+          const PhysicalChoice choice =
+              ChooseEstimatorOption(*optimizable, full_stats, resources);
+          (*chosen_options)[id] = choice.option_index;
+          chosen_ptrs[optimizable] = choice.option_index;
+        }
+        auto est = EffectiveEstimator(node, chosen_ptrs);
+        sample_models[id] = est->FitAny(data, labels, &context_);
+        const auto actual = context_.TakeActualCost();
+        CostProfile cost = actual.has_value()
+                               ? *actual
+                               : est->EstimateCost(in_stats,
+                                                   resources.num_nodes);
+        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        seconds = resources.SecondsFor(cost);
+        break;
+      }
+      case NodeKind::kApplyModel: {
+        const AnyDataset data = outputs.at(node.inputs[0]);
+        const DataStats in_stats = data->ComputeStats();
+        entry.full_records = (*profile)[node.inputs[0]].full_records;
+        auto model = sample_models.at(node.model_input);
+        outputs[id] = model->ApplyAny({data}, &context_);
+        const auto actual = context_.TakeActualCost();
+        CostProfile cost = actual.has_value()
+                               ? *actual
+                               : model->EstimateCost(in_stats,
+                                                     resources.num_nodes);
+        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        seconds = resources.SecondsFor(cost);
+        out_stats = outputs[id]->ComputeStats();
+        break;
+      }
+      case NodeKind::kPlaceholder:
+        KS_CHECK(false) << "placeholder cannot be on the training path";
+    }
+
+    // Records that flowed through this node during the sample pass (the
+    // node input count; for sources/transformers that equals the output).
+    size_t sample_records = out_stats.num_records;
+    if (node.kind == NodeKind::kEstimator) {
+      sample_records = outputs.count(node.inputs[0]) > 0
+                           ? outputs.at(node.inputs[0])->NumRecords()
+                           : 0;
+    }
+    if (record_large) {
+      entry.seconds_large = seconds;
+      entry.records_large = sample_records;
+    } else {
+      entry.seconds_small = seconds;
+      entry.records_small = sample_records;
+    }
+    entry.bytes_per_record = out_stats.bytes_per_record;
+    (void)report;
+  }
+}
+
+std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
+    const PipelineGraph& original, int placeholder, int sink,
+    PipelineReport* report) {
+  PipelineReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = PipelineReport();
+
+  auto graph = std::make_shared<PipelineGraph>(original);
+  const auto& resources = context_.resources();
+
+  // --- Whole-pipeline rewrite: common sub-expression elimination (§4.2).
+  if (config_.common_subexpression) {
+    std::vector<int> remap;
+    report->cse_eliminated = graph->EliminateCommonSubexpressions(&remap);
+    sink = remap[sink];
+    placeholder = remap[placeholder];
+  }
+
+  const auto live = graph->AncestorsOf(sink);
+  const auto runtime_mask = graph->ReachableFrom(placeholder);
+  std::vector<bool> train_mask(graph->size());
+  for (int id = 0; id < graph->size(); ++id) {
+    train_mask[id] = live[id] && !runtime_mask[id];
+  }
+
+  // --- Execution subsampling + operator selection (§3, §4.1).
+  const bool plan_cache = config_.cache_policy == CachePolicy::kGreedy ||
+                          config_.cache_policy == CachePolicy::kExhaustive;
+  const bool need_profile = config_.operator_selection || plan_cache;
+  std::map<int, int> chosen_options;
+  std::vector<ProfileEntry> profile(graph->size());
+  if (need_profile) {
+    ProfilePass(graph.get(), train_mask, config_.profile_sample_large,
+                config_.operator_selection, /*record_large=*/true,
+                &chosen_options, &profile, report);
+    ProfilePass(graph.get(), train_mask, config_.profile_sample_small,
+                /*select_ops=*/false, /*record_large=*/false, &chosen_options,
+                &profile, report);
+    for (int id = 0; id < graph->size(); ++id) {
+      if (train_mask[id]) {
+        report->optimize_seconds +=
+            profile[id].seconds_small + profile[id].seconds_large;
+      }
+    }
+  }
+
+  std::map<const void*, int> chosen_ptrs;
+  for (const auto& [id, index] : chosen_options) {
+    const GraphNode& node = graph->node(id);
+    const void* op = node.transformer != nullptr
+                         ? static_cast<const void*>(node.transformer.get())
+                         : static_cast<const void*>(node.estimator.get());
+    chosen_ptrs[op] = index;
+  }
+
+  // --- Materialization planning from the extrapolated profile (§4.3).
+  const double budget =
+      config_.cache_budget_bytes >= 0.0
+          ? config_.cache_budget_bytes
+          : config_.cache_fraction * resources.ClusterMemoryBytes();
+  report->cache_budget_bytes = budget;
+
+  auto node_weight = [&](int id) -> int {
+    const GraphNode& node = graph->node(id);
+    if (node.kind == NodeKind::kEstimator) {
+      return EffectiveEstimator(node, chosen_ptrs)->Weight();
+    }
+    if (node.transformer != nullptr) {
+      return EffectiveTransformer(node, chosen_ptrs)->Weight();
+    }
+    return 1;
+  };
+
+  auto terminals_of = [&]() {
+    const auto succ = graph->SuccessorLists();
+    std::vector<int> terminals;
+    for (int id = 0; id < graph->size(); ++id) {
+      if (!train_mask[id]) continue;
+      bool has_train_succ = false;
+      for (int s : succ[id]) {
+        if (train_mask[s] && live[s]) has_train_succ = true;
+      }
+      if (!has_train_succ) terminals.push_back(id);
+    }
+    return terminals;
+  };
+  const std::vector<int> terminals = terminals_of();
+
+  std::vector<bool> cache_set(graph->size(), false);
+  if (plan_cache) {
+    MaterializationProblem plan;
+    plan.graph = graph.get();
+    plan.resources = resources;
+    plan.memory_budget_bytes = budget;
+    plan.terminals = terminals;
+    plan.info.resize(graph->size());
+    for (int id = 0; id < graph->size(); ++id) {
+      NodeRuntimeInfo& info = plan.info[id];
+      info.live = train_mask[id];
+      if (!info.live) continue;
+      const GraphNode& node = graph->node(id);
+      info.weight = node_weight(id);
+      info.always_cached = node.kind == NodeKind::kEstimator;
+      const ProfileEntry& entry = profile[id];
+      const double n_full = static_cast<double>(entry.full_records);
+      // Linear extrapolation through the two sampled points (§5.4); when
+      // the dataset is smaller than both sample sizes the points coincide,
+      // so fall back to proportional scaling.
+      double total_seconds;
+      if (entry.records_large > entry.records_small) {
+        const double slope =
+            (entry.seconds_large - entry.seconds_small) /
+            (entry.records_large - entry.records_small);
+        total_seconds = std::max(
+            0.0, entry.seconds_large +
+                     slope * (n_full - entry.records_large));
+      } else {
+        total_seconds = entry.seconds_large * n_full /
+                        std::max<size_t>(1, entry.records_large);
+      }
+      info.compute_seconds = total_seconds / std::max(1, info.weight);
+      info.output_bytes = entry.bytes_per_record * n_full;
+    }
+    cache_set = config_.cache_policy == CachePolicy::kGreedy
+                    ? GreedyCacheSelection(plan)
+                    : ExhaustiveCacheSelection(plan);
+  }
+
+  // --- Full-scale execution of the training path.
+  std::map<int, AnyDataset> outputs;
+  std::map<int, std::shared_ptr<TransformerBase>> models;
+  std::vector<NodeRuntimeInfo> actual_info(graph->size());
+  report->nodes.clear();
+
+  for (int id = 0; id < graph->size(); ++id) {
+    if (!train_mask[id]) continue;
+    const GraphNode& node = graph->node(id);
+    NodeExecutionRecord record;
+    record.id = id;
+    record.name = node.name;
+    record.kind = node.kind;
+    record.weight = node_weight(id);
+
+    double total_seconds = 0.0;
+    DataStats out_stats;
+    switch (node.kind) {
+      case NodeKind::kSource: {
+        outputs[id] = node.bound_data;
+        out_stats = node.bound_data->ComputeStats();
+        total_seconds = resources.DiskReadSeconds(
+            out_stats.TotalBytes() / std::max(1, resources.num_nodes));
+        break;
+      }
+      case NodeKind::kTransformer:
+      case NodeKind::kGather: {
+        std::vector<AnyDataset> inputs;
+        for (int dep : node.inputs) inputs.push_back(outputs.at(dep));
+        const double scale = inputs[0]->virtual_scale();
+        const DataStats in_stats = inputs[0]->ComputeStats();
+        auto op = EffectiveTransformer(node, chosen_ptrs);
+        if (op != node.transformer) record.chosen_physical = op->Name();
+        outputs[id] = op->ApplyAny(inputs, &context_);
+        outputs[id]->set_virtual_scale(scale);
+        // With a virtual scale, kernel-reported costs describe the real
+        // (small) run; use the cost model at the scaled statistics instead.
+        const auto actual = context_.TakeActualCost();
+        total_seconds = resources.SecondsFor(
+            (actual.has_value() && scale <= 1.0)
+                ? *actual
+                : op->EstimateCost(in_stats, resources.num_nodes));
+        out_stats = outputs[id]->ComputeStats();
+        break;
+      }
+      case NodeKind::kEstimator: {
+        const AnyDataset data = outputs.at(node.inputs[0]);
+        const AnyDataset labels =
+            node.inputs.size() > 1 ? outputs.at(node.inputs[1]) : nullptr;
+        const double scale = data->virtual_scale();
+        const DataStats in_stats = data->ComputeStats();
+        auto est = EffectiveEstimator(node, chosen_ptrs);
+        if (est != node.estimator) record.chosen_physical = est->Name();
+        models[id] = est->FitAny(data, labels, &context_);
+        const auto actual = context_.TakeActualCost();
+        total_seconds = resources.SecondsFor(
+            (actual.has_value() && scale <= 1.0)
+                ? *actual
+                : est->EstimateCost(in_stats, resources.num_nodes));
+        break;
+      }
+      case NodeKind::kApplyModel: {
+        const AnyDataset data = outputs.at(node.inputs[0]);
+        const double scale = data->virtual_scale();
+        const DataStats in_stats = data->ComputeStats();
+        auto model = models.at(node.model_input);
+        outputs[id] = model->ApplyAny({data}, &context_);
+        outputs[id]->set_virtual_scale(scale);
+        const auto actual = context_.TakeActualCost();
+        total_seconds = resources.SecondsFor(
+            (actual.has_value() && scale <= 1.0)
+                ? *actual
+                : model->EstimateCost(in_stats, resources.num_nodes));
+        out_stats = outputs[id]->ComputeStats();
+        break;
+      }
+      case NodeKind::kPlaceholder:
+        KS_CHECK(false) << "placeholder cannot be on the training path";
+    }
+
+    NodeRuntimeInfo& info = actual_info[id];
+    info.live = true;
+    info.weight = record.weight;
+    info.always_cached = node.kind == NodeKind::kEstimator;
+    info.compute_seconds = total_seconds / std::max(1, record.weight);
+    info.output_bytes = out_stats.TotalBytes();
+
+    record.compute_seconds = info.compute_seconds;
+    record.output_bytes = info.output_bytes;
+    record.cached = cache_set[id];
+    record.output_stats = out_stats;
+    report->nodes.push_back(std::move(record));
+  }
+
+  // --- Final virtual-time accounting under the configured cache policy.
+  MaterializationProblem actual;
+  actual.graph = graph.get();
+  actual.resources = resources;
+  actual.memory_budget_bytes = budget;
+  actual.terminals = terminals;
+  actual.info = std::move(actual_info);
+
+  std::vector<double> per_node;
+  if (config_.cache_policy == CachePolicy::kLru) {
+    report->total_train_seconds =
+        SimulateLruRuntime(actual, budget, kLruAdmitFraction, &per_node);
+  } else {
+    report->total_train_seconds =
+        EstimateRuntimeDetailed(actual, cache_set, &per_node);
+  }
+  report->cache_set = cache_set;
+  report->cache_used_bytes = CacheSetBytes(actual, cache_set);
+
+  for (int id = 0; id < graph->size(); ++id) {
+    if (!train_mask[id]) continue;
+    switch (graph->node(id).kind) {
+      case NodeKind::kSource:
+        report->load_seconds += per_node[id];
+        break;
+      case NodeKind::kEstimator:
+        report->solve_seconds += per_node[id];
+        break;
+      default:
+        report->featurize_seconds += per_node[id];
+        break;
+    }
+  }
+  context_.ledger()->ChargeSeconds("Optimize", report->optimize_seconds);
+  context_.ledger()->ChargeSeconds("Load", report->load_seconds);
+  context_.ledger()->ChargeSeconds("Featurize", report->featurize_seconds);
+  context_.ledger()->ChargeSeconds("Solve", report->solve_seconds);
+
+  // --- Resolve chosen physical transformers for the runtime path.
+  std::map<int, std::shared_ptr<TransformerBase>> chosen_transformers;
+  for (int id = 0; id < graph->size(); ++id) {
+    const GraphNode& node = graph->node(id);
+    if (node.transformer == nullptr) continue;
+    auto* optimizable =
+        dynamic_cast<OptimizableTransformer*>(node.transformer.get());
+    if (optimizable == nullptr) continue;
+    auto it = chosen_ptrs.find(optimizable);
+    const int index = it == chosen_ptrs.end() ? 0 : it->second;
+    chosen_transformers[id] = optimizable->options()[index];
+  }
+
+  return std::make_shared<FittedPipelineUntyped>(
+      graph, placeholder, sink, std::move(models),
+      std::move(chosen_transformers));
+}
+
+}  // namespace keystone

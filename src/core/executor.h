@@ -1,0 +1,202 @@
+#ifndef KEYSTONE_CORE_EXECUTOR_H_
+#define KEYSTONE_CORE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/exec_context.h"
+#include "src/core/pipeline.h"
+#include "src/core/pipeline_graph.h"
+#include "src/data/dist_dataset.h"
+#include "src/optimizer/materialization.h"
+
+namespace keystone {
+
+/// Intermediate-data materialization policy (paper §4.3 / §5.4).
+enum class CachePolicy {
+  /// Nothing materialized (models excepted): every access recomputes.
+  kNone,
+  /// Cache only estimator results (the rule-based baseline).
+  kRuleBased,
+  /// Dynamic least-recently-used cache (the Spark default baseline).
+  kLru,
+  /// The paper's greedy Algorithm 1.
+  kGreedy,
+  /// Exhaustive optimal subset (small DAGs only; the ILP stand-in).
+  kExhaustive,
+};
+
+const char* CachePolicyName(CachePolicy policy);
+
+/// Which optimizations the executor applies — the "optimization levels" of
+/// Figure 9 are presets over these flags.
+struct OptimizationConfig {
+  /// Choose physical implementations for Optimizable operators (§3).
+  bool operator_selection = true;
+
+  /// Merge common sub-expressions (§4.2).
+  bool common_subexpression = true;
+
+  /// Profile on samples and plan materialization (§4.1/§4.3).
+  CachePolicy cache_policy = CachePolicy::kGreedy;
+
+  /// Fraction of cluster memory available to the cache.
+  double cache_fraction = 0.9;
+
+  /// Override: absolute cache budget in bytes (<0 means use cache_fraction).
+  double cache_budget_bytes = -1.0;
+
+  /// Sample sizes for execution subsampling; the two points anchor the
+  /// linear extrapolation of per-node time and size (§5.4).
+  size_t profile_sample_small = 512;
+  size_t profile_sample_large = 1024;
+
+  /// Unoptimized execution (None in Figure 9).
+  static OptimizationConfig None();
+
+  /// Whole-pipeline optimizations only (Pipe Only in Figure 9).
+  static OptimizationConfig PipeOnly();
+
+  /// Everything on (KeystoneML in Figure 9).
+  static OptimizationConfig Full();
+};
+
+/// Per-node record of what the executor did and measured.
+struct NodeExecutionRecord {
+  int id = -1;
+  std::string name;
+  NodeKind kind = NodeKind::kSource;
+  std::string chosen_physical;  // physical op, when node was Optimizable
+  double compute_seconds = 0.0;  // per-pass virtual seconds, full scale
+  double output_bytes = 0.0;
+  int weight = 1;
+  bool cached = false;
+  DataStats output_stats;
+};
+
+/// Everything a benchmark needs to know about one Fit() run.
+struct PipelineReport {
+  std::vector<NodeExecutionRecord> nodes;
+  std::vector<bool> cache_set;
+  int cse_eliminated = 0;
+  double optimize_seconds = 0.0;
+  double load_seconds = 0.0;
+  double featurize_seconds = 0.0;
+  double solve_seconds = 0.0;
+  /// Load + featurize + solve (training time under the cache policy).
+  double total_train_seconds = 0.0;
+  double cache_budget_bytes = 0.0;
+  double cache_used_bytes = 0.0;
+
+  std::string ToString() const;
+};
+
+/// A fitted pipeline over the type-erased graph: estimators replaced by
+/// their fitted models, optimizable operators by their chosen physical
+/// implementations. Obtained from PipelineExecutor::Fit.
+class FittedPipelineUntyped {
+ public:
+  FittedPipelineUntyped(std::shared_ptr<PipelineGraph> graph, int placeholder,
+                        int sink,
+                        std::map<int, std::shared_ptr<TransformerBase>> models,
+                        std::map<int, std::shared_ptr<TransformerBase>>
+                            chosen_transformers);
+
+  /// Applies the runtime path to new data, charging the "Eval" ledger stage.
+  AnyDataset Apply(const AnyDataset& input, ExecContext* ctx) const;
+
+  /// The fitted model produced by the estimator node `id` (for inspection).
+  std::shared_ptr<TransformerBase> ModelFor(int estimator_node) const;
+
+  const PipelineGraph& graph() const { return *graph_; }
+  int sink() const { return sink_; }
+
+ private:
+  std::shared_ptr<PipelineGraph> graph_;
+  int placeholder_;
+  int sink_;
+  std::map<int, std::shared_ptr<TransformerBase>> models_;
+  std::map<int, std::shared_ptr<TransformerBase>> chosen_transformers_;
+};
+
+/// Typed facade over FittedPipelineUntyped.
+template <typename A, typename B>
+class FittedPipeline {
+ public:
+  explicit FittedPipeline(std::shared_ptr<FittedPipelineUntyped> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<const DistDataset<B>> Apply(
+      const std::shared_ptr<DistDataset<A>>& input, ExecContext* ctx) const {
+    return DistDataset<B>::Cast(impl_->Apply(input, ctx));
+  }
+
+  /// Applies to one record (wraps it in a singleton dataset).
+  B ApplyOne(const A& record, ExecContext* ctx) const {
+    auto dataset = MakeDataset<A>({record}, 1);
+    auto out = Apply(dataset, ctx);
+    KS_CHECK_EQ(out->NumRecords(), 1u);
+    return out->Collect()[0];
+  }
+
+  const FittedPipelineUntyped& impl() const { return *impl_; }
+  const std::shared_ptr<FittedPipelineUntyped>& impl_ptr() const {
+    return impl_;
+  }
+
+ private:
+  std::shared_ptr<FittedPipelineUntyped> impl_;
+};
+
+/// Optimizes and trains pipelines: operator selection on sampled statistics,
+/// common sub-expression elimination, profile-driven materialization, then
+/// full execution with virtual-time accounting (paper Figure 1, stages 2-4).
+class PipelineExecutor {
+ public:
+  PipelineExecutor(const ClusterResourceDescriptor& resources,
+                   const OptimizationConfig& config);
+
+  /// Optimizes and fits a typed pipeline.
+  template <typename A, typename B>
+  FittedPipeline<A, B> Fit(const Pipeline<A, B>& pipeline,
+                           PipelineReport* report = nullptr) {
+    return FittedPipeline<A, B>(
+        FitGraph(*pipeline.graph(), pipeline.source(), pipeline.sink(),
+                 report));
+  }
+
+  /// Type-erased core used by Fit.
+  std::shared_ptr<FittedPipelineUntyped> FitGraph(const PipelineGraph& graph,
+                                                  int placeholder, int sink,
+                                                  PipelineReport* report);
+
+  ExecContext* context() { return &context_; }
+  const OptimizationConfig& config() const { return config_; }
+
+ private:
+  struct ProfileEntry {
+    double seconds_small = 0.0;   // total modeled seconds at the small sample
+    double seconds_large = 0.0;   // ... and at the large sample
+    size_t records_small = 0;     // records actually flowing at each sample
+    size_t records_large = 0;
+    double bytes_per_record = 0.0;
+    size_t full_records = 0;
+  };
+
+  // Runs the sampling pass at `sample_size`, choosing physical operators on
+  // the way when `select_ops` is set. Fills per-node profile info.
+  void ProfilePass(PipelineGraph* graph, const std::vector<bool>& train_mask,
+                   size_t sample_size, bool select_ops, bool record_large,
+                   std::map<int, int>* chosen_options,
+                   std::vector<ProfileEntry>* profile,
+                   PipelineReport* report);
+
+  OptimizationConfig config_;
+  ExecContext context_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_CORE_EXECUTOR_H_

@@ -1,0 +1,232 @@
+#ifndef KEYSTONE_CORE_OPERATOR_H_
+#define KEYSTONE_CORE_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/exec_context.h"
+#include "src/data/dist_dataset.h"
+#include "src/sim/cost_profile.h"
+
+namespace keystone {
+
+/// Base class for all physical operators that map datasets to datasets.
+/// Mirrors the paper's Transformer trait: a deterministic, side-effect-free
+/// unary function over data items, plus a CostModel used by the optimizer.
+class TransformerBase {
+ public:
+  virtual ~TransformerBase() = default;
+
+  /// Operator name (diagnostics, DAG rendering, bench output).
+  virtual std::string Name() const = 0;
+
+  /// Applies the operator to (usually one) input dataset(s).
+  virtual AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
+                              ExecContext* ctx) const = 0;
+
+  /// CostModel: estimated critical-path cost of processing a dataset with
+  /// statistics `in` on `workers` cluster nodes (paper Figure 3). The
+  /// default charges one memory scan of the input.
+  virtual CostProfile EstimateCost(const DataStats& in, int workers) const {
+    CostProfile cost;
+    cost.bytes = in.TotalBytes() / std::max(1, workers);
+    return cost;
+  }
+
+  /// Bytes of cluster memory required during execution beyond inputs and
+  /// outputs (used for feasibility checks; 0 = negligible).
+  virtual double ScratchMemoryBytes(const DataStats& in, int workers) const {
+    (void)in;
+    (void)workers;
+    return 0.0;
+  }
+
+  /// Number of passes the operator makes over its input (paper's Iterative
+  /// trait weight; 1 for ordinary transformers).
+  virtual int Weight() const { return 1; }
+};
+
+/// Typed per-record transformer. Implementations override Apply (record at
+/// a time); ApplyAny maps it over every partition on the worker pool.
+template <typename A, typename B>
+class Transformer : public TransformerBase {
+ public:
+  using InputType = A;
+  using OutputType = B;
+
+  /// Applies the operator to a single data item.
+  virtual B Apply(const A& input) const = 0;
+
+  AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
+                      ExecContext* ctx) const override {
+    KS_CHECK_EQ(inputs.size(), 1u);
+    auto in = DistDataset<A>::Cast(inputs[0]);
+    std::vector<std::vector<B>> out(in->NumPartitions());
+    ctx->pool()->ParallelFor(in->NumPartitions(), [&](size_t p) {
+      const auto& part = in->partition(p);
+      out[p].reserve(part.size());
+      for (const auto& rec : part) out[p].push_back(Apply(rec));
+    });
+    return std::make_shared<DistDataset<B>>(std::move(out));
+  }
+};
+
+/// Base class for operators that are fit on a dataset and produce a
+/// transformer (the paper's Estimator: a function-generating function).
+class EstimatorBase {
+ public:
+  virtual ~EstimatorBase() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Fits on `data` (and `labels` when the estimator is supervised; null
+  /// otherwise), returning the fitted model as a transformer.
+  virtual std::shared_ptr<TransformerBase> FitAny(const AnyDataset& data,
+                                                  const AnyDataset& labels,
+                                                  ExecContext* ctx) const = 0;
+
+  /// CostModel for the fitting step (see TransformerBase::EstimateCost).
+  virtual CostProfile EstimateCost(const DataStats& in, int workers) const {
+    CostProfile cost;
+    cost.bytes = in.TotalBytes() / std::max(1, workers);
+    return cost;
+  }
+
+  virtual double ScratchMemoryBytes(const DataStats& in, int workers) const {
+    (void)in;
+    (void)workers;
+    return 0.0;
+  }
+
+  /// Number of passes over the input dataset during fitting (the Iterative
+  /// weight; e.g. ~#iterations for gradient methods). Materialization uses
+  /// this to weigh recomputation costs.
+  virtual int Weight() const { return 1; }
+
+  /// True when the estimator consumes a label dataset.
+  virtual bool IsSupervised() const { return false; }
+};
+
+/// Typed unsupervised estimator over records of type A producing a
+/// Transformer<A, B>.
+template <typename A, typename B>
+class Estimator : public EstimatorBase {
+ public:
+  using InputType = A;
+  using OutputType = B;
+
+  virtual std::shared_ptr<Transformer<A, B>> Fit(const DistDataset<A>& data,
+                                                 ExecContext* ctx) const = 0;
+
+  std::shared_ptr<TransformerBase> FitAny(const AnyDataset& data,
+                                          const AnyDataset& labels,
+                                          ExecContext* ctx) const override {
+    KS_CHECK(labels == nullptr) << Name() << " is unsupervised";
+    auto typed = DistDataset<A>::Cast(data);
+    return Fit(*typed, ctx);
+  }
+};
+
+/// Typed supervised estimator: fit on (data, labels) pairs.
+template <typename A, typename B, typename L>
+class LabelEstimator : public EstimatorBase {
+ public:
+  using InputType = A;
+  using OutputType = B;
+  using LabelType = L;
+
+  virtual std::shared_ptr<Transformer<A, B>> Fit(const DistDataset<A>& data,
+                                                 const DistDataset<L>& labels,
+                                                 ExecContext* ctx) const = 0;
+
+  std::shared_ptr<TransformerBase> FitAny(const AnyDataset& data,
+                                          const AnyDataset& labels,
+                                          ExecContext* ctx) const override {
+    KS_CHECK(labels != nullptr) << Name() << " requires labels";
+    auto typed_data = DistDataset<A>::Cast(data);
+    auto typed_labels = DistDataset<L>::Cast(labels);
+    return Fit(*typed_data, *typed_labels, ctx);
+  }
+
+  bool IsSupervised() const override { return true; }
+};
+
+/// A logical transformer with multiple physical implementations (the
+/// paper's Optimizable trait). The operator-level optimizer evaluates each
+/// option's CostModel on sampled statistics and picks the cheapest feasible
+/// one; without optimization the default (first) option is used.
+class OptimizableTransformer : public TransformerBase {
+ public:
+  OptimizableTransformer(std::string name,
+                         std::vector<std::shared_ptr<TransformerBase>> options)
+      : name_(std::move(name)), options_(std::move(options)) {
+    KS_CHECK(!options_.empty());
+  }
+
+  std::string Name() const override { return name_; }
+
+  const std::vector<std::shared_ptr<TransformerBase>>& options() const {
+    return options_;
+  }
+
+  /// Default physical operator (used when optimization is off).
+  const std::shared_ptr<TransformerBase>& default_option() const {
+    return options_[0];
+  }
+
+  AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
+                      ExecContext* ctx) const override {
+    return options_[0]->ApplyAny(inputs, ctx);
+  }
+
+  CostProfile EstimateCost(const DataStats& in, int workers) const override {
+    return options_[0]->EstimateCost(in, workers);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<TransformerBase>> options_;
+};
+
+/// A logical estimator with multiple physical implementations.
+class OptimizableEstimator : public EstimatorBase {
+ public:
+  OptimizableEstimator(std::string name,
+                       std::vector<std::shared_ptr<EstimatorBase>> options)
+      : name_(std::move(name)), options_(std::move(options)) {
+    KS_CHECK(!options_.empty());
+  }
+
+  std::string Name() const override { return name_; }
+
+  const std::vector<std::shared_ptr<EstimatorBase>>& options() const {
+    return options_;
+  }
+
+  const std::shared_ptr<EstimatorBase>& default_option() const {
+    return options_[0];
+  }
+
+  std::shared_ptr<TransformerBase> FitAny(const AnyDataset& data,
+                                          const AnyDataset& labels,
+                                          ExecContext* ctx) const override {
+    return options_[0]->FitAny(data, labels, ctx);
+  }
+
+  CostProfile EstimateCost(const DataStats& in, int workers) const override {
+    return options_[0]->EstimateCost(in, workers);
+  }
+
+  int Weight() const override { return options_[0]->Weight(); }
+
+  bool IsSupervised() const override { return options_[0]->IsSupervised(); }
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<EstimatorBase>> options_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_CORE_OPERATOR_H_

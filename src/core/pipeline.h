@@ -1,0 +1,193 @@
+#ifndef KEYSTONE_CORE_PIPELINE_H_
+#define KEYSTONE_CORE_PIPELINE_H_
+
+#include <memory>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline_graph.h"
+
+namespace keystone {
+
+/// Zips the per-record outputs of several branch datasets (all of element
+/// type B and identical record order) into records of type std::vector<B>.
+/// Implements the paper's `gather` combinator.
+template <typename B>
+class GatherTransformer : public TransformerBase {
+ public:
+  std::string Name() const override { return "Gather"; }
+
+  AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
+                      ExecContext* ctx) const override {
+    (void)ctx;
+    KS_CHECK(!inputs.empty());
+    std::vector<std::shared_ptr<const DistDataset<B>>> branches;
+    branches.reserve(inputs.size());
+    for (const auto& in : inputs) branches.push_back(DistDataset<B>::Cast(in));
+    const size_t parts = branches[0]->NumPartitions();
+    for (const auto& b : branches) {
+      KS_CHECK_EQ(b->NumPartitions(), parts);
+    }
+    std::vector<std::vector<std::vector<B>>> out(parts);
+    for (size_t p = 0; p < parts; ++p) {
+      const size_t records = branches[0]->partition(p).size();
+      out[p].resize(records);
+      for (const auto& b : branches) {
+        KS_CHECK_EQ(b->partition(p).size(), records);
+        for (size_t i = 0; i < records; ++i) {
+          out[p][i].push_back(b->partition(p)[i]);
+        }
+      }
+    }
+    return std::make_shared<DistDataset<std::vector<B>>>(std::move(out));
+  }
+};
+
+/// Flattens gathered branch outputs (vectors of dense vectors) into one
+/// concatenated feature vector per record. Commonly follows Gather when
+/// branches emit feature blocks (e.g. the TIMIT pipeline).
+class ConcatFeatures : public Transformer<std::vector<std::vector<double>>,
+                                          std::vector<double>> {
+ public:
+  std::string Name() const override { return "ConcatFeatures"; }
+
+  std::vector<double> Apply(
+      const std::vector<std::vector<double>>& blocks) const override {
+    std::vector<double> out;
+    size_t total = 0;
+    for (const auto& b : blocks) total += b.size();
+    out.reserve(total);
+    for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+};
+
+/// Typed, lazily-built ML pipeline from records of type A to records of
+/// type B (paper Figure 4). Pipelines share an underlying operator DAG;
+/// `AndThen` appends nodes and returns a new typed view. Call
+/// PipelineExecutor::Fit (src/core/executor.h) to optimize and train.
+template <typename A, typename B>
+class Pipeline {
+ public:
+  Pipeline(std::shared_ptr<PipelineGraph> graph, int source, int sink)
+      : graph_(std::move(graph)), source_(source), sink_(sink) {}
+
+  /// Chains a typed transformer (any subclass of Transformer<B, C>).
+  template <typename Op>
+  auto AndThen(std::shared_ptr<Op> op) const
+      -> Pipeline<A, typename Op::OutputType> {
+    using C = typename Op::OutputType;
+    static_assert(std::is_base_of_v<Transformer<B, C>, Op>,
+                  "operator input type must match pipeline output type");
+    const int node = graph_->AddTransformer(std::move(op), sink_);
+    return Pipeline<A, C>(graph_, source_, node);
+  }
+
+  /// Chains a logical (possibly Optimizable) transformer whose output type
+  /// cannot be deduced; C must be supplied explicitly.
+  template <typename C>
+  Pipeline<A, C> AndThenLogical(std::shared_ptr<TransformerBase> op) const {
+    const int node = graph_->AddTransformer(std::move(op), sink_);
+    return Pipeline<A, C>(graph_, source_, node);
+  }
+
+  /// Chains an unsupervised estimator fit on this pipeline's prefix applied
+  /// to `data`; at runtime the fitted model transforms the pipeline input.
+  template <typename Op>
+  auto AndThen(std::shared_ptr<Op> est,
+               std::shared_ptr<DistDataset<A>> data) const
+      -> Pipeline<A, typename Op::OutputType> {
+    using C = typename Op::OutputType;
+    static_assert(std::is_base_of_v<Estimator<B, C>, Op>,
+                  "estimator input type must match pipeline output type");
+    return AndThenEstimatorImpl<C>(std::move(est), std::move(data), nullptr);
+  }
+
+  /// Chains a supervised estimator fit on (prefix(data), labels).
+  template <typename Op, typename L>
+  auto AndThen(std::shared_ptr<Op> est, std::shared_ptr<DistDataset<A>> data,
+               std::shared_ptr<DistDataset<L>> labels) const
+      -> Pipeline<A, typename Op::OutputType> {
+    using C = typename Op::OutputType;
+    static_assert(
+        std::is_base_of_v<LabelEstimator<B, C, typename Op::LabelType>, Op>,
+        "estimator input type must match pipeline output type");
+    static_assert(std::is_same_v<L, typename Op::LabelType>,
+                  "label dataset type must match the estimator's label type");
+    return AndThenEstimatorImpl<C>(std::move(est), std::move(data),
+                                   std::move(labels));
+  }
+
+  /// Chains a logical estimator (possibly Optimizable); C explicit.
+  template <typename C>
+  Pipeline<A, C> AndThenLogicalEstimator(std::shared_ptr<EstimatorBase> est,
+                                         AnyDataset data,
+                                         AnyDataset labels) const {
+    return AndThenEstimatorImpl<C>(std::move(est), std::move(data),
+                                   std::move(labels));
+  }
+
+  /// Combines the outputs of several branches (all rooted at the same
+  /// input) into per-record sequences.
+  static Pipeline<A, std::vector<B>> Gather(
+      const std::vector<Pipeline<A, B>>& branches) {
+    KS_CHECK(!branches.empty());
+    auto graph = branches[0].graph_;
+    const int source = branches[0].source_;
+    std::vector<int> sinks;
+    sinks.reserve(branches.size());
+    for (const auto& b : branches) {
+      KS_CHECK(b.graph_ == graph)
+          << "gathered branches must share one pipeline graph";
+      KS_CHECK_EQ(b.source_, source);
+      sinks.push_back(b.sink_);
+    }
+    const int node =
+        graph->AddGather(std::make_shared<GatherTransformer<B>>(), sinks);
+    return Pipeline<A, std::vector<B>>(graph, source, node);
+  }
+
+  const std::shared_ptr<PipelineGraph>& graph() const { return graph_; }
+  int source() const { return source_; }
+  int sink() const { return sink_; }
+
+ private:
+  template <typename FA, typename FB>
+  friend class Pipeline;
+
+  template <typename C>
+  Pipeline<A, C> AndThenEstimatorImpl(std::shared_ptr<EstimatorBase> est,
+                                      AnyDataset data,
+                                      AnyDataset labels) const {
+    // Training branch: replicate the prefix onto a source bound to `data`.
+    const int data_source = graph_->AddSource(std::move(data), "TrainData");
+    const int train_features =
+        graph_->CopyWithSubstitution(sink_, source_, data_source);
+    int label_source = -1;
+    if (labels != nullptr) {
+      label_source = graph_->AddSource(std::move(labels), "TrainLabels");
+    }
+    const int est_node =
+        graph_->AddEstimator(std::move(est), train_features, label_source);
+    // Runtime branch: apply the fitted model to the pipeline stream.
+    const int apply_node = graph_->AddApplyModel(est_node, sink_);
+    return Pipeline<A, C>(graph_, source_, apply_node);
+  }
+
+  std::shared_ptr<PipelineGraph> graph_;
+  int source_;
+  int sink_;
+};
+
+/// Starts a new pipeline: an identity over records of type A.
+template <typename A>
+Pipeline<A, A> PipelineInput(const std::string& name = "Input") {
+  auto graph = std::make_shared<PipelineGraph>();
+  const int placeholder = graph->AddPlaceholder(name);
+  return Pipeline<A, A>(graph, placeholder, placeholder);
+}
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_CORE_PIPELINE_H_

@@ -1,0 +1,16 @@
+#include "src/data/data_stats.h"
+
+#include <cstdio>
+
+namespace keystone {
+
+std::string DataStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "DataStats{n=%zu, d=%zu, avg_nnz=%.1f, sparsity=%.4f, "
+                "bytes/rec=%.1f}",
+                num_records, dim, avg_nnz, sparsity, bytes_per_record);
+  return buf;
+}
+
+}  // namespace keystone

@@ -1,0 +1,48 @@
+#ifndef KEYSTONE_DATA_DATA_STATS_H_
+#define KEYSTONE_DATA_DATA_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace keystone {
+
+/// Statistics about a dataset (the paper's A_s): everything the per-operator
+/// cost models need to choose a physical implementation. Collected on data
+/// samples during execution subsampling (paper §4.1) and extrapolated.
+struct DataStats {
+  /// Number of records (examples).
+  size_t num_records = 0;
+
+  /// Feature dimension of each record, when meaningful (0 otherwise).
+  size_t dim = 0;
+
+  /// Average number of non-zero features per record (== dim when dense).
+  double avg_nnz = 0.0;
+
+  /// Fraction of entries that are non-zero (1.0 for dense data).
+  double sparsity = 1.0;
+
+  /// Average serialized bytes per record.
+  double bytes_per_record = 0.0;
+
+  /// Total estimated bytes for the dataset.
+  double TotalBytes() const {
+    return bytes_per_record * static_cast<double>(num_records);
+  }
+
+  bool IsSparse() const { return sparsity < 0.5; }
+
+  /// Returns a copy rescaled to describe `n` records with the same per-record
+  /// shape (used to extrapolate sample statistics to full datasets).
+  DataStats ScaledTo(size_t n) const {
+    DataStats out = *this;
+    out.num_records = n;
+    return out;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_DATA_DATA_STATS_H_

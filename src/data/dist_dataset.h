@@ -1,0 +1,179 @@
+#ifndef KEYSTONE_DATA_DIST_DATASET_H_
+#define KEYSTONE_DATA_DIST_DATASET_H_
+
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/data/data_stats.h"
+#include "src/data/element_traits.h"
+
+namespace keystone {
+
+/// Type-erased handle to a partitioned dataset. The pipeline DAG and the
+/// optimizer work with DatasetBase; typed operators downcast via
+/// DistDataset<T>::Cast, checked with the element type index.
+class DatasetBase {
+ public:
+  virtual ~DatasetBase() = default;
+
+  virtual size_t NumRecords() const = 0;
+  virtual size_t NumPartitions() const = 0;
+  virtual std::type_index ElementType() const = 0;
+
+  /// Data statistics (the paper's A_s) over the stored records. The record
+  /// count is multiplied by virtual_scale() (see below).
+  virtual DataStats ComputeStats() const = 0;
+
+  /// A dataset holding the first `max_records` records (for execution
+  /// subsampling, paper §4.1). Keeps the partition structure proportional.
+  /// The sample is a real dataset: its virtual scale is 1.
+  virtual std::shared_ptr<DatasetBase> SamplePrefix(size_t max_records)
+      const = 0;
+
+  /// Virtual record-count multiplier. Benchmarks reproduce paper-scale
+  /// experiments by holding a laptop-scale dataset whose *statistics*
+  /// describe the full-size workload: kernels execute on the real records,
+  /// while the simulator charges time for scale * NumRecords() records.
+  double virtual_scale() const { return virtual_scale_; }
+  void set_virtual_scale(double scale) { virtual_scale_ = scale; }
+
+ protected:
+  double virtual_scale_ = 1.0;
+};
+
+using AnyDataset = std::shared_ptr<DatasetBase>;
+
+/// A partitioned, typed, immutable collection — the simulator's stand-in for
+/// an RDD. Partitions model the unit of distributed parallelism: the
+/// executor schedules one task per partition over the simulated cluster's
+/// worker slots.
+template <typename T>
+class DistDataset : public DatasetBase {
+ public:
+  DistDataset() = default;
+
+  explicit DistDataset(std::vector<std::vector<T>> partitions)
+      : partitions_(std::move(partitions)) {}
+
+  /// Splits `records` into `num_partitions` nearly-equal contiguous chunks.
+  static std::shared_ptr<DistDataset<T>> Partitioned(std::vector<T> records,
+                                                     size_t num_partitions) {
+    KS_CHECK_GT(num_partitions, 0u);
+    std::vector<std::vector<T>> parts(num_partitions);
+    const size_t n = records.size();
+    size_t begin = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      const size_t count = n / num_partitions + (p < n % num_partitions);
+      parts[p].reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        parts[p].push_back(std::move(records[begin + i]));
+      }
+      begin += count;
+    }
+    return std::make_shared<DistDataset<T>>(std::move(parts));
+  }
+
+  /// Downcasts a type-erased handle, checking the element type.
+  static std::shared_ptr<const DistDataset<T>> Cast(const AnyDataset& base) {
+    KS_CHECK(base != nullptr);
+    KS_CHECK(base->ElementType() == std::type_index(typeid(T)))
+        << "dataset element type mismatch";
+    return std::static_pointer_cast<const DistDataset<T>>(base);
+  }
+
+  size_t NumRecords() const override {
+    size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  size_t NumPartitions() const override { return partitions_.size(); }
+
+  std::type_index ElementType() const override {
+    return std::type_index(typeid(T));
+  }
+
+  DataStats ComputeStats() const override {
+    DataStats stats;
+    stats.num_records = NumRecords();
+    if (stats.num_records == 0) return stats;
+    const size_t real_records = stats.num_records;
+    double bytes = 0.0;
+    double nnz = 0.0;
+    size_t dim = 0;
+    for (const auto& part : partitions_) {
+      for (const auto& rec : part) {
+        bytes += ElementBytes(rec);
+        nnz += ElementNnz(rec);
+        dim = std::max(dim, ElementDim(rec));
+      }
+    }
+    stats.dim = dim;
+    stats.bytes_per_record = bytes / real_records;
+    stats.avg_nnz = nnz / real_records;
+    stats.sparsity = dim > 0 ? stats.avg_nnz / static_cast<double>(dim) : 1.0;
+    stats.num_records =
+        static_cast<size_t>(real_records * virtual_scale_);
+    return stats;
+  }
+
+  std::shared_ptr<DatasetBase> SamplePrefix(size_t max_records) const override {
+    std::vector<T> sampled;
+    sampled.reserve(std::min(max_records, NumRecords()));
+    for (const auto& part : partitions_) {
+      for (const auto& rec : part) {
+        if (sampled.size() >= max_records) break;
+        sampled.push_back(rec);
+      }
+      if (sampled.size() >= max_records) break;
+    }
+    const size_t parts =
+        std::max<size_t>(1, std::min(partitions_.size(), sampled.size()));
+    return Partitioned(std::move(sampled), parts);
+  }
+
+  const std::vector<std::vector<T>>& partitions() const { return partitions_; }
+  const std::vector<T>& partition(size_t p) const { return partitions_[p]; }
+
+  /// All records flattened into one vector (copies).
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    out.reserve(NumRecords());
+    for (const auto& part : partitions_) {
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  /// Applies fn to every record, preserving partitioning.
+  template <typename U>
+  std::shared_ptr<DistDataset<U>> Map(
+      const std::function<U(const T&)>& fn) const {
+    std::vector<std::vector<U>> out(partitions_.size());
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      out[p].reserve(partitions_[p].size());
+      for (const auto& rec : partitions_[p]) out[p].push_back(fn(rec));
+    }
+    return std::make_shared<DistDataset<U>>(std::move(out));
+  }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+};
+
+/// Convenience: wraps records into a dataset with one partition per `chunk`
+/// records, at least one partition.
+template <typename T>
+std::shared_ptr<DistDataset<T>> MakeDataset(std::vector<T> records,
+                                            size_t num_partitions = 8) {
+  const size_t n = records.size();
+  const size_t parts = std::max<size_t>(1, std::min(num_partitions, n));
+  return DistDataset<T>::Partitioned(std::move(records), parts);
+}
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_DATA_DIST_DATASET_H_

@@ -1,0 +1,118 @@
+#ifndef KEYSTONE_DATA_ELEMENT_TRAITS_H_
+#define KEYSTONE_DATA_ELEMENT_TRAITS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/sparse.h"
+
+namespace keystone {
+
+/// Customization points describing dataset element types to the statistics
+/// collector: serialized size, feature dimension and non-zero count. New
+/// element types (e.g. Image in src/ops) add overloads next to their type.
+
+// --- Serialized size in bytes ---------------------------------------------
+
+inline double ElementBytes(double) { return sizeof(double); }
+inline double ElementBytes(int) { return sizeof(int); }
+
+inline double ElementBytes(const std::string& s) {
+  return static_cast<double>(s.size());
+}
+
+inline double ElementBytes(const std::vector<double>& v) {
+  return static_cast<double>(v.size() * sizeof(double));
+}
+
+inline double ElementBytes(const std::vector<std::string>& tokens) {
+  double total = 8.0 * tokens.size();
+  for (const auto& t : tokens) total += t.size();
+  return total;
+}
+
+inline double ElementBytes(const SparseVector& v) {
+  return static_cast<double>(v.nnz() * (sizeof(double) + sizeof(uint32_t)));
+}
+
+/// Per-record descriptor matrices (image pipelines): one row per
+/// descriptor, dim = descriptor width.
+inline double ElementBytes(const Matrix& m) {
+  return static_cast<double>(m.size() * sizeof(double));
+}
+
+template <typename A, typename B>
+double ElementBytes(const std::pair<A, B>& p) {
+  return ElementBytes(p.first) + ElementBytes(p.second);
+}
+
+// --- Feature dimension ------------------------------------------------------
+
+inline size_t ElementDim(double) { return 1; }
+inline size_t ElementDim(int) { return 1; }
+inline size_t ElementDim(const std::string&) { return 0; }
+inline size_t ElementDim(const std::vector<double>& v) { return v.size(); }
+inline size_t ElementDim(const std::vector<std::string>&) { return 0; }
+inline size_t ElementDim(const SparseVector& v) { return v.dim; }
+inline size_t ElementDim(const Matrix& m) { return m.cols(); }
+
+template <typename A, typename B>
+size_t ElementDim(const std::pair<A, B>& p) {
+  return ElementDim(p.first);
+}
+
+// --- Non-zero count ---------------------------------------------------------
+
+inline double ElementNnz(double v) { return v != 0.0 ? 1.0 : 0.0; }
+inline double ElementNnz(int v) { return v != 0 ? 1.0 : 0.0; }
+inline double ElementNnz(const std::string&) { return 0.0; }
+
+inline double ElementNnz(const std::vector<double>& v) {
+  double nnz = 0.0;
+  for (double x : v) {
+    if (x != 0.0) nnz += 1.0;
+  }
+  return nnz;
+}
+
+inline double ElementNnz(const std::vector<std::string>&) { return 0.0; }
+inline double ElementNnz(const SparseVector& v) {
+  return static_cast<double>(v.nnz());
+}
+inline double ElementNnz(const Matrix& m) {
+  return static_cast<double>(m.size());
+}
+
+template <typename A, typename B>
+double ElementNnz(const std::pair<A, B>& p) {
+  return ElementNnz(p.first);
+}
+
+// --- Generic nested containers (e.g. gathered branch outputs) ---------------
+
+template <typename T>
+double ElementBytes(const std::vector<T>& v) {
+  double total = 0.0;
+  for (const auto& item : v) total += ElementBytes(item);
+  return total;
+}
+
+template <typename T>
+size_t ElementDim(const std::vector<T>& v) {
+  size_t total = 0;
+  for (const auto& item : v) total += ElementDim(item);
+  return total;
+}
+
+template <typename T>
+double ElementNnz(const std::vector<T>& v) {
+  double total = 0.0;
+  for (const auto& item : v) total += ElementNnz(item);
+  return total;
+}
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_DATA_ELEMENT_TRAITS_H_

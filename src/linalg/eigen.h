@@ -1,0 +1,25 @@
+#ifndef KEYSTONE_LINALG_EIGEN_H_
+#define KEYSTONE_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+/// Eigendecomposition of a symmetric matrix: A = V diag(values) V^T.
+/// `values` are sorted in descending order and `vectors` columns correspond.
+struct SymmetricEigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // n x n; column j is the eigenvector for values[j].
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Robust and accurate;
+/// O(n^3) per sweep with a handful of sweeps to convergence. Suitable for the
+/// covariance matrices PCA and GMM operate on (d up to a few thousand).
+SymmetricEigenResult SymmetricEigen(const Matrix& a, double tol = 1e-12,
+                                    int max_sweeps = 64);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_LINALG_EIGEN_H_

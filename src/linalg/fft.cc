@@ -1,0 +1,172 @@
+#include "src/linalg/fft.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace keystone {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Core iterative radix-2 Cooley-Tukey; sign = -1 forward, +1 inverse.
+void FftRadix2(std::vector<Complex>* data, int sign) {
+  const size_t n = data->size();
+  KS_CHECK(IsPowerOfTwo(n));
+  auto& a = *data;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<Complex>* data) { FftRadix2(data, -1); }
+
+void InverseFft(std::vector<Complex>* data) {
+  FftRadix2(data, +1);
+  const double inv = 1.0 / static_cast<double>(data->size());
+  for (auto& v : *data) v *= inv;
+}
+
+std::vector<Complex> FftArbitrary(const std::vector<Complex>& data) {
+  const size_t n = data.size();
+  if (IsPowerOfTwo(n)) {
+    std::vector<Complex> out = data;
+    Fft(&out);
+    return out;
+  }
+  // Bluestein: x_k e^{-i pi k^2 / n} convolved with chirp.
+  const size_t m = NextPowerOfTwo(2 * n + 1);
+  std::vector<Complex> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double angle =
+        M_PI * static_cast<double>(k) * static_cast<double>(k) / n;
+    chirp[k] = Complex(std::cos(angle), -std::sin(angle));
+  }
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (size_t k = 0; k < n; ++k) a[k] = data[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+  Fft(&a);
+  Fft(&b);
+  for (size_t k = 0; k < m; ++k) a[k] *= b[k];
+  InverseFft(&a);
+  std::vector<Complex> out(n);
+  for (size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  return out;
+}
+
+std::vector<Complex> InverseFftArbitrary(const std::vector<Complex>& data) {
+  // IFFT(x) = conj(FFT(conj(x))) / n.
+  const size_t n = data.size();
+  std::vector<Complex> conj_in(n);
+  for (size_t i = 0; i < n; ++i) conj_in[i] = std::conj(data[i]);
+  std::vector<Complex> f = FftArbitrary(conj_in);
+  for (auto& v : f) v = std::conj(v) / static_cast<double>(n);
+  return f;
+}
+
+std::vector<double> FftConvolve(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  KS_CHECK(!a.empty());
+  KS_CHECK(!b.empty());
+  const size_t out_len = a.size() + b.size() - 1;
+  const size_t m = NextPowerOfTwo(out_len);
+  std::vector<Complex> fa(m, Complex(0, 0));
+  std::vector<Complex> fb(m, Complex(0, 0));
+  for (size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
+  for (size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
+  Fft(&fa);
+  Fft(&fb);
+  for (size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  InverseFft(&fa);
+  std::vector<double> out(out_len);
+  for (size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+Matrix FftConvolve2dValid(const Matrix& image, const Matrix& filter) {
+  const size_t n1 = image.rows();
+  const size_t n2 = image.cols();
+  const size_t k1 = filter.rows();
+  const size_t k2 = filter.cols();
+  KS_CHECK_GE(n1, k1);
+  KS_CHECK_GE(n2, k2);
+
+  const size_t p1 = NextPowerOfTwo(n1 + k1 - 1);
+  const size_t p2 = NextPowerOfTwo(n2 + k2 - 1);
+
+  // Pack image and flipped filter into padded complex grids.
+  std::vector<std::vector<Complex>> gi(p1, std::vector<Complex>(p2));
+  std::vector<std::vector<Complex>> gf(p1, std::vector<Complex>(p2));
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j < n2; ++j) gi[i][j] = Complex(image(i, j), 0);
+  }
+  for (size_t i = 0; i < k1; ++i) {
+    for (size_t j = 0; j < k2; ++j) {
+      gf[i][j] = Complex(filter(k1 - 1 - i, k2 - 1 - j), 0);
+    }
+  }
+
+  auto Fft2d = [&](std::vector<std::vector<Complex>>& g, int sign) {
+    // Rows.
+    for (auto& row : g) FftRadix2(&row, sign);
+    // Columns.
+    std::vector<Complex> col(p1);
+    for (size_t j = 0; j < p2; ++j) {
+      for (size_t i = 0; i < p1; ++i) col[i] = g[i][j];
+      FftRadix2(&col, sign);
+      for (size_t i = 0; i < p1; ++i) g[i][j] = col[i];
+    }
+  };
+
+  Fft2d(gi, -1);
+  Fft2d(gf, -1);
+  for (size_t i = 0; i < p1; ++i) {
+    for (size_t j = 0; j < p2; ++j) gi[i][j] *= gf[i][j];
+  }
+  Fft2d(gi, +1);
+  const double inv = 1.0 / (static_cast<double>(p1) * static_cast<double>(p2));
+
+  // Extract the valid region: offsets (k1-1, k2-1), size (n-k+1).
+  Matrix out(n1 - k1 + 1, n2 - k2 + 1);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) = gi[i + k1 - 1][j + k2 - 1].real() * inv;
+    }
+  }
+  return out;
+}
+
+}  // namespace keystone

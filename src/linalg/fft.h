@@ -1,0 +1,41 @@
+#ifndef KEYSTONE_LINALG_FFT_H_
+#define KEYSTONE_LINALG_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT. Length must be a power of two (iterative radix-2).
+void Fft(std::vector<Complex>* data);
+
+/// In-place inverse FFT (includes the 1/n scaling).
+void InverseFft(std::vector<Complex>* data);
+
+/// Forward FFT of arbitrary length via Bluestein's chirp-z transform.
+std::vector<Complex> FftArbitrary(const std::vector<Complex>& data);
+
+/// Inverse FFT of arbitrary length (includes the 1/n scaling).
+std::vector<Complex> InverseFftArbitrary(const std::vector<Complex>& data);
+
+/// Smallest power of two >= n.
+size_t NextPowerOfTwo(size_t n);
+
+/// Linear (full) convolution of two real signals via FFT.
+/// Output length is a.size() + b.size() - 1.
+std::vector<double> FftConvolve(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// 2-D "valid" convolution of an image (n1 x n2) with a filter (k1 x k2)
+/// computed with 2-D FFTs. Matches the direct valid convolution:
+/// out(i,j) = sum_{p,q} image(i+p, j+q) * filter(p, q).
+/// Cost: O(N^2 log N) with N the padded size — independent of k.
+Matrix FftConvolve2dValid(const Matrix& image, const Matrix& filter);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_LINALG_FFT_H_

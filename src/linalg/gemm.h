@@ -1,0 +1,27 @@
+#ifndef KEYSTONE_LINALG_GEMM_H_
+#define KEYSTONE_LINALG_GEMM_H_
+
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+/// Blocked dense matrix multiply: returns A * B.
+/// Cost: O(A.rows * A.cols * B.cols) flops, organized i-k-j with register
+/// blocking so the inner loop streams contiguous rows of B.
+Matrix Gemm(const Matrix& a, const Matrix& b);
+
+/// Returns A^T * B without materializing the transpose.
+Matrix GemmTransA(const Matrix& a, const Matrix& b);
+
+/// Returns A * B^T without materializing the transpose.
+Matrix GemmTransB(const Matrix& a, const Matrix& b);
+
+/// C += A * B (shapes must already agree).
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Returns the Gram matrix A^T * A, exploiting symmetry.
+Matrix Gram(const Matrix& a);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_LINALG_GEMM_H_

@@ -1,0 +1,273 @@
+#include "src/linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/linalg/gemm.h"
+
+namespace keystone {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    KS_CHECK_EQ(row.size(), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::GaussianRandom(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->NextGaussian();
+  return m;
+}
+
+Matrix Matrix::UniformRandom(size_t rows, size_t cols, double lo, double hi,
+                             Rng* rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i]);
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t i) const {
+  KS_CHECK_LT(i, rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  KS_CHECK_LT(j, cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& values) {
+  KS_CHECK_LT(i, rows_);
+  KS_CHECK_EQ(values.size(), cols_);
+  std::copy(values.begin(), values.end(), RowPtr(i));
+}
+
+void Matrix::SetCol(size_t j, const std::vector<double>& values) {
+  KS_CHECK_LT(j, cols_);
+  KS_CHECK_EQ(values.size(), rows_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+Matrix Matrix::RowSlice(size_t row_begin, size_t row_end) const {
+  KS_CHECK_LE(row_begin, row_end);
+  KS_CHECK_LE(row_end, rows_);
+  Matrix out(row_end - row_begin, cols_);
+  std::copy(RowPtr(row_begin), RowPtr(row_begin) + out.size(), out.data());
+  return out;
+}
+
+Matrix Matrix::ColSlice(size_t col_begin, size_t col_end) const {
+  KS_CHECK_LE(col_begin, col_end);
+  KS_CHECK_LE(col_end, cols_);
+  Matrix out(rows_, col_end - col_begin);
+  for (size_t i = 0; i < rows_; ++i) {
+    std::copy(RowPtr(i) + col_begin, RowPtr(i) + col_end, out.RowPtr(i));
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  // Blocked transpose for cache friendliness.
+  constexpr size_t kBlock = 32;
+  for (size_t ib = 0; ib < rows_; ib += kBlock) {
+    const size_t imax = std::min(ib + kBlock, rows_);
+    for (size_t jb = 0; jb < cols_; jb += kBlock) {
+      const size_t jmax = std::min(jb + kBlock, cols_);
+      for (size_t i = ib; i < imax; ++i) {
+        for (size_t j = jb; j < jmax; ++j) {
+          out(j, i) = (*this)(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  KS_CHECK_EQ(cols_, other.cols_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+Matrix Matrix::VStack(const std::vector<Matrix>& parts) {
+  Matrix out;
+  for (const auto& p : parts) out.AppendRows(p);
+  return out;
+}
+
+Matrix Matrix::HStack(const std::vector<Matrix>& parts) {
+  if (parts.empty()) return Matrix();
+  size_t cols = 0;
+  for (const auto& p : parts) {
+    KS_CHECK_EQ(p.rows(), parts[0].rows());
+    cols += p.cols();
+  }
+  Matrix out(parts[0].rows(), cols);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double* dst = out.RowPtr(i);
+    for (const auto& p : parts) {
+      std::copy(p.RowPtr(i), p.RowPtr(i) + p.cols(), dst);
+      dst += p.cols();
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  KS_CHECK_EQ(rows_, other.rows_);
+  KS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  KS_CHECK_EQ(rows_, other.rows_);
+  KS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+std::vector<double> Matrix::ColMeans() const {
+  std::vector<double> means(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) means[j] += row[j];
+  }
+  if (rows_ > 0) {
+    for (auto& m : means) m /= static_cast<double>(rows_);
+  }
+  return means;
+}
+
+void Matrix::SubtractRowVector(const std::vector<double>& means) {
+  KS_CHECK_EQ(means.size(), cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    double* row = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) row[j] -= means[j];
+  }
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [\n";
+  const size_t show_rows = std::min<size_t>(rows_, max_rows);
+  const size_t show_cols = std::min<size_t>(cols_, max_cols);
+  for (size_t i = 0; i < show_rows; ++i) {
+    os << "  ";
+    for (size_t j = 0; j < show_cols; ++j) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%10.4f", (*this)(i, j));
+      os << buf << " ";
+    }
+    if (show_cols < cols_) os << "...";
+    os << "\n";
+  }
+  if (show_rows < rows_) os << "  ...\n";
+  os << "]";
+  return os.str();
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) { return Gemm(a, b); }
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  KS_CHECK_EQ(a.cols(), x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
+  KS_CHECK_EQ(a.rows(), x.size());
+  std::vector<double> y(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    const double xi = x[i];
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+}  // namespace keystone

@@ -1,0 +1,138 @@
+#ifndef KEYSTONE_LINALG_MATRIX_H_
+#define KEYSTONE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace keystone {
+
+class Rng;
+
+/// Dense row-major matrix of doubles. This is the workhorse numeric type for
+/// the KeystoneML standard library: solvers, PCA, GMM, convolutions and
+/// featurizers all operate on Matrix. The implementation favours clarity and
+/// cache-friendly loops (blocked multiply lives in gemm.h) over platform
+/// intrinsics.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols);
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(size_t rows, size_t cols, double fill);
+
+  /// Constructs from nested initializer lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Matrix with i.i.d. standard normal entries.
+  static Matrix GaussianRandom(size_t rows, size_t cols, Rng* rng);
+
+  /// Matrix with i.i.d. Uniform[lo, hi) entries.
+  static Matrix UniformRandom(size_t rows, size_t cols, double lo, double hi,
+                              Rng* rng);
+
+  /// Builds a matrix whose rows are the given vectors (all equal length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Raw row pointer (row-major layout).
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Returns row i as a vector copy.
+  std::vector<double> Row(size_t i) const;
+
+  /// Returns column j as a vector copy.
+  std::vector<double> Col(size_t j) const;
+
+  /// Overwrites row i.
+  void SetRow(size_t i, const std::vector<double>& values);
+
+  /// Overwrites column j.
+  void SetCol(size_t j, const std::vector<double>& values);
+
+  /// Returns rows [row_begin, row_end).
+  Matrix RowSlice(size_t row_begin, size_t row_end) const;
+
+  /// Returns columns [col_begin, col_end).
+  Matrix ColSlice(size_t col_begin, size_t col_end) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Appends the rows of `other` (column counts must match).
+  void AppendRows(const Matrix& other);
+
+  /// Stacks matrices vertically.
+  static Matrix VStack(const std::vector<Matrix>& parts);
+
+  /// Concatenates matrices horizontally.
+  static Matrix HStack(const std::vector<Matrix>& parts);
+
+  // Element-wise arithmetic.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Largest absolute entry.
+  double MaxAbs() const;
+
+  /// Column means as a vector of length cols().
+  std::vector<double> ColMeans() const;
+
+  /// Subtracts `means` (length cols()) from every row.
+  void SubtractRowVector(const std::vector<double>& means);
+
+  /// True if same shape and max elementwise difference <= tol.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  /// Human-readable rendering (for diagnostics and small matrices only).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix product A * B (delegates to the blocked kernel in gemm.h).
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// y = A * x for a vector x of length A.cols().
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+/// y = A^T * x for a vector x of length A.rows().
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_LINALG_MATRIX_H_

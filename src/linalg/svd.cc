@@ -1,0 +1,117 @@
+#include "src/linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/linalg/eigen.h"
+#include "src/linalg/gemm.h"
+#include "src/linalg/qr.h"
+
+namespace keystone {
+
+namespace {
+
+// Builds the thin SVD from the eigendecomposition of A^T A (d <= n case).
+SvdResult SvdFromGram(const Matrix& a) {
+  const size_t d = a.cols();
+  const Matrix gram = Gram(a);
+  SymmetricEigenResult eig = SymmetricEigen(gram);
+
+  SvdResult result;
+  result.singular_values.resize(d);
+  result.v = eig.vectors;  // d x d
+  for (size_t j = 0; j < d; ++j) {
+    result.singular_values[j] = std::sqrt(std::max(0.0, eig.values[j]));
+  }
+  // U = A V S^{-1}; columns with tiny sigma are left as zero.
+  Matrix av = Gemm(a, result.v);  // n x d
+  result.u = Matrix(a.rows(), d);
+  for (size_t j = 0; j < d; ++j) {
+    const double s = result.singular_values[j];
+    if (s > 1e-12) {
+      for (size_t i = 0; i < a.rows(); ++i) result.u(i, j) = av(i, j) / s;
+    }
+  }
+  return result;
+}
+
+// Builds the thin SVD from the eigendecomposition of A A^T (n < d case).
+SvdResult SvdFromOuter(const Matrix& a) {
+  const size_t n = a.rows();
+  const Matrix outer = GemmTransB(a, a);  // n x n = A A^T
+  SymmetricEigenResult eig = SymmetricEigen(outer);
+
+  SvdResult result;
+  result.singular_values.resize(n);
+  result.u = eig.vectors;  // n x n
+  for (size_t j = 0; j < n; ++j) {
+    result.singular_values[j] = std::sqrt(std::max(0.0, eig.values[j]));
+  }
+  // V = A^T U S^{-1}.
+  Matrix atu = GemmTransA(a, result.u);  // d x n
+  result.v = Matrix(a.cols(), n);
+  for (size_t j = 0; j < n; ++j) {
+    const double s = result.singular_values[j];
+    if (s > 1e-12) {
+      for (size_t i = 0; i < a.cols(); ++i) result.v(i, j) = atu(i, j) / s;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SvdResult ExactSvd(const Matrix& a) {
+  KS_CHECK(!a.empty());
+  return a.cols() <= a.rows() ? SvdFromGram(a) : SvdFromOuter(a);
+}
+
+SvdResult TruncatedSvd(const Matrix& a, size_t k, Rng* rng, int power_iters,
+                       size_t oversample) {
+  KS_CHECK(!a.empty());
+  const size_t n = a.rows();
+  const size_t d = a.cols();
+  const size_t rank = std::min(n, d);
+  k = std::min(k, rank);
+  const size_t probes = std::min(rank, k + oversample);
+
+  // Range finder: Y = A * Omega, Omega d x probes Gaussian.
+  Matrix omega = Matrix::GaussianRandom(d, probes, rng);
+  Matrix y = Gemm(a, omega);  // n x probes
+  QrResult qr = HouseholderQr(y);
+  Matrix q = std::move(qr.q);
+
+  // Power iterations sharpen the spectrum: Q <- orth(A (A^T Q)).
+  for (int it = 0; it < power_iters; ++it) {
+    Matrix z = GemmTransA(a, q);  // d x probes
+    QrResult qrz = HouseholderQr(z);
+    Matrix w = Gemm(a, qrz.q);  // n x probes
+    QrResult qrw = HouseholderQr(w);
+    q = std::move(qrw.q);
+  }
+
+  // Project: B = Q^T A (probes x d), then exact SVD of the small B.
+  Matrix b = GemmTransA(q, a);
+  SvdResult small = ExactSvd(b);
+
+  SvdResult result;
+  result.u = Gemm(q, small.u.ColSlice(0, k));
+  result.v = small.v.ColSlice(0, k);
+  result.singular_values.assign(small.singular_values.begin(),
+                                small.singular_values.begin() + k);
+  return result;
+}
+
+Matrix SvdReconstruct(const SvdResult& svd) {
+  Matrix us = svd.u;
+  for (size_t j = 0; j < svd.singular_values.size(); ++j) {
+    for (size_t i = 0; i < us.rows(); ++i) {
+      us(i, j) *= svd.singular_values[j];
+    }
+  }
+  return GemmTransB(us, svd.v);
+}
+
+}  // namespace keystone

@@ -1,0 +1,38 @@
+#ifndef KEYSTONE_LINALG_SVD_H_
+#define KEYSTONE_LINALG_SVD_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+class Rng;
+
+/// Thin singular value decomposition A = U diag(s) V^T with A (n x d),
+/// U (n x r), V (d x r), r = min(n, d) for the exact form or k for the
+/// truncated form. Singular values are sorted descending.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;  // d x r; columns are right singular vectors.
+};
+
+/// Exact thin SVD computed from the eigendecomposition of the Gram matrix
+/// (A^T A when d <= n, A A^T otherwise). Accurate for the well-conditioned
+/// covariance-style inputs PCA sees. Cost: O(n d^2 + d^3) for n >= d.
+SvdResult ExactSvd(const Matrix& a);
+
+/// Randomized truncated SVD (Halko, Martinsson, Tropp 2011): finds the top-k
+/// singular triplets using a Gaussian range finder with `power_iters` power
+/// iterations and `oversample` extra probe directions.
+/// Cost: O(n d (k + oversample)) — linear in d instead of quadratic.
+SvdResult TruncatedSvd(const Matrix& a, size_t k, Rng* rng,
+                       int power_iters = 2, size_t oversample = 8);
+
+/// Reconstructs U diag(s) V^T (tests and error measurement).
+Matrix SvdReconstruct(const SvdResult& svd);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_LINALG_SVD_H_

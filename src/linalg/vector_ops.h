@@ -1,0 +1,79 @@
+#ifndef KEYSTONE_LINALG_VECTOR_OPS_H_
+#define KEYSTONE_LINALG_VECTOR_OPS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace keystone {
+
+/// Dot product of equal-length vectors.
+inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  KS_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// y += alpha * x.
+inline void Axpy(double alpha, const std::vector<double>& x,
+                 std::vector<double>* y) {
+  KS_DCHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+/// x *= alpha.
+inline void Scale(double alpha, std::vector<double>* x) {
+  for (auto& v : *x) v *= alpha;
+}
+
+/// Euclidean norm.
+inline double Norm2(const std::vector<double>& x) {
+  return std::sqrt(Dot(x, x));
+}
+
+/// Squared Euclidean distance between equal-length vectors.
+inline double SquaredDistance(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  KS_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Elementwise a - b.
+inline std::vector<double> Subtract(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  KS_DCHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+/// Elementwise a + b.
+inline std::vector<double> Add(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  KS_DCHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+/// Index of the maximum element (first on ties). Requires non-empty input.
+inline size_t ArgMax(const std::vector<double>& x) {
+  KS_CHECK(!x.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_LINALG_VECTOR_OPS_H_

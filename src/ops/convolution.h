@@ -1,0 +1,81 @@
+#ifndef KEYSTONE_OPS_CONVOLUTION_H_
+#define KEYSTONE_OPS_CONVOLUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/operator.h"
+#include "src/ops/image.h"
+
+namespace keystone {
+
+class Rng;
+
+/// A bank of b filters, each k x k x channels. Convolving an n x n x d
+/// image yields a (n-k+1) x (n-k+1) x b response image.
+struct FilterBank {
+  size_t filter_size = 0;  // k
+  size_t channels = 0;     // d
+  std::vector<Image> filters;
+
+  size_t num_filters() const { return filters.size(); }
+
+  /// True if every channel slice of every filter is (numerically) rank one,
+  /// enabling the separable matrix-vector scheme.
+  bool IsSeparable(double tol = 1e-6) const;
+
+  /// Random dense Gaussian filters (not separable in general).
+  static FilterBank Random(size_t num_filters, size_t filter_size,
+                           size_t channels, Rng* rng);
+
+  /// Random rank-one (outer product) filters — always separable.
+  static FilterBank RandomSeparable(size_t num_filters, size_t filter_size,
+                                    size_t channels, Rng* rng);
+};
+
+/// Physical convolution strategies (paper Figure 7).
+enum class ConvolutionStrategy { kBlas, kFft, kSeparable };
+
+const char* ConvolutionStrategyName(ConvolutionStrategy strategy);
+
+/// One physical convolution operator. All three strategies compute the same
+/// "valid" cross-correlation, summed over input channels per filter.
+class Convolver : public Transformer<Image, Image> {
+ public:
+  Convolver(FilterBank bank, ConvolutionStrategy strategy);
+
+  std::string Name() const override;
+  Image Apply(const Image& img) const override;
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  ConvolutionStrategy strategy() const { return strategy_; }
+  const FilterBank& bank() const { return bank_; }
+
+ private:
+  Image ApplyBlas(const Image& img) const;
+  Image ApplyFft(const Image& img) const;
+  Image ApplySeparable(const Image& img) const;
+
+  FilterBank bank_;
+  ConvolutionStrategy strategy_;
+  // Rank-one factors per (filter, channel) for the separable scheme:
+  // slice = col_factor * row_factor^T.
+  std::vector<std::vector<std::pair<std::vector<double>,
+                                    std::vector<double>>>> separable_factors_;
+};
+
+/// The logical convolution operator: Optimizable over {BLAS, FFT} plus the
+/// separable scheme when the bank admits it.
+std::shared_ptr<OptimizableTransformer> MakeConvolver(const FilterBank& bank);
+
+/// Cost formulas shared with the Figure 7 bench: image n x n x d, b filters
+/// of size k.
+namespace convolution_costs {
+CostProfile Cost(ConvolutionStrategy strategy, double n, double d, double k,
+                 double b, double records, int workers);
+}  // namespace convolution_costs
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPS_CONVOLUTION_H_

@@ -1,0 +1,99 @@
+#ifndef KEYSTONE_OPS_FEATURES_H_
+#define KEYSTONE_OPS_FEATURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/operator.h"
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+/// Random cosine features approximating an RBF kernel (Rahimi & Recht 2007):
+/// z(x) = sqrt(2/D) cos(W x + b) with W ~ N(0, gamma^2), b ~ U[0, 2pi].
+/// The TIMIT kernel-SVM pipeline gathers several of these blocks.
+class CosineRandomFeatures : public Transformer<std::vector<double>,
+                                                std::vector<double>> {
+ public:
+  CosineRandomFeatures(size_t input_dim, size_t output_dim, double gamma,
+                       uint64_t seed);
+
+  std::string Name() const override { return "RandomFeatures"; }
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  size_t output_dim() const { return w_.rows(); }
+
+ private:
+  Matrix w_;  // D x d
+  std::vector<double> b_;
+};
+
+/// L2 normalization of feature vectors.
+class L2Normalizer : public Transformer<std::vector<double>,
+                                        std::vector<double>> {
+ public:
+  std::string Name() const override { return "Normalize"; }
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+};
+
+/// Signed power ("root") normalization x -> sign(x) |x|^alpha, part of the
+/// improved Fisher-vector recipe.
+class SignedPowerNormalizer : public Transformer<std::vector<double>,
+                                                 std::vector<double>> {
+ public:
+  explicit SignedPowerNormalizer(double alpha = 0.5) : alpha_(alpha) {}
+  std::string Name() const override { return "PowerNorm"; }
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+
+ private:
+  double alpha_;
+};
+
+/// Standardization estimator: the model subtracts the feature means and
+/// divides by standard deviations computed on the training data.
+class StandardScaler : public Estimator<std::vector<double>,
+                                        std::vector<double>> {
+ public:
+  std::string Name() const override { return "StandardScaler"; }
+
+  std::shared_ptr<Transformer<std::vector<double>, std::vector<double>>> Fit(
+      const DistDataset<std::vector<double>>& data,
+      ExecContext* ctx) const override;
+};
+
+/// One-hot label encoding: class id -> k-dimensional indicator.
+class OneHotEncoder : public Transformer<int, std::vector<double>> {
+ public:
+  explicit OneHotEncoder(int num_classes) : num_classes_(num_classes) {}
+  std::string Name() const override { return "OneHot"; }
+  std::vector<double> Apply(const int& label) const override;
+
+ private:
+  int num_classes_;
+};
+
+/// Picks the argmax class from a score vector.
+class ArgMaxClassifier : public Transformer<std::vector<double>, int> {
+ public:
+  std::string Name() const override { return "MaxClassifier"; }
+  int Apply(const std::vector<double>& scores) const override;
+};
+
+/// Emits the k highest-scoring class ids, best first (the paper's "Top 5
+/// Classifier" node in Figure 5).
+class TopKClassifier : public Transformer<std::vector<double>,
+                                          std::vector<int>> {
+ public:
+  explicit TopKClassifier(int k) : k_(k) {}
+  std::string Name() const override { return "TopKClassifier"; }
+  std::vector<int> Apply(const std::vector<double>& scores) const override;
+
+ private:
+  int k_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPS_FEATURES_H_

@@ -1,0 +1,72 @@
+#ifndef KEYSTONE_OPS_GMM_H_
+#define KEYSTONE_OPS_GMM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/operator.h"
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+/// Diagonal-covariance Gaussian mixture parameters.
+struct GmmParams {
+  Matrix means;      // K x d
+  Matrix variances;  // K x d
+  std::vector<double> weights;
+
+  size_t num_components() const { return means.rows(); }
+  size_t dim() const { return means.cols(); }
+};
+
+/// Fits a diagonal GMM with EM (k-means++ initialization) and produces a
+/// Fisher-vector encoder (paper Figure 5's GMM -> FisherVector step). The
+/// encoder maps a descriptor matrix to a K*(2d+1) vector of weight, mean
+/// and variance gradients with power + L2 normalization (the full improved
+/// Fisher vector of [Sanchez et al. 13]).
+class GmmFisherEstimator : public Estimator<Matrix, std::vector<double>> {
+ public:
+  GmmFisherEstimator(size_t components, int em_iterations = 10,
+                     uint64_t seed = 23)
+      : components_(components), em_iterations_(em_iterations), seed_(seed) {}
+
+  std::string Name() const override { return "GMM"; }
+
+  std::shared_ptr<Transformer<Matrix, std::vector<double>>> Fit(
+      const DistDataset<Matrix>& data, ExecContext* ctx) const override;
+
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+  int Weight() const override { return em_iterations_; }
+
+ private:
+  size_t components_;
+  int em_iterations_;
+  uint64_t seed_;
+};
+
+/// The fitted Fisher-vector encoder.
+class FisherVectorModel : public Transformer<Matrix, std::vector<double>> {
+ public:
+  explicit FisherVectorModel(GmmParams params) : params_(std::move(params)) {}
+
+  std::string Name() const override { return "FisherVector"; }
+  std::vector<double> Apply(const Matrix& descriptors) const override;
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  const GmmParams& params() const { return params_; }
+  size_t output_dim() const {
+    return params_.num_components() * (2 * params_.dim() + 1);
+  }
+
+ private:
+  GmmParams params_;
+};
+
+/// Fits a diagonal GMM by EM. Exposed separately for tests and benches.
+GmmParams FitGmm(const Matrix& rows, size_t components, int em_iterations,
+                 uint64_t seed);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPS_GMM_H_

@@ -1,0 +1,63 @@
+#ifndef KEYSTONE_OPS_IMAGE_H_
+#define KEYSTONE_OPS_IMAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+/// Dense multi-channel image in planar layout: data[c][y][x] flattened as
+/// c * (height * width) + y * width + x. Pixels are doubles in [0, 1].
+struct Image {
+  size_t width = 0;
+  size_t height = 0;
+  size_t channels = 0;
+  std::vector<double> data;
+
+  Image() = default;
+  Image(size_t w, size_t h, size_t c)
+      : width(w), height(h), channels(c), data(w * h * c, 0.0) {}
+
+  double& at(size_t c, size_t y, size_t x) {
+    return data[c * height * width + y * width + x];
+  }
+  double at(size_t c, size_t y, size_t x) const {
+    return data[c * height * width + y * width + x];
+  }
+
+  size_t NumPixels() const { return width * height * channels; }
+
+  /// Channel c as a matrix view copy (height x width).
+  Matrix Channel(size_t c) const {
+    KS_CHECK_LT(c, channels);
+    Matrix m(height, width);
+    std::copy(data.begin() + c * height * width,
+              data.begin() + (c + 1) * height * width, m.data());
+    return m;
+  }
+
+  void SetChannel(size_t c, const Matrix& m) {
+    KS_CHECK_LT(c, channels);
+    KS_CHECK_EQ(m.rows(), height);
+    KS_CHECK_EQ(m.cols(), width);
+    std::copy(m.data(), m.data() + height * width,
+              data.begin() + c * height * width);
+  }
+};
+
+// Dataset element traits for images (Matrix traits live in
+// src/data/element_traits.h).
+inline double ElementBytes(const Image& img) {
+  return static_cast<double>(img.NumPixels() * sizeof(double));
+}
+inline size_t ElementDim(const Image& img) { return img.NumPixels(); }
+inline double ElementNnz(const Image& img) {
+  return static_cast<double>(img.NumPixels());
+}
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPS_IMAGE_H_

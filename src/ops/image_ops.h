@@ -1,0 +1,145 @@
+#ifndef KEYSTONE_OPS_IMAGE_OPS_H_
+#define KEYSTONE_OPS_IMAGE_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/operator.h"
+#include "src/ops/image.h"
+
+namespace keystone {
+
+/// Luminance grayscale conversion (any #channels -> 1).
+class GrayScaler : public Transformer<Image, Image> {
+ public:
+  std::string Name() const override { return "GrayScaler"; }
+  Image Apply(const Image& img) const override;
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+};
+
+/// Extracts all (stride-spaced) patch_size x patch_size patches and flattens
+/// each into a row of the output matrix (the CIFAR pipeline's Windower /
+/// PatchExtractor).
+class PatchExtractor : public Transformer<Image, Matrix> {
+ public:
+  PatchExtractor(size_t patch_size, size_t stride)
+      : patch_size_(patch_size), stride_(stride) {}
+
+  std::string Name() const override { return "PatchExtractor"; }
+  Matrix Apply(const Image& img) const override;
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  size_t patch_dim(size_t channels) const {
+    return patch_size_ * patch_size_ * channels;
+  }
+
+ private:
+  size_t patch_size_;
+  size_t stride_;
+};
+
+/// Dense SIFT-like descriptors: the image is divided into cells; each cell
+/// yields a histogram of gradient orientations over `bins` bins, normalized.
+/// A simplified stand-in for SIFT [Lowe 99] with the same output shape
+/// (one descriptor row per cell, fixed dimension).
+class DenseSift : public Transformer<Image, Matrix> {
+ public:
+  DenseSift(size_t cell_size, size_t bins)
+      : cell_size_(cell_size), bins_(bins) {}
+
+  std::string Name() const override { return "SIFT"; }
+  Matrix Apply(const Image& img) const override;
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  size_t descriptor_dim() const { return 4 * bins_; }
+
+ private:
+  size_t cell_size_;
+  size_t bins_;
+};
+
+/// Local color statistics: per-cell mean and standard deviation of each
+/// channel (the LCS featurizer of the ImageNet pipeline).
+class LocalColorStats : public Transformer<Image, Matrix> {
+ public:
+  explicit LocalColorStats(size_t cell_size) : cell_size_(cell_size) {}
+
+  std::string Name() const override { return "LCS"; }
+  Matrix Apply(const Image& img) const override;
+
+ private:
+  size_t cell_size_;
+};
+
+/// Keeps every `stride`-th descriptor row — the DAG's "Column Sampler"
+/// nodes, which thin descriptor sets before fitting PCA/GMM.
+class DescriptorSampler : public Transformer<Matrix, Matrix> {
+ public:
+  explicit DescriptorSampler(size_t stride) : stride_(stride) {}
+  std::string Name() const override { return "ColumnSampler"; }
+  Matrix Apply(const Matrix& descriptors) const override;
+
+ private:
+  size_t stride_;
+};
+
+/// Symmetric rectification: each input column x becomes [max(x,0),
+/// max(-x,0)] (doubling the dimension) — used by the CIFAR pipeline.
+class SymmetricRectifier : public Transformer<std::vector<double>,
+                                              std::vector<double>> {
+ public:
+  explicit SymmetricRectifier(double alpha = 0.0) : alpha_(alpha) {}
+  std::string Name() const override { return "SymmetricRectifier"; }
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+
+ private:
+  double alpha_;
+};
+
+/// Sum-pools descriptor rows over a grid_ x grid_ spatial grid, assuming
+/// rows are in row-major cell order, and concatenates pooled blocks.
+class Pooler : public Transformer<Matrix, std::vector<double>> {
+ public:
+  explicit Pooler(size_t grid) : grid_(grid) {}
+  std::string Name() const override { return "Pooler"; }
+  std::vector<double> Apply(const Matrix& features) const override;
+
+ private:
+  size_t grid_;
+};
+
+/// ZCA whitening estimator over patch matrices: fits mean and rotation
+/// W = V (D + eps)^(-1/2) V^T on stacked patches; the model whitens each
+/// descriptor row.
+class ZcaWhitener : public Estimator<Matrix, Matrix> {
+ public:
+  explicit ZcaWhitener(double epsilon = 0.1) : epsilon_(epsilon) {}
+  std::string Name() const override { return "ZCAWhitener"; }
+
+  std::shared_ptr<Transformer<Matrix, Matrix>> Fit(
+      const DistDataset<Matrix>& data, ExecContext* ctx) const override;
+
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+ private:
+  double epsilon_;
+};
+
+/// The fitted whitening transform.
+class ZcaModel : public Transformer<Matrix, Matrix> {
+ public:
+  ZcaModel(std::vector<double> mean, Matrix rotation)
+      : mean_(std::move(mean)), rotation_(std::move(rotation)) {}
+  std::string Name() const override { return "ZCA.Model"; }
+  Matrix Apply(const Matrix& rows) const override;
+  const Matrix& rotation() const { return rotation_; }
+
+ private:
+  std::vector<double> mean_;
+  Matrix rotation_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPS_IMAGE_OPS_H_

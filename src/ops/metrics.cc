@@ -1,0 +1,76 @@
+#include "src/ops/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace keystone {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  KS_CHECK_EQ(predictions.size(), labels.size());
+  KS_CHECK(!labels.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    correct += predictions[i] == labels[i];
+  }
+  return static_cast<double>(correct) / labels.size();
+}
+
+double TopKError(const std::vector<std::vector<double>>& scores,
+                 const std::vector<int>& labels, int k) {
+  KS_CHECK_EQ(scores.size(), labels.size());
+  KS_CHECK(!labels.empty());
+  size_t misses = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const auto& s = scores[i];
+    const double truth_score = s[labels[i]];
+    int better = 0;
+    for (double v : s) better += v > truth_score;
+    if (better >= k) ++misses;
+  }
+  return static_cast<double>(misses) / labels.size();
+}
+
+double MeanAveragePrecision(const std::vector<std::vector<double>>& scores,
+                            const std::vector<int>& labels, int num_classes) {
+  KS_CHECK_EQ(scores.size(), labels.size());
+  KS_CHECK(!labels.empty());
+  double map_sum = 0.0;
+  int classes_with_positives = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[a][c] > scores[b][c];
+    });
+    int positives_seen = 0;
+    double precision_sum = 0.0;
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      if (labels[order[rank]] == c) {
+        ++positives_seen;
+        precision_sum += static_cast<double>(positives_seen) / (rank + 1);
+      }
+    }
+    if (positives_seen > 0) {
+      map_sum += precision_sum / positives_seen;
+      ++classes_with_positives;
+    }
+  }
+  return classes_with_positives > 0 ? map_sum / classes_with_positives : 0.0;
+}
+
+Matrix ConfusionMatrix(const std::vector<int>& predictions,
+                       const std::vector<int>& labels, int num_classes) {
+  KS_CHECK_EQ(predictions.size(), labels.size());
+  Matrix confusion(num_classes, num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    KS_CHECK_LT(labels[i], num_classes);
+    KS_CHECK_LT(predictions[i], num_classes);
+    confusion(labels[i], predictions[i]) += 1.0;
+  }
+  return confusion;
+}
+
+}  // namespace keystone

@@ -1,0 +1,30 @@
+#ifndef KEYSTONE_OPS_METRICS_H_
+#define KEYSTONE_OPS_METRICS_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace keystone {
+
+/// Fraction of predictions equal to the true label.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+/// Top-k error: fraction of examples whose true class is NOT among the k
+/// highest-scoring classes (the ImageNet metric).
+double TopKError(const std::vector<std::vector<double>>& scores,
+                 const std::vector<int>& labels, int k);
+
+/// Mean average precision over classes: for each class, ranks examples by
+/// score and averages precision at each positive hit (the VOC metric).
+double MeanAveragePrecision(const std::vector<std::vector<double>>& scores,
+                            const std::vector<int>& labels, int num_classes);
+
+/// num_classes x num_classes confusion matrix (rows: truth, cols: pred).
+Matrix ConfusionMatrix(const std::vector<int>& predictions,
+                       const std::vector<int>& labels, int num_classes);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPS_METRICS_H_

@@ -1,0 +1,258 @@
+#include "src/optimizer/materialization.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <list>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace keystone {
+
+namespace {
+
+// Seconds to read/write a materialized output from cluster memory (striped
+// across nodes).
+double MemTransferSeconds(const MaterializationProblem& p, double bytes) {
+  const double per_node = bytes / std::max(1, p.resources.num_nodes);
+  return p.resources.MemoryReadSeconds(per_node);
+}
+
+}  // namespace
+
+double EstimateRuntimeDetailed(const MaterializationProblem& problem,
+                               const std::vector<bool>& cached,
+                               std::vector<double>* per_node_seconds) {
+  const PipelineGraph& graph = *problem.graph;
+  const int n = graph.size();
+  KS_CHECK_EQ(problem.info.size(), static_cast<size_t>(n));
+  KS_CHECK_EQ(cached.size(), static_cast<size_t>(n));
+  if (per_node_seconds != nullptr) per_node_seconds->assign(n, 0.0);
+
+  // demand(v): how many times v's output is requested. executions(v): how
+  // many times v is actually computed. Node ids are topologically ordered
+  // (edges low -> high), so a reverse sweep sees successors first.
+  std::vector<double> demand(n, 0.0);
+  std::vector<double> executions(n, 0.0);
+  for (int t : problem.terminals) demand[t] += 1.0;
+
+  double total = 0.0;
+  for (int v = n - 1; v >= 0; --v) {
+    const NodeRuntimeInfo& info = problem.info[v];
+    if (!info.live || demand[v] <= 0.0) continue;
+    const bool is_cached = cached[v] || info.always_cached;
+    executions[v] = is_cached ? 1.0 : demand[v];
+
+    // Local compute: executions * weight passes * per-pass time.
+    double node_seconds = executions[v] * info.weight * info.compute_seconds;
+
+    if (is_cached) {
+      // One write plus demand-many reads of the materialized output.
+      node_seconds +=
+          (demand[v] + 1.0) * MemTransferSeconds(problem, info.output_bytes);
+    }
+    total += node_seconds;
+    if (per_node_seconds != nullptr) (*per_node_seconds)[v] = node_seconds;
+
+    // Each execution makes `weight` passes over every input.
+    for (int dep : graph.Dependencies(v)) {
+      demand[dep] += executions[v] * info.weight;
+    }
+  }
+  return total;
+}
+
+double EstimateRuntime(const MaterializationProblem& problem,
+                       const std::vector<bool>& cached) {
+  return EstimateRuntimeDetailed(problem, cached, nullptr);
+}
+
+double CacheSetBytes(const MaterializationProblem& problem,
+                     const std::vector<bool>& cached) {
+  double bytes = 0.0;
+  for (int v = 0; v < problem.graph->size(); ++v) {
+    if (cached[v] && problem.info[v].live && !problem.info[v].always_cached) {
+      bytes += problem.info[v].output_bytes;
+    }
+  }
+  return bytes;
+}
+
+std::vector<bool> RuleBasedCacheSelection(const MaterializationProblem& p) {
+  // always_cached nodes are materialized unconditionally in EstimateRuntime,
+  // so the rule-based set adds nothing.
+  return std::vector<bool>(p.graph->size(), false);
+}
+
+std::vector<bool> GreedyCacheSelection(const MaterializationProblem& p) {
+  const int n = p.graph->size();
+  std::vector<bool> cached(n, false);
+  double mem_left = p.memory_budget_bytes;
+  double best_runtime = EstimateRuntime(p, cached);
+
+  // Require a minimally meaningful gain so near-zero-benefit nodes are not
+  // materialized on floating-point noise.
+  const double min_gain = 1e-3;
+  while (true) {
+    int next = -1;
+    double next_runtime = best_runtime * (1.0 - min_gain);
+    for (int v = 0; v < n; ++v) {
+      const NodeRuntimeInfo& info = p.info[v];
+      if (cached[v] || !info.live || !info.cacheable || info.always_cached) {
+        continue;
+      }
+      if (info.output_bytes > mem_left) continue;
+      cached[v] = true;
+      const double runtime = EstimateRuntime(p, cached);
+      cached[v] = false;
+      if (runtime < next_runtime) {
+        next_runtime = runtime;
+        next = v;
+      }
+    }
+    if (next < 0) break;
+    cached[next] = true;
+    mem_left -= p.info[next].output_bytes;
+    best_runtime = next_runtime;
+  }
+  return cached;
+}
+
+std::vector<bool> ExhaustiveCacheSelection(const MaterializationProblem& p,
+                                           int max_candidates) {
+  const int n = p.graph->size();
+  std::vector<int> candidates;
+  for (int v = 0; v < n; ++v) {
+    const NodeRuntimeInfo& info = p.info[v];
+    if (info.live && info.cacheable && !info.always_cached) {
+      candidates.push_back(v);
+    }
+  }
+  KS_CHECK_LE(static_cast<int>(candidates.size()), max_candidates)
+      << "exhaustive cache search is exponential; problem too large";
+
+  std::vector<bool> best(n, false);
+  double best_runtime = EstimateRuntime(p, best);
+  const uint64_t limit = 1ULL << candidates.size();
+  std::vector<bool> trial(n, false);
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    std::fill(trial.begin(), trial.end(), false);
+    double bytes = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (mask & (1ULL << i)) {
+        trial[candidates[i]] = true;
+        bytes += p.info[candidates[i]].output_bytes;
+      }
+    }
+    if (bytes > p.memory_budget_bytes) continue;
+    const double runtime = EstimateRuntime(p, trial);
+    if (runtime < best_runtime) {
+      best_runtime = runtime;
+      best = trial;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Dynamic LRU cache over node outputs for the trace simulation.
+class LruCache {
+ public:
+  LruCache(double capacity_bytes, double admit_fraction)
+      : capacity_(capacity_bytes), admit_limit_(capacity_bytes *
+                                                admit_fraction) {}
+
+  bool Contains(int v) const { return position_.count(v) > 0; }
+
+  void Touch(int v) {
+    auto it = position_.find(v);
+    KS_CHECK(it != position_.end());
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  // Admits v (evicting LRU entries as needed). Returns false if v is larger
+  // than the admission limit and was rejected.
+  bool Admit(int v, double bytes) {
+    if (bytes > admit_limit_ || bytes > capacity_) return false;
+    while (used_ + bytes > capacity_ && !order_.empty()) {
+      const auto [victim, victim_bytes] = order_.back();
+      order_.pop_back();
+      position_.erase(victim);
+      used_ -= victim_bytes;
+    }
+    order_.emplace_front(v, bytes);
+    position_[v] = order_.begin();
+    used_ += bytes;
+    return true;
+  }
+
+ private:
+  double capacity_;
+  double admit_limit_;
+  double used_ = 0.0;
+  std::list<std::pair<int, double>> order_;
+  std::map<int, std::list<std::pair<int, double>>::iterator> position_;
+};
+
+}  // namespace
+
+double SimulateLruRuntime(const MaterializationProblem& problem,
+                          double capacity_bytes, double admit_fraction,
+                          std::vector<double>* per_node_seconds) {
+  const PipelineGraph& graph = *problem.graph;
+  LruCache cache(capacity_bytes, admit_fraction);
+  if (per_node_seconds != nullptr) {
+    per_node_seconds->assign(graph.size(), 0.0);
+  }
+  double total = 0.0;
+  int64_t accesses = 0;
+  constexpr int64_t kAccessLimit = 50'000'000;
+
+  auto charge = [&](int v, double seconds) {
+    total += seconds;
+    if (per_node_seconds != nullptr) (*per_node_seconds)[v] += seconds;
+  };
+
+  // Depth-first accesses from each terminal; weights replay the iterative
+  // passes an estimator makes over its inputs. Pinned (always_cached) nodes
+  // become resident after their first computation.
+  std::vector<bool> pinned_computed(graph.size(), false);
+  std::function<void(int)> access = [&](int v) {
+    KS_CHECK_LT(++accesses, kAccessLimit)
+        << "LRU trace simulation exploded; check pipeline weights";
+    const NodeRuntimeInfo& info = problem.info[v];
+    if (!info.live) return;
+    const bool resident = (info.always_cached && pinned_computed[v]) ||
+                          cache.Contains(v);
+    if (resident) {
+      if (cache.Contains(v)) cache.Touch(v);
+      const double per_node_bytes =
+          info.output_bytes / std::max(1, problem.resources.num_nodes);
+      charge(v, problem.resources.MemoryReadSeconds(per_node_bytes));
+      return;
+    }
+    // Recompute: weight passes, each touching all inputs, plus local work.
+    for (int pass = 0; pass < info.weight; ++pass) {
+      for (int dep : graph.Dependencies(v)) access(dep);
+      charge(v, info.compute_seconds);
+    }
+    if (info.always_cached) {
+      pinned_computed[v] = true;
+    } else if (info.cacheable) {
+      if (cache.Admit(v, info.output_bytes)) {
+        // Materialization write, mirroring the static replay's accounting.
+        const double per_node_bytes =
+            info.output_bytes / std::max(1, problem.resources.num_nodes);
+        charge(v, problem.resources.MemoryReadSeconds(per_node_bytes));
+      }
+    }
+  };
+
+  for (int t : problem.terminals) access(t);
+  return total;
+}
+
+}  // namespace keystone

@@ -1,0 +1,90 @@
+#ifndef KEYSTONE_OPTIMIZER_MATERIALIZATION_H_
+#define KEYSTONE_OPTIMIZER_MATERIALIZATION_H_
+
+#include <vector>
+
+#include "src/core/pipeline_graph.h"
+#include "src/sim/resources.h"
+
+namespace keystone {
+
+/// Per-node quantities the materialization optimizer reasons about,
+/// mirroring §4.3 of the paper: t(v) — local compute time per pass,
+/// size(v) — output bytes, w_v — passes over inputs per execution.
+/// These come from the pipeline profile (execution subsampling) or, for the
+/// final accounting, from full-scale execution.
+struct NodeRuntimeInfo {
+  /// Virtual seconds of compute local to the node, per pass over inputs.
+  double compute_seconds = 0.0;
+
+  /// Bytes of the node's output (cluster-wide).
+  double output_bytes = 0.0;
+
+  /// Passes over inputs per execution (Iterative weight w_v).
+  int weight = 1;
+
+  /// Whether the cache may hold this node's output.
+  bool cacheable = true;
+
+  /// Always materialized regardless of policy (estimator models: tiny and
+  /// definitionally reused). This is also exactly the rule-based baseline.
+  bool always_cached = false;
+
+  /// Participates in execution (post-CSE, reachable from a terminal).
+  bool live = true;
+};
+
+/// A materialization problem: the DAG topology plus per-node runtime info,
+/// the demanded terminal nodes, and the memory budget.
+struct MaterializationProblem {
+  const PipelineGraph* graph = nullptr;
+  std::vector<NodeRuntimeInfo> info;
+  std::vector<int> terminals;
+  double memory_budget_bytes = 0.0;
+  ClusterResourceDescriptor resources;
+};
+
+/// Estimated total execution time (virtual seconds) of the pipeline when
+/// the nodes in `cached` are materialized — the paper's T(sink(G))
+/// objective, evaluated by propagating execution counts:
+///   demand(v) = sum over successors p of w_p * executions(p)
+///   executions(v) = 1 if cached else demand(v)
+/// plus memory read/write charges for materialized outputs.
+double EstimateRuntime(const MaterializationProblem& problem,
+                       const std::vector<bool>& cached);
+
+/// As above, also reporting the seconds attributable to each node (compute
+/// plus materialization I/O), for per-stage breakdowns.
+double EstimateRuntimeDetailed(const MaterializationProblem& problem,
+                               const std::vector<bool>& cached,
+                               std::vector<double>* per_node_seconds);
+
+/// Bytes consumed by a cache set (live, cacheable nodes only).
+double CacheSetBytes(const MaterializationProblem& problem,
+                     const std::vector<bool>& cached);
+
+/// Baseline cache set: only `always_cached` nodes (estimator results) —
+/// the rule-based strategy of §5.4.
+std::vector<bool> RuleBasedCacheSelection(const MaterializationProblem& p);
+
+/// The paper's Algorithm 1: greedily add the node whose materialization
+/// most reduces estimated runtime while fitting in the remaining budget.
+std::vector<bool> GreedyCacheSelection(const MaterializationProblem& p);
+
+/// Exhaustive search over all cache subsets (test oracle standing in for
+/// the paper's ILP). Only valid for small problems; KS_CHECKs that at most
+/// `max_candidates` candidate nodes exist.
+std::vector<bool> ExhaustiveCacheSelection(const MaterializationProblem& p,
+                                           int max_candidates = 20);
+
+/// Simulates depth-first execution with a dynamic LRU cache of the given
+/// capacity (the Spark default policy of §5.4). `admit_fraction` mimics
+/// Spark's admission control: outputs larger than this fraction of capacity
+/// are never admitted. Returns total virtual seconds.
+double SimulateLruRuntime(const MaterializationProblem& problem,
+                          double capacity_bytes, double admit_fraction = 1.0,
+                          std::vector<double>* per_node_seconds = nullptr);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPTIMIZER_MATERIALIZATION_H_

@@ -1,0 +1,66 @@
+#include "src/optimizer/operator_optimizer.h"
+
+#include <limits>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace keystone {
+
+namespace {
+
+/// Generic selection over (cost, scratch) pairs.
+template <typename Op>
+PhysicalChoice ChooseOption(const std::vector<std::shared_ptr<Op>>& options,
+                            const DataStats& stats,
+                            const ClusterResourceDescriptor& r) {
+  KS_CHECK(!options.empty());
+  const double node_memory = r.memory_per_node_gb * 1e9;
+
+  PhysicalChoice best;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  bool any_feasible = false;
+  double min_scratch = std::numeric_limits<double>::infinity();
+  int min_scratch_index = 0;
+
+  for (size_t i = 0; i < options.size(); ++i) {
+    const double scratch = options[i]->ScratchMemoryBytes(stats, r.num_nodes);
+    const double seconds =
+        r.SecondsFor(options[i]->EstimateCost(stats, r.num_nodes));
+    const bool feasible = scratch <= node_memory;
+    if (scratch < min_scratch) {
+      min_scratch = scratch;
+      min_scratch_index = static_cast<int>(i);
+    }
+    if (feasible && seconds < best_seconds) {
+      best_seconds = seconds;
+      best.option_index = static_cast<int>(i);
+      best.estimated_seconds = seconds;
+      any_feasible = true;
+    }
+  }
+  if (!any_feasible) {
+    best.option_index = min_scratch_index;
+    best.estimated_seconds =
+        r.SecondsFor(options[min_scratch_index]->EstimateCost(stats,
+                                                              r.num_nodes));
+    best.feasible = false;
+  }
+  return best;
+}
+
+}  // namespace
+
+PhysicalChoice ChooseTransformerOption(const OptimizableTransformer& logical,
+                                       const DataStats& stats,
+                                       const ClusterResourceDescriptor& r) {
+  return ChooseOption(logical.options(), stats, r);
+}
+
+PhysicalChoice ChooseEstimatorOption(const OptimizableEstimator& logical,
+                                     const DataStats& stats,
+                                     const ClusterResourceDescriptor& r) {
+  return ChooseOption(logical.options(), stats, r);
+}
+
+}  // namespace keystone

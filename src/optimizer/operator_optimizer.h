@@ -1,0 +1,34 @@
+#ifndef KEYSTONE_OPTIMIZER_OPERATOR_OPTIMIZER_H_
+#define KEYSTONE_OPTIMIZER_OPERATOR_OPTIMIZER_H_
+
+#include <memory>
+
+#include "src/core/operator.h"
+#include "src/data/data_stats.h"
+#include "src/sim/resources.h"
+
+namespace keystone {
+
+/// Result of scoring one physical option.
+struct PhysicalChoice {
+  int option_index = 0;
+  double estimated_seconds = 0.0;
+  bool feasible = true;
+};
+
+/// Picks the cheapest feasible physical implementation for an Optimizable
+/// transformer given input statistics and cluster resources (paper §3).
+/// Options whose scratch memory exceeds per-node memory are infeasible; if
+/// every option is infeasible the one with the smallest footprint wins.
+PhysicalChoice ChooseTransformerOption(const OptimizableTransformer& logical,
+                                       const DataStats& stats,
+                                       const ClusterResourceDescriptor& r);
+
+/// Same selection for Optimizable estimators.
+PhysicalChoice ChooseEstimatorOption(const OptimizableEstimator& logical,
+                                     const DataStats& stats,
+                                     const ClusterResourceDescriptor& r);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_OPTIMIZER_OPERATOR_OPTIMIZER_H_

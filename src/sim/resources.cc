@@ -1,0 +1,70 @@
+#include "src/sim/resources.h"
+
+#include <cstdio>
+
+namespace keystone {
+
+std::string CostProfile::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "CostProfile{flops=%.3g, bytes=%.3g, network=%.3g}", flops,
+                bytes, network);
+  return buf;
+}
+
+ClusterResourceDescriptor ClusterResourceDescriptor::R3_4xlarge(int nodes) {
+  ClusterResourceDescriptor r;
+  r.num_nodes = nodes;
+  r.cores_per_node = 8;
+  r.gflops_per_node = 70.0;  // 8 Ivy Bridge cores, sustained DGEMM.
+  r.mem_bandwidth_gb = 25.0;
+  r.disk_bandwidth_gb = 0.45;  // 320 GB SSD.
+  r.network_gb = 1.25;         // 10 GbE.
+  r.memory_per_node_gb = 122.0;
+  return r;
+}
+
+ClusterResourceDescriptor ClusterResourceDescriptor::C3_4xlarge(int nodes) {
+  ClusterResourceDescriptor r;
+  r.num_nodes = nodes;
+  r.cores_per_node = 8;
+  r.gflops_per_node = 90.0;  // Compute optimized.
+  r.mem_bandwidth_gb = 25.0;
+  r.disk_bandwidth_gb = 0.4;
+  r.network_gb = 1.25;
+  r.memory_per_node_gb = 30.0;
+  return r;
+}
+
+ClusterResourceDescriptor ClusterResourceDescriptor::LocalWorkstation() {
+  ClusterResourceDescriptor r;
+  r.num_nodes = 1;
+  r.cores_per_node = 16;
+  r.gflops_per_node = 140.0;
+  r.mem_bandwidth_gb = 40.0;
+  r.disk_bandwidth_gb = 0.5;
+  r.network_gb = 1e9;  // No network hop for local execution.
+  r.memory_per_node_gb = 256.0;
+  r.round_latency_s = 1e-4;  // Thread-level synchronization only.
+  return r;
+}
+
+double ClusterResourceDescriptor::SecondsFor(const CostProfile& cost) const {
+  const double exec_seconds = cost.flops / (gflops_per_node * 1e9) +
+                              cost.bytes / (mem_bandwidth_gb * 1e9);
+  const double coord_seconds =
+      cost.network / (network_gb * 1e9) + cost.rounds * round_latency_s;
+  return exec_seconds + coord_seconds;
+}
+
+std::string ClusterResourceDescriptor::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Cluster{nodes=%d, cores/node=%d, %.0f GFLOP/s, mem %.0f "
+                "GB/s, disk %.2f GB/s, net %.2f GB/s, %.0f GB/node}",
+                num_nodes, cores_per_node, gflops_per_node, mem_bandwidth_gb,
+                disk_bandwidth_gb, network_gb, memory_per_node_gb);
+  return buf;
+}
+
+}  // namespace keystone

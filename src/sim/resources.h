@@ -1,0 +1,77 @@
+#ifndef KEYSTONE_SIM_RESOURCES_H_
+#define KEYSTONE_SIM_RESOURCES_H_
+
+#include <string>
+
+#include "src/sim/cost_profile.h"
+
+namespace keystone {
+
+/// Cluster resource descriptor (paper §3, the `R` in c(f, A_s, R)).
+/// Captures per-node compute/memory/disk characteristics and the network,
+/// normally collected via configuration data and microbenchmarks; here the
+/// presets mirror the EC2 instance types the paper evaluated on.
+struct ClusterResourceDescriptor {
+  int num_nodes = 1;
+  int cores_per_node = 8;
+
+  /// Sustained double-precision throughput per node, GFLOP/s.
+  double gflops_per_node = 40.0;
+
+  /// Main-memory bandwidth per node, GB/s.
+  double mem_bandwidth_gb = 20.0;
+
+  /// Local disk (SSD) bandwidth per node, GB/s.
+  double disk_bandwidth_gb = 0.4;
+
+  /// Per-link network bandwidth, GB/s (10 GbE ~ 1.25 GB/s).
+  double network_gb = 1.25;
+
+  /// Memory available for caching per node, GB.
+  double memory_per_node_gb = 122.0;
+
+  /// Seconds per synchronous coordination round (BSP barrier / job launch
+  /// scheduling overhead — ~100 ms on Spark-era clusters).
+  double round_latency_s = 0.1;
+
+  /// EC2 r3.4xlarge (8 physical cores, 122 GB, SSD, 10 GbE): the paper's
+  /// main experiment configuration.
+  static ClusterResourceDescriptor R3_4xlarge(int nodes);
+
+  /// EC2 c3.4xlarge (compute optimized, 30 GB memory): used for the solver
+  /// microbenchmarks in Figure 6.
+  static ClusterResourceDescriptor C3_4xlarge(int nodes);
+
+  /// Single local workstation (for the "local" physical operators).
+  static ClusterResourceDescriptor LocalWorkstation();
+
+  /// Total worker slots in the cluster.
+  int TotalSlots() const { return num_nodes * cores_per_node; }
+
+  /// Total cache capacity across the cluster, bytes.
+  double ClusterMemoryBytes() const {
+    return memory_per_node_gb * 1e9 * num_nodes;
+  }
+
+  /// Converts a critical-path cost profile into estimated seconds:
+  ///   Rexec * cexec + Rcoord * ccoord
+  /// with Rexec derived from node compute/memory speed and Rcoord from the
+  /// network speed (paper Equation 1).
+  double SecondsFor(const CostProfile& cost) const;
+
+  /// Seconds to scan `bytes` from memory on one node.
+  double MemoryReadSeconds(double bytes) const {
+    return bytes / (mem_bandwidth_gb * 1e9);
+  }
+
+  /// Seconds to scan `bytes` from local disk on one node.
+  double DiskReadSeconds(double bytes) const {
+    return bytes / (disk_bandwidth_gb * 1e9);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_SIM_RESOURCES_H_

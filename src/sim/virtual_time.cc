@@ -1,0 +1,89 @@
+#include "src/sim/virtual_time.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace keystone {
+
+double VirtualTimeLedger::Charge(const std::string& stage,
+                                 const CostProfile& cost) {
+  const double seconds = resources_.SecondsFor(cost);
+  ChargeSeconds(stage, seconds);
+  return seconds;
+}
+
+void VirtualTimeLedger::ChargeSeconds(const std::string& stage,
+                                      double seconds) {
+  KS_CHECK_GE(seconds, 0.0);
+  auto it = stage_seconds_.find(stage);
+  if (it == stage_seconds_.end()) {
+    stage_order_.push_back(stage);
+    stage_seconds_[stage] = seconds;
+  } else {
+    it->second += seconds;
+  }
+}
+
+double VirtualTimeLedger::TotalSeconds() const {
+  double total = 0.0;
+  for (const auto& [_, s] : stage_seconds_) total += s;
+  return total;
+}
+
+double VirtualTimeLedger::StageSeconds(const std::string& stage) const {
+  auto it = stage_seconds_.find(stage);
+  return it == stage_seconds_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> VirtualTimeLedger::Breakdown()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(stage_order_.size());
+  for (const auto& name : stage_order_) {
+    out.emplace_back(name, stage_seconds_.at(name));
+  }
+  return out;
+}
+
+void VirtualTimeLedger::Reset() {
+  stage_order_.clear();
+  stage_seconds_.clear();
+}
+
+std::string VirtualTimeLedger::ToString() const {
+  std::ostringstream os;
+  os << "VirtualTime{total=" << HumanSeconds(TotalSeconds());
+  for (const auto& [name, s] : Breakdown()) {
+    os << ", " << name << "=" << HumanSeconds(s);
+  }
+  os << "}";
+  return os.str();
+}
+
+double StageMakespan(const std::vector<double>& task_seconds, int slots) {
+  KS_CHECK_GT(slots, 0);
+  if (task_seconds.empty()) return 0.0;
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  // Min-heap of per-slot finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
+  for (int i = 0; i < slots; ++i) heap.push(0.0);
+  for (double t : sorted) {
+    KS_CHECK_GE(t, 0.0);
+    const double earliest = heap.top();
+    heap.pop();
+    heap.push(earliest + t);
+  }
+  double makespan = 0.0;
+  while (!heap.empty()) {
+    makespan = heap.top();
+    heap.pop();
+  }
+  return makespan;
+}
+
+}  // namespace keystone

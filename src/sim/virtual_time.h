@@ -1,0 +1,56 @@
+#ifndef KEYSTONE_SIM_VIRTUAL_TIME_H_
+#define KEYSTONE_SIM_VIRTUAL_TIME_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/cost_profile.h"
+#include "src/sim/resources.h"
+
+namespace keystone {
+
+/// Accumulates simulated (virtual) cluster time, broken down by named stage.
+/// Operators execute their real kernels in-process; the time the same work
+/// would take on the configured cluster is charged here. This is the ledger
+/// every benchmark reads its numbers from.
+class VirtualTimeLedger {
+ public:
+  explicit VirtualTimeLedger(const ClusterResourceDescriptor& resources)
+      : resources_(resources) {}
+
+  /// Charges the estimated seconds for a critical-path cost profile.
+  double Charge(const std::string& stage, const CostProfile& cost);
+
+  /// Charges a raw number of virtual seconds.
+  void ChargeSeconds(const std::string& stage, double seconds);
+
+  /// Total virtual seconds across all stages.
+  double TotalSeconds() const;
+
+  /// Virtual seconds charged to one stage.
+  double StageSeconds(const std::string& stage) const;
+
+  /// Per-stage breakdown in insertion order.
+  std::vector<std::pair<std::string, double>> Breakdown() const;
+
+  const ClusterResourceDescriptor& resources() const { return resources_; }
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  ClusterResourceDescriptor resources_;
+  std::vector<std::string> stage_order_;
+  std::map<std::string, double> stage_seconds_;
+};
+
+/// Makespan (seconds) of independent tasks greedily list-scheduled over
+/// `slots` parallel workers, longest-processing-time-first. Used to simulate
+/// a distributed stage made of per-partition tasks.
+double StageMakespan(const std::vector<double>& task_seconds, int slots);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_SIM_VIRTUAL_TIME_H_

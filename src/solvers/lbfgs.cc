@@ -1,0 +1,131 @@
+#include "src/solvers/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/linalg/vector_ops.h"
+
+namespace keystone {
+
+LbfgsResult MinimizeLbfgs(const LbfgsObjective& objective,
+                          std::vector<double> x0,
+                          const LbfgsOptions& options) {
+  LbfgsResult result;
+  result.x = std::move(x0);
+  const size_t n = result.x.size();
+
+  std::vector<double> grad(n, 0.0);
+  double f = objective(result.x, &grad);
+  ++result.gradient_evals;
+
+  // (s, y, rho) history for the two-loop recursion.
+  std::deque<std::vector<double>> s_hist;
+  std::deque<std::vector<double>> y_hist;
+  std::deque<double> rho_hist;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const double grad_norm = Norm2(grad);
+    if (grad_norm <= options.gradient_tol * std::max(1.0, Norm2(result.x))) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H grad.
+    std::vector<double> q = grad;
+    std::vector<double> alpha(s_hist.size());
+    for (size_t i = s_hist.size(); i-- > 0;) {
+      alpha[i] = rho_hist[i] * Dot(s_hist[i], q);
+      Axpy(-alpha[i], y_hist[i], &q);
+    }
+    if (!s_hist.empty()) {
+      const auto& s_last = s_hist.back();
+      const auto& y_last = y_hist.back();
+      const double gamma = Dot(s_last, y_last) / Dot(y_last, y_last);
+      Scale(gamma, &q);
+    }
+    for (size_t i = 0; i < s_hist.size(); ++i) {
+      const double beta = rho_hist[i] * Dot(y_hist[i], q);
+      Axpy(alpha[i] - beta, s_hist[i], &q);
+    }
+    std::vector<double> direction = std::move(q);
+    Scale(-1.0, &direction);
+
+    double directional = Dot(grad, direction);
+    if (directional >= 0.0) {
+      // Not a descent direction (can happen with loss noise): restart with
+      // steepest descent.
+      direction = grad;
+      Scale(-1.0, &direction);
+      directional = -Dot(grad, grad);
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+    }
+
+    // Weak Wolfe line search (bisection, Lewis–Overton style). Enforcing
+    // the curvature condition keeps s^T y > 0 so the quasi-Newton history
+    // stays well conditioned.
+    constexpr double kC1 = 1e-4;  // Sufficient decrease.
+    constexpr double kC2 = 0.9;   // Curvature.
+    std::vector<double> x_new(n);
+    std::vector<double> grad_new(n);
+    double f_new = f;
+    double lo = 0.0;
+    double hi = std::numeric_limits<double>::infinity();
+    double step = options.initial_step;
+    bool accepted = false;
+    for (int ls = 0; ls < 2 * options.max_line_search_steps; ++ls) {
+      for (size_t i = 0; i < n; ++i) {
+        x_new[i] = result.x[i] + step * direction[i];
+      }
+      f_new = objective(x_new, &grad_new);
+      ++result.gradient_evals;
+      if (f_new > f + kC1 * step * directional) {
+        hi = step;
+        step = 0.5 * (lo + hi);
+      } else if (Dot(grad_new, direction) < kC2 * directional) {
+        lo = step;
+        step = std::isinf(hi) ? 2.0 * step : 0.5 * (lo + hi);
+      } else {
+        accepted = true;
+        break;
+      }
+    }
+    // Accept a plain sufficient-decrease point if the curvature condition
+    // could not be satisfied within the budget.
+    if (!accepted && f_new <= f + kC1 * step * directional) accepted = true;
+    if (!accepted) break;  // Line search failed; give up at current point.
+
+    // Update history.
+    std::vector<double> s(n);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      s[i] = x_new[i] - result.x[i];
+      y[i] = grad_new[i] - grad[i];
+    }
+    const double sy = Dot(s, y);
+    if (sy > 1e-12) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (static_cast<int>(s_hist.size()) > options.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+
+    result.x = std::move(x_new);
+    grad = std::move(grad_new);
+    f = f_new;
+    ++result.iterations;
+  }
+
+  result.objective = f;
+  return result;
+}
+
+}  // namespace keystone

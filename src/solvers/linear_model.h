@@ -1,0 +1,60 @@
+#ifndef KEYSTONE_SOLVERS_LINEAR_MODEL_H_
+#define KEYSTONE_SOLVERS_LINEAR_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/operator.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/sparse.h"
+
+namespace keystone {
+
+/// Fitted linear map X in R^{d x k} applied to dense feature vectors:
+/// f(x) = x^T X (+ intercept). The Transformer produced by every dense
+/// linear solver.
+class LinearMapModel : public Transformer<std::vector<double>,
+                                          std::vector<double>> {
+ public:
+  LinearMapModel(Matrix weights, std::vector<double> intercept);
+
+  std::string Name() const override { return "LinearMap"; }
+
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  const Matrix& weights() const { return weights_; }
+  const std::vector<double>& intercept() const { return intercept_; }
+
+ private:
+  Matrix weights_;  // d x k
+  std::vector<double> intercept_;
+};
+
+/// Fitted linear map applied to sparse feature vectors.
+class SparseLinearMapModel : public Transformer<SparseVector,
+                                                std::vector<double>> {
+ public:
+  SparseLinearMapModel(Matrix weights, std::vector<double> intercept);
+
+  std::string Name() const override { return "SparseLinearMap"; }
+
+  std::vector<double> Apply(const SparseVector& x) const override;
+
+  CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  const Matrix& weights() const { return weights_; }
+
+ private:
+  Matrix weights_;  // d x k
+  std::vector<double> intercept_;
+};
+
+/// Mean squared Frobenius loss ||A X - B||_F^2 / n over a dense dataset.
+double LeastSquaresLoss(const Matrix& a, const Matrix& x, const Matrix& b);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_SOLVERS_LINEAR_MODEL_H_

@@ -1,0 +1,98 @@
+#ifndef KEYSTONE_SOLVERS_OBJECTIVES_H_
+#define KEYSTONE_SOLVERS_OBJECTIVES_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/linalg/gemm.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/sparse.h"
+
+namespace keystone {
+namespace internal_solvers {
+
+/// Adapters giving dense and sparse design matrices one product interface.
+struct DenseDesign {
+  const Matrix* a;
+  Matrix Times(const Matrix& x) const { return Gemm(*a, x); }
+  Matrix TransTimes(const Matrix& r) const { return GemmTransA(*a, r); }
+  size_t rows() const { return a->rows(); }
+};
+
+struct SparseDesign {
+  const SparseMatrix* a;
+  Matrix Times(const Matrix& x) const { return a->MatMul(x); }
+  Matrix TransTimes(const Matrix& r) const { return a->TransMatMul(r); }
+  size_t rows() const { return a->rows(); }
+};
+
+/// Least-squares objective over the flattened d x k weight matrix:
+///   f(X) = ||A X - B||_F^2 / (2n) + (lambda/2) ||X||_F^2.
+/// Fills `grad` and returns f.
+template <typename Design>
+double LeastSquaresObjective(const Design& design, const Matrix& b,
+                             double lambda, size_t d, size_t k,
+                             const std::vector<double>& x_flat,
+                             std::vector<double>* grad) {
+  const double n = static_cast<double>(design.rows());
+  Matrix x(d, k);
+  std::copy(x_flat.begin(), x_flat.end(), x.data());
+
+  Matrix residual = design.Times(x) - b;  // n x k
+  const double fro = residual.FrobeniusNorm();
+  double f = fro * fro / (2.0 * n);
+
+  Matrix g = design.TransTimes(residual);  // d x k
+  g *= 1.0 / n;
+  grad->assign(x_flat.size(), 0.0);
+  for (size_t i = 0; i < x_flat.size(); ++i) {
+    (*grad)[i] = g.data()[i] + lambda * x_flat[i];
+    f += 0.5 * lambda * x_flat[i] * x_flat[i];
+  }
+  return f;
+}
+
+/// Multinomial logistic (softmax cross-entropy) objective with one-hot
+/// labels B:
+///   f(X) = -(1/n) sum_i log softmax(A_i X)_{y_i} + (lambda/2)||X||_F^2.
+template <typename Design>
+double LogisticObjective(const Design& design, const Matrix& b, double lambda,
+                         size_t d, size_t k,
+                         const std::vector<double>& x_flat,
+                         std::vector<double>* grad) {
+  const double n = static_cast<double>(design.rows());
+  Matrix x(d, k);
+  std::copy(x_flat.begin(), x_flat.end(), x.data());
+
+  Matrix scores = design.Times(x);  // n x k
+  double f = 0.0;
+  // Convert scores to (P - B) in place, accumulating the loss.
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    double* row = scores.RowPtr(i);
+    double max_score = row[0];
+    for (size_t c = 1; c < k; ++c) max_score = std::max(max_score, row[c]);
+    double z = 0.0;
+    for (size_t c = 0; c < k; ++c) z += std::exp(row[c] - max_score);
+    const double log_z = std::log(z) + max_score;
+    for (size_t c = 0; c < k; ++c) {
+      const double p = std::exp(row[c] - log_z);
+      f -= b(i, c) * (row[c] - log_z);
+      row[c] = p - b(i, c);
+    }
+  }
+  f /= n;
+
+  Matrix g = design.TransTimes(scores);
+  g *= 1.0 / n;
+  grad->assign(x_flat.size(), 0.0);
+  for (size_t i = 0; i < x_flat.size(); ++i) {
+    (*grad)[i] = g.data()[i] + lambda * x_flat[i];
+    f += 0.5 * lambda * x_flat[i] * x_flat[i];
+  }
+  return f;
+}
+
+}  // namespace internal_solvers
+}  // namespace keystone
+
+#endif  // KEYSTONE_SOLVERS_OBJECTIVES_H_

@@ -1,0 +1,93 @@
+#include "src/solvers/solver_costs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace keystone {
+namespace solver_costs {
+
+namespace {
+constexpr double kBytesPerDouble = 8.0;
+}  // namespace
+
+CostProfile LocalExact(double n, double d, double k, double s) {
+  CostProfile cost;
+  // Gram/QR factorization plus back-solve, all on the driver node. Sparse
+  // inputs accelerate the Gram accumulation (n s d instead of n d^2) but the
+  // factorization of the d x d system is dense regardless.
+  cost.flops = 2.0 * n * s * (d + k) + d * d * d / 3.0;
+  cost.bytes = kBytesPerDouble * (n * s + d * d + d * k);
+  // The whole dataset moves to one node over its single link.
+  cost.network = kBytesPerDouble * n * (s + k);
+  cost.rounds = 1.0;
+  return cost;
+}
+
+CostProfile DistributedExact(double n, double d, double k, double s, int w) {
+  const double workers = std::max(1, w);
+  CostProfile cost;
+  // Per-node partial Gram + right-hand side, tree-aggregated, then a local
+  // dense factorization on the driver.
+  cost.flops = 2.0 * n * s * (d + k) / workers + d * d * d / 3.0;
+  cost.bytes = kBytesPerDouble * (n * s / workers + d * d + d * k);
+  cost.network = kBytesPerDouble * d * (d + k);
+  cost.rounds = 1.0 + std::log2(std::max(2.0, static_cast<double>(workers)));
+  return cost;
+}
+
+CostProfile Lbfgs(double n, double d, double k, double s, double i, int w) {
+  const double workers = std::max(1, w);
+  CostProfile cost;
+  // Each pass computes predictions and the gradient: two sparse products.
+  cost.flops = i * 4.0 * n * s * k / workers;
+  cost.bytes = i * kBytesPerDouble * (n * s / workers + d * k);
+  // Gradient aggregation (d x k) every pass over the busiest link.
+  cost.network = i * kBytesPerDouble * d * k;
+  // One broadcast + one reduce barrier per pass.
+  cost.rounds = 2.0 * i;
+  return cost;
+}
+
+CostProfile Block(double n, double d, double k, double s, double b, double i,
+                  int w) {
+  const double workers = std::max(1, w);
+  const double blocks = std::max(1.0, d / b);
+  CostProfile cost;
+  // Per epoch over all blocks: Gram accumulation touches each stored entry
+  // once per block column (2 n s (b + k) total across blocks for sparse
+  // inputs, 2 n d (b + k) dense), plus a b^3/3 local solve per block.
+  cost.flops = i * (2.0 * n * s * (b + k) / workers +
+                    blocks * b * b * b / 3.0);
+  cost.bytes = i * kBytesPerDouble * (n * s / workers + n * k / workers +
+                                      d * k);
+  // Block model broadcast + residual collection per block per epoch.
+  cost.network = i * kBytesPerDouble * d * (b + k);
+  // Two barriers per block solve, sequential across blocks.
+  cost.rounds = 2.0 * i * blocks;
+  return cost;
+}
+
+double LocalExactScratch(double n, double d, double k, double s) {
+  // The driver materializes the gathered data plus the dense d x d system.
+  return kBytesPerDouble * (n * s + d * d + d * k);
+}
+
+double DistributedExactScratch(double n, double d, double k, double s,
+                               int w) {
+  const double workers = std::max(1, w);
+  return kBytesPerDouble * (n * s / workers + d * d + d * k);
+}
+
+double LbfgsScratch(double n, double d, double k, double s, int w) {
+  const double workers = std::max(1, w);
+  // Partitioned data plus model and ~2m history matrices (m = 10).
+  return kBytesPerDouble * (n * s / workers + 22.0 * d * k);
+}
+
+double BlockScratch(double n, double d, double k, double b, int w) {
+  const double workers = std::max(1, w);
+  return kBytesPerDouble * (n * b / workers + d * k + n * k / workers);
+}
+
+}  // namespace solver_costs
+}  // namespace keystone

@@ -1,0 +1,46 @@
+#ifndef KEYSTONE_SOLVERS_SOLVER_COSTS_H_
+#define KEYSTONE_SOLVERS_SOLVER_COSTS_H_
+
+#include "src/sim/cost_profile.h"
+
+namespace keystone {
+namespace solver_costs {
+
+/// Cost models for the linear solver family (paper Table 1), with the
+/// constants the paper omits "for readability" filled in. All quantities
+/// follow the critical-path convention: flops/bytes are per busiest node,
+/// network is over the most loaded link.
+///
+///   n — examples, d — features, k — classes,
+///   s — average non-zeros per example (s == d when dense),
+///   i — passes over the data, b — block size, w — workers.
+
+/// Exact solve on a single node (gather + QR/normal equations).
+/// Compute O(n d (d + k)), network O(n (d + k)), memory O(d (n + k)).
+CostProfile LocalExact(double n, double d, double k, double s);
+
+/// Communication-avoiding distributed exact solve (TSQR/Gram aggregation).
+/// Compute O(n d (d + k) / w), network O(d (d + k)), memory O(n d / w + d^2).
+CostProfile DistributedExact(double n, double d, double k, double s, int w);
+
+/// L-BFGS: i data passes, gradient aggregation each pass.
+/// Compute O(i n s k / w), network O(i d k), memory O(n s / w + d k).
+CostProfile Lbfgs(double n, double d, double k, double s, double i, int w);
+
+/// Block coordinate solve: i epochs over d/b feature blocks. Sparse inputs
+/// (s < d) accelerate the per-block Gram accumulation.
+/// Compute O(i n s (b + k) / w), network O(i d (b + k)),
+/// memory O(n b / w + d k).
+CostProfile Block(double n, double d, double k, double s, double b, double i,
+                  int w);
+
+/// Scratch memory (bytes per node) for feasibility checks.
+double LocalExactScratch(double n, double d, double k, double s);
+double DistributedExactScratch(double n, double d, double k, double s, int w);
+double LbfgsScratch(double n, double d, double k, double s, int w);
+double BlockScratch(double n, double d, double k, double b, int w);
+
+}  // namespace solver_costs
+}  // namespace keystone
+
+#endif  // KEYSTONE_SOLVERS_SOLVER_COSTS_H_

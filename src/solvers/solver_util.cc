@@ -1,0 +1,54 @@
+#include "src/solvers/solver_util.h"
+
+#include "src/common/check.h"
+
+namespace keystone {
+
+Matrix AssembleDense(const DistDataset<std::vector<double>>& data) {
+  const size_t n = data.NumRecords();
+  KS_CHECK_GT(n, 0u);
+  size_t d = 0;
+  for (const auto& part : data.partitions()) {
+    for (const auto& rec : part) d = std::max(d, rec.size());
+  }
+  Matrix out(n, d);
+  size_t row = 0;
+  for (const auto& part : data.partitions()) {
+    for (const auto& rec : part) {
+      KS_CHECK_EQ(rec.size(), d) << "ragged dense feature vectors";
+      std::copy(rec.begin(), rec.end(), out.RowPtr(row));
+      ++row;
+    }
+  }
+  return out;
+}
+
+SparseMatrix AssembleSparse(const DistDataset<SparseVector>& data,
+                            size_t dim) {
+  std::vector<SparseVector> rows;
+  rows.reserve(data.NumRecords());
+  size_t max_dim = dim;
+  for (const auto& part : data.partitions()) {
+    for (const auto& rec : part) {
+      max_dim = std::max(max_dim, rec.dim);
+      rows.push_back(rec);
+    }
+  }
+  return SparseMatrix::FromRows(rows, max_dim);
+}
+
+Matrix OneHotLabels(const std::vector<int>& labels, int num_classes) {
+  Matrix out(labels.size(), num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    KS_CHECK_GE(labels[i], 0);
+    KS_CHECK_LT(labels[i], num_classes);
+    out(i, labels[i]) = 1.0;
+  }
+  return out;
+}
+
+Matrix AssembleLabels(const DistDataset<std::vector<double>>& labels) {
+  return AssembleDense(labels);
+}
+
+}  // namespace keystone

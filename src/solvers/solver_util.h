@@ -1,0 +1,29 @@
+#ifndef KEYSTONE_SOLVERS_SOLVER_UTIL_H_
+#define KEYSTONE_SOLVERS_SOLVER_UTIL_H_
+
+#include <vector>
+
+#include "src/data/dist_dataset.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/sparse.h"
+
+namespace keystone {
+
+/// Stacks a dataset of dense feature vectors into an n x d matrix.
+Matrix AssembleDense(const DistDataset<std::vector<double>>& data);
+
+/// Stacks a dataset of sparse feature vectors into a CSR matrix. `dim`
+/// overrides the feature dimension (0 = max of record dims).
+SparseMatrix AssembleSparse(const DistDataset<SparseVector>& data,
+                            size_t dim = 0);
+
+/// One-hot encodes integer class labels into an n x num_classes matrix with
+/// +1 for the class and 0 elsewhere.
+Matrix OneHotLabels(const std::vector<int>& labels, int num_classes);
+
+/// Stacks a dataset of dense label vectors into an n x k matrix.
+Matrix AssembleLabels(const DistDataset<std::vector<double>>& labels);
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_SOLVERS_SOLVER_UTIL_H_

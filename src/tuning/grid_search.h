@@ -1,0 +1,72 @@
+#ifndef KEYSTONE_TUNING_GRID_SEARCH_H_
+#define KEYSTONE_TUNING_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/linalg/vector_ops.h"
+#include "src/ops/metrics.h"
+
+namespace keystone {
+
+/// Hyperparameter search over pipeline variants — the integration the paper
+/// lists as future work (§7, citing TuPAQ [56]). Candidates are branches of
+/// one pipeline graph: their shared featurization prefix is merged by
+/// common sub-expression elimination and materialized once by the greedy
+/// cache planner, so fitting N solver configurations costs roughly one
+/// featurization plus N solves, instead of N full pipeline runs.
+template <typename A>
+struct GridSearchResult {
+  /// Index of the candidate with the highest validation accuracy.
+  size_t best_index = 0;
+
+  /// Validation accuracy per candidate.
+  std::vector<double> accuracies;
+
+  /// The single optimized training run that fit every candidate.
+  PipelineReport report;
+
+  /// The fitted combined pipeline: applying it yields, per record, the
+  /// score vectors of every candidate (in candidate order).
+  FittedPipeline<A, std::vector<std::vector<double>>> fitted;
+};
+
+/// Fits every candidate classifier pipeline (all sharing one graph and
+/// input placeholder, each producing per-class scores) in a single
+/// optimized execution, then ranks them by argmax accuracy on the
+/// validation set.
+template <typename A>
+GridSearchResult<A> GridSearchClassifiers(
+    PipelineExecutor* executor,
+    const std::vector<Pipeline<A, std::vector<double>>>& candidates,
+    const std::shared_ptr<DistDataset<A>>& validation_data,
+    const std::vector<int>& validation_labels) {
+  KS_CHECK(!candidates.empty());
+  auto combined = Pipeline<A, std::vector<double>>::Gather(candidates);
+
+  PipelineReport report;
+  auto fitted = executor->Fit(combined, &report);
+
+  const auto all_scores =
+      fitted.Apply(validation_data, executor->context())->Collect();
+  KS_CHECK_EQ(all_scores.size(), validation_labels.size());
+
+  GridSearchResult<A> result{0, {}, std::move(report), std::move(fitted)};
+  result.accuracies.resize(candidates.size(), 0.0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    std::vector<int> predictions;
+    predictions.reserve(all_scores.size());
+    for (const auto& record_scores : all_scores) {
+      predictions.push_back(static_cast<int>(ArgMax(record_scores[c])));
+    }
+    result.accuracies[c] = Accuracy(predictions, validation_labels);
+    if (result.accuracies[c] > result.accuracies[result.best_index]) {
+      result.best_index = c;
+    }
+  }
+  return result;
+}
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_TUNING_GRID_SEARCH_H_

@@ -1,0 +1,215 @@
+#include "src/workloads/datasets.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace keystone {
+namespace workloads {
+
+namespace {
+
+std::vector<std::vector<double>> OneHot(const std::vector<int>& labels,
+                                        int num_classes) {
+  std::vector<std::vector<double>> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out[i].assign(num_classes, 0.0);
+    out[i][labels[i]] = 1.0;
+  }
+  return out;
+}
+
+/// Zipf sampler over [0, vocabulary) via inverse-CDF on precomputed mass.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t vocabulary, double exponent) {
+    cdf_.resize(vocabulary);
+    double total = 0.0;
+    for (size_t i = 0; i < vocabulary; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = total;
+    }
+    for (auto& v : cdf_) v /= total;
+  }
+
+  size_t Sample(Rng* rng) const {
+    const double u = rng->NextDouble();
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+TextCorpus AmazonLike(size_t train_docs, size_t test_docs,
+                      size_t tokens_per_doc, size_t vocabulary,
+                      uint64_t seed) {
+  Rng rng(seed);
+  TextCorpus corpus;
+  corpus.num_classes = 2;
+  const ZipfSampler zipf(vocabulary, 1.1);
+
+  // A band of sentiment-bearing tokens: positive docs draw them from the
+  // first half, negative docs from the second half.
+  const size_t sentiment_tokens = std::max<size_t>(20, vocabulary / 50);
+
+  auto make_doc = [&](int label) {
+    std::string doc;
+    for (size_t t = 0; t < tokens_per_doc; ++t) {
+      size_t token;
+      if (rng.Bernoulli(0.25)) {
+        // Sentiment token biased by class.
+        const size_t half = sentiment_tokens / 2;
+        const size_t offset = label == 0 ? 0 : half;
+        token = vocabulary + offset + rng.NextIndex(half);
+      } else {
+        token = zipf.Sample(&rng);
+      }
+      doc += "w" + std::to_string(token);
+      doc += ' ';
+    }
+    return doc;
+  };
+
+  std::vector<std::string> train;
+  std::vector<std::string> test;
+  for (size_t i = 0; i < train_docs; ++i) {
+    const int label = static_cast<int>(i % 2);
+    corpus.train_label_ids.push_back(label);
+    train.push_back(make_doc(label));
+  }
+  for (size_t i = 0; i < test_docs; ++i) {
+    const int label = static_cast<int>(rng.NextIndex(2));
+    corpus.test_label_ids.push_back(label);
+    test.push_back(make_doc(label));
+  }
+  corpus.train_docs = MakeDataset(std::move(train), 8);
+  corpus.test_docs = MakeDataset(std::move(test), 8);
+  corpus.train_labels =
+      MakeDataset(OneHot(corpus.train_label_ids, 2), 8);
+  return corpus;
+}
+
+DenseCorpus DenseClasses(size_t train, size_t test, size_t dim,
+                         int num_classes, double margin, uint64_t seed) {
+  Rng rng(seed);
+  DenseCorpus corpus;
+  corpus.num_classes = num_classes;
+
+  // Class means: random unit directions scaled by margin.
+  Matrix means = Matrix::GaussianRandom(num_classes, dim, &rng);
+  for (int c = 0; c < num_classes; ++c) {
+    double norm = 0.0;
+    for (size_t j = 0; j < dim; ++j) norm += means(c, j) * means(c, j);
+    norm = std::sqrt(norm);
+    for (size_t j = 0; j < dim; ++j) {
+      means(c, j) *= margin / std::max(norm, 1e-12);
+    }
+  }
+
+  auto make_split = [&](size_t count, std::vector<int>* labels) {
+    std::vector<std::vector<double>> records(count);
+    for (size_t i = 0; i < count; ++i) {
+      const int c = static_cast<int>(i % num_classes);
+      labels->push_back(c);
+      records[i].resize(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        records[i][j] = means(c, j) + rng.NextGaussian();
+      }
+    }
+    return records;
+  };
+
+  corpus.train = MakeDataset(make_split(train, &corpus.train_label_ids), 8);
+  corpus.test = MakeDataset(make_split(test, &corpus.test_label_ids), 8);
+  corpus.train_labels =
+      MakeDataset(OneHot(corpus.train_label_ids, num_classes), 8);
+  return corpus;
+}
+
+ImageCorpus TexturedImages(size_t train, size_t test, size_t image_size,
+                           size_t channels, int num_classes, double noise,
+                           uint64_t seed) {
+  Rng rng(seed);
+  ImageCorpus corpus;
+  corpus.num_classes = num_classes;
+
+  // Each class owns a pool of grating orientations. Images are tiled and
+  // every tile draws an orientation from its class pool, so per-image
+  // descriptor *distributions* are class-specific while individual images
+  // still show internal diversity (which Fisher-vector encodings need).
+  constexpr int kPoolSize = 3;
+  std::vector<std::vector<double>> orientation_pools(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    for (int i = 0; i < kPoolSize; ++i) {
+      orientation_pools[c].push_back(
+          M_PI * (c * kPoolSize + i) / (num_classes * kPoolSize) +
+          rng.Uniform(-0.02, 0.02));
+    }
+  }
+  const size_t tile = std::max<size_t>(4, image_size / 4);
+
+  auto make_image = [&](int c) {
+    Image img(image_size, image_size, channels);
+    const size_t tiles = (image_size + tile - 1) / tile;
+    // Per-tile orientation and phase.
+    std::vector<double> tile_cos(tiles * tiles);
+    std::vector<double> tile_sin(tiles * tiles);
+    std::vector<double> tile_phase(tiles * tiles);
+    for (size_t t = 0; t < tiles * tiles; ++t) {
+      const double theta =
+          orientation_pools[c][rng.NextIndex(kPoolSize)];
+      tile_cos[t] = std::cos(theta);
+      tile_sin[t] = std::sin(theta);
+      tile_phase[t] = rng.Uniform(0, 2 * M_PI);
+    }
+    const double frequency = 0.9;
+    for (size_t ch = 0; ch < channels; ++ch) {
+      const double chroma = 0.6 + 0.4 * std::sin(c + 2.0 * ch);
+      for (size_t y = 0; y < image_size; ++y) {
+        for (size_t x = 0; x < image_size; ++x) {
+          const size_t t = (y / tile) * tiles + (x / tile);
+          const double u = tile_cos[t] * x + tile_sin[t] * y;
+          const double v =
+              0.5 + 0.4 * chroma * std::sin(frequency * u + tile_phase[t]) +
+              noise * rng.NextGaussian();
+          img.at(ch, y, x) = std::min(1.0, std::max(0.0, v));
+        }
+      }
+    }
+    return img;
+  };
+
+  auto make_split = [&](size_t count, std::vector<int>* labels) {
+    std::vector<Image> images;
+    images.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const int c = static_cast<int>(i % num_classes);
+      labels->push_back(c);
+      images.push_back(make_image(c));
+    }
+    return images;
+  };
+
+  corpus.train = MakeDataset(make_split(train, &corpus.train_label_ids), 8);
+  corpus.test = MakeDataset(make_split(test, &corpus.test_label_ids), 8);
+  corpus.train_labels =
+      MakeDataset(OneHot(corpus.train_label_ids, num_classes), 8);
+  return corpus;
+}
+
+}  // namespace workloads
+}  // namespace keystone

@@ -1,0 +1,74 @@
+#ifndef KEYSTONE_WORKLOADS_DATASETS_H_
+#define KEYSTONE_WORKLOADS_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dist_dataset.h"
+#include "src/linalg/sparse.h"
+#include "src/ops/image.h"
+
+namespace keystone {
+namespace workloads {
+
+/// Synthetic stand-ins for the paper's datasets (Table 3). Each generator
+/// reproduces the statistical profile operator selection depends on —
+/// record counts, dimensionality, sparsity, class structure — at laptop
+/// scale, with deterministic seeding. Semantic content is synthetic:
+/// class-conditional token distributions for text, class-conditional
+/// textures for images, class-conditional Gaussians for dense vectors.
+
+/// A text classification corpus (Amazon-reviews-like).
+struct TextCorpus {
+  std::shared_ptr<DistDataset<std::string>> train_docs;
+  std::shared_ptr<DistDataset<std::string>> test_docs;
+  std::shared_ptr<DistDataset<std::vector<double>>> train_labels;  // one-hot
+  std::vector<int> train_label_ids;
+  std::vector<int> test_label_ids;
+  int num_classes = 2;
+};
+
+/// Documents are bags of Zipf-distributed tokens; each class up- or
+/// down-weights a subset of "sentiment" tokens, so a linear model over
+/// n-grams separates the classes.
+TextCorpus AmazonLike(size_t train_docs, size_t test_docs,
+                      size_t tokens_per_doc, size_t vocabulary,
+                      uint64_t seed);
+
+/// A dense-vector classification set (TIMIT-frame-like or YouTube-like).
+struct DenseCorpus {
+  std::shared_ptr<DistDataset<std::vector<double>>> train;
+  std::shared_ptr<DistDataset<std::vector<double>>> test;
+  std::shared_ptr<DistDataset<std::vector<double>>> train_labels;  // one-hot
+  std::vector<int> train_label_ids;
+  std::vector<int> test_label_ids;
+  int num_classes = 0;
+};
+
+/// Class-conditional Gaussians with means on a random sphere; `margin`
+/// controls separability.
+DenseCorpus DenseClasses(size_t train, size_t test, size_t dim,
+                         int num_classes, double margin, uint64_t seed);
+
+/// An image classification set (VOC/ImageNet/CIFAR-like).
+struct ImageCorpus {
+  std::shared_ptr<DistDataset<Image>> train;
+  std::shared_ptr<DistDataset<Image>> test;
+  std::shared_ptr<DistDataset<std::vector<double>>> train_labels;  // one-hot
+  std::vector<int> train_label_ids;
+  std::vector<int> test_label_ids;
+  int num_classes = 0;
+};
+
+/// Images are oriented sinusoidal gratings (class-specific orientation and
+/// frequency) plus noise, so gradient-histogram features (SIFT) separate
+/// the classes the way real texture statistics would.
+ImageCorpus TexturedImages(size_t train, size_t test, size_t image_size,
+                           size_t channels, int num_classes, double noise,
+                           uint64_t seed);
+
+}  // namespace workloads
+}  // namespace keystone
+
+#endif  // KEYSTONE_WORKLOADS_DATASETS_H_

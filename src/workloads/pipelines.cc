@@ -1,0 +1,116 @@
+#include "src/workloads/pipelines.h"
+
+#include "src/ops/features.h"
+#include "src/ops/gmm.h"
+#include "src/ops/image_ops.h"
+#include "src/ops/kmeans.h"
+#include "src/ops/pca.h"
+#include "src/ops/text_ops.h"
+
+namespace keystone {
+namespace workloads {
+
+Pipeline<std::string, std::vector<double>> BuildAmazonPipeline(
+    const TextCorpus& corpus, size_t num_features,
+    const LinearSolverConfig& solver_config) {
+  return PipelineInput<std::string>("Document")
+      .AndThen(std::make_shared<Trim>())
+      .AndThen(std::make_shared<LowerCase>())
+      .AndThen(std::make_shared<Tokenizer>())
+      .AndThen(std::make_shared<NGramsFeaturizer>(1, 2))
+      .AndThen(std::make_shared<CommonSparseFeatures>(num_features),
+               corpus.train_docs)
+      .AndThenLogicalEstimator<std::vector<double>>(
+          MakeSparseLinearSolver(solver_config), corpus.train_docs,
+          corpus.train_labels);
+}
+
+Pipeline<std::vector<double>, std::vector<double>> BuildTimitPipeline(
+    const DenseCorpus& corpus, size_t blocks, size_t block_dim, double gamma,
+    const LinearSolverConfig& solver_config, uint64_t seed) {
+  const size_t input_dim =
+      corpus.train->partitions().front().front().size();
+  auto scaled = PipelineInput<std::vector<double>>("Frame").AndThen(
+      std::make_shared<StandardScaler>(), corpus.train);
+  std::vector<Pipeline<std::vector<double>, std::vector<double>>> branches;
+  branches.reserve(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    branches.push_back(scaled.AndThen(std::make_shared<CosineRandomFeatures>(
+        input_dim, block_dim, gamma, seed + 101 * b)));
+  }
+  return Pipeline<std::vector<double>, std::vector<double>>::Gather(branches)
+      .AndThen(std::make_shared<ConcatFeatures>())
+      .AndThenLogicalEstimator<std::vector<double>>(
+          MakeDenseLinearSolver(solver_config), corpus.train,
+          corpus.train_labels);
+}
+
+Pipeline<Image, std::vector<double>> BuildVocPipeline(
+    const ImageCorpus& corpus, size_t sift_cell, size_t pca_k, size_t gmm_k,
+    const LinearSolverConfig& solver_config) {
+  return PipelineInput<Image>("Image")
+      .AndThen(std::make_shared<GrayScaler>())
+      .AndThen(std::make_shared<DenseSift>(sift_cell, 8))
+      .AndThenLogicalEstimator<Matrix>(MakePcaEstimator(pca_k), corpus.train,
+                                       nullptr)
+      .AndThen(std::make_shared<GmmFisherEstimator>(gmm_k), corpus.train)
+      .AndThen(std::make_shared<L2Normalizer>())
+      .AndThenLogicalEstimator<std::vector<double>>(
+          MakeDenseLinearSolver(solver_config), corpus.train,
+          corpus.train_labels);
+}
+
+Pipeline<Image, std::vector<double>> BuildImageNetPipeline(
+    const ImageCorpus& corpus, size_t sift_cell, size_t pca_k, size_t gmm_k,
+    const LinearSolverConfig& solver_config) {
+  auto input = PipelineInput<Image>("Image");
+  // SIFT branch.
+  auto sift_branch =
+      input.AndThen(std::make_shared<GrayScaler>())
+          .AndThen(std::make_shared<DenseSift>(sift_cell, 8))
+          .AndThenLogicalEstimator<Matrix>(MakePcaEstimator(pca_k),
+                                           corpus.train, nullptr)
+          .AndThen(std::make_shared<GmmFisherEstimator>(gmm_k, 10, 23),
+                   corpus.train)
+          .AndThen(std::make_shared<L2Normalizer>());
+  // Local color statistics branch.
+  auto lcs_branch =
+      input.AndThen(std::make_shared<LocalColorStats>(sift_cell))
+          .AndThenLogicalEstimator<Matrix>(MakePcaEstimator(pca_k, 43),
+                                           corpus.train, nullptr)
+          .AndThen(std::make_shared<GmmFisherEstimator>(gmm_k, 10, 47),
+                   corpus.train)
+          .AndThen(std::make_shared<L2Normalizer>());
+  return Pipeline<Image, std::vector<double>>::Gather(
+             {sift_branch, lcs_branch})
+      .AndThen(std::make_shared<ConcatFeatures>())
+      .AndThenLogicalEstimator<std::vector<double>>(
+          MakeDenseLinearSolver(solver_config), corpus.train,
+          corpus.train_labels);
+}
+
+Pipeline<Image, std::vector<double>> BuildCifarPipeline(
+    const ImageCorpus& corpus, size_t patch_size, size_t stride,
+    size_t dictionary, const LinearSolverConfig& solver_config) {
+  return PipelineInput<Image>("Image")
+      .AndThen(std::make_shared<PatchExtractor>(patch_size, stride))
+      .AndThen(std::make_shared<ZcaWhitener>(), corpus.train)
+      .AndThen(std::make_shared<KMeansEstimator>(dictionary), corpus.train)
+      .AndThen(std::make_shared<Pooler>(2))
+      .AndThen(std::make_shared<SymmetricRectifier>())
+      .AndThenLogicalEstimator<std::vector<double>>(
+          MakeDenseLinearSolver(solver_config), corpus.train,
+          corpus.train_labels);
+}
+
+Pipeline<std::vector<double>, std::vector<double>> BuildYoutubePipeline(
+    const DenseCorpus& corpus, const LinearSolverConfig& solver_config) {
+  return PipelineInput<std::vector<double>>("Embedding")
+      .AndThen(std::make_shared<StandardScaler>(), corpus.train)
+      .AndThenLogicalEstimator<std::vector<double>>(
+          MakeDenseLinearSolver(solver_config), corpus.train,
+          corpus.train_labels);
+}
+
+}  // namespace workloads
+}  // namespace keystone

@@ -1,0 +1,75 @@
+#ifndef KEYSTONE_WORKLOADS_PIPELINES_H_
+#define KEYSTONE_WORKLOADS_PIPELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/pipeline.h"
+#include "src/linalg/vector_ops.h"
+#include "src/ops/metrics.h"
+#include "src/solvers/solvers.h"
+#include "src/workloads/datasets.h"
+
+namespace keystone {
+namespace workloads {
+
+/// Builders for the paper's five end-to-end applications (Tables 3-5),
+/// operating on the synthetic corpora from datasets.h. Each returns a lazy
+/// pipeline ready for PipelineExecutor::Fit.
+
+/// Amazon text classification (Figure 2): Trim -> LowerCase -> Tokenize ->
+/// NGrams(1,2) -> CommonSparseFeatures -> LinearSolver (sparse, logical).
+Pipeline<std::string, std::vector<double>> BuildAmazonPipeline(
+    const TextCorpus& corpus, size_t num_features,
+    const LinearSolverConfig& solver_config);
+
+/// TIMIT kernel SVM: StandardScaler -> gather of `blocks` random-feature
+/// blocks -> concat -> LinearSolver (dense, logical).
+Pipeline<std::vector<double>, std::vector<double>> BuildTimitPipeline(
+    const DenseCorpus& corpus, size_t blocks, size_t block_dim, double gamma,
+    const LinearSolverConfig& solver_config, uint64_t seed);
+
+/// VOC image classification (Figure 5): GrayScale -> SIFT -> PCA (logical)
+/// -> GMM/FisherVector -> normalize -> LinearSolver.
+Pipeline<Image, std::vector<double>> BuildVocPipeline(
+    const ImageCorpus& corpus, size_t sift_cell, size_t pca_k, size_t gmm_k,
+    const LinearSolverConfig& solver_config);
+
+/// ImageNet: the VOC featurization plus an LCS color branch, gathered and
+/// concatenated before the solver.
+Pipeline<Image, std::vector<double>> BuildImageNetPipeline(
+    const ImageCorpus& corpus, size_t sift_cell, size_t pca_k, size_t gmm_k,
+    const LinearSolverConfig& solver_config);
+
+/// CIFAR-10: PatchExtractor -> ZCAWhitener -> KMeans dictionary (triangle
+/// encoding) -> Pooler -> SymmetricRectifier -> LinearSolver
+/// (Coates & Ng 2012, the paper's CIFAR pipeline).
+Pipeline<Image, std::vector<double>> BuildCifarPipeline(
+    const ImageCorpus& corpus, size_t patch_size, size_t stride,
+    size_t dictionary, const LinearSolverConfig& solver_config);
+
+/// YouTube-8M-like: StandardScaler over precomputed embeddings ->
+/// LinearSolver.
+Pipeline<std::vector<double>, std::vector<double>> BuildYoutubePipeline(
+    const DenseCorpus& corpus, const LinearSolverConfig& solver_config);
+
+/// Applies a fitted pipeline to test data and reports argmax accuracy.
+template <typename In>
+double EvalAccuracy(const FittedPipeline<In, std::vector<double>>& fitted,
+                    const std::shared_ptr<DistDataset<In>>& test,
+                    const std::vector<int>& labels, ExecContext* ctx) {
+  const auto scores = fitted.Apply(test, ctx)->Collect();
+  std::vector<int> predictions;
+  predictions.reserve(scores.size());
+  for (const auto& s : scores) {
+    predictions.push_back(static_cast<int>(ArgMax(s)));
+  }
+  return Accuracy(predictions, labels);
+}
+
+}  // namespace workloads
+}  // namespace keystone
+
+#endif  // KEYSTONE_WORKLOADS_PIPELINES_H_

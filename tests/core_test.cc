@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/pipeline.h"
+#include "src/core/pipeline_graph.h"
+#include "src/data/dist_dataset.h"
+#include "tests/test_operators.h"
+
+namespace keystone {
+namespace {
+
+using testing_ops::AddConst;
+using testing_ops::MeanCenterer;
+using testing_ops::OffsetEstimator;
+using testing_ops::Scale;
+
+std::shared_ptr<DistDataset<double>> Doubles(std::vector<double> values,
+                                             size_t parts = 2) {
+  return DistDataset<double>::Partitioned(std::move(values), parts);
+}
+
+ClusterResourceDescriptor TestCluster() {
+  return ClusterResourceDescriptor::R3_4xlarge(4);
+}
+
+TEST(DistDatasetTest, PartitioningAndCollect) {
+  auto ds = Doubles({1, 2, 3, 4, 5}, 2);
+  EXPECT_EQ(ds->NumRecords(), 5u);
+  EXPECT_EQ(ds->NumPartitions(), 2u);
+  const auto all = ds->Collect();
+  EXPECT_EQ(all, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(DistDatasetTest, SamplePrefix) {
+  auto ds = Doubles({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  auto sample = ds->SamplePrefix(3);
+  EXPECT_EQ(sample->NumRecords(), 3u);
+  auto typed = DistDataset<double>::Cast(sample);
+  EXPECT_EQ(typed->Collect(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(DistDatasetTest, StatsForDenseVectors) {
+  std::vector<std::vector<double>> recs = {{1, 0, 3}, {0, 0, 0}, {1, 1, 1}};
+  auto ds = MakeDataset(std::move(recs), 2);
+  const DataStats stats = ds->ComputeStats();
+  EXPECT_EQ(stats.num_records, 3u);
+  EXPECT_EQ(stats.dim, 3u);
+  EXPECT_DOUBLE_EQ(stats.bytes_per_record, 24.0);
+  EXPECT_NEAR(stats.avg_nnz, 5.0 / 3.0, 1e-12);
+}
+
+TEST(DistDatasetTest, CastChecksType) {
+  auto ds = Doubles({1.0});
+  AnyDataset any = ds;
+  EXPECT_NO_FATAL_FAILURE(DistDataset<double>::Cast(any));
+  EXPECT_DEATH(DistDataset<int>::Cast(any), "element type mismatch");
+}
+
+TEST(PipelineGraphTest, BuildAndDependencies) {
+  PipelineGraph graph;
+  const int ph = graph.AddPlaceholder("in");
+  const int t1 = graph.AddTransformer(std::make_shared<AddConst>(1.0), ph);
+  const int src = graph.AddSource(Doubles({1, 2}), "data");
+  const int est = graph.AddEstimator(std::make_shared<MeanCenterer>(), src, -1);
+  const int apply = graph.AddApplyModel(est, t1);
+  EXPECT_EQ(graph.size(), 5);
+  EXPECT_EQ(graph.Dependencies(apply), (std::vector<int>{t1, est}));
+  EXPECT_EQ(graph.node(apply).kind, NodeKind::kApplyModel);
+}
+
+TEST(PipelineGraphTest, ReachabilityAndAncestors) {
+  PipelineGraph graph;
+  const int ph = graph.AddPlaceholder("in");
+  const int t1 = graph.AddTransformer(std::make_shared<AddConst>(1.0), ph);
+  const int src = graph.AddSource(Doubles({1, 2}), "data");
+  const int t2 = graph.AddTransformer(std::make_shared<AddConst>(1.0), src);
+
+  const auto from_ph = graph.ReachableFrom(ph);
+  EXPECT_TRUE(from_ph[t1]);
+  EXPECT_FALSE(from_ph[src]);
+  EXPECT_FALSE(from_ph[t2]);
+
+  const auto anc = graph.AncestorsOf(t2);
+  EXPECT_TRUE(anc[src]);
+  EXPECT_FALSE(anc[ph]);
+}
+
+TEST(PipelineGraphTest, CopyWithSubstitutionSharesIndependentNodes) {
+  PipelineGraph graph;
+  const int ph = graph.AddPlaceholder("in");
+  auto op = std::make_shared<AddConst>(2.0);
+  const int t1 = graph.AddTransformer(op, ph);
+  const int src = graph.AddSource(Doubles({1, 2}), "data");
+
+  const int copied = graph.CopyWithSubstitution(t1, ph, src);
+  EXPECT_NE(copied, t1);
+  // The copy reuses the same operator instance but reads from the source.
+  EXPECT_EQ(graph.node(copied).transformer.get(), op.get());
+  EXPECT_EQ(graph.node(copied).inputs[0], src);
+  // Original untouched.
+  EXPECT_EQ(graph.node(t1).inputs[0], ph);
+}
+
+TEST(PipelineGraphTest, CseMergesIdenticalChains) {
+  PipelineGraph graph;
+  const int src = graph.AddSource(Doubles({1, 2}), "data");
+  auto op = std::make_shared<AddConst>(1.0);
+  const int a = graph.AddTransformer(op, src);
+  const int b = graph.AddTransformer(op, src);  // identical to a
+  const int c = graph.AddTransformer(std::make_shared<AddConst>(1.0), src);
+
+  std::vector<int> remap;
+  const int eliminated = graph.EliminateCommonSubexpressions(&remap);
+  EXPECT_EQ(eliminated, 1);
+  EXPECT_EQ(remap[b], a);
+  // Different operator instance: not merged even if logically similar.
+  EXPECT_EQ(remap[c], c);
+}
+
+TEST(PipelineGraphTest, CseMergesTransitively) {
+  PipelineGraph graph;
+  const int src = graph.AddSource(Doubles({1, 2}), "data");
+  auto op1 = std::make_shared<AddConst>(1.0);
+  auto op2 = std::make_shared<Scale>(2.0);
+  const int a1 = graph.AddTransformer(op1, src);
+  const int a2 = graph.AddTransformer(op2, a1);
+  const int b1 = graph.AddTransformer(op1, src);
+  const int b2 = graph.AddTransformer(op2, b1);
+
+  std::vector<int> remap;
+  const int eliminated = graph.EliminateCommonSubexpressions(&remap);
+  EXPECT_EQ(eliminated, 2);
+  EXPECT_EQ(remap[b2], a2);
+}
+
+TEST(PipelineTest, AndThenChainsTransformers) {
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<AddConst>(3.0))
+                  .AndThen(std::make_shared<Scale>(2.0));
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+  auto fitted = executor.Fit(pipe);
+  EXPECT_DOUBLE_EQ(fitted.ApplyOne(1.0, executor.context()), 8.0);
+  EXPECT_DOUBLE_EQ(fitted.ApplyOne(-3.0, executor.context()), 0.0);
+}
+
+TEST(PipelineTest, UnsupervisedEstimatorFitAndApply) {
+  auto train = Doubles({10, 20, 30, 40});
+  auto pipe = PipelineInput<double>().AndThen(
+      std::make_shared<MeanCenterer>(), train);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+  auto fitted = executor.Fit(pipe);
+  // Mean of training data is 25.
+  EXPECT_DOUBLE_EQ(fitted.ApplyOne(30.0, executor.context()), 5.0);
+}
+
+TEST(PipelineTest, EstimatorSeesPrefixAppliedToTrainData) {
+  auto train = Doubles({10, 20, 30, 40});
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(2.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), train);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+  auto fitted = executor.Fit(pipe);
+  // Prefix doubles the training data -> mean is 50; runtime input is also
+  // doubled before centering: f(30) = 60 - 50 = 10.
+  EXPECT_DOUBLE_EQ(fitted.ApplyOne(30.0, executor.context()), 10.0);
+}
+
+TEST(PipelineTest, SupervisedEstimator) {
+  auto train = Doubles({1, 2, 3});
+  auto labels = Doubles({11, 12, 13});
+  auto pipe = PipelineInput<double>().AndThen(
+      std::make_shared<OffsetEstimator>(), train, labels);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+  auto fitted = executor.Fit(pipe);
+  EXPECT_DOUBLE_EQ(fitted.ApplyOne(5.0, executor.context()), 15.0);
+}
+
+TEST(PipelineTest, GatherZipsBranches) {
+  auto base = PipelineInput<double>();
+  auto branch1 = base.AndThen(std::make_shared<AddConst>(1.0));
+  auto branch2 = base.AndThen(std::make_shared<Scale>(10.0));
+  auto gathered = Pipeline<double, double>::Gather({branch1, branch2});
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+  auto fitted = executor.Fit(gathered);
+  const auto out = fitted.ApplyOne(2.0, executor.context());
+  EXPECT_EQ(out, (std::vector<double>{3.0, 20.0}));
+}
+
+TEST(PipelineTest, ApplyOnDataset) {
+  auto pipe =
+      PipelineInput<double>().AndThen(std::make_shared<Scale>(3.0));
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+  auto fitted = executor.Fit(pipe);
+  auto out = fitted.Apply(Doubles({1, 2, 3}), executor.context());
+  EXPECT_EQ(out->Collect(), (std::vector<double>{3, 6, 9}));
+}
+
+TEST(ExecutorTest, ReportContainsTrainNodes) {
+  auto train = Doubles({1, 2, 3, 4});
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(2.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), train);
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  PipelineReport report;
+  executor.Fit(pipe, &report);
+  // Train side: source, scale copy, estimator.
+  ASSERT_EQ(report.nodes.size(), 3u);
+  EXPECT_EQ(report.nodes[2].kind, NodeKind::kEstimator);
+  EXPECT_GT(report.total_train_seconds, 0.0);
+}
+
+TEST(ExecutorTest, CseEliminatesSharedTrainingBranch) {
+  // Two estimators fit on the same featurized training data: the prefix is
+  // replicated twice at construction and must be merged by CSE.
+  auto train = Doubles({1, 2, 3, 4});
+  auto scale = std::make_shared<Scale>(2.0);
+  auto pipe = PipelineInput<double>()
+                  .AndThen(scale)
+                  .AndThen(std::make_shared<MeanCenterer>(), train)
+                  .AndThen(std::make_shared<MeanCenterer>(), train);
+
+  PipelineReport with_cse;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+    executor.Fit(pipe, &with_cse);
+  }
+  EXPECT_GT(with_cse.cse_eliminated, 0);
+
+  PipelineReport no_cse;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+    executor.Fit(pipe, &no_cse);
+  }
+  EXPECT_EQ(with_cse.nodes.size() + with_cse.cse_eliminated,
+            no_cse.nodes.size());
+}
+
+TEST(ExecutorTest, FittedPipelineIdenticalAcrossOptimizationLevels) {
+  auto train = Doubles({5, 6, 7, 8, 9, 10});
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(0.5))
+                  .AndThen(std::make_shared<MeanCenterer>(), train);
+
+  std::vector<OptimizationConfig> configs = {OptimizationConfig::None(),
+                                             OptimizationConfig::PipeOnly(),
+                                             OptimizationConfig::Full()};
+  std::vector<double> outputs;
+  for (const auto& cfg : configs) {
+    PipelineExecutor executor(TestCluster(), cfg);
+    auto fitted = executor.Fit(pipe);
+    outputs.push_back(fitted.ApplyOne(12.0, executor.context()));
+  }
+  EXPECT_DOUBLE_EQ(outputs[0], outputs[1]);
+  EXPECT_DOUBLE_EQ(outputs[0], outputs[2]);
+}
+
+TEST(ExecutorTest, IterativeEstimatorMakesCachingProfitable) {
+  // A heavily iterative estimator over a transformed dataset: with greedy
+  // materialization the featurized data is computed once; without caching
+  // it is recomputed every pass.
+  std::vector<double> values(2000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * 0.01;
+  auto train = Doubles(std::move(values), 8);
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(2.0))
+                  .AndThen(std::make_shared<MeanCenterer>(50), train);
+
+  PipelineReport cached;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+    executor.Fit(pipe, &cached);
+  }
+  PipelineReport uncached;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+    executor.Fit(pipe, &uncached);
+  }
+  EXPECT_LT(cached.total_train_seconds, uncached.total_train_seconds);
+}
+
+TEST(ExecutorTest, LedgerChargesStages) {
+  auto train = Doubles({1, 2, 3, 4});
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(2.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), train);
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto fitted = executor.Fit(pipe);
+  auto* ledger = executor.context()->ledger();
+  EXPECT_GT(ledger->StageSeconds("Load"), 0.0);
+  EXPECT_GT(ledger->StageSeconds("Solve"), 0.0);
+
+  fitted.Apply(Doubles({9, 9}), executor.context());
+  EXPECT_GT(ledger->StageSeconds("Eval"), 0.0);
+}
+
+}  // namespace
+}  // namespace keystone

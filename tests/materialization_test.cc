@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/pipeline_graph.h"
+#include "src/data/dist_dataset.h"
+#include "src/optimizer/materialization.h"
+#include "tests/test_operators.h"
+
+namespace keystone {
+namespace {
+
+using testing_ops::AddConst;
+using testing_ops::MeanCenterer;
+
+/// Builds a linear chain: source -> T1 -> ... -> T_{len} -> Estimator(w).
+struct ChainProblem {
+  std::shared_ptr<PipelineGraph> graph;
+  MaterializationProblem problem;
+};
+
+ChainProblem MakeChain(int transformers, int estimator_weight,
+                       double node_seconds, double node_bytes,
+                       double budget) {
+  ChainProblem out;
+  out.graph = std::make_shared<PipelineGraph>();
+  auto data = DistDataset<double>::Partitioned({1, 2, 3, 4}, 2);
+  int prev = out.graph->AddSource(data, "src");
+  for (int i = 0; i < transformers; ++i) {
+    prev = out.graph->AddTransformer(std::make_shared<AddConst>(1.0), prev);
+  }
+  const int est = out.graph->AddEstimator(
+      std::make_shared<MeanCenterer>(estimator_weight), prev, -1);
+
+  out.problem.graph = out.graph.get();
+  out.problem.resources = ClusterResourceDescriptor::R3_4xlarge(4);
+  out.problem.memory_budget_bytes = budget;
+  out.problem.terminals = {est};
+  out.problem.info.resize(out.graph->size());
+  for (int id = 0; id < out.graph->size(); ++id) {
+    auto& info = out.problem.info[id];
+    info.compute_seconds = node_seconds;
+    info.output_bytes = node_bytes;
+    info.weight = 1;
+    info.live = true;
+  }
+  auto& est_info = out.problem.info[est];
+  est_info.weight = estimator_weight;
+  est_info.always_cached = true;
+  est_info.output_bytes = 64;  // Model: tiny.
+  return out;
+}
+
+TEST(EstimateRuntimeTest, NoCacheMultipliesUpstreamByWeight) {
+  auto chain = MakeChain(/*transformers=*/2, /*estimator_weight=*/10,
+                         /*node_seconds=*/1.0, /*node_bytes=*/1e6,
+                         /*budget=*/0.0);
+  const std::vector<bool> none(chain.graph->size(), false);
+  // Estimator runs 10 passes (10s local); each pass recomputes T2, which
+  // recomputes T1, which re-reads the source: 10 * 3 = 30s upstream.
+  const double total = EstimateRuntime(chain.problem, none);
+  EXPECT_NEAR(total, 10.0 + 30.0, 1.0);
+}
+
+TEST(EstimateRuntimeTest, CachingEstimatorInputRemovesRecomputation) {
+  auto chain = MakeChain(2, 10, 1.0, 1e6, 1e12);
+  std::vector<bool> cached(chain.graph->size(), false);
+  cached[2] = true;  // T2: the estimator's direct input.
+  const double total = EstimateRuntime(chain.problem, cached);
+  // Upstream chain once (3s) + estimator passes (10s) + small read costs.
+  EXPECT_NEAR(total, 13.0, 1.0);
+}
+
+TEST(EstimateRuntimeTest, CachedReadsAreChargedToMemoryBandwidth) {
+  auto chain = MakeChain(1, 1, 0.0, 4e9 /* 4 GB output */, 1e12);
+  std::vector<bool> cached(chain.graph->size(), false);
+  cached[1] = true;
+  const double total = EstimateRuntime(chain.problem, cached);
+  // 4 GB striped over 4 nodes at 25 GB/s, write + 1 read = 2 transfers.
+  EXPECT_NEAR(total, 2.0 * (1e9 / 25e9), 1e-3);
+}
+
+TEST(GreedyTest, PicksTheHotNode) {
+  auto chain = MakeChain(2, 50, 1.0, 1e6, 2e6);
+  const auto cached = GreedyCacheSelection(chain.problem);
+  // Budget fits two nodes; the estimator input (node 2) must be first pick.
+  EXPECT_TRUE(cached[2]);
+  EXPECT_LE(CacheSetBytes(chain.problem, cached),
+            chain.problem.memory_budget_bytes);
+}
+
+TEST(GreedyTest, RespectsBudget) {
+  auto chain = MakeChain(4, 50, 1.0, 1e6, 1.5e6);
+  const auto cached = GreedyCacheSelection(chain.problem);
+  int count = 0;
+  for (bool c : cached) count += c;
+  EXPECT_EQ(count, 1);  // Only one 1 MB output fits in 1.5 MB.
+}
+
+TEST(GreedyTest, ZeroBudgetCachesNothing) {
+  auto chain = MakeChain(3, 50, 1.0, 1e6, 0.0);
+  const auto cached = GreedyCacheSelection(chain.problem);
+  for (bool c : cached) EXPECT_FALSE(c);
+}
+
+TEST(GreedyTest, MatchesExhaustiveOnChains) {
+  for (int transformers : {1, 2, 3, 4}) {
+    for (int weight : {1, 5, 40}) {
+      auto chain = MakeChain(transformers, weight, 0.5, 2e6, 5e6);
+      const auto greedy = GreedyCacheSelection(chain.problem);
+      const auto optimal = ExhaustiveCacheSelection(chain.problem);
+      const double greedy_time = EstimateRuntime(chain.problem, greedy);
+      const double optimal_time = EstimateRuntime(chain.problem, optimal);
+      EXPECT_LE(optimal_time, greedy_time + 1e-9);
+      EXPECT_LE(greedy_time, optimal_time * 1.2)
+          << "greedy more than 20% off optimal for chain " << transformers
+          << " w=" << weight;
+    }
+  }
+}
+
+/// Random-DAG property test: exhaustive <= greedy <= uncached, and greedy
+/// stays within budget.
+TEST(GreedyTest, PropertyRandomDags) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto graph = std::make_shared<PipelineGraph>();
+    auto data = DistDataset<double>::Partitioned({1, 2}, 1);
+    std::vector<int> ids;
+    ids.push_back(graph->AddSource(data, "src"));
+    const int num_transformers = 2 + static_cast<int>(rng.NextIndex(5));
+    for (int i = 0; i < num_transformers; ++i) {
+      const int input = ids[rng.NextIndex(ids.size())];
+      ids.push_back(
+          graph->AddTransformer(std::make_shared<AddConst>(1.0), input));
+    }
+    // 1-2 estimators on random nodes.
+    std::vector<int> terminals;
+    const int estimators = 1 + static_cast<int>(rng.NextIndex(2));
+    for (int e = 0; e < estimators; ++e) {
+      const int input = ids[rng.NextIndex(ids.size())];
+      const int w = 1 + static_cast<int>(rng.NextIndex(30));
+      terminals.push_back(graph->AddEstimator(
+          std::make_shared<MeanCenterer>(w), input, -1));
+    }
+
+    MaterializationProblem problem;
+    problem.graph = graph.get();
+    problem.resources = ClusterResourceDescriptor::R3_4xlarge(2);
+    problem.memory_budget_bytes = rng.Uniform(0, 2e7);
+    problem.terminals = terminals;
+    problem.info.resize(graph->size());
+    for (int id = 0; id < graph->size(); ++id) {
+      auto& info = problem.info[id];
+      info.live = true;
+      info.compute_seconds = rng.Uniform(0.01, 2.0);
+      info.output_bytes = rng.Uniform(1e5, 1e7);
+      info.weight = 1;
+    }
+    for (int t : terminals) {
+      problem.info[t].weight = graph->node(t).estimator->Weight();
+      problem.info[t].always_cached = true;
+      problem.info[t].output_bytes = 64;
+    }
+
+    const std::vector<bool> none(graph->size(), false);
+    const auto greedy = GreedyCacheSelection(problem);
+    const auto optimal = ExhaustiveCacheSelection(problem);
+    const double t_none = EstimateRuntime(problem, none);
+    const double t_greedy = EstimateRuntime(problem, greedy);
+    const double t_optimal = EstimateRuntime(problem, optimal);
+
+    EXPECT_LE(t_optimal, t_greedy + 1e-9) << "trial " << trial;
+    EXPECT_LE(t_greedy, t_none + 1e-9) << "trial " << trial;
+    EXPECT_LE(CacheSetBytes(problem, greedy), problem.memory_budget_bytes)
+        << "trial " << trial;
+  }
+}
+
+TEST(LruTest, UnconstrainedLruMatchesFullCaching) {
+  auto chain = MakeChain(2, 20, 1.0, 1e6, 1e15);
+  const double lru = SimulateLruRuntime(chain.problem, 1e15);
+  std::vector<bool> all(chain.graph->size(), true);
+  const double full = EstimateRuntime(chain.problem, all);
+  // LRU with infinite memory caches everything after first touch.
+  EXPECT_NEAR(lru, full, full * 0.05 + 0.1);
+}
+
+TEST(LruTest, TinyCacheDegradesToRecomputation) {
+  auto chain = MakeChain(2, 20, 1.0, 1e6, 0.0);
+  const double lru = SimulateLruRuntime(chain.problem, 1.0);  // 1 byte.
+  const std::vector<bool> none(chain.graph->size(), false);
+  const double uncached = EstimateRuntime(chain.problem, none);
+  EXPECT_NEAR(lru, uncached, uncached * 0.05);
+}
+
+TEST(LruTest, GreedyBeatsLruUnderMemoryPressure) {
+  // An expensive featurized dataset F is reused by two estimators separated
+  // in the execution trace by an estimator over a big cheap dataset G. With
+  // a budget that cannot hold F and G together, LRU evicts F for G and must
+  // recompute F; greedy keeps F and recomputes the cheap G (paper §5.4).
+  auto graph = std::make_shared<PipelineGraph>();
+  auto data = DistDataset<double>::Partitioned({1, 2}, 1);
+  const int src = graph->AddSource(data, "src");
+  const int f = graph->AddTransformer(std::make_shared<AddConst>(1.0), src);
+  const int est1 =
+      graph->AddEstimator(std::make_shared<MeanCenterer>(10), f, -1);
+  const int g = graph->AddTransformer(std::make_shared<AddConst>(2.0), src);
+  const int est2 =
+      graph->AddEstimator(std::make_shared<MeanCenterer>(2), g, -1);
+  const int est3 =
+      graph->AddEstimator(std::make_shared<MeanCenterer>(10), f, -1);
+
+  MaterializationProblem problem;
+  problem.graph = graph.get();
+  problem.resources = ClusterResourceDescriptor::R3_4xlarge(2);
+  problem.memory_budget_bytes = 2e6;
+  problem.terminals = {est1, est2, est3};
+  problem.info.resize(graph->size());
+  problem.info[src] = {.compute_seconds = 0.05, .output_bytes = 5e5,
+                       .weight = 1, .cacheable = true, .always_cached = false,
+                       .live = true};
+  problem.info[f] = {.compute_seconds = 5.0, .output_bytes = 1e6,
+                     .weight = 1, .cacheable = true, .always_cached = false,
+                     .live = true};
+  problem.info[g] = {.compute_seconds = 0.01, .output_bytes = 1.8e6,
+                     .weight = 1, .cacheable = true, .always_cached = false,
+                     .live = true};
+  for (int est : {est1, est2, est3}) {
+    problem.info[est] = {.compute_seconds = 0.1, .output_bytes = 64,
+                         .weight = graph->node(est).estimator->Weight(),
+                         .cacheable = true, .always_cached = true,
+                         .live = true};
+  }
+
+  const auto greedy = GreedyCacheSelection(problem);
+  EXPECT_TRUE(greedy[f]);
+  const double t_greedy = EstimateRuntime(problem, greedy);
+  const double t_lru = SimulateLruRuntime(problem, 2e6, /*admit_fraction=*/1.0);
+  EXPECT_LT(t_greedy, t_lru);
+}
+
+TEST(RuleBasedTest, CachesNothingBeyondModels) {
+  auto chain = MakeChain(2, 20, 1.0, 1e6, 1e12);
+  const auto rule = RuleBasedCacheSelection(chain.problem);
+  for (bool c : rule) EXPECT_FALSE(c);
+  // Rule-based equals the uncached replay (models are always cached).
+  EXPECT_DOUBLE_EQ(
+      EstimateRuntime(chain.problem, rule),
+      EstimateRuntime(chain.problem,
+                      std::vector<bool>(chain.graph->size(), false)));
+}
+
+}  // namespace
+}  // namespace keystone

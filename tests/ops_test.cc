@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/exec_context.h"
+#include "src/linalg/gemm.h"
+#include "src/linalg/vector_ops.h"
+#include "src/ops/convolution.h"
+#include "src/ops/features.h"
+#include "src/ops/gmm.h"
+#include "src/ops/image_ops.h"
+#include "src/ops/kmeans.h"
+#include "src/ops/metrics.h"
+#include "src/ops/pca.h"
+#include "src/ops/text_ops.h"
+
+namespace keystone {
+namespace {
+
+ExecContext MakeContext() {
+  return ExecContext(ClusterResourceDescriptor::R3_4xlarge(4));
+}
+
+// --- Text operators ---------------------------------------------------------
+
+TEST(TextOpsTest, TrimLowerTokenize) {
+  EXPECT_EQ(Trim().Apply("  Hello World \n"), "Hello World");
+  EXPECT_EQ(LowerCase().Apply("HeLLo"), "hello");
+  const auto tokens = Tokenizer().Apply("the quick, brown fox!");
+  EXPECT_EQ(tokens, (TokenSeq{"the", "quick", "brown", "fox"}));
+}
+
+TEST(TextOpsTest, NGrams) {
+  NGramsFeaturizer ngrams(1, 2);
+  const auto out = ngrams.Apply({"a", "b", "c"});
+  EXPECT_EQ(out, (TokenSeq{"a", "b", "c", "a_b", "b_c"}));
+}
+
+TEST(TextOpsTest, NGramsShortInput) {
+  NGramsFeaturizer ngrams(2, 3);
+  EXPECT_TRUE(ngrams.Apply({"solo"}).empty());
+}
+
+TEST(TextOpsTest, HashingTermFrequencyBinary) {
+  HashingTermFrequency tf(1024);
+  const auto v = tf.Apply({"cat", "dog", "cat"});
+  EXPECT_EQ(v.dim, 1024u);
+  EXPECT_EQ(v.nnz(), 2u);
+  for (double val : v.values) EXPECT_DOUBLE_EQ(val, 1.0);
+}
+
+TEST(TextOpsTest, HashingTermFrequencyCount) {
+  HashingTermFrequency tf(1024, HashingTermFrequency::Weighting::kCount);
+  const auto v = tf.Apply({"cat", "dog", "cat"});
+  double total = 0;
+  for (double val : v.values) total += val;
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(TextOpsTest, CommonSparseFeaturesKeepsTopTerms) {
+  std::vector<TokenSeq> docs = {
+      {"apple", "banana"}, {"apple", "cherry"}, {"apple"}, {"banana"}};
+  auto data = MakeDataset(std::move(docs), 2);
+  CommonSparseFeatures est(2);
+  auto ctx = MakeContext();
+  auto model = est.Fit(*data, &ctx);
+  auto* vocab = dynamic_cast<VocabularyModel*>(model.get());
+  ASSERT_NE(vocab, nullptr);
+  EXPECT_EQ(vocab->vocabulary_size(), 2u);
+  // "apple" (3) and "banana" (2) survive; "cherry" dropped.
+  EXPECT_EQ(model->Apply({"apple", "banana", "cherry"}).nnz(), 2u);
+  EXPECT_EQ(model->Apply({"cherry"}).nnz(), 0u);
+  // Output dim is the configured width.
+  EXPECT_EQ(model->Apply({"apple"}).dim, 2u);
+}
+
+// --- Image operators --------------------------------------------------------
+
+Image TestImage(size_t w, size_t h, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  Image img(w, h, c);
+  for (auto& v : img.data) v = rng.NextDouble();
+  return img;
+}
+
+TEST(ImageOpsTest, GrayScalerAveragesChannels) {
+  Image img(2, 2, 3);
+  for (size_t c = 0; c < 3; ++c) img.at(c, 0, 0) = c + 1.0;  // 1, 2, 3
+  const Image gray = GrayScaler().Apply(img);
+  EXPECT_EQ(gray.channels, 1u);
+  EXPECT_DOUBLE_EQ(gray.at(0, 0, 0), 2.0);
+}
+
+TEST(ImageOpsTest, PatchExtractorShapes) {
+  const Image img = TestImage(8, 8, 2, 1);
+  PatchExtractor extractor(4, 2);
+  const Matrix patches = extractor.Apply(img);
+  EXPECT_EQ(patches.rows(), 9u);  // 3 x 3 positions.
+  EXPECT_EQ(patches.cols(), 32u);  // 4*4*2.
+  // First patch, first channel, top-left pixel.
+  EXPECT_DOUBLE_EQ(patches(0, 0), img.at(0, 0, 0));
+}
+
+TEST(ImageOpsTest, DenseSiftShapeAndNormalization) {
+  const Image img = TestImage(32, 32, 1, 2);
+  DenseSift sift(8, 8);
+  const Matrix desc = sift.Apply(img);
+  EXPECT_EQ(desc.rows(), 9u);   // (4-1) x (4-1).
+  EXPECT_EQ(desc.cols(), 32u);  // 4 * 8 bins.
+  for (size_t i = 0; i < desc.rows(); ++i) {
+    double norm = 0;
+    for (size_t j = 0; j < desc.cols(); ++j) norm += desc(i, j) * desc(i, j);
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+  }
+}
+
+TEST(ImageOpsTest, LocalColorStats) {
+  Image img(4, 4, 1);
+  for (auto& v : img.data) v = 0.5;
+  LocalColorStats lcs(2);
+  const Matrix stats = LocalColorStats(2).Apply(img);
+  EXPECT_EQ(stats.rows(), 4u);
+  EXPECT_EQ(stats.cols(), 2u);
+  EXPECT_DOUBLE_EQ(stats(0, 0), 0.5);  // mean
+  EXPECT_DOUBLE_EQ(stats(0, 1), 0.0);  // stddev
+}
+
+TEST(ImageOpsTest, SymmetricRectifier) {
+  SymmetricRectifier rect;
+  const auto out = rect.Apply({1.0, -2.0});
+  EXPECT_EQ(out, (std::vector<double>{1.0, 0.0, 0.0, 2.0}));
+}
+
+TEST(ImageOpsTest, PoolerSumsCells) {
+  // 4 rows = 2x2 grid of positions, 1 feature; pool to 1x1.
+  Matrix features = {{1.0}, {2.0}, {3.0}, {4.0}};
+  Pooler pooler(1);
+  const auto pooled = pooler.Apply(features);
+  ASSERT_EQ(pooled.size(), 1u);
+  EXPECT_DOUBLE_EQ(pooled[0], 10.0);
+}
+
+TEST(ImageOpsTest, ZcaWhitensCovarianceTowardIdentity) {
+  Rng rng(3);
+  // Correlated 2-D data.
+  std::vector<Matrix> records;
+  for (int r = 0; r < 50; ++r) {
+    Matrix m(20, 2);
+    for (size_t i = 0; i < 20; ++i) {
+      const double a = rng.NextGaussian();
+      m(i, 0) = a + 0.1 * rng.NextGaussian();
+      m(i, 1) = a + 0.1 * rng.NextGaussian();
+    }
+    records.push_back(std::move(m));
+  }
+  auto data = MakeDataset(std::move(records), 4);
+  auto ctx = MakeContext();
+  ZcaWhitener whitener(1e-5);
+  auto model = whitener.Fit(*data, &ctx);
+
+  // Whiten everything and measure covariance.
+  Matrix all(1000, 2);
+  size_t row = 0;
+  for (const auto& part : data->partitions()) {
+    for (const auto& m : part) {
+      const Matrix white = model->Apply(m);
+      for (size_t i = 0; i < white.rows(); ++i) {
+        all(row, 0) = white(i, 0);
+        all(row, 1) = white(i, 1);
+        ++row;
+      }
+    }
+  }
+  Matrix cov = Gram(all);
+  cov *= 1.0 / 1000.0;
+  EXPECT_NEAR(cov(0, 0), 1.0, 0.1);
+  EXPECT_NEAR(cov(1, 1), 1.0, 0.1);
+  EXPECT_NEAR(cov(0, 1), 0.0, 0.1);
+}
+
+// --- Convolution ------------------------------------------------------------
+
+TEST(ConvolutionTest, StrategiesAgreeOnDenseFilters) {
+  Rng rng(5);
+  FilterBank bank = FilterBank::Random(3, 5, 2, &rng);
+  const Image img = TestImage(16, 16, 2, 6);
+  const Image blas = Convolver(bank, ConvolutionStrategy::kBlas).Apply(img);
+  const Image fft = Convolver(bank, ConvolutionStrategy::kFft).Apply(img);
+  ASSERT_EQ(blas.channels, 3u);
+  ASSERT_EQ(blas.width, 12u);
+  ASSERT_EQ(fft.data.size(), blas.data.size());
+  for (size_t i = 0; i < blas.data.size(); ++i) {
+    EXPECT_NEAR(blas.data[i], fft.data[i], 1e-8);
+  }
+}
+
+TEST(ConvolutionTest, SeparableAgreesOnSeparableFilters) {
+  Rng rng(7);
+  FilterBank bank = FilterBank::RandomSeparable(2, 4, 3, &rng);
+  EXPECT_TRUE(bank.IsSeparable());
+  const Image img = TestImage(12, 12, 3, 8);
+  const Image blas = Convolver(bank, ConvolutionStrategy::kBlas).Apply(img);
+  const Image sep =
+      Convolver(bank, ConvolutionStrategy::kSeparable).Apply(img);
+  ASSERT_EQ(sep.data.size(), blas.data.size());
+  for (size_t i = 0; i < blas.data.size(); ++i) {
+    EXPECT_NEAR(sep.data[i], blas.data[i], 1e-8);
+  }
+}
+
+TEST(ConvolutionTest, DenseFiltersNotSeparable) {
+  Rng rng(9);
+  FilterBank bank = FilterBank::Random(2, 5, 1, &rng);
+  EXPECT_FALSE(bank.IsSeparable());
+  // The logical operator then offers only BLAS and FFT.
+  auto logical = MakeConvolver(bank);
+  EXPECT_EQ(logical->options().size(), 2u);
+}
+
+TEST(ConvolutionTest, CostCrossoverInFilterSize) {
+  // Figure 7: BLAS wins at small k, loses to FFT at large k; FFT cost is
+  // flat in k.
+  const double n = 256, d = 3, b = 50;
+  auto seconds = [&](ConvolutionStrategy s, double k) {
+    const auto cluster = ClusterResourceDescriptor::LocalWorkstation();
+    return cluster.SecondsFor(convolution_costs::Cost(s, n, d, k, b, 1, 1));
+  };
+  EXPECT_LT(seconds(ConvolutionStrategy::kBlas, 2),
+            seconds(ConvolutionStrategy::kFft, 2));
+  EXPECT_GT(seconds(ConvolutionStrategy::kBlas, 30),
+            seconds(ConvolutionStrategy::kFft, 30));
+  // FFT cost is (nearly) independent of k: only the output-size bytes term
+  // shrinks slightly with larger filters.
+  EXPECT_NEAR(seconds(ConvolutionStrategy::kFft, 2),
+              seconds(ConvolutionStrategy::kFft, 30),
+              0.05 * seconds(ConvolutionStrategy::kFft, 2));
+  // Separable beats BLAS at every k (one factor of k cheaper).
+  EXPECT_LT(seconds(ConvolutionStrategy::kSeparable, 10),
+            seconds(ConvolutionStrategy::kBlas, 10));
+}
+
+// --- PCA --------------------------------------------------------------------
+
+std::shared_ptr<DistDataset<Matrix>> LowRankDescriptors(size_t records,
+                                                        size_t rows_each,
+                                                        size_t d, size_t rank,
+                                                        uint64_t seed) {
+  Rng rng(seed);
+  Matrix basis = Matrix::GaussianRandom(rank, d, &rng);
+  std::vector<Matrix> recs;
+  for (size_t r = 0; r < records; ++r) {
+    Matrix coeffs = Matrix::GaussianRandom(rows_each, rank, &rng);
+    recs.push_back(Gemm(coeffs, basis));
+  }
+  return MakeDataset(std::move(recs), 4);
+}
+
+TEST(PcaTest, ExactRecoversLowRankSubspace) {
+  auto data = LowRankDescriptors(20, 10, 8, 3, 11);
+  auto ctx = MakeContext();
+  PcaEstimator pca(3, PcaAlgorithm::kExactSvd, PcaPlacement::kLocal);
+  auto model = pca.Fit(*data, &ctx);
+  // Projecting and measuring retained variance: residual of projecting the
+  // data onto the components should be ~0 for rank-3 data.
+  auto* typed = dynamic_cast<PcaModel*>(model.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->components().cols(), 3u);
+  // Components are orthonormal.
+  Matrix ptp = GemmTransA(typed->components(), typed->components());
+  EXPECT_TRUE(ptp.ApproxEquals(Matrix::Identity(3), 1e-8));
+}
+
+TEST(PcaTest, TruncatedMatchesExactProjection) {
+  auto data = LowRankDescriptors(10, 20, 12, 4, 13);
+  auto ctx = MakeContext();
+  PcaEstimator exact(4, PcaAlgorithm::kExactSvd, PcaPlacement::kLocal);
+  PcaEstimator tsvd(4, PcaAlgorithm::kTruncatedSvd, PcaPlacement::kLocal);
+  auto exact_model = exact.Fit(*data, &ctx);
+  auto tsvd_model = tsvd.Fit(*data, &ctx);
+  // Compare projections of a fresh record (subspace match up to rotation:
+  // compare projection residual norms instead of raw coordinates).
+  const Matrix probe = DistDataset<Matrix>::Cast(data)->partitions()[0][0];
+  const Matrix p_exact = exact_model->Apply(probe);
+  const Matrix p_tsvd = tsvd_model->Apply(probe);
+  EXPECT_NEAR(p_exact.FrobeniusNorm(), p_tsvd.FrobeniusNorm(),
+              1e-6 * (1.0 + p_exact.FrobeniusNorm()));
+}
+
+TEST(PcaTest, CostShapesMatchTable2) {
+  // Small k: TSVD cheaper than SVD at large d. Large n: distributed beats
+  // local for the exact algorithm.
+  auto seconds = [](PcaAlgorithm alg, PcaPlacement place, double n, double d,
+                    double k) {
+    const auto cluster = ClusterResourceDescriptor::R3_4xlarge(16);
+    return cluster.SecondsFor(pca_costs::Cost(alg, place, n, d, k, 16));
+  };
+  // d = 4096, k = 16, n = 1e4: TSVD much cheaper than SVD (paper: 3s vs 26s).
+  EXPECT_LT(seconds(PcaAlgorithm::kTruncatedSvd, PcaPlacement::kLocal, 1e4,
+                    4096, 16),
+            seconds(PcaAlgorithm::kExactSvd, PcaPlacement::kLocal, 1e4, 4096,
+                    16));
+  // n = 1e6, d = 256: distributed SVD beats local SVD (paper: 2s vs 11s).
+  EXPECT_LT(seconds(PcaAlgorithm::kExactSvd, PcaPlacement::kDistributed, 1e6,
+                    256, 16),
+            seconds(PcaAlgorithm::kExactSvd, PcaPlacement::kLocal, 1e6, 256,
+                    16));
+  // Small n and d: local wins (no coordination overhead) — paper: 0.1s
+  // local SVD vs 1.7s distributed at n = 1e4, d = 256.
+  EXPECT_LT(seconds(PcaAlgorithm::kExactSvd, PcaPlacement::kLocal, 1e4, 256,
+                    16),
+            seconds(PcaAlgorithm::kExactSvd, PcaPlacement::kDistributed, 1e4,
+                    256, 16));
+}
+
+// --- GMM / Fisher vectors ---------------------------------------------------
+
+TEST(GmmTest, RecoversWellSeparatedClusters) {
+  Rng rng(15);
+  Matrix rows(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    const int c = i % 3;
+    rows(i, 0) = rng.Gaussian(c * 10.0, 0.3);
+    rows(i, 1) = rng.Gaussian(c * -5.0, 0.3);
+  }
+  const GmmParams params = FitGmm(rows, 3, 20, 17);
+  EXPECT_EQ(params.num_components(), 3u);
+  // Each true center has a recovered mean nearby.
+  for (int c = 0; c < 3; ++c) {
+    double best = 1e300;
+    for (size_t m = 0; m < 3; ++m) {
+      const double dx = params.means(m, 0) - c * 10.0;
+      const double dy = params.means(m, 1) - c * -5.0;
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  // Weights roughly uniform.
+  for (double w : params.weights) EXPECT_NEAR(w, 1.0 / 3.0, 0.1);
+}
+
+TEST(GmmTest, FisherVectorShapeAndNorm) {
+  Rng rng(19);
+  Matrix rows(100, 4);
+  for (auto i = 0u; i < rows.size(); ++i) rows.data()[i] = rng.NextGaussian();
+  GmmParams params = FitGmm(rows, 5, 5, 21);
+  FisherVectorModel fv(std::move(params));
+  const auto vec = fv.Apply(rows);
+  EXPECT_EQ(vec.size(), 5u * (2u * 4u + 1u));
+  EXPECT_NEAR(Norm2(vec), 1.0, 1e-9);
+}
+
+TEST(GmmTest, FisherVectorsDiscriminate) {
+  // Descriptor sets drawn from different distributions should produce
+  // distant Fisher vectors; same distribution, closer ones.
+  Rng rng(23);
+  auto draw = [&](double shift) {
+    Matrix m(80, 3);
+    for (size_t i = 0; i < 80; ++i) {
+      for (size_t j = 0; j < 3; ++j) m(i, j) = rng.Gaussian(shift, 1.0);
+    }
+    return m;
+  };
+  Matrix train(400, 3);
+  for (size_t i = 0; i < 400; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      train(i, j) = rng.Gaussian(i < 200 ? 0.0 : 3.0, 1.0);
+    }
+  }
+  FisherVectorModel fv(FitGmm(train, 4, 10, 29));
+  const auto a1 = fv.Apply(draw(0.0));
+  const auto a2 = fv.Apply(draw(0.0));
+  const auto b1 = fv.Apply(draw(3.0));
+  EXPECT_LT(SquaredDistance(a1, a2), SquaredDistance(a1, b1));
+}
+
+// --- KMeans -----------------------------------------------------------------
+
+TEST(KMeansTest, FindsClusterCenters) {
+  Rng rng(31);
+  Matrix rows(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    const int c = i % 2;
+    rows(i, 0) = rng.Gaussian(c == 0 ? -5.0 : 5.0, 0.2);
+    rows(i, 1) = rng.Gaussian(0.0, 0.2);
+  }
+  const Matrix centers = FitKMeans(rows, 2, 20, 33);
+  const double x0 = centers(0, 0);
+  const double x1 = centers(1, 0);
+  EXPECT_NEAR(std::min(x0, x1), -5.0, 0.3);
+  EXPECT_NEAR(std::max(x0, x1), 5.0, 0.3);
+}
+
+TEST(KMeansTest, TriangleActivationNonNegative) {
+  Rng rng(35);
+  Matrix rows(50, 3);
+  for (auto i = 0u; i < rows.size(); ++i) rows.data()[i] = rng.NextGaussian();
+  KMeansModel model(FitKMeans(rows, 4, 5, 37));
+  const Matrix activations = model.Apply(rows);
+  EXPECT_EQ(activations.cols(), 4u);
+  for (size_t i = 0; i < activations.size(); ++i) {
+    EXPECT_GE(activations.data()[i], 0.0);
+  }
+}
+
+// --- Features / metrics -----------------------------------------------------
+
+TEST(FeaturesTest, CosineRandomFeaturesApproximateRbfKernel) {
+  Rng rng(39);
+  const double gamma = 0.5;
+  CosineRandomFeatures rf(4, 4096, gamma, 41);
+  std::vector<double> x(4), y(4);
+  for (auto& v : x) v = rng.NextGaussian();
+  for (auto& v : y) v = rng.NextGaussian();
+  const double kernel =
+      std::exp(-gamma * gamma * SquaredDistance(x, y) / 2.0);
+  const double approx = Dot(rf.Apply(x), rf.Apply(y));
+  EXPECT_NEAR(approx, kernel, 0.05);
+}
+
+TEST(FeaturesTest, L2NormalizerAndPowerNorm) {
+  const auto n = L2Normalizer().Apply({3.0, 4.0});
+  EXPECT_NEAR(n[0], 0.6, 1e-12);
+  EXPECT_NEAR(n[1], 0.8, 1e-12);
+  const auto p = SignedPowerNormalizer(0.5).Apply({4.0, -9.0});
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], -3.0);
+}
+
+TEST(FeaturesTest, StandardScaler) {
+  std::vector<std::vector<double>> recs = {{0.0, 10.0}, {2.0, 20.0}};
+  auto data = MakeDataset(std::move(recs), 1);
+  auto ctx = MakeContext();
+  auto model = StandardScaler().Fit(*data, &ctx);
+  const auto out = model->Apply({1.0, 15.0});
+  EXPECT_NEAR(out[0], 0.0, 1e-3);
+  EXPECT_NEAR(out[1], 0.0, 1e-3);
+}
+
+TEST(FeaturesTest, OneHotAndArgMax) {
+  const auto v = OneHotEncoder(3).Apply(1);
+  EXPECT_EQ(v, (std::vector<double>{0, 1, 0}));
+  EXPECT_EQ(ArgMaxClassifier().Apply({0.1, 0.9, 0.5}), 1);
+}
+
+TEST(FeaturesTest, TopKClassifierOrdersByScore) {
+  TopKClassifier top3(3);
+  const auto top = top3.Apply({0.2, 0.9, 0.1, 0.7});
+  EXPECT_EQ(top, (std::vector<int>{1, 3, 0}));
+  // k larger than the number of classes degrades gracefully.
+  TopKClassifier top9(9);
+  EXPECT_EQ(top9.Apply({0.5, 0.4}).size(), 2u);
+}
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, TopKError) {
+  std::vector<std::vector<double>> scores = {{0.5, 0.3, 0.2},
+                                             {0.1, 0.2, 0.7}};
+  // Example 0: truth 1 (rank 2) -> in top-2. Example 1: truth 0 (rank 3).
+  EXPECT_DOUBLE_EQ(TopKError(scores, {1, 0}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(TopKError(scores, {0, 2}, 1), 0.0);
+}
+
+TEST(MetricsTest, MeanAveragePrecisionPerfectRanking) {
+  std::vector<std::vector<double>> scores = {{0.9, 0.1}, {0.8, 0.2},
+                                             {0.1, 0.9}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(scores, {0, 0, 1}, 2), 1.0);
+}
+
+TEST(MetricsTest, ConfusionMatrixCounts) {
+  const Matrix confusion = ConfusionMatrix({0, 1, 1}, {0, 1, 0}, 2);
+  EXPECT_DOUBLE_EQ(confusion(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(confusion(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(confusion(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace keystone

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_profile.h"
+#include "src/sim/resources.h"
+#include "src/sim/virtual_time.h"
+
+namespace keystone {
+namespace {
+
+TEST(CostProfileTest, Arithmetic) {
+  CostProfile a(100, 200, 300, 2);
+  CostProfile b(1, 2, 3, 1);
+  const CostProfile sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.flops, 101);
+  EXPECT_DOUBLE_EQ(sum.bytes, 202);
+  EXPECT_DOUBLE_EQ(sum.network, 303);
+  EXPECT_DOUBLE_EQ(sum.rounds, 3);
+  const CostProfile scaled = b * 10.0;
+  EXPECT_DOUBLE_EQ(scaled.flops, 10);
+  EXPECT_DOUBLE_EQ(scaled.rounds, 10);
+}
+
+TEST(ResourcesTest, SecondsForSplitsExecAndCoord) {
+  ClusterResourceDescriptor r;
+  r.gflops_per_node = 10.0;       // 1e10 flop/s
+  r.mem_bandwidth_gb = 10.0;      // 1e10 B/s
+  r.network_gb = 1.0;             // 1e9 B/s
+  r.round_latency_s = 0.5;
+  CostProfile cost(1e10, 2e10, 3e9, 4);
+  // 1s compute + 2s memory + 3s network + 2s rounds.
+  EXPECT_NEAR(r.SecondsFor(cost), 1.0 + 2.0 + 3.0 + 2.0, 1e-9);
+}
+
+TEST(ResourcesTest, PresetsAreSane) {
+  const auto r3 = ClusterResourceDescriptor::R3_4xlarge(16);
+  EXPECT_EQ(r3.num_nodes, 16);
+  EXPECT_EQ(r3.TotalSlots(), 128);
+  EXPECT_GT(r3.ClusterMemoryBytes(), 1e12);  // 16 x 122 GB.
+  const auto c3 = ClusterResourceDescriptor::C3_4xlarge(4);
+  EXPECT_LT(c3.memory_per_node_gb, r3.memory_per_node_gb);
+  const auto local = ClusterResourceDescriptor::LocalWorkstation();
+  EXPECT_EQ(local.num_nodes, 1);
+  EXPECT_LT(local.round_latency_s, r3.round_latency_s);
+}
+
+TEST(ResourcesTest, ReadHelpers) {
+  ClusterResourceDescriptor r;
+  r.mem_bandwidth_gb = 10.0;
+  r.disk_bandwidth_gb = 0.5;
+  EXPECT_NEAR(r.MemoryReadSeconds(1e10), 1.0, 1e-12);
+  EXPECT_NEAR(r.DiskReadSeconds(5e8), 1.0, 1e-12);
+}
+
+TEST(VirtualTimeLedgerTest, AccumulatesByStage) {
+  VirtualTimeLedger ledger(ClusterResourceDescriptor::R3_4xlarge(2));
+  ledger.ChargeSeconds("Featurize", 1.5);
+  ledger.ChargeSeconds("Solve", 2.0);
+  ledger.ChargeSeconds("Featurize", 0.5);
+  EXPECT_DOUBLE_EQ(ledger.StageSeconds("Featurize"), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.StageSeconds("Solve"), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.StageSeconds("Nothing"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 4.0);
+  const auto breakdown = ledger.Breakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].first, "Featurize");  // Insertion order.
+}
+
+TEST(VirtualTimeLedgerTest, ChargeUsesResources) {
+  ClusterResourceDescriptor r;
+  r.gflops_per_node = 1.0;
+  r.round_latency_s = 0.0;
+  VirtualTimeLedger ledger(r);
+  const double seconds = ledger.Charge("Stage", CostProfile(2e9, 0, 0, 0));
+  EXPECT_NEAR(seconds, 2.0, 1e-9);
+  EXPECT_NEAR(ledger.TotalSeconds(), 2.0, 1e-9);
+}
+
+TEST(VirtualTimeLedgerTest, Reset) {
+  VirtualTimeLedger ledger(ClusterResourceDescriptor::R3_4xlarge(2));
+  ledger.ChargeSeconds("A", 1.0);
+  ledger.Reset();
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 0.0);
+  EXPECT_TRUE(ledger.Breakdown().empty());
+}
+
+TEST(StageMakespanTest, SingleSlotIsSum) {
+  EXPECT_DOUBLE_EQ(StageMakespan({1, 2, 3}, 1), 6.0);
+}
+
+TEST(StageMakespanTest, PerfectSplit) {
+  EXPECT_DOUBLE_EQ(StageMakespan({1, 1, 1, 1}, 4), 1.0);
+  EXPECT_DOUBLE_EQ(StageMakespan({2, 1, 1}, 2), 2.0);
+}
+
+TEST(StageMakespanTest, DominantTask) {
+  // One long task lower-bounds the makespan regardless of slots.
+  EXPECT_DOUBLE_EQ(StageMakespan({10, 1, 1, 1}, 8), 10.0);
+}
+
+TEST(StageMakespanTest, EmptyTasks) {
+  EXPECT_DOUBLE_EQ(StageMakespan({}, 4), 0.0);
+}
+
+TEST(StageMakespanTest, LptBalancesLoad) {
+  // 5,4,3,3,3 over 2 slots: LPT gives {5,3,3}=11 vs {4,3}=7 -> makespan 11?
+  // Better: 5+4=9 vs 3+3+3=9. LPT: 5->s1, 4->s2, 3->s2(7), 3->s1(8), 3->s2(10).
+  const double makespan = StageMakespan({5, 4, 3, 3, 3}, 2);
+  EXPECT_LE(makespan, 10.0 + 1e-12);
+  EXPECT_GE(makespan, 9.0);  // Optimal is 9.
+}
+
+}  // namespace
+}  // namespace keystone

@@ -1,0 +1,99 @@
+#ifndef KEYSTONE_TESTS_TEST_OPERATORS_H_
+#define KEYSTONE_TESTS_TEST_OPERATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/operator.h"
+
+namespace keystone {
+namespace testing_ops {
+
+/// x + constant.
+class AddConst : public Transformer<double, double> {
+ public:
+  explicit AddConst(double c) : c_(c) {}
+  std::string Name() const override { return "AddConst"; }
+  double Apply(const double& x) const override { return x + c_; }
+
+ private:
+  double c_;
+};
+
+/// x * constant.
+class Scale : public Transformer<double, double> {
+ public:
+  explicit Scale(double c) : c_(c) {}
+  std::string Name() const override { return "Scale"; }
+  double Apply(const double& x) const override { return x * c_; }
+
+ private:
+  double c_;
+};
+
+/// Model: subtracts a fixed mean.
+class SubtractValue : public Transformer<double, double> {
+ public:
+  explicit SubtractValue(double v) : v_(v) {}
+  std::string Name() const override { return "SubtractValue"; }
+  double Apply(const double& x) const override { return x - v_; }
+  double value() const { return v_; }
+
+ private:
+  double v_;
+};
+
+/// Unsupervised estimator computing the dataset mean; its model centers
+/// records. Optionally iterative (weight > 1) for materialization tests.
+class MeanCenterer : public Estimator<double, double> {
+ public:
+  explicit MeanCenterer(int weight = 1) : weight_(weight) {}
+  std::string Name() const override { return "MeanCenterer"; }
+  int Weight() const override { return weight_; }
+
+  std::shared_ptr<Transformer<double, double>> Fit(
+      const DistDataset<double>& data, ExecContext* ctx) const override {
+    (void)ctx;
+    double sum = 0.0;
+    size_t count = 0;
+    for (const auto& part : data.partitions()) {
+      for (double v : part) {
+        sum += v;
+        ++count;
+      }
+    }
+    return std::make_shared<SubtractValue>(count > 0 ? sum / count : 0.0);
+  }
+
+ private:
+  int weight_;
+};
+
+/// Supervised estimator: model adds mean(labels) - mean(data).
+class OffsetEstimator : public LabelEstimator<double, double, double> {
+ public:
+  std::string Name() const override { return "OffsetEstimator"; }
+
+  std::shared_ptr<Transformer<double, double>> Fit(
+      const DistDataset<double>& data, const DistDataset<double>& labels,
+      ExecContext* ctx) const override {
+    (void)ctx;
+    auto mean = [](const DistDataset<double>& ds) {
+      double sum = 0.0;
+      size_t count = 0;
+      for (const auto& part : ds.partitions()) {
+        for (double v : part) {
+          sum += v;
+          ++count;
+        }
+      }
+      return count > 0 ? sum / count : 0.0;
+    };
+    return std::make_shared<AddConst>(mean(labels) - mean(data));
+  }
+};
+
+}  // namespace testing_ops
+}  // namespace keystone
+
+#endif  // KEYSTONE_TESTS_TEST_OPERATORS_H_

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "src/ops/text_ops.h"
+#include "src/solvers/solvers.h"
+#include "src/tuning/grid_search.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/pipelines.h"
+
+namespace keystone {
+namespace {
+
+using namespace workloads;  // NOLINT: test-local convenience.
+
+TEST(GridSearchTest, SharesFeaturizationAcrossCandidates) {
+  TextCorpus corpus = AmazonLike(400, 100, 40, 1000, 101);
+
+  // Candidates: the same featurization prefix, three solver regularizations.
+  auto prefix = PipelineInput<std::string>("Doc")
+                    .AndThen(std::make_shared<Trim>())
+                    .AndThen(std::make_shared<LowerCase>())
+                    .AndThen(std::make_shared<Tokenizer>())
+                    .AndThen(std::make_shared<NGramsFeaturizer>(1, 2))
+                    .AndThen(std::make_shared<CommonSparseFeatures>(2000),
+                             corpus.train_docs);
+  std::vector<Pipeline<std::string, std::vector<double>>> candidates;
+  for (double l2 : {1e-8, 1e-4, 10.0}) {
+    LinearSolverConfig config;
+    config.num_classes = 2;
+    config.l2_reg = l2;
+    candidates.push_back(
+        prefix.AndThenLogicalEstimator<std::vector<double>>(
+            MakeSparseLinearSolver(config), corpus.train_docs,
+            corpus.train_labels));
+  }
+
+  PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(4),
+                            OptimizationConfig::Full());
+  const auto result = GridSearchClassifiers(
+      &executor, candidates, corpus.test_docs, corpus.test_label_ids);
+
+  ASSERT_EQ(result.accuracies.size(), 3u);
+  // Lightly regularized candidates learn; the heavily regularized one is
+  // worse or equal. The winner must be one of the light ones.
+  EXPECT_GT(result.accuracies[result.best_index], 0.9);
+  EXPECT_LE(result.accuracies[2],
+            result.accuracies[result.best_index]);
+  EXPECT_NE(result.best_index, 2u);
+
+  // CSE merged the shared prefix: the combined training run contains the
+  // featurization chain once (6 shared nodes) + labels + 3 solver nodes,
+  // rather than 3 copies of everything.
+  int estimator_nodes = 0;
+  int transformer_nodes = 0;
+  for (const auto& node : result.report.nodes) {
+    if (node.kind == NodeKind::kEstimator) ++estimator_nodes;
+    if (node.kind == NodeKind::kTransformer) ++transformer_nodes;
+  }
+  EXPECT_EQ(estimator_nodes, 4);     // CommonSparseFeatures + 3 solvers.
+  EXPECT_LE(transformer_nodes, 6);   // One shared featurization chain.
+  EXPECT_GT(result.report.cse_eliminated, 0);
+}
+
+TEST(GridSearchTest, SingleCandidateDegenerate) {
+  DenseCorpus corpus = DenseClasses(300, 80, 16, 3, 6.0, 103);
+  LinearSolverConfig config;
+  config.num_classes = 3;
+  std::vector<Pipeline<std::vector<double>, std::vector<double>>> candidates =
+      {BuildYoutubePipeline(corpus, config)};
+  PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(4),
+                            OptimizationConfig::Full());
+  const auto result = GridSearchClassifiers(&executor, candidates,
+                                            corpus.test, corpus.test_label_ids);
+  EXPECT_EQ(result.best_index, 0u);
+  EXPECT_GT(result.accuracies[0], 0.9);
+}
+
+}  // namespace
+}  // namespace keystone

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/pipelines.h"
+
+namespace keystone {
+namespace {
+
+using namespace workloads;  // NOLINT: test-local convenience.
+
+ClusterResourceDescriptor TestCluster() {
+  return ClusterResourceDescriptor::R3_4xlarge(4);
+}
+
+TEST(DatasetsTest, AmazonLikeShapes) {
+  TextCorpus corpus = AmazonLike(100, 20, 30, 500, 1);
+  EXPECT_EQ(corpus.train_docs->NumRecords(), 100u);
+  EXPECT_EQ(corpus.test_docs->NumRecords(), 20u);
+  EXPECT_EQ(corpus.train_labels->NumRecords(), 100u);
+  EXPECT_EQ(corpus.train_label_ids.size(), 100u);
+  // Deterministic.
+  TextCorpus again = AmazonLike(100, 20, 30, 500, 1);
+  EXPECT_EQ(corpus.train_docs->Collect(), again.train_docs->Collect());
+}
+
+TEST(DatasetsTest, DenseClassesSeparable) {
+  DenseCorpus corpus = DenseClasses(200, 50, 10, 4, 8.0, 2);
+  EXPECT_EQ(corpus.train->NumRecords(), 200u);
+  EXPECT_EQ(corpus.num_classes, 4);
+  // Balanced labels.
+  int counts[4] = {0, 0, 0, 0};
+  for (int l : corpus.train_label_ids) ++counts[l];
+  for (int c : counts) EXPECT_EQ(c, 50);
+}
+
+TEST(DatasetsTest, TexturedImagesShapes) {
+  ImageCorpus corpus = TexturedImages(12, 6, 24, 3, 3, 0.02, 3);
+  EXPECT_EQ(corpus.train->NumRecords(), 12u);
+  const auto imgs = corpus.train->Collect();
+  EXPECT_EQ(imgs[0].width, 24u);
+  EXPECT_EQ(imgs[0].channels, 3u);
+}
+
+TEST(EndToEndTest, AmazonPipelineLearns) {
+  TextCorpus corpus = AmazonLike(400, 100, 40, 1000, 5);
+  LinearSolverConfig solver;
+  solver.num_classes = 2;
+  solver.lbfgs_iterations = 40;
+  auto pipe = BuildAmazonPipeline(corpus, 2000, solver);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+  const double acc = EvalAccuracy(fitted, corpus.test_docs,
+                                  corpus.test_label_ids, executor.context());
+  EXPECT_GT(acc, 0.9) << report.ToString();
+  // The logical solver must have been lowered to a concrete physical
+  // implementation (at this tiny scale the exact solver legitimately wins;
+  // the paper-scale choice of L-BFGS is covered by SolverCostModelTest).
+  bool solver_lowered = false;
+  for (const auto& node : report.nodes) {
+    if (node.kind == NodeKind::kEstimator && node.name == "LinearSolver") {
+      solver_lowered = !node.chosen_physical.empty();
+    }
+  }
+  EXPECT_TRUE(solver_lowered) << report.ToString();
+}
+
+TEST(EndToEndTest, TimitPipelineLearns) {
+  DenseCorpus corpus = DenseClasses(600, 150, 24, 6, 7.0, 7);
+  LinearSolverConfig solver;
+  solver.num_classes = 6;
+  auto pipe = BuildTimitPipeline(corpus, /*blocks=*/3, /*block_dim=*/128,
+                                 /*gamma=*/0.4, solver, 11);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto fitted = executor.Fit(pipe);
+  const double acc = EvalAccuracy(fitted, corpus.test,
+                                  corpus.test_label_ids, executor.context());
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(EndToEndTest, VocPipelineLearns) {
+  ImageCorpus corpus = TexturedImages(90, 45, 32, 1, 3, 0.05, 13);
+  LinearSolverConfig solver;
+  solver.num_classes = 3;
+  auto pipe = BuildVocPipeline(corpus, /*sift_cell=*/8, /*pca_k=*/8,
+                               /*gmm_k=*/4, solver);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+  const double acc = EvalAccuracy(fitted, corpus.test,
+                                  corpus.test_label_ids, executor.context());
+  EXPECT_GT(acc, 0.8) << report.ToString();
+}
+
+TEST(EndToEndTest, CifarPipelineLearns) {
+  ImageCorpus corpus = TexturedImages(60, 30, 16, 3, 2, 0.05, 17);
+  LinearSolverConfig solver;
+  solver.num_classes = 2;
+  auto pipe = BuildCifarPipeline(corpus, /*patch_size=*/5, /*stride=*/3,
+                                 /*dictionary=*/16, solver);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto fitted = executor.Fit(pipe);
+  const double acc = EvalAccuracy(fitted, corpus.test,
+                                  corpus.test_label_ids, executor.context());
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(EndToEndTest, YoutubePipelineLearns) {
+  DenseCorpus corpus = DenseClasses(400, 100, 32, 8, 5.0, 19);
+  LinearSolverConfig solver;
+  solver.num_classes = 8;
+  auto pipe = BuildYoutubePipeline(corpus, solver);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto fitted = executor.Fit(pipe);
+  const double acc = EvalAccuracy(fitted, corpus.test,
+                                  corpus.test_label_ids, executor.context());
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(EndToEndTest, ImageNetPipelineRunsWithBranches) {
+  ImageCorpus corpus = TexturedImages(40, 20, 32, 3, 2, 0.05, 23);
+  LinearSolverConfig solver;
+  solver.num_classes = 2;
+  auto pipe = BuildImageNetPipeline(corpus, 8, 6, 3, solver);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+  const double acc = EvalAccuracy(fitted, corpus.test,
+                                  corpus.test_label_ids, executor.context());
+  EXPECT_GT(acc, 0.7) << report.ToString();
+}
+
+TEST(EndToEndTest, OptimizedAtLeastAsFastAsUnoptimized) {
+  TextCorpus corpus = AmazonLike(300, 50, 40, 800, 29);
+  LinearSolverConfig solver;
+  solver.num_classes = 2;
+  solver.lbfgs_iterations = 30;
+
+  PipelineReport optimized;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+    executor.Fit(BuildAmazonPipeline(corpus, 1500, solver), &optimized);
+  }
+  PipelineReport unoptimized;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::None());
+    executor.Fit(BuildAmazonPipeline(corpus, 1500, solver), &unoptimized);
+  }
+  EXPECT_LT(optimized.total_train_seconds, unoptimized.total_train_seconds);
+}
+
+TEST(BaselinesTest, VwLikeFitsSparseProblem) {
+  TextCorpus corpus = AmazonLike(300, 50, 30, 500, 31);
+  // Featurize with hashing TF to get a design matrix for the baselines.
+  // (Baselines bypass the pipeline machinery by design.)
+  std::vector<SparseVector> rows;
+  for (const auto& doc : corpus.train_docs->Collect()) {
+    SparseVector v;
+    v.dim = 512;
+    size_t h = 1469598103934665603ULL;
+    for (char c : doc) {
+      if (c == ' ') {
+        v.Push(static_cast<uint32_t>(h % 512), 1.0);
+        h = 1469598103934665603ULL;
+      } else {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+      }
+    }
+    v.SortAndMerge();
+    rows.push_back(std::move(v));
+  }
+  SparseMatrix a = SparseMatrix::FromRows(rows, 512);
+  Matrix b(rows.size(), 2);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    b(i, corpus.train_label_ids[i]) = 1.0;
+  }
+  const auto vw = baselines::VwLikeSolve(a, b, 10, TestCluster());
+  EXPECT_GT(vw.virtual_seconds, 0.0);
+  EXPECT_LT(vw.train_loss, 0.5);
+
+  const auto sysml = baselines::SystemMlLikeSolve(a, b, 10, TestCluster());
+  EXPECT_LT(sysml.train_loss, 0.5);
+  // SystemML pays a conversion stage the pipelined system avoids.
+  EXPECT_GT(sysml.virtual_seconds, 0.0);
+}
+
+TEST(BaselinesTest, TensorFlowScalingShape) {
+  using baselines::SimulateTensorFlowCifar;
+  // Strong scaling: best around 4 machines, worse at 32 (Table 6).
+  const double t1 = SimulateTensorFlowCifar(1, false).minutes;
+  const double t4 = SimulateTensorFlowCifar(4, false).minutes;
+  const double t32 = SimulateTensorFlowCifar(32, false).minutes;
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t32, t4);
+  EXPECT_NEAR(t1, 184.0, 5.0);
+  // Weak scaling fails to converge at 16+ machines.
+  EXPECT_FALSE(SimulateTensorFlowCifar(16, true).converged);
+  EXPECT_TRUE(SimulateTensorFlowCifar(4, true).converged);
+}
+
+}  // namespace
+}  // namespace keystone
