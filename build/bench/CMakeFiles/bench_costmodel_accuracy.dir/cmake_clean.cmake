@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costmodel_accuracy.dir/bench_costmodel_accuracy.cc.o"
+  "CMakeFiles/bench_costmodel_accuracy.dir/bench_costmodel_accuracy.cc.o.d"
+  "bench_costmodel_accuracy"
+  "bench_costmodel_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costmodel_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cacheset.dir/bench_fig11_cacheset.cc.o"
+  "CMakeFiles/bench_fig11_cacheset.dir/bench_fig11_cacheset.cc.o.d"
+  "bench_fig11_cacheset"
+  "bench_fig11_cacheset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cacheset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_convolution.dir/bench_fig7_convolution.cc.o"
+  "CMakeFiles/bench_fig7_convolution.dir/bench_fig7_convolution.cc.o.d"
+  "bench_fig7_convolution"
+  "bench_fig7_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

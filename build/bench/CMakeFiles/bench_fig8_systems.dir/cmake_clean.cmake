@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_systems.dir/bench_fig8_systems.cc.o"
+  "CMakeFiles/bench_fig8_systems.dir/bench_fig8_systems.cc.o.d"
+  "bench_fig8_systems"
+  "bench_fig8_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

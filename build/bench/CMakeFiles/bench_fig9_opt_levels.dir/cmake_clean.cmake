@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_opt_levels.dir/bench_fig9_opt_levels.cc.o"
+  "CMakeFiles/bench_fig9_opt_levels.dir/bench_fig9_opt_levels.cc.o.d"
+  "bench_fig9_opt_levels"
+  "bench_fig9_opt_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_opt_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pca.dir/bench_table2_pca.cc.o"
+  "CMakeFiles/bench_table2_pca.dir/bench_table2_pca.cc.o.d"
+  "bench_table2_pca"
+  "bench_table2_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

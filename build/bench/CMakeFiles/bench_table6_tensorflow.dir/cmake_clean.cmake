@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tensorflow.dir/bench_table6_tensorflow.cc.o"
+  "CMakeFiles/bench_table6_tensorflow.dir/bench_table6_tensorflow.cc.o.d"
+  "bench_table6_tensorflow"
+  "bench_table6_tensorflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tensorflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_kernel_svm.dir/speech_kernel_svm.cpp.o"
+  "CMakeFiles/speech_kernel_svm.dir/speech_kernel_svm.cpp.o.d"
+  "speech_kernel_svm"
+  "speech_kernel_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_kernel_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

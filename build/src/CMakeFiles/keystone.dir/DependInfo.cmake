@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/keystone.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/keystone.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/keystone.dir/common/check.cc.o" "gcc" "src/CMakeFiles/keystone.dir/common/check.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/keystone.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/keystone.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/keystone.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/keystone.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/keystone.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/keystone.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/keystone.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/keystone.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/keystone.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/keystone.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/pipeline_graph.cc" "src/CMakeFiles/keystone.dir/core/pipeline_graph.cc.o" "gcc" "src/CMakeFiles/keystone.dir/core/pipeline_graph.cc.o.d"
+  "/root/repo/src/data/data_stats.cc" "src/CMakeFiles/keystone.dir/data/data_stats.cc.o" "gcc" "src/CMakeFiles/keystone.dir/data/data_stats.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/keystone.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/keystone.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/fft.cc" "src/CMakeFiles/keystone.dir/linalg/fft.cc.o" "gcc" "src/CMakeFiles/keystone.dir/linalg/fft.cc.o.d"
+  "/root/repo/src/linalg/gemm.cc" "src/CMakeFiles/keystone.dir/linalg/gemm.cc.o" "gcc" "src/CMakeFiles/keystone.dir/linalg/gemm.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/keystone.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/keystone.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/keystone.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/keystone.dir/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "src/CMakeFiles/keystone.dir/linalg/sparse.cc.o" "gcc" "src/CMakeFiles/keystone.dir/linalg/sparse.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/CMakeFiles/keystone.dir/linalg/svd.cc.o" "gcc" "src/CMakeFiles/keystone.dir/linalg/svd.cc.o.d"
+  "/root/repo/src/ops/convolution.cc" "src/CMakeFiles/keystone.dir/ops/convolution.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/convolution.cc.o.d"
+  "/root/repo/src/ops/features.cc" "src/CMakeFiles/keystone.dir/ops/features.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/features.cc.o.d"
+  "/root/repo/src/ops/gmm.cc" "src/CMakeFiles/keystone.dir/ops/gmm.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/gmm.cc.o.d"
+  "/root/repo/src/ops/image_ops.cc" "src/CMakeFiles/keystone.dir/ops/image_ops.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/image_ops.cc.o.d"
+  "/root/repo/src/ops/kmeans.cc" "src/CMakeFiles/keystone.dir/ops/kmeans.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/kmeans.cc.o.d"
+  "/root/repo/src/ops/metrics.cc" "src/CMakeFiles/keystone.dir/ops/metrics.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/metrics.cc.o.d"
+  "/root/repo/src/ops/pca.cc" "src/CMakeFiles/keystone.dir/ops/pca.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/pca.cc.o.d"
+  "/root/repo/src/ops/text_ops.cc" "src/CMakeFiles/keystone.dir/ops/text_ops.cc.o" "gcc" "src/CMakeFiles/keystone.dir/ops/text_ops.cc.o.d"
+  "/root/repo/src/optimizer/materialization.cc" "src/CMakeFiles/keystone.dir/optimizer/materialization.cc.o" "gcc" "src/CMakeFiles/keystone.dir/optimizer/materialization.cc.o.d"
+  "/root/repo/src/optimizer/operator_optimizer.cc" "src/CMakeFiles/keystone.dir/optimizer/operator_optimizer.cc.o" "gcc" "src/CMakeFiles/keystone.dir/optimizer/operator_optimizer.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/CMakeFiles/keystone.dir/sim/resources.cc.o" "gcc" "src/CMakeFiles/keystone.dir/sim/resources.cc.o.d"
+  "/root/repo/src/sim/virtual_time.cc" "src/CMakeFiles/keystone.dir/sim/virtual_time.cc.o" "gcc" "src/CMakeFiles/keystone.dir/sim/virtual_time.cc.o.d"
+  "/root/repo/src/solvers/dense_solvers.cc" "src/CMakeFiles/keystone.dir/solvers/dense_solvers.cc.o" "gcc" "src/CMakeFiles/keystone.dir/solvers/dense_solvers.cc.o.d"
+  "/root/repo/src/solvers/lbfgs.cc" "src/CMakeFiles/keystone.dir/solvers/lbfgs.cc.o" "gcc" "src/CMakeFiles/keystone.dir/solvers/lbfgs.cc.o.d"
+  "/root/repo/src/solvers/linear_model.cc" "src/CMakeFiles/keystone.dir/solvers/linear_model.cc.o" "gcc" "src/CMakeFiles/keystone.dir/solvers/linear_model.cc.o.d"
+  "/root/repo/src/solvers/solver_costs.cc" "src/CMakeFiles/keystone.dir/solvers/solver_costs.cc.o" "gcc" "src/CMakeFiles/keystone.dir/solvers/solver_costs.cc.o.d"
+  "/root/repo/src/solvers/solver_util.cc" "src/CMakeFiles/keystone.dir/solvers/solver_util.cc.o" "gcc" "src/CMakeFiles/keystone.dir/solvers/solver_util.cc.o.d"
+  "/root/repo/src/solvers/sparse_solvers.cc" "src/CMakeFiles/keystone.dir/solvers/sparse_solvers.cc.o" "gcc" "src/CMakeFiles/keystone.dir/solvers/sparse_solvers.cc.o.d"
+  "/root/repo/src/workloads/datasets.cc" "src/CMakeFiles/keystone.dir/workloads/datasets.cc.o" "gcc" "src/CMakeFiles/keystone.dir/workloads/datasets.cc.o.d"
+  "/root/repo/src/workloads/pipelines.cc" "src/CMakeFiles/keystone.dir/workloads/pipelines.cc.o" "gcc" "src/CMakeFiles/keystone.dir/workloads/pipelines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
