@@ -128,7 +128,8 @@ void Run() {
 }  // namespace
 }  // namespace keystone
 
-int main() {
+int main(int argc, char** argv) {
+  keystone::bench::ObsSession obs(argc, argv);
   keystone::bench::Banner(
       "Ablation: greedy materialization vs. exhaustive optimum",
       "Algorithm 1 should be near-optimal at a fraction of the planning "

@@ -91,7 +91,8 @@ void Run() {
 }  // namespace
 }  // namespace keystone
 
-int main() {
+int main(int argc, char** argv) {
+  keystone::bench::ObsSession obs(argc, argv);
   keystone::bench::Banner(
       "Figure 10: caching strategy vs. memory budget",
       "Simulated training seconds per policy; greedy should dominate.");

@@ -76,7 +76,8 @@ void Run() {
 }  // namespace
 }  // namespace keystone
 
-int main() {
+int main(int argc, char** argv) {
+  keystone::bench::ObsSession obs(argc, argv);
   keystone::bench::Banner(
       "Figure 12: strong scaling, 8 -> 128 nodes",
       "Per-stage simulated seconds; 'vs ideal' is the slowdown relative to\n"

@@ -126,7 +126,8 @@ void LossCrossCheck() {
 }  // namespace
 }  // namespace keystone
 
-int main() {
+int main(int argc, char** argv) {
+  keystone::bench::ObsSession obs(argc, argv);
   keystone::bench::Banner(
       "Figure 8: KeystoneML vs. Vowpal Wabbit vs. SystemML",
       "Paper shape: KeystoneML at or below both baselines at every size,\n"

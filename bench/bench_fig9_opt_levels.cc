@@ -102,7 +102,8 @@ void Run() {
 }  // namespace
 }  // namespace keystone
 
-int main() {
+int main(int argc, char** argv) {
+  keystone::bench::ObsSession obs(argc, argv);
   keystone::bench::Banner(
       "Figure 9: optimization levels (None / Pipe Only / KeystoneML)",
       "Per-stage simulated seconds; speedups relative to unoptimized.");

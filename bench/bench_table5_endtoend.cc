@@ -106,7 +106,8 @@ void Run() {
 }  // namespace
 }  // namespace keystone
 
-int main() {
+int main(int argc, char** argv) {
+  keystone::bench::ObsSession obs(argc, argv);
   keystone::bench::Banner(
       "Table 5: end-to-end applications, time to accuracy",
       "All five pipelines train through the full optimizer stack; simulated\n"

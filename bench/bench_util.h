@@ -2,12 +2,94 @@
 #define KEYSTONE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "src/data/data_stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile_store.h"
+#include "src/obs/trace.h"
 
 namespace keystone {
 namespace bench {
+
+/// Per-bench observability harness. Construct first thing in main(); parses
+///   --trace-out=PATH      dump a Chrome trace (chrome://tracing) on exit
+///   --metrics-out=PATH    dump the metrics registry as JSON on exit
+///   --profile-store=PATH  load observed-cost history before the run and
+///                         save the updated store after it
+///   --plan-report         print the human-readable span report on exit
+/// Every ExecContext feeds the process-global recorder/registry/store by
+/// default, so instrumenting a bench is just constructing this object.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      TakeValue(arg, "--trace-out=", &trace_path_) ||
+          TakeValue(arg, "--metrics-out=", &metrics_path_) ||
+          TakeValue(arg, "--profile-store=", &profile_path_) ||
+          (plan_report_ = plan_report_ || arg == "--plan-report");
+    }
+    if (!profile_path_.empty() &&
+        obs::ProfileStore::Global().Load(profile_path_)) {
+      std::printf("[obs] loaded profile store from %s (%zu observations, "
+                  "%zu node profiles)\n",
+                  profile_path_.c_str(),
+                  obs::ProfileStore::Global().NumObservations(),
+                  obs::ProfileStore::Global().NumNodeProfiles());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    auto& tracer = obs::TraceRecorder::Global();
+    if (plan_report_) std::printf("\n%s", tracer.PlanReport().c_str());
+    if (!trace_path_.empty()) {
+      if (tracer.WriteChromeTrace(trace_path_)) {
+        std::printf("[obs] wrote %zu spans to %s (open in chrome://tracing "
+                    "or ui.perfetto.dev)\n",
+                    tracer.NumSpans(), trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] FAILED to write trace to %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      if (obs::MetricsRegistry::Global().WriteJson(metrics_path_)) {
+        std::printf("[obs] wrote metrics to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] FAILED to write metrics to %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    if (!profile_path_.empty()) {
+      if (obs::ProfileStore::Global().Save(profile_path_)) {
+        std::printf("[obs] saved profile store to %s\n",
+                    profile_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] FAILED to save profile store to %s\n",
+                     profile_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  static bool TakeValue(const std::string& arg, const char* prefix,
+                        std::string* out) {
+    const size_t n = std::strlen(prefix);
+    if (arg.rfind(prefix, 0) != 0) return false;
+    *out = arg.substr(n);
+    return true;
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::string profile_path_;
+  bool plan_report_ = false;
+};
 
 /// Prints a banner naming the experiment being regenerated.
 inline void Banner(const char* title, const char* description) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification plus an AddressSanitizer test pass.
+#
+#   scripts/ci.sh            # tier-1 build + full test suite + ASan pass
+#   scripts/ci.sh --no-asan  # tier-1 only
+#   KEYSTONE_SANITIZE=thread scripts/ci.sh   # use TSan for the second pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${KEYSTONE_SANITIZE:-address}"
+RUN_SANITIZED=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) RUN_SANITIZED=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== tier-1: build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$RUN_SANITIZED" == 1 ]]; then
+  echo "=== ${SANITIZER} sanitizer pass (obs + sim + core suites) ==="
+  cmake -B "build-${SANITIZER}" -S . -DKEYSTONE_SANITIZE="${SANITIZER}"
+  cmake --build "build-${SANITIZER}" -j --target obs_test sim_test core_test
+  # Run the binaries directly: only these three targets are built in the
+  # sanitized tree, so ctest's full discovered list is not available.
+  "./build-${SANITIZER}/tests/obs_test"
+  "./build-${SANITIZER}/tests/sim_test"
+  "./build-${SANITIZER}/tests/core_test"
+fi
+
+echo "CI OK"

@@ -1,6 +1,7 @@
 #include "src/common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "src/common/check.h"
 
@@ -30,6 +31,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   task_available_.notify_one();
 }
 
@@ -73,13 +75,29 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    busy_nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count(),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+  out.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  out.busy_seconds =
+      static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return out;
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -1,8 +1,10 @@
 #ifndef KEYSTONE_COMMON_THREAD_POOL_H_
 #define KEYSTONE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -34,6 +36,16 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Cumulative execution statistics (for observability scrapers; the pool
+  /// itself stays dependency-free). `busy_seconds` is summed across
+  /// workers, so it can exceed wall time.
+  struct Stats {
+    uint64_t tasks_submitted = 0;
+    uint64_t tasks_executed = 0;
+    double busy_seconds = 0.0;
+  };
+  Stats stats() const;
+
   /// Process-wide pool sized to the hardware concurrency.
   static ThreadPool& Global();
 
@@ -46,6 +58,9 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<int64_t> busy_nanos_{0};
   std::vector<std::thread> threads_;
 };
 

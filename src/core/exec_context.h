@@ -5,6 +5,9 @@
 #include <optional>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile_store.h"
+#include "src/obs/trace.h"
 #include "src/sim/cost_profile.h"
 #include "src/sim/resources.h"
 #include "src/sim/virtual_time.h"
@@ -15,17 +18,35 @@ namespace keystone {
 /// the virtual-time ledger, and a worker pool for real (in-process) compute.
 /// Operators run their real kernels on the pool and report the cost profile
 /// of the equivalent distributed execution, which the executor charges to
-/// the ledger.
+/// the ledger. The context also carries the observability sinks — trace
+/// recorder, metrics registry, and observed-cost profile store — which
+/// default to the process-wide instances and may be redirected per context.
 class ExecContext {
  public:
   explicit ExecContext(const ClusterResourceDescriptor& resources)
       : resources_(resources),
         ledger_(resources),
-        pool_(&ThreadPool::Global()) {}
+        pool_(&ThreadPool::Global()),
+        tracer_(&obs::TraceRecorder::Global()),
+        metrics_(&obs::MetricsRegistry::Global()),
+        profile_store_(&obs::ProfileStore::Global()) {
+    ledger_.set_metrics(metrics_);
+  }
 
   const ClusterResourceDescriptor& resources() const { return resources_; }
   VirtualTimeLedger* ledger() { return &ledger_; }
   ThreadPool* pool() { return pool_; }
+
+  /// Observability sinks. Never null by default; set to nullptr to disable.
+  obs::TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    ledger_.set_metrics(metrics);
+  }
+  obs::ProfileStore* profile_store() const { return profile_store_; }
+  void set_profile_store(obs::ProfileStore* store) { profile_store_ = store; }
 
   /// Operators whose cost depends on runtime behaviour (e.g. iterative
   /// solvers whose iteration count is data dependent) call this during
@@ -39,10 +60,28 @@ class ExecContext {
     return out;
   }
 
+  /// Discards any unconsumed actual-cost report. The executor calls this
+  /// immediately before invoking an operator so a stale report — left by a
+  /// caller that ran an operator without taking its cost — can never be
+  /// attributed to the next operator. Returns true when a stale report was
+  /// actually dropped (also counted in the `exec.stale_actual_costs`
+  /// metric).
+  bool BeginOperatorScope() {
+    const bool stale = actual_cost_.has_value();
+    actual_cost_.reset();
+    if (stale && metrics_ != nullptr) {
+      metrics_->Increment("exec.stale_actual_costs");
+    }
+    return stale;
+  }
+
  private:
   ClusterResourceDescriptor resources_;
   VirtualTimeLedger ledger_;
   ThreadPool* pool_;
+  obs::TraceRecorder* tracer_;
+  obs::MetricsRegistry* metrics_;
+  obs::ProfileStore* profile_store_;
   std::optional<CostProfile> actual_cost_;
 };
 

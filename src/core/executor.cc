@@ -5,6 +5,10 @@
 
 #include "src/common/check.h"
 #include "src/common/string_util.h"
+#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile_store.h"
+#include "src/obs/trace.h"
 #include "src/optimizer/operator_optimizer.h"
 
 namespace keystone {
@@ -37,6 +41,31 @@ std::shared_ptr<EstimatorBase> EffectiveEstimator(
   const int index = it == chosen.end() ? 0 : it->second;
   return optimizable->options()[index];
 }
+
+/// Collects everything one operator execution produces for observability;
+/// the executor fills one of these per node per pass and flushes it to the
+/// context's trace recorder / metrics / profile store.
+struct SpanDraft {
+  obs::TraceSpan span;
+  // Input stats at the scale the kernel actually ran (for the store).
+  DataStats in_stats;
+  bool record_observation = false;
+
+  void Flush(ExecContext* ctx, const std::string& op_name) {
+    if (record_observation && span.observed.has_value() &&
+        ctx->profile_store() != nullptr) {
+      ctx->profile_store()->RecordObservation(op_name, in_stats,
+                                              span.predicted, *span.observed,
+                                              span.wall_seconds);
+    }
+    if (ctx->metrics() != nullptr) {
+      ctx->metrics()->Increment(
+          std::string("exec.spans.") + obs::TracePhaseName(span.phase));
+      ctx->metrics()->Observe("exec.wall_seconds", span.wall_seconds);
+    }
+    if (ctx->tracer() != nullptr) ctx->tracer()->Record(std::move(span));
+  }
+};
 
 }  // namespace
 
@@ -77,6 +106,7 @@ OptimizationConfig OptimizationConfig::Full() { return OptimizationConfig(); }
 std::string PipelineReport::ToString() const {
   std::ostringstream os;
   os << "PipelineReport{optimize=" << HumanSeconds(optimize_seconds)
+     << (profiles_from_store ? " (from store)" : "")
      << ", load=" << HumanSeconds(load_seconds)
      << ", featurize=" << HumanSeconds(featurize_seconds)
      << ", solve=" << HumanSeconds(solve_seconds)
@@ -154,14 +184,33 @@ AnyDataset FittedPipelineUntyped::Apply(const AnyDataset& input,
         KS_CHECK(false) << "unexpected " << NodeKindName(node.kind)
                         << " on the runtime path";
     }
+    SpanDraft draft;
+    draft.span.node_id = id;
+    draft.span.name = node.name;
+    draft.span.kind = NodeKindName(node.kind);
+    draft.span.phase = obs::TracePhase::kEval;
+    draft.span.physical = op->Name();
+    draft.span.predicted = op->EstimateCost(in_stats, resources.num_nodes);
+    draft.span.records_in = in_stats.num_records;
+    ctx->BeginOperatorScope();
+    Timer timer;
     outputs[id] = op->ApplyAny(inputs, ctx);
+    draft.span.wall_seconds = timer.ElapsedSeconds();
     outputs[id]->set_virtual_scale(inputs[0]->virtual_scale());
+    draft.span.partitions = outputs[id]->NumPartitions();
     const auto actual = ctx->TakeActualCost();
+    draft.span.observed = actual;
+    draft.span.used_observed =
+        actual.has_value() && inputs[0]->virtual_scale() <= 1.0;
+    draft.record_observation = inputs[0]->virtual_scale() <= 1.0;
+    draft.in_stats = in_stats;
     const CostProfile cost =
-        (actual.has_value() && inputs[0]->virtual_scale() <= 1.0)
+        draft.span.used_observed
             ? *actual
             : op->EstimateCost(in_stats, resources.num_nodes);
-    ctx->ledger()->Charge("Eval", cost);
+    draft.span.virtual_seconds = ctx->ledger()->Charge("Eval", cost);
+    draft.span.output_bytes = outputs[id]->ComputeStats().TotalBytes();
+    draft.Flush(ctx, op->Name());
   }
   auto it = outputs.find(sink_);
   KS_CHECK(it != outputs.end());
@@ -180,6 +229,12 @@ void PipelineExecutor::ProfilePass(PipelineGraph* graph,
                                    std::vector<ProfileEntry>* profile,
                                    PipelineReport* report) {
   const auto& resources = context_.resources();
+  // Observed history only corrects selection estimates when the user opted
+  // into profile reuse; default behaviour stays purely model-driven.
+  const obs::ProfileStore* history =
+      config_.reuse_stored_profiles ? context_.profile_store() : nullptr;
+  const obs::TracePhase phase = record_large ? obs::TracePhase::kProfileLarge
+                                             : obs::TracePhase::kProfileSmall;
   std::map<int, AnyDataset> outputs;
   std::map<int, std::shared_ptr<TransformerBase>> sample_models;
   std::map<const void*, int> chosen_ptrs;
@@ -197,16 +252,28 @@ void PipelineExecutor::ProfilePass(PipelineGraph* graph,
     ProfileEntry& entry = (*profile)[id];
     double seconds = 0.0;
     DataStats out_stats;
+    SpanDraft draft;
+    draft.span.node_id = id;
+    draft.span.name = node.name;
+    draft.span.kind = NodeKindName(node.kind);
+    draft.span.phase = phase;
+    std::string op_name;
 
     switch (node.kind) {
       case NodeKind::kSource: {
         entry.full_records = static_cast<size_t>(
             node.bound_data->NumRecords() * node.bound_data->virtual_scale());
+        Timer timer;
         auto sample = node.bound_data->SamplePrefix(sample_size);
+        draft.span.wall_seconds = timer.ElapsedSeconds();
         outputs[id] = sample;
         out_stats = sample->ComputeStats();
         seconds = resources.DiskReadSeconds(out_stats.TotalBytes() /
                                             std::max(1, resources.num_nodes));
+        draft.span.predicted.bytes =
+            out_stats.TotalBytes() / std::max(1, resources.num_nodes);
+        draft.span.partitions = sample->NumPartitions();
+        draft.span.records_in = out_stats.num_records;
         break;
       }
       case NodeKind::kTransformer:
@@ -221,21 +288,31 @@ void PipelineExecutor::ProfilePass(PipelineGraph* graph,
         if (select_ops && optimizable != nullptr &&
             chosen_ptrs.count(optimizable) == 0) {
           const DataStats full_stats = in_stats.ScaledTo(entry.full_records);
-          const PhysicalChoice choice =
-              ChooseTransformerOption(*optimizable, full_stats, resources);
+          const PhysicalChoice choice = ChooseTransformerOption(
+              *optimizable, full_stats, resources, history);
           (*chosen_options)[id] = choice.option_index;
           chosen_ptrs[optimizable] = choice.option_index;
         }
         auto op = EffectiveTransformer(node, chosen_ptrs);
+        op_name = op->Name();
+        if (op != node.transformer) draft.span.physical = op_name;
+        draft.span.predicted = op->EstimateCost(in_stats, resources.num_nodes);
+        context_.BeginOperatorScope();
+        Timer timer;
         outputs[id] = op->ApplyAny(inputs, &context_);
+        draft.span.wall_seconds = timer.ElapsedSeconds();
         const auto actual = context_.TakeActualCost();
-        CostProfile cost = actual.has_value()
-                               ? *actual
-                               : op->EstimateCost(in_stats,
-                                                  resources.num_nodes);
+        draft.span.observed = actual;
+        draft.span.used_observed = actual.has_value();
+        draft.in_stats = in_stats;
+        draft.record_observation = true;
+        CostProfile cost =
+            actual.has_value() ? *actual : draft.span.predicted;
         cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
         seconds = resources.SecondsFor(cost);
         out_stats = outputs[id]->ComputeStats();
+        draft.span.partitions = outputs[id]->NumPartitions();
+        draft.span.records_in = in_stats.num_records;
         break;
       }
       case NodeKind::kEstimator: {
@@ -251,20 +328,31 @@ void PipelineExecutor::ProfilePass(PipelineGraph* graph,
             chosen_ptrs.count(optimizable) == 0) {
           const size_t full_n = (*profile)[node.inputs[0]].full_records;
           const DataStats full_stats = in_stats.ScaledTo(full_n);
-          const PhysicalChoice choice =
-              ChooseEstimatorOption(*optimizable, full_stats, resources);
+          const PhysicalChoice choice = ChooseEstimatorOption(
+              *optimizable, full_stats, resources, history);
           (*chosen_options)[id] = choice.option_index;
           chosen_ptrs[optimizable] = choice.option_index;
         }
         auto est = EffectiveEstimator(node, chosen_ptrs);
+        op_name = est->Name();
+        if (est != node.estimator) draft.span.physical = op_name;
+        draft.span.predicted =
+            est->EstimateCost(in_stats, resources.num_nodes);
+        context_.BeginOperatorScope();
+        Timer timer;
         sample_models[id] = est->FitAny(data, labels, &context_);
+        draft.span.wall_seconds = timer.ElapsedSeconds();
         const auto actual = context_.TakeActualCost();
-        CostProfile cost = actual.has_value()
-                               ? *actual
-                               : est->EstimateCost(in_stats,
-                                                   resources.num_nodes);
+        draft.span.observed = actual;
+        draft.span.used_observed = actual.has_value();
+        draft.in_stats = in_stats;
+        draft.record_observation = true;
+        CostProfile cost =
+            actual.has_value() ? *actual : draft.span.predicted;
         cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
         seconds = resources.SecondsFor(cost);
+        draft.span.partitions = data->NumPartitions();
+        draft.span.records_in = in_stats.num_records;
         break;
       }
       case NodeKind::kApplyModel: {
@@ -272,15 +360,26 @@ void PipelineExecutor::ProfilePass(PipelineGraph* graph,
         const DataStats in_stats = data->ComputeStats();
         entry.full_records = (*profile)[node.inputs[0]].full_records;
         auto model = sample_models.at(node.model_input);
+        op_name = model->Name();
+        draft.span.physical = op_name;
+        draft.span.predicted =
+            model->EstimateCost(in_stats, resources.num_nodes);
+        context_.BeginOperatorScope();
+        Timer timer;
         outputs[id] = model->ApplyAny({data}, &context_);
+        draft.span.wall_seconds = timer.ElapsedSeconds();
         const auto actual = context_.TakeActualCost();
-        CostProfile cost = actual.has_value()
-                               ? *actual
-                               : model->EstimateCost(in_stats,
-                                                     resources.num_nodes);
+        draft.span.observed = actual;
+        draft.span.used_observed = actual.has_value();
+        draft.in_stats = in_stats;
+        draft.record_observation = true;
+        CostProfile cost =
+            actual.has_value() ? *actual : draft.span.predicted;
         cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
         seconds = resources.SecondsFor(cost);
         out_stats = outputs[id]->ComputeStats();
+        draft.span.partitions = outputs[id]->NumPartitions();
+        draft.span.records_in = in_stats.num_records;
         break;
       }
       case NodeKind::kPlaceholder:
@@ -303,8 +402,63 @@ void PipelineExecutor::ProfilePass(PipelineGraph* graph,
       entry.records_small = sample_records;
     }
     entry.bytes_per_record = out_stats.bytes_per_record;
+
+    if (context_.profile_store() != nullptr) {
+      obs::NodeProfileRecord record;
+      record.seconds = seconds;
+      record.records = sample_records;
+      record.bytes_per_record = entry.bytes_per_record;
+      record.full_records = entry.full_records;
+      auto chosen = chosen_options->find(id);
+      record.chosen_option =
+          chosen == chosen_options->end() ? -1 : chosen->second;
+      context_.profile_store()->RecordNodeProfile(
+          obs::ProfileStore::NodeKey(id, node.name, sample_size), record);
+    }
+    draft.span.virtual_seconds = seconds;
+    draft.span.output_bytes = out_stats.TotalBytes();
+    draft.Flush(&context_, op_name.empty() ? node.name : op_name);
     (void)report;
   }
+}
+
+bool PipelineExecutor::ReuseStoredProfiles(const PipelineGraph& graph,
+                                           const std::vector<bool>& train_mask,
+                                           std::map<int, int>* chosen_options,
+                                           std::vector<ProfileEntry>* profile) {
+  obs::ProfileStore* store = context_.profile_store();
+  if (store == nullptr) return false;
+  struct Stored {
+    int id;
+    obs::NodeProfileRecord small;
+    obs::NodeProfileRecord large;
+  };
+  std::vector<Stored> stored;
+  for (int id = 0; id < graph.size(); ++id) {
+    if (!train_mask[id]) continue;
+    const std::string& name = graph.node(id).name;
+    const auto large = store->NodeProfileFor(obs::ProfileStore::NodeKey(
+        id, name, config_.profile_sample_large));
+    const auto small = store->NodeProfileFor(obs::ProfileStore::NodeKey(
+        id, name, config_.profile_sample_small));
+    if (!large.has_value() || !small.has_value()) return false;
+    stored.push_back({id, *small, *large});
+  }
+  // Full coverage: rebuild what the two sampling passes would have filled.
+  for (const Stored& s : stored) {
+    ProfileEntry& entry = (*profile)[s.id];
+    entry.seconds_large = s.large.seconds;
+    entry.records_large = s.large.records;
+    entry.seconds_small = s.small.seconds;
+    entry.records_small = s.small.records;
+    // The small pass runs last live, so its stats are the ones that stick.
+    entry.bytes_per_record = s.small.bytes_per_record;
+    entry.full_records = s.large.full_records;
+    if (s.large.chosen_option >= 0) {
+      (*chosen_options)[s.id] = s.large.chosen_option;
+    }
+  }
+  return true;
 }
 
 std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
@@ -339,16 +493,29 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
   std::map<int, int> chosen_options;
   std::vector<ProfileEntry> profile(graph->size());
   if (need_profile) {
-    ProfilePass(graph.get(), train_mask, config_.profile_sample_large,
-                config_.operator_selection, /*record_large=*/true,
-                &chosen_options, &profile, report);
-    ProfilePass(graph.get(), train_mask, config_.profile_sample_small,
-                /*select_ops=*/false, /*record_large=*/false, &chosen_options,
-                &profile, report);
-    for (int id = 0; id < graph->size(); ++id) {
-      if (train_mask[id]) {
-        report->optimize_seconds +=
-            profile[id].seconds_small + profile[id].seconds_large;
+    bool reused = false;
+    if (config_.reuse_stored_profiles) {
+      reused = ReuseStoredProfiles(*graph, train_mask, &chosen_options,
+                                   &profile);
+      if (reused) {
+        report->profiles_from_store = true;
+        if (context_.metrics() != nullptr) {
+          context_.metrics()->Increment("profile_store.reuses");
+        }
+      }
+    }
+    if (!reused) {
+      ProfilePass(graph.get(), train_mask, config_.profile_sample_large,
+                  config_.operator_selection, /*record_large=*/true,
+                  &chosen_options, &profile, report);
+      ProfilePass(graph.get(), train_mask, config_.profile_sample_small,
+                  /*select_ops=*/false, /*record_large=*/false,
+                  &chosen_options, &profile, report);
+      for (int id = 0; id < graph->size(); ++id) {
+        if (train_mask[id]) {
+          report->optimize_seconds +=
+              profile[id].seconds_small + profile[id].seconds_large;
+        }
       }
     }
   }
@@ -452,12 +619,22 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
 
     double total_seconds = 0.0;
     DataStats out_stats;
+    SpanDraft draft;
+    draft.span.node_id = id;
+    draft.span.name = node.name;
+    draft.span.kind = NodeKindName(node.kind);
+    draft.span.phase = obs::TracePhase::kTrain;
+    std::string op_name;
     switch (node.kind) {
       case NodeKind::kSource: {
         outputs[id] = node.bound_data;
         out_stats = node.bound_data->ComputeStats();
         total_seconds = resources.DiskReadSeconds(
             out_stats.TotalBytes() / std::max(1, resources.num_nodes));
+        draft.span.predicted.bytes =
+            out_stats.TotalBytes() / std::max(1, resources.num_nodes);
+        draft.span.partitions = node.bound_data->NumPartitions();
+        draft.span.records_in = out_stats.num_records;
         break;
       }
       case NodeKind::kTransformer:
@@ -468,16 +645,26 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
         const DataStats in_stats = inputs[0]->ComputeStats();
         auto op = EffectiveTransformer(node, chosen_ptrs);
         if (op != node.transformer) record.chosen_physical = op->Name();
+        op_name = op->Name();
+        draft.span.physical = record.chosen_physical;
+        draft.span.predicted = op->EstimateCost(in_stats, resources.num_nodes);
+        context_.BeginOperatorScope();
+        Timer timer;
         outputs[id] = op->ApplyAny(inputs, &context_);
+        draft.span.wall_seconds = timer.ElapsedSeconds();
         outputs[id]->set_virtual_scale(scale);
         // With a virtual scale, kernel-reported costs describe the real
         // (small) run; use the cost model at the scaled statistics instead.
         const auto actual = context_.TakeActualCost();
+        draft.span.observed = actual;
+        draft.span.used_observed = actual.has_value() && scale <= 1.0;
+        draft.record_observation = scale <= 1.0;
+        draft.in_stats = in_stats;
         total_seconds = resources.SecondsFor(
-            (actual.has_value() && scale <= 1.0)
-                ? *actual
-                : op->EstimateCost(in_stats, resources.num_nodes));
+            draft.span.used_observed ? *actual : draft.span.predicted);
         out_stats = outputs[id]->ComputeStats();
+        draft.span.partitions = outputs[id]->NumPartitions();
+        draft.span.records_in = in_stats.num_records;
         break;
       }
       case NodeKind::kEstimator: {
@@ -488,12 +675,23 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
         const DataStats in_stats = data->ComputeStats();
         auto est = EffectiveEstimator(node, chosen_ptrs);
         if (est != node.estimator) record.chosen_physical = est->Name();
+        op_name = est->Name();
+        draft.span.physical = record.chosen_physical;
+        draft.span.predicted =
+            est->EstimateCost(in_stats, resources.num_nodes);
+        context_.BeginOperatorScope();
+        Timer timer;
         models[id] = est->FitAny(data, labels, &context_);
+        draft.span.wall_seconds = timer.ElapsedSeconds();
         const auto actual = context_.TakeActualCost();
+        draft.span.observed = actual;
+        draft.span.used_observed = actual.has_value() && scale <= 1.0;
+        draft.record_observation = scale <= 1.0;
+        draft.in_stats = in_stats;
         total_seconds = resources.SecondsFor(
-            (actual.has_value() && scale <= 1.0)
-                ? *actual
-                : est->EstimateCost(in_stats, resources.num_nodes));
+            draft.span.used_observed ? *actual : draft.span.predicted);
+        draft.span.partitions = data->NumPartitions();
+        draft.span.records_in = in_stats.num_records;
         break;
       }
       case NodeKind::kApplyModel: {
@@ -501,14 +699,25 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
         const double scale = data->virtual_scale();
         const DataStats in_stats = data->ComputeStats();
         auto model = models.at(node.model_input);
+        op_name = model->Name();
+        draft.span.physical = op_name;
+        draft.span.predicted =
+            model->EstimateCost(in_stats, resources.num_nodes);
+        context_.BeginOperatorScope();
+        Timer timer;
         outputs[id] = model->ApplyAny({data}, &context_);
+        draft.span.wall_seconds = timer.ElapsedSeconds();
         outputs[id]->set_virtual_scale(scale);
         const auto actual = context_.TakeActualCost();
+        draft.span.observed = actual;
+        draft.span.used_observed = actual.has_value() && scale <= 1.0;
+        draft.record_observation = scale <= 1.0;
+        draft.in_stats = in_stats;
         total_seconds = resources.SecondsFor(
-            (actual.has_value() && scale <= 1.0)
-                ? *actual
-                : model->EstimateCost(in_stats, resources.num_nodes));
+            draft.span.used_observed ? *actual : draft.span.predicted);
         out_stats = outputs[id]->ComputeStats();
+        draft.span.partitions = outputs[id]->NumPartitions();
+        draft.span.records_in = in_stats.num_records;
         break;
       }
       case NodeKind::kPlaceholder:
@@ -526,6 +735,10 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
     record.output_bytes = info.output_bytes;
     record.cached = cache_set[id];
     record.output_stats = out_stats;
+    draft.span.virtual_seconds = total_seconds;
+    draft.span.cached = cache_set[id];
+    draft.span.output_bytes = info.output_bytes;
+    draft.Flush(&context_, op_name.empty() ? node.name : op_name);
     report->nodes.push_back(std::move(record));
   }
 
@@ -566,6 +779,24 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
   context_.ledger()->ChargeSeconds("Load", report->load_seconds);
   context_.ledger()->ChargeSeconds("Featurize", report->featurize_seconds);
   context_.ledger()->ChargeSeconds("Solve", report->solve_seconds);
+
+  if (obs::MetricsRegistry* metrics = context_.metrics()) {
+    metrics->Increment("exec.fits");
+    metrics->Increment("optimizer.cse_eliminated", report->cse_eliminated);
+    int planned_nodes = 0;
+    for (int id = 0; id < graph->size(); ++id) {
+      if (cache_set[id]) ++planned_nodes;
+    }
+    metrics->Set("cache.planned_nodes", planned_nodes);
+    metrics->Set("cache.budget_bytes", report->cache_budget_bytes);
+    metrics->Set("cache.used_bytes", report->cache_used_bytes);
+    const ThreadPool::Stats pool = context_.pool()->stats();
+    metrics->Set("pool.tasks_submitted",
+                 static_cast<double>(pool.tasks_submitted));
+    metrics->Set("pool.tasks_executed",
+                 static_cast<double>(pool.tasks_executed));
+    metrics->Set("pool.busy_seconds", pool.busy_seconds);
+  }
 
   // --- Resolve chosen physical transformers for the runtime path.
   std::map<int, std::shared_ptr<TransformerBase>> chosen_transformers;

@@ -53,6 +53,13 @@ struct OptimizationConfig {
   size_t profile_sample_small = 512;
   size_t profile_sample_large = 1024;
 
+  /// Seed the optimizer from the context's ProfileStore: stored observed
+  /// costs correct operator-selection estimates, and when the store holds a
+  /// node profile for every train node at both sample sizes the sampling
+  /// passes are skipped entirely in favour of the stored history
+  /// (PipelineReport::profiles_from_store reports when that happened).
+  bool reuse_stored_profiles = false;
+
   /// Unoptimized execution (None in Figure 9).
   static OptimizationConfig None();
 
@@ -89,6 +96,9 @@ struct PipelineReport {
   double total_train_seconds = 0.0;
   double cache_budget_bytes = 0.0;
   double cache_used_bytes = 0.0;
+  /// True when the sampling passes were replaced by stored profiles
+  /// (OptimizationConfig::reuse_stored_profiles and full store coverage).
+  bool profiles_from_store = false;
 
   std::string ToString() const;
 };
@@ -186,12 +196,22 @@ class PipelineExecutor {
   };
 
   // Runs the sampling pass at `sample_size`, choosing physical operators on
-  // the way when `select_ops` is set. Fills per-node profile info.
+  // the way when `select_ops` is set. Fills per-node profile info and
+  // records each node's profile into the context's ProfileStore.
   void ProfilePass(PipelineGraph* graph, const std::vector<bool>& train_mask,
                    size_t sample_size, bool select_ops, bool record_large,
                    std::map<int, int>* chosen_options,
                    std::vector<ProfileEntry>* profile,
                    PipelineReport* report);
+
+  // Attempts to reconstruct the profile entries and operator choices from
+  // the context's ProfileStore instead of executing the sampling passes.
+  // Returns false (leaving outputs untouched) unless the store covers every
+  // train node at both sample sizes.
+  bool ReuseStoredProfiles(const PipelineGraph& graph,
+                           const std::vector<bool>& train_mask,
+                           std::map<int, int>* chosen_options,
+                           std::vector<ProfileEntry>* profile);
 
   OptimizationConfig config_;
   ExecContext context_;

@@ -1,0 +1,209 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace keystone {
+namespace obs {
+
+namespace {
+
+/// Atomic min/max update via CAS (std::atomic<double> has no fetch_min).
+template <typename Cmp>
+void AtomicExtreme(std::atomic<double>* slot, double value, Cmp better) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (better(value, cur) &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* slot, double delta) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(cur, cur + delta,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicExtreme(&min_, value, std::less<double>());
+  AtomicExtreme(&max_, value, std::greater<double>());
+
+  int bucket = 0;
+  if (value > 0.0) {
+    // Decade buckets: bucket 1 starts at 1e-9, bucket kNumBuckets-1 catches
+    // everything >= 1e9.
+    bucket = static_cast<int>(std::floor(std::log10(value))) + 10;
+    bucket = std::clamp(bucket, 0, kNumBuckets - 1);
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::Min() const {
+  return Count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const {
+  return Count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::Buckets() const {
+  std::array<uint64_t, kNumBuckets> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  MetricSnapshot::Kind kind) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.metrics.find(name);
+  if (it == shard.metrics.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case MetricSnapshot::Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = shard.metrics.emplace(name, std::move(entry)).first;
+  }
+  KS_CHECK(it->second.kind == kind)
+      << "metric '" << name << "' already registered with a different type";
+  return it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return GetEntry(name, MetricSnapshot::Kind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return GetEntry(name, MetricSnapshot::Kind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetEntry(name, MetricSnapshot::Kind::kHistogram).histogram.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, entry] : shard.metrics) {
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricSnapshot::Kind::kCounter:
+          snap.value = entry.counter->Value();
+          break;
+        case MetricSnapshot::Kind::kGauge:
+          snap.value = entry.gauge->Value();
+          break;
+        case MetricSnapshot::Kind::kHistogram:
+          snap.value = entry.histogram->Sum();
+          snap.count = entry.histogram->Count();
+          snap.min = entry.histogram->Min();
+          snap.max = entry.histogram->Max();
+          break;
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::ostringstream os;
+  for (const MetricSnapshot& m : Snapshot()) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << m.name << " (counter) = " << m.value << "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << m.name << " (gauge) = " << m.value << "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        os << m.name << " (histogram) count=" << m.count << " sum=" << m.value
+           << " min=" << m.min << " max=" << m.max << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream counters, gauges, histograms;
+  bool first_c = true, first_g = true, first_h = true;
+  for (const MetricSnapshot& m : Snapshot()) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        counters << (first_c ? "" : ",") << "\"" << m.name
+                 << "\":" << m.value;
+        first_c = false;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        gauges << (first_g ? "" : ",") << "\"" << m.name << "\":" << m.value;
+        first_g = false;
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        histograms << (first_h ? "" : ",") << "\"" << m.name
+                   << "\":{\"count\":" << m.count << ",\"sum\":" << m.value
+                   << ",\"min\":" << m.min << ",\"max\":" << m.max << "}";
+        first_h = false;
+        break;
+    }
+  }
+  std::ostringstream os;
+  os << "{\"counters\":{" << counters.str() << "},\"gauges\":{"
+     << gauges.str() << "},\"histograms\":{" << histograms.str() << "}}";
+  return os.str();
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void MetricsRegistry::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.metrics.clear();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace keystone

@@ -1,0 +1,149 @@
+#ifndef KEYSTONE_OBS_METRICS_H_
+#define KEYSTONE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace keystone {
+namespace obs {
+
+/// Monotonically increasing counter. Updates are lock-free so operators
+/// running on the thread pool can increment concurrently.
+class Counter {
+ public:
+  void Increment(double delta = 1.0) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-written-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram over positive values (decade buckets from 1e-9 to
+/// 1e+9) with lock-free recording; tracks count/sum/min/max alongside the
+/// bucket tallies.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 20;  // [<1e-9, 1e-9..1e-8, ..., >=1e9]
+
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const uint64_t n = Count();
+    return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+  }
+  double Min() const;
+  double Max() const;
+
+  /// Bucket tallies; bucket i covers [1e(i-10), 1e(i-9)) with the first and
+  /// last buckets open-ended.
+  std::array<uint64_t, kNumBuckets> Buckets() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Extrema start at the opposite infinity so the first Record() wins the
+  // CAS race without any seeding step.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// One metric's exported state.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;      // counter/gauge value; histogram sum
+  uint64_t count = 0;      // histogram observation count
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Named registry of counters/gauges/histograms. Lookup is lock-striped so
+/// thread-pool workers registering or fetching metrics by name contend on
+/// independent shards; the returned pointers are stable for the registry's
+/// lifetime, so hot paths should look up once and cache the pointer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Convenience shorthands for one-shot updates (name lookup each call).
+  void Increment(const std::string& name, double delta = 1.0) {
+    GetCounter(name)->Increment(delta);
+  }
+  void Set(const std::string& name, double value) { GetGauge(name)->Set(value); }
+  void Observe(const std::string& name, double value) {
+    GetHistogram(name)->Record(value);
+  }
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Human-readable dump (one metric per line).
+  std::string ToString() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+  /// Drops every registered metric (invalidates outstanding pointers).
+  void Clear();
+
+  /// Process-wide registry; ExecContext instruments into this by default.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> metrics;
+  };
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(const std::string& name);
+  Entry& GetEntry(const std::string& name, MetricSnapshot::Kind kind);
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace obs
+}  // namespace keystone
+
+#endif  // KEYSTONE_OBS_METRICS_H_

@@ -1,0 +1,233 @@
+#include "src/obs/profile_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace keystone {
+namespace obs {
+
+namespace {
+
+/// Keys and operator names are stored in a whitespace-separated text
+/// format, so spaces/percent signs inside names are %-escaped.
+std::string EscapeToken(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeToken(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      out += static_cast<char>(std::stoi(in.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int ProfileStore::RecordsBucket(size_t records) {
+  if (records == 0) return -1;
+  return static_cast<int>(std::floor(std::log2(
+      static_cast<double>(records))));
+}
+
+void ProfileStore::RecordObservation(const std::string& op,
+                                     const DataStats& in,
+                                     const CostProfile& predicted,
+                                     const CostProfile& observed,
+                                     double wall_seconds) {
+  const int bucket = RecordsBucket(in.num_records);
+  std::ostringstream key;
+  key << EscapeToken(op) << "|" << bucket << "|" << in.dim;
+  std::lock_guard<std::mutex> lock(mu_);
+  OperatorObservation& obs = observations_[key.str()];
+  if (obs.count == 0.0) {
+    obs.op = op;
+    obs.records_bucket = bucket;
+    obs.dim = in.dim;
+  }
+  obs.count += 1.0;
+  obs.records_sum += static_cast<double>(in.num_records);
+  obs.predicted_sum += predicted;
+  obs.observed_sum += observed;
+  obs.wall_seconds_sum += wall_seconds;
+}
+
+std::optional<CostProfile> ProfileStore::ObservedFor(
+    const std::string& op, const DataStats& in) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pool every scale bucket recorded for this operator: the per-record
+  // costs are what transfers across scales.
+  double records = 0.0, count = 0.0;
+  CostProfile observed;
+  for (const auto& [_, obs] : observations_) {
+    if (obs.op != op) continue;
+    records += obs.records_sum;
+    count += obs.count;
+    observed += obs.observed_sum;
+  }
+  if (count == 0.0 || records <= 0.0) return std::nullopt;
+  // Linear terms scale per record; coordination rounds reflect the
+  // operator's iteration structure and are carried over as an average.
+  CostProfile out = observed * (static_cast<double>(in.num_records) /
+                                records);
+  out.rounds = observed.rounds / count;
+  return out;
+}
+
+size_t ProfileStore::NumObservations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_.size();
+}
+
+std::string ProfileStore::NodeKey(int node_id, const std::string& name,
+                                  size_t sample_size) {
+  std::ostringstream os;
+  os << node_id << ":" << EscapeToken(name) << "@" << sample_size;
+  return os.str();
+}
+
+void ProfileStore::RecordNodeProfile(const std::string& key,
+                                     const NodeProfileRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node_profiles_[key] = record;
+}
+
+std::optional<NodeProfileRecord> ProfileStore::NodeProfileFor(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = node_profiles_.find(key);
+  if (it == node_profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t ProfileStore::NumNodeProfiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_profiles_.size();
+}
+
+bool ProfileStore::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# keystone profile store v1\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  out.precision(17);
+  for (const auto& [_, o] : observations_) {
+    out << "obs " << EscapeToken(o.op) << " " << o.records_bucket << " "
+        << o.dim << " " << o.count << " " << o.records_sum << " "
+        << o.predicted_sum.flops << " " << o.predicted_sum.bytes << " "
+        << o.predicted_sum.network << " " << o.predicted_sum.rounds << " "
+        << o.observed_sum.flops << " " << o.observed_sum.bytes << " "
+        << o.observed_sum.network << " " << o.observed_sum.rounds << " "
+        << o.wall_seconds_sum << "\n";
+  }
+  for (const auto& [key, n] : node_profiles_) {
+    out << "node " << key << " " << n.seconds << " " << n.records << " "
+        << n.bytes_per_record << " " << n.full_records << " "
+        << n.chosen_option << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool ProfileStore::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::map<std::string, OperatorObservation> observations;
+  std::map<std::string, NodeProfileRecord> node_profiles;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "obs") {
+      OperatorObservation o;
+      std::string op;
+      is >> op >> o.records_bucket >> o.dim >> o.count >> o.records_sum >>
+          o.predicted_sum.flops >> o.predicted_sum.bytes >>
+          o.predicted_sum.network >> o.predicted_sum.rounds >>
+          o.observed_sum.flops >> o.observed_sum.bytes >>
+          o.observed_sum.network >> o.observed_sum.rounds >>
+          o.wall_seconds_sum;
+      if (!is) return false;
+      o.op = UnescapeToken(op);
+      std::ostringstream key;
+      key << op << "|" << o.records_bucket << "|" << o.dim;
+      observations[key.str()] = o;
+    } else if (tag == "node") {
+      std::string key;
+      NodeProfileRecord n;
+      is >> key >> n.seconds >> n.records >> n.bytes_per_record >>
+          n.full_records >> n.chosen_option;
+      if (!is) return false;
+      node_profiles[key] = n;
+    } else {
+      return false;  // unknown record type: treat as corrupt
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  observations_ = std::move(observations);
+  node_profiles_ = std::move(node_profiles);
+  return true;
+}
+
+std::string ProfileStore::AccuracyReport(
+    const ClusterResourceDescriptor& r) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "Cost-model accuracy from observed history ("
+     << observations_.size() << " operator/scale cells)\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "  %-28s %8s %10s %12s %12s %9s\n", "op",
+                "obs", "records", "pred (s)", "obs (s)", "err");
+  os << buf;
+  for (const auto& [_, o] : observations_) {
+    if (o.count <= 0.0) continue;
+    const double pred_s = r.SecondsFor(o.predicted_sum * (1.0 / o.count));
+    const double obs_s = r.SecondsFor(o.observed_sum * (1.0 / o.count));
+    const double err =
+        obs_s > 0.0 ? (pred_s - obs_s) / obs_s : (pred_s > 0.0 ? 1.0 : 0.0);
+    std::snprintf(buf, sizeof(buf),
+                  "  %-28s %8.0f %10.0f %12.4g %12.4g %+8.1f%%\n",
+                  o.op.c_str(), o.count, o.records_sum / o.count, pred_s,
+                  obs_s, 100.0 * err);
+    os << buf;
+  }
+  return os.str();
+}
+
+void ProfileStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  observations_.clear();
+  node_profiles_.clear();
+}
+
+ProfileStore& ProfileStore::Global() {
+  static ProfileStore* store = new ProfileStore();
+  return *store;
+}
+
+}  // namespace obs
+}  // namespace keystone

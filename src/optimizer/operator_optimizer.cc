@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace keystone {
 
@@ -13,7 +14,8 @@ namespace {
 template <typename Op>
 PhysicalChoice ChooseOption(const std::vector<std::shared_ptr<Op>>& options,
                             const DataStats& stats,
-                            const ClusterResourceDescriptor& r) {
+                            const ClusterResourceDescriptor& r,
+                            const obs::ProfileStore* history) {
   KS_CHECK(!options.empty());
   const double node_memory = r.memory_per_node_gb * 1e9;
 
@@ -25,8 +27,15 @@ PhysicalChoice ChooseOption(const std::vector<std::shared_ptr<Op>>& options,
 
   for (size_t i = 0; i < options.size(); ++i) {
     const double scratch = options[i]->ScratchMemoryBytes(stats, r.num_nodes);
-    const double seconds =
-        r.SecondsFor(options[i]->EstimateCost(stats, r.num_nodes));
+    CostProfile cost = options[i]->EstimateCost(stats, r.num_nodes);
+    if (history != nullptr) {
+      const auto observed = history->ObservedFor(options[i]->Name(), stats);
+      if (observed.has_value()) {
+        cost = *observed;
+        ++best.history_corrected;
+      }
+    }
+    const double seconds = r.SecondsFor(cost);
     const bool feasible = scratch <= node_memory;
     if (scratch < min_scratch) {
       min_scratch = scratch;
@@ -46,6 +55,10 @@ PhysicalChoice ChooseOption(const std::vector<std::shared_ptr<Op>>& options,
                                                               r.num_nodes));
     best.feasible = false;
   }
+  if (best.history_corrected > 0) {
+    obs::MetricsRegistry::Global().Increment("optimizer.history_corrected",
+                                             best.history_corrected);
+  }
   return best;
 }
 
@@ -53,14 +66,16 @@ PhysicalChoice ChooseOption(const std::vector<std::shared_ptr<Op>>& options,
 
 PhysicalChoice ChooseTransformerOption(const OptimizableTransformer& logical,
                                        const DataStats& stats,
-                                       const ClusterResourceDescriptor& r) {
-  return ChooseOption(logical.options(), stats, r);
+                                       const ClusterResourceDescriptor& r,
+                                       const obs::ProfileStore* history) {
+  return ChooseOption(logical.options(), stats, r, history);
 }
 
 PhysicalChoice ChooseEstimatorOption(const OptimizableEstimator& logical,
                                      const DataStats& stats,
-                                     const ClusterResourceDescriptor& r) {
-  return ChooseOption(logical.options(), stats, r);
+                                     const ClusterResourceDescriptor& r,
+                                     const obs::ProfileStore* history) {
+  return ChooseOption(logical.options(), stats, r, history);
 }
 
 }  // namespace keystone

@@ -5,6 +5,7 @@
 
 #include "src/core/operator.h"
 #include "src/data/data_stats.h"
+#include "src/obs/profile_store.h"
 #include "src/sim/resources.h"
 
 namespace keystone {
@@ -14,20 +15,30 @@ struct PhysicalChoice {
   int option_index = 0;
   double estimated_seconds = 0.0;
   bool feasible = true;
+  /// How many options were scored from observed history (a ProfileStore)
+  /// rather than the a-priori cost model.
+  int history_corrected = 0;
 };
 
 /// Picks the cheapest feasible physical implementation for an Optimizable
 /// transformer given input statistics and cluster resources (paper §3).
 /// Options whose scratch memory exceeds per-node memory are infeasible; if
 /// every option is infeasible the one with the smallest footprint wins.
+/// When `history` is non-null, options with recorded observed costs are
+/// scored from that history (rescaled to `stats`) instead of their cost
+/// model — the profile store correcting the estimate.
 PhysicalChoice ChooseTransformerOption(const OptimizableTransformer& logical,
                                        const DataStats& stats,
-                                       const ClusterResourceDescriptor& r);
+                                       const ClusterResourceDescriptor& r,
+                                       const obs::ProfileStore* history =
+                                           nullptr);
 
 /// Same selection for Optimizable estimators.
 PhysicalChoice ChooseEstimatorOption(const OptimizableEstimator& logical,
                                      const DataStats& stats,
-                                     const ClusterResourceDescriptor& r);
+                                     const ClusterResourceDescriptor& r,
+                                     const obs::ProfileStore* history =
+                                         nullptr);
 
 }  // namespace keystone
 

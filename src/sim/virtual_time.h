@@ -2,9 +2,11 @@
 #define KEYSTONE_SIM_VIRTUAL_TIME_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/cost_profile.h"
 #include "src/sim/resources.h"
 
@@ -13,7 +15,10 @@ namespace keystone {
 /// Accumulates simulated (virtual) cluster time, broken down by named stage.
 /// Operators execute their real kernels in-process; the time the same work
 /// would take on the configured cluster is charged here. This is the ledger
-/// every benchmark reads its numbers from.
+/// every benchmark reads its numbers from. Charging is thread-safe so
+/// operators running on the worker pool may charge concurrently; when a
+/// metrics registry is attached every charge is also counted and sized
+/// there (`ledger.charges`, `ledger.charge_seconds`).
 class VirtualTimeLedger {
  public:
   explicit VirtualTimeLedger(const ClusterResourceDescriptor& resources)
@@ -36,14 +41,19 @@ class VirtualTimeLedger {
 
   const ClusterResourceDescriptor& resources() const { return resources_; }
 
+  /// Attaches a metrics registry (nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   void Reset();
 
   std::string ToString() const;
 
  private:
   ClusterResourceDescriptor resources_;
+  mutable std::mutex mu_;
   std::vector<std::string> stage_order_;
   std::map<std::string, double> stage_seconds_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Makespan (seconds) of independent tasks greedily list-scheduled over

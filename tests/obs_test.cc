@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/executor.h"
+#include "src/core/pipeline.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile_store.h"
+#include "src/obs/trace.h"
+#include "src/optimizer/operator_optimizer.h"
+#include "tests/test_operators.h"
+
+namespace keystone {
+namespace {
+
+using testing_ops::MeanCenterer;
+using testing_ops::Scale;
+using testing_ops::SubtractValue;
+
+std::shared_ptr<DistDataset<double>> Doubles(std::vector<double> values,
+                                             size_t parts = 2) {
+  return DistDataset<double>::Partitioned(std::move(values), parts);
+}
+
+ClusterResourceDescriptor TestCluster() {
+  return ClusterResourceDescriptor::R3_4xlarge(4);
+}
+
+/// Estimator with a fixed a-priori cost model and a fixed kernel-reported
+/// actual cost, so predicted-vs-observed plumbing is fully controllable.
+class ReportingEstimator : public Estimator<double, double> {
+ public:
+  ReportingEstimator(std::string name, CostProfile predicted,
+                     CostProfile observed)
+      : name_(std::move(name)), predicted_(predicted), observed_(observed) {}
+
+  std::string Name() const override { return name_; }
+
+  CostProfile EstimateCost(const DataStats& in, int workers) const override {
+    (void)in;
+    (void)workers;
+    return predicted_;
+  }
+
+  std::shared_ptr<Transformer<double, double>> Fit(
+      const DistDataset<double>& data, ExecContext* ctx) const override {
+    (void)data;
+    ctx->ReportActualCost(observed_);
+    return std::make_shared<SubtractValue>(0.0);
+  }
+
+ private:
+  std::string name_;
+  CostProfile predicted_;
+  CostProfile observed_;
+};
+
+/// Very light structural validation: balanced braces/brackets outside of
+/// string literals, which catches truncated or mis-quoted trace output.
+bool JsonBalanced(const std::string& json) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = in_string;
+      continue;
+    }
+    if (c == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST(TraceRecorderTest, RecordsSpansAndExportsChromeJson) {
+  obs::TraceRecorder recorder;
+  obs::TraceSpan span;
+  span.node_id = 7;
+  span.name = "NGrams \"quoted\"";  // exercises JSON escaping
+  span.kind = "transformer";
+  span.phase = obs::TracePhase::kTrain;
+  span.virtual_seconds = 1.5;
+  span.predicted = CostProfile(1e9, 2e9, 0, 1);
+  span.observed = CostProfile(2e9, 2e9, 0, 2);
+  span.used_observed = true;
+  recorder.Record(span);
+  span.name = "Solver";
+  span.phase = obs::TracePhase::kEval;
+  span.observed.reset();
+  recorder.Record(span);
+  ASSERT_EQ(recorder.NumSpans(), 2u);
+
+  const std::string json = recorder.ChromeTraceJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("NGrams \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"predicted_flops\":1e+09"), std::string::npos);
+  EXPECT_NE(json.find("\"observed_flops\":2e+09"), std::string::npos);
+
+  const std::string report = recorder.PlanReport();
+  EXPECT_NE(report.find("Solver"), std::string::npos);
+  EXPECT_NE(report.find("predicted="), std::string::npos);
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.NumSpans(), 0u);
+}
+
+TEST(TraceRecorderTest, WriteChromeTraceRoundTripsThroughDisk) {
+  obs::TraceRecorder recorder;
+  obs::TraceSpan span;
+  span.name = "Scale";
+  span.virtual_seconds = 0.25;
+  recorder.Record(span);
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(recorder.WriteChromeTrace(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, recorder.ChromeTraceJson());
+  EXPECT_TRUE(JsonBalanced(contents));
+}
+
+TEST(TraceTest, SpansCoverEveryExecutedOperator) {
+  auto train = Doubles({1, 2, 3, 4, 5, 6, 7, 8});
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(2.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), train);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  obs::TraceRecorder recorder;
+  executor.context()->set_tracer(&recorder);
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+
+  // Every node the executor ran at full scale has exactly one train span,
+  // matching the report.
+  std::set<int> train_span_ids;
+  size_t profile_spans = 0;
+  for (const auto& span : recorder.Spans()) {
+    if (span.phase == obs::TracePhase::kTrain) {
+      EXPECT_TRUE(train_span_ids.insert(span.node_id).second)
+          << "duplicate train span for node " << span.node_id;
+    } else {
+      ++profile_spans;
+    }
+  }
+  ASSERT_EQ(train_span_ids.size(), report.nodes.size());
+  for (const auto& node : report.nodes) {
+    EXPECT_EQ(train_span_ids.count(node.id), 1u) << node.name;
+  }
+  // Full() profiles at two sample sizes, so each train node also shows up
+  // in both profile phases.
+  EXPECT_EQ(profile_spans, 2 * report.nodes.size());
+
+  // Eval spans appear once the fitted pipeline runs.
+  const size_t before = recorder.NumSpans();
+  fitted.ApplyOne(1.0, executor.context());
+  size_t eval_spans = 0;
+  for (const auto& span : recorder.Spans()) {
+    if (span.phase == obs::TracePhase::kEval) ++eval_spans;
+  }
+  EXPECT_GT(recorder.NumSpans(), before);
+  EXPECT_GT(eval_spans, 0u);
+}
+
+TEST(TraceTest, SpanRecordsPredictedAndObservedCost) {
+  const CostProfile predicted(1e9, 1e6, 0, 1);
+  const CostProfile observed(3e9, 2e6, 0, 4);
+  auto train = Doubles({1, 2, 3, 4});
+  auto pipe = PipelineInput<double>().AndThenLogicalEstimator<double>(
+      std::make_shared<ReportingEstimator>("reporting-est", predicted,
+                                           observed),
+      train, nullptr);
+
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  obs::TraceRecorder recorder;
+  executor.context()->set_tracer(&recorder);
+  executor.Fit(pipe);
+
+  bool found = false;
+  for (const auto& span : recorder.Spans()) {
+    if (span.phase != obs::TracePhase::kTrain ||
+        span.kind != "Estimator") {
+      continue;
+    }
+    found = true;
+    EXPECT_DOUBLE_EQ(span.predicted.flops, predicted.flops);
+    EXPECT_DOUBLE_EQ(span.predicted.rounds, predicted.rounds);
+    ASSERT_TRUE(span.observed.has_value());
+    EXPECT_DOUBLE_EQ(span.observed->flops, observed.flops);
+    EXPECT_DOUBLE_EQ(span.observed->rounds, observed.rounds);
+    EXPECT_TRUE(span.used_observed);
+  }
+  EXPECT_TRUE(found) << "no estimator train span recorded";
+}
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry registry;
+  registry.Increment("a.count");
+  registry.Increment("a.count", 4.0);
+  EXPECT_DOUBLE_EQ(registry.GetCounter("a.count")->Value(), 5.0);
+
+  registry.Set("a.gauge", 42.0);
+  registry.Set("a.gauge", 7.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("a.gauge")->Value(), 7.0);
+
+  obs::Histogram* h = registry.GetHistogram("a.hist");
+  h->Record(0.5);
+  h->Record(2.0);
+  h->Record(200.0);
+  EXPECT_EQ(h->Count(), 3u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 202.5);
+  EXPECT_DOUBLE_EQ(h->Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->Max(), 200.0);
+  uint64_t bucketed = 0;
+  for (uint64_t b : h->Buckets()) bucketed += b;
+  EXPECT_EQ(bucketed, 3u);
+
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "a.count");
+  EXPECT_TRUE(JsonBalanced(registry.ToJson()));
+  EXPECT_NE(registry.ToJson().find("\"a.hist\""), std::string::npos);
+
+  registry.Clear();
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsTest, ConcurrentUpdatesFromThreadPoolAreExact) {
+  obs::MetricsRegistry registry;
+  // Look up once, update from many workers (the documented hot-path use).
+  obs::Counter* counter = registry.GetCounter("pool.hits");
+  obs::Histogram* hist = registry.GetHistogram("pool.obs");
+  ThreadPool pool(8);
+  constexpr size_t kIters = 10000;
+  pool.ParallelFor(kIters, [&](size_t i) {
+    counter->Increment();
+    hist->Record(1.0);
+    // Name-based lookups from workers exercise the lock striping.
+    registry.Increment("pool.striped." + std::to_string(i % 7));
+  });
+  EXPECT_DOUBLE_EQ(counter->Value(), static_cast<double>(kIters));
+  EXPECT_EQ(hist->Count(), kIters);
+  EXPECT_DOUBLE_EQ(hist->Sum(), static_cast<double>(kIters));
+  double striped = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    striped += registry.GetCounter("pool.striped." + std::to_string(i))
+                   ->Value();
+  }
+  EXPECT_DOUBLE_EQ(striped, static_cast<double>(kIters));
+}
+
+TEST(ProfileStoreTest, RoundTripsThroughDisk) {
+  obs::ProfileStore store;
+  DataStats stats;
+  stats.num_records = 1000;
+  stats.dim = 64;
+  store.RecordObservation("qr local solve", stats, CostProfile(1e9, 1e6, 0, 1),
+                          CostProfile(2e9, 3e6, 4e5, 2), 0.125);
+  obs::NodeProfileRecord node;
+  node.seconds = 1.5;
+  node.records = 512;
+  node.bytes_per_record = 80.0;
+  node.full_records = 65000000;
+  node.chosen_option = 2;
+  const std::string key =
+      obs::ProfileStore::NodeKey(3, "Common Sparse Features", 512);
+  store.RecordNodeProfile(key, node);
+
+  const std::string path = ::testing::TempDir() + "/profile_store.txt";
+  ASSERT_TRUE(store.Save(path));
+
+  obs::ProfileStore loaded;
+  ASSERT_TRUE(loaded.Load(path));
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.NumObservations(), 1u);
+  EXPECT_EQ(loaded.NumNodeProfiles(), 1u);
+
+  const auto observed = loaded.ObservedFor("qr local solve", stats);
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_DOUBLE_EQ(observed->flops, 2e9);
+  EXPECT_DOUBLE_EQ(observed->bytes, 3e6);
+  EXPECT_DOUBLE_EQ(observed->network, 4e5);
+  EXPECT_DOUBLE_EQ(observed->rounds, 2.0);
+
+  const auto roundtrip = loaded.NodeProfileFor(key);
+  ASSERT_TRUE(roundtrip.has_value());
+  EXPECT_DOUBLE_EQ(roundtrip->seconds, 1.5);
+  EXPECT_EQ(roundtrip->records, 512u);
+  EXPECT_DOUBLE_EQ(roundtrip->bytes_per_record, 80.0);
+  EXPECT_EQ(roundtrip->full_records, 65000000u);
+  EXPECT_EQ(roundtrip->chosen_option, 2);
+
+  const std::string report = loaded.AccuracyReport(TestCluster());
+  EXPECT_NE(report.find("qr local solve"), std::string::npos);
+}
+
+TEST(ProfileStoreTest, ObservedForRescalesLinearTermsNotRounds) {
+  obs::ProfileStore store;
+  DataStats small;
+  small.num_records = 100;
+  small.dim = 8;
+  store.RecordObservation("op", small, CostProfile(),
+                          CostProfile(1e6, 2e6, 3e6, 40), 0.0);
+  DataStats big = small;
+  big.num_records = 1000;
+  const auto scaled = store.ObservedFor("op", big);
+  ASSERT_TRUE(scaled.has_value());
+  EXPECT_DOUBLE_EQ(scaled->flops, 1e7);
+  EXPECT_DOUBLE_EQ(scaled->bytes, 2e7);
+  EXPECT_DOUBLE_EQ(scaled->network, 3e7);
+  EXPECT_DOUBLE_EQ(scaled->rounds, 40.0);  // carried over, not scaled
+  EXPECT_FALSE(store.ObservedFor("unknown", big).has_value());
+}
+
+TEST(ProfileStoreTest, LoadRejectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/corrupt_store.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage line that is not a record\n", f);
+  std::fclose(f);
+  obs::ProfileStore store;
+  EXPECT_FALSE(store.Load(path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(store.Load(path));  // missing file
+}
+
+TEST(OptimizerHistoryTest, ObservedHistoryCorrectsSelection) {
+  // Model says "fast" wins; observed history says it is catastrophically
+  // slower than modeled, flipping the choice.
+  auto fast = std::make_shared<ReportingEstimator>(
+      "fast-est", CostProfile(1e9, 0, 0, 0), CostProfile());
+  auto slow = std::make_shared<ReportingEstimator>(
+      "slow-est", CostProfile(1e12, 0, 0, 0), CostProfile());
+  OptimizableEstimator logical("solver", {fast, slow});
+
+  DataStats stats;
+  stats.num_records = 1000;
+  stats.dim = 16;
+  const auto& cluster = TestCluster();
+
+  const auto model_choice = ChooseEstimatorOption(logical, stats, cluster);
+  EXPECT_EQ(model_choice.option_index, 0);
+  EXPECT_EQ(model_choice.history_corrected, 0);
+
+  obs::ProfileStore history;
+  history.RecordObservation("fast-est", stats, CostProfile(1e9, 0, 0, 0),
+                            CostProfile(1e14, 0, 0, 0), 0.5);
+  const auto corrected =
+      ChooseEstimatorOption(logical, stats, cluster, &history);
+  EXPECT_EQ(corrected.option_index, 1);
+  EXPECT_EQ(corrected.history_corrected, 1);
+}
+
+TEST(ProfileStoreTest, OptimizerConsumesStoredProfilesInsteadOfResampling) {
+  const auto build = [] {
+    auto train = Doubles({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+    auto fast = std::make_shared<ReportingEstimator>(
+        "fast-est", CostProfile(1e9, 0, 0, 0), CostProfile(5e9, 0, 0, 1));
+    auto slow = std::make_shared<ReportingEstimator>(
+        "slow-est", CostProfile(1e12, 0, 0, 0), CostProfile(1e12, 0, 0, 1));
+    auto logical = std::make_shared<OptimizableEstimator>(
+        "solver", std::vector<std::shared_ptr<EstimatorBase>>{fast, slow});
+    return PipelineInput<double>()
+        .AndThen(std::make_shared<Scale>(2.0))
+        .AndThenLogicalEstimator<double>(logical, train, nullptr);
+  };
+
+  // First run: sample, select, and populate a fresh profile store.
+  obs::ProfileStore recorded;
+  PipelineReport first;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+    executor.context()->set_profile_store(&recorded);
+    executor.Fit(build(), &first);
+  }
+  EXPECT_FALSE(first.profiles_from_store);
+  EXPECT_GT(first.optimize_seconds, 0.0);
+  EXPECT_GT(recorded.NumNodeProfiles(), 0u);
+
+  // Persist and reload, as a later process would.
+  const std::string path = ::testing::TempDir() + "/exec_profiles.txt";
+  ASSERT_TRUE(recorded.Save(path));
+  obs::ProfileStore reloaded;
+  ASSERT_TRUE(reloaded.Load(path));
+  std::remove(path.c_str());
+
+  // Second run: the store stands in for both sampling passes.
+  OptimizationConfig config = OptimizationConfig::Full();
+  config.reuse_stored_profiles = true;
+  PipelineExecutor executor(TestCluster(), config);
+  executor.context()->set_profile_store(&reloaded);
+  obs::TraceRecorder recorder;
+  executor.context()->set_tracer(&recorder);
+  PipelineReport second;
+  executor.Fit(build(), &second);
+
+  EXPECT_TRUE(second.profiles_from_store);
+  // No sampling executions happened: every recorded span is full-scale.
+  for (const auto& span : recorder.Spans()) {
+    EXPECT_EQ(span.phase, obs::TracePhase::kTrain)
+        << "unexpected sampling span for " << span.name;
+  }
+  // The plan is identical to the sampled run: same physical choice, same
+  // cache set, same modeled training time — without the profiling cost.
+  ASSERT_EQ(second.nodes.size(), first.nodes.size());
+  for (size_t i = 0; i < first.nodes.size(); ++i) {
+    EXPECT_EQ(second.nodes[i].name, first.nodes[i].name);
+    EXPECT_EQ(second.nodes[i].chosen_physical, first.nodes[i].chosen_physical);
+  }
+  EXPECT_EQ(second.cache_set, first.cache_set);
+  EXPECT_NEAR(second.total_train_seconds, first.total_train_seconds,
+              1e-9 * std::max(1.0, first.total_train_seconds));
+  EXPECT_DOUBLE_EQ(second.optimize_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace keystone

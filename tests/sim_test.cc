@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cost_profile.h"
 #include "src/sim/resources.h"
 #include "src/sim/virtual_time.h"
@@ -18,6 +20,42 @@ TEST(CostProfileTest, Arithmetic) {
   const CostProfile scaled = b * 10.0;
   EXPECT_DOUBLE_EQ(scaled.flops, 10);
   EXPECT_DOUBLE_EQ(scaled.rounds, 10);
+}
+
+TEST(CostProfileTest, DefaultIsZeroAndAdditiveIdentity) {
+  const CostProfile zero;
+  EXPECT_DOUBLE_EQ(zero.flops, 0.0);
+  EXPECT_DOUBLE_EQ(zero.bytes, 0.0);
+  EXPECT_DOUBLE_EQ(zero.network, 0.0);
+  EXPECT_DOUBLE_EQ(zero.rounds, 0.0);
+  const CostProfile a(7, 8, 9, 2);
+  const CostProfile sum = a + zero;
+  EXPECT_DOUBLE_EQ(sum.flops, a.flops);
+  EXPECT_DOUBLE_EQ(sum.bytes, a.bytes);
+  EXPECT_DOUBLE_EQ(sum.network, a.network);
+  EXPECT_DOUBLE_EQ(sum.rounds, a.rounds);
+}
+
+TEST(CostProfileTest, CompoundAddAndScaleCompose) {
+  CostProfile acc;
+  const CostProfile step(1, 2, 3, 4);
+  for (int i = 0; i < 5; ++i) acc += step;
+  EXPECT_DOUBLE_EQ(acc.flops, 5.0);
+  EXPECT_DOUBLE_EQ(acc.bytes, 10.0);
+  EXPECT_DOUBLE_EQ(acc.network, 15.0);
+  EXPECT_DOUBLE_EQ(acc.rounds, 20.0);
+  // acc + acc == acc * 2 componentwise.
+  const CostProfile doubled = acc + acc;
+  const CostProfile scaled = acc * 2.0;
+  EXPECT_DOUBLE_EQ(doubled.flops, scaled.flops);
+  EXPECT_DOUBLE_EQ(doubled.bytes, scaled.bytes);
+  EXPECT_DOUBLE_EQ(doubled.network, scaled.network);
+  EXPECT_DOUBLE_EQ(doubled.rounds, scaled.rounds);
+  // Scaling by zero recovers the identity.
+  const CostProfile zeroed = acc * 0.0;
+  EXPECT_DOUBLE_EQ(zeroed.flops, 0.0);
+  EXPECT_DOUBLE_EQ(zeroed.rounds, 0.0);
+  EXPECT_FALSE(acc.ToString().empty());
 }
 
 TEST(ResourcesTest, SecondsForSplitsExecAndCoord) {
@@ -81,6 +119,36 @@ TEST(VirtualTimeLedgerTest, Reset) {
   ledger.Reset();
   EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 0.0);
   EXPECT_TRUE(ledger.Breakdown().empty());
+}
+
+TEST(VirtualTimeLedgerTest, ConcurrentChargesFromThreadPoolAreExact) {
+  VirtualTimeLedger ledger(ClusterResourceDescriptor::R3_4xlarge(2));
+  ThreadPool pool(8);
+  constexpr size_t kCharges = 4000;  // 1000 per stage, 1.0s each: exact sums
+  pool.ParallelFor(kCharges, [&](size_t i) {
+    ledger.ChargeSeconds("Stage" + std::to_string(i % 4), 1.0);
+  });
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(ledger.StageSeconds("Stage" + std::to_string(s)), 1000.0);
+  }
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), static_cast<double>(kCharges));
+  EXPECT_EQ(ledger.Breakdown().size(), 4u);
+}
+
+TEST(VirtualTimeLedgerTest, ChargesFeedAttachedMetrics) {
+  obs::MetricsRegistry registry;
+  VirtualTimeLedger ledger(ClusterResourceDescriptor::R3_4xlarge(2));
+  ledger.set_metrics(&registry);
+  ledger.ChargeSeconds("Solve", 2.5);
+  ledger.ChargeSeconds("Solve", 0.5);
+  EXPECT_DOUBLE_EQ(registry.GetCounter("ledger.charges")->Value(), 2.0);
+  EXPECT_EQ(registry.GetHistogram("ledger.charge_seconds")->Count(), 2u);
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("ledger.charge_seconds")->Sum(), 3.0);
+  // Detaching stops instrumentation but keeps the ledger working.
+  ledger.set_metrics(nullptr);
+  ledger.ChargeSeconds("Solve", 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetCounter("ledger.charges")->Value(), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 4.0);
 }
 
 TEST(StageMakespanTest, SingleSlotIsSum) {
