@@ -13,12 +13,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/common/timer.h"
 #include "src/common/rng.h"
+#include "src/common/timer.h"
 #include "src/core/exec_context.h"
 #include "src/linalg/gemm.h"
-#include "src/optimizer/operator_optimizer.h"
 #include "src/ops/pca.h"
+#include "src/optimizer/operator_optimizer.h"
 #include "src/solvers/solvers.h"
 #include "src/workloads/datasets.h"
 

@@ -1,35 +1,46 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verification plus an AddressSanitizer test pass.
+# CI entry point: repo lint, tier-1 verification with warnings-as-errors,
+# the pipeline_lint static-analysis pass, then a sanitizer matrix running
+# the full test suite under each sanitizer.
 #
-#   scripts/ci.sh            # tier-1 build + full test suite + ASan pass
-#   scripts/ci.sh --no-asan  # tier-1 only
-#   KEYSTONE_SANITIZE=thread scripts/ci.sh   # use TSan for the second pass
+#   scripts/ci.sh                  # lint + tier-1 + ASan and UBSan legs
+#   scripts/ci.sh --no-sanitizers  # lint + tier-1 only (alias: --no-asan)
+#   KEYSTONE_SANITIZE=thread scripts/ci.sh            # custom legs
+#   KEYSTONE_SANITIZE="address undefined" scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZER="${KEYSTONE_SANITIZE:-address}"
+SANITIZERS="${KEYSTONE_SANITIZE:-address undefined}"
 RUN_SANITIZED=1
 for arg in "$@"; do
   case "$arg" in
-    --no-asan) RUN_SANITIZED=0 ;;
+    --no-sanitizers|--no-asan) RUN_SANITIZED=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "=== tier-1: build + full test suite ==="
-cmake -B build -S .
-cmake --build build -j
+echo "=== lint: repo conventions ==="
+scripts/lint.sh
+
+echo "=== tier-1: build (warnings-as-errors) + full test suite ==="
+cmake -B build -S . -DKEYSTONE_WERROR=ON
+cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "=== static analysis: pipeline_lint over shipped workloads ==="
+./build/tools/pipeline_lint --strict
+
 if [[ "$RUN_SANITIZED" == 1 ]]; then
-  echo "=== ${SANITIZER} sanitizer pass (obs + sim + core suites) ==="
-  cmake -B "build-${SANITIZER}" -S . -DKEYSTONE_SANITIZE="${SANITIZER}"
-  cmake --build "build-${SANITIZER}" -j --target obs_test sim_test core_test
-  # Run the binaries directly: only these three targets are built in the
-  # sanitized tree, so ctest's full discovered list is not available.
-  "./build-${SANITIZER}/tests/obs_test"
-  "./build-${SANITIZER}/tests/sim_test"
-  "./build-${SANITIZER}/tests/core_test"
+  for sanitizer in $SANITIZERS; do
+    echo "=== ${sanitizer} sanitizer pass (full suite) ==="
+    # Debug keeps assertions — including the debug lock-order checker —
+    # active under the sanitizers; RelWithDebInfo would strip them via
+    # NDEBUG.
+    cmake -B "build-${sanitizer}" -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DKEYSTONE_WERROR=ON -DKEYSTONE_SANITIZE="${sanitizer}"
+    cmake --build "build-${sanitizer}" -j"$(nproc)"
+    (cd "build-${sanitizer}" && ctest --output-on-failure -j"$(nproc)")
+  done
 fi
 
 echo "CI OK"

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Repo-convention linter (no external dependencies: bash + awk + grep).
+#
+# Checks, over src/ tests/ bench/ examples/ tools/:
+#   1. Header guards match the file path: src/core/executor.h must use
+#      KEYSTONE_CORE_EXECUTOR_H_ (the src/ prefix is dropped; other roots
+#      keep theirs, e.g. KEYSTONE_TESTS_TEST_OPERATORS_H_).
+#   2. No `using namespace` at any scope inside headers.
+#   3. No raw new/delete outside allocator code. Intentional leaks (the
+#      process-global singletons) carry a `// NOLINT` marker; `= delete`
+#      declarations are exempt.
+#   4. #include lines are sorted within each contiguous block, angle
+#      includes before quoted ones.
+#
+# Exit status 1 when any check fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+  echo "lint: $1"
+  fail=1
+}
+
+mapfile -t headers < <(find src tests bench tools examples -name '*.h' | sort)
+mapfile -t sources < <(find src tests bench tools examples \
+  -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort)
+
+# --- 1. Header guards -------------------------------------------------------
+for h in "${headers[@]}"; do
+  rel="${h#src/}"
+  guard="KEYSTONE_$(echo "$rel" | tr '[:lower:]' '[:upper:]' \
+    | sed 's%[/.-]%_%g')_"
+  if ! grep -q "^#ifndef ${guard}\$" "$h"; then
+    complain "$h: missing or wrong header guard (expected ${guard})"
+  elif ! grep -q "^#define ${guard}\$" "$h"; then
+    complain "$h: guard ${guard} is never #define'd"
+  fi
+done
+
+# --- 2. using namespace in headers ------------------------------------------
+for h in "${headers[@]}"; do
+  while IFS= read -r hit; do
+    complain "$h:${hit%%:*}: 'using namespace' in a header"
+  done < <(grep -n "^[[:space:]]*using namespace" "$h" || true)
+done
+
+# --- 3. Raw new/delete ------------------------------------------------------
+for f in "${sources[@]}"; do
+  while IFS= read -r hit; do
+    complain "$f:${hit} (mark intentional leaks with // NOLINT)"
+  done < <(awk '
+    $0 ~ /NOLINT/ { next }
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)          # strip trailing comments
+      sub(/^[[:space:]]*\*.*/, "", line)  # block-comment continuation
+      if (line ~ /=[[:space:]]*delete/) next
+      if (line ~ /(^|[^[:alnum:]_.])new[[:space:]]+[A-Za-z_(]/ ||
+          line ~ /(^|[^[:alnum:]_])delete([[:space:]]+[A-Za-z_*(]|\[\])/) {
+        printf "%d: raw new/delete: %s\n", FNR, $0
+      }
+    }' "$f" || true)
+done
+
+# --- 4. #include ordering ---------------------------------------------------
+for f in "${sources[@]}"; do
+  while IFS= read -r hit; do
+    complain "$f:${hit}"
+  done < <(awk '
+    function key(line) {
+      # Angle includes sort before quoted includes within a block.
+      if (line ~ /^#include[[:space:]]*</) return "0" line
+      return "1" line
+    }
+    /^#include/ {
+      k = key($0)
+      if (in_block && k < prev) {
+        printf "%d: include out of order: %s\n", FNR, $0
+      }
+      in_block = 1
+      prev = k
+      next
+    }
+    { in_block = 0 }' "$f" || true)
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

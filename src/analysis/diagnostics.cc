@@ -1,0 +1,87 @@
+#include "src/analysis/diagnostics.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace keystone {
+namespace analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityName(severity) << " [" << rule << "]";
+  if (node >= 0) os << " node " << node;
+  os << ": " << message;
+  return os.str();
+}
+
+void ValidationReport::Add(Severity severity, std::string rule, int node,
+                           std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.rule = std::move(rule);
+  diag.node = node;
+  diag.message = std::move(message);
+  diagnostics_.push_back(std::move(diag));
+}
+
+void ValidationReport::Merge(ValidationReport other) {
+  for (auto& diag : other.diagnostics_) {
+    diagnostics_.push_back(std::move(diag));
+  }
+}
+
+int ValidationReport::CountOf(Severity severity) const {
+  int count = 0;
+  for (const Diagnostic& diag : diagnostics_) {
+    if (diag.severity == severity) ++count;
+  }
+  return count;
+}
+
+bool ValidationReport::HasRule(const std::string& rule) const {
+  return FindRule(rule) != nullptr;
+}
+
+const Diagnostic* ValidationReport::FindRule(const std::string& rule) const {
+  for (const Diagnostic& diag : diagnostics_) {
+    if (diag.rule == rule) return &diag;
+  }
+  return nullptr;
+}
+
+std::string ValidationReport::ToString() const {
+  std::ostringstream os;
+  os << "ValidationReport{" << errors() << " errors, " << warnings()
+     << " warnings, " << CountOf(Severity::kInfo) << " infos}";
+  for (const Diagnostic& diag : diagnostics_) {
+    os << "\n  " << diag.ToString();
+  }
+  return os.str();
+}
+
+void RecordDiagnostics(const ValidationReport& report,
+                       obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->Increment("analysis.validations");
+  metrics->Increment("analysis.diagnostics.error", report.errors());
+  metrics->Increment("analysis.diagnostics.warning", report.warnings());
+  metrics->Increment("analysis.diagnostics.info",
+                     report.CountOf(Severity::kInfo));
+}
+
+}  // namespace analysis
+}  // namespace keystone

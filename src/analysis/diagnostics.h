@@ -1,0 +1,79 @@
+#ifndef KEYSTONE_ANALYSIS_DIAGNOSTICS_H_
+#define KEYSTONE_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+namespace keystone {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace analysis {
+
+/// Severity policy of the static-analysis layer:
+///   kError   — the plan violates a structural invariant and executing it
+///              would crash or silently compute the wrong thing; validation
+///              wired behind OptimizationConfig::validate_plans fails fast.
+///   kWarning — the plan executes correctly but is suspicious or wasteful
+///              (dead nodes, missed CSE); reported, never fatal.
+///   kInfo    — neutral observations surfaced for report readers.
+enum class Severity {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+/// One finding from a static-analysis pass over a pipeline plan.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Stable rule identifier, e.g. "arity.transformer" (see the catalogue
+  /// in plan_validator.h). Tests and tooling match on this, not on text.
+  std::string rule;
+  /// Offending node id, or -1 for whole-plan findings.
+  int node = -1;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// The result of validating one plan: every diagnostic, in rule-evaluation
+/// order, plus aggregate views.
+class ValidationReport {
+ public:
+  void Add(Severity severity, std::string rule, int node,
+           std::string message);
+  void Merge(ValidationReport other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  int CountOf(Severity severity) const;
+  int errors() const { return CountOf(Severity::kError); }
+  int warnings() const { return CountOf(Severity::kWarning); }
+
+  /// No errors (warnings and infos allowed).
+  bool ok() const { return errors() == 0; }
+  /// No diagnostics of any severity.
+  bool clean() const { return diagnostics_.empty(); }
+
+  bool HasRule(const std::string& rule) const;
+  /// First diagnostic with `rule`, or nullptr.
+  const Diagnostic* FindRule(const std::string& rule) const;
+
+  /// One line per diagnostic plus a summary header.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Counts the report's diagnostics into `metrics` (no-op when null):
+/// `analysis.validations` plus `analysis.diagnostics.{error,warning,info}`.
+void RecordDiagnostics(const ValidationReport& report,
+                       obs::MetricsRegistry* metrics);
+
+}  // namespace analysis
+}  // namespace keystone
+
+#endif  // KEYSTONE_ANALYSIS_DIAGNOSTICS_H_

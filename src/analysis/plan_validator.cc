@@ -1,0 +1,309 @@
+#include "src/analysis/plan_validator.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace keystone {
+namespace analysis {
+
+namespace {
+
+std::string NodeLabel(const PipelineGraph& graph, int id) {
+  std::ostringstream os;
+  os << NodeKindName(graph.node(id).kind) << " '" << graph.node(id).name
+     << "'";
+  return os.str();
+}
+
+/// Per-node structural rules: arity by kind, payload presence, edge
+/// direction, model_input discipline, estimator-output consumption.
+/// Returns true when every edge (input + model_input) is in range and
+/// backward, i.e. graph traversals are safe.
+bool CheckStructure(const PipelineGraph& graph, ValidationReport* report) {
+  bool edges_ok = true;
+  for (int id = 0; id < graph.size(); ++id) {
+    const GraphNode& node = graph.node(id);
+    const int arity = static_cast<int>(node.inputs.size());
+
+    for (int dep : node.inputs) {
+      if (dep < 0 || dep >= graph.size()) {
+        report->Add(Severity::kError, rules::kEdgeOutOfRange, id,
+                    "input edge points at nonexistent node " +
+                        std::to_string(dep));
+        edges_ok = false;
+      } else if (dep >= id) {
+        report->Add(Severity::kError, rules::kEdgeForward, id,
+                    "input edge from node " + std::to_string(dep) +
+                        " breaks the append-only topological order");
+        edges_ok = false;
+      } else if (graph.node(dep).kind == NodeKind::kEstimator) {
+        report->Add(Severity::kError, rules::kDatasetEstimatorOutput, id,
+                    NodeLabel(graph, id) + " consumes the model output of " +
+                        NodeLabel(graph, dep) +
+                        " as a dataset (models flow through model_input)");
+      }
+    }
+
+    if (node.model_input >= 0 && node.kind != NodeKind::kApplyModel) {
+      report->Add(Severity::kError, rules::kModelOnNonApply, id,
+                  NodeLabel(graph, id) + " has a model_input but only "
+                  "ApplyModel nodes consume models");
+    }
+
+    switch (node.kind) {
+      case NodeKind::kSource:
+      case NodeKind::kPlaceholder:
+        if (arity != 0) {
+          report->Add(Severity::kError, rules::kAritySource, id,
+                      NodeLabel(graph, id) + " must have 0 inputs, has " +
+                          std::to_string(arity));
+        }
+        if (node.kind == NodeKind::kSource && node.bound_data == nullptr) {
+          report->Add(Severity::kError, rules::kPayloadMissing, id,
+                      NodeLabel(graph, id) + " has no bound dataset");
+        }
+        break;
+      case NodeKind::kTransformer:
+        if (arity != 1) {
+          report->Add(Severity::kError, rules::kArityTransformer, id,
+                      NodeLabel(graph, id) + " must have exactly 1 input, "
+                      "has " + std::to_string(arity));
+        }
+        if (node.transformer == nullptr) {
+          report->Add(Severity::kError, rules::kPayloadMissing, id,
+                      NodeLabel(graph, id) + " has no transformer payload");
+        }
+        break;
+      case NodeKind::kEstimator:
+        if (arity < 1 || arity > 2) {
+          report->Add(Severity::kError, rules::kArityEstimator, id,
+                      NodeLabel(graph, id) + " must have 1 (data) or 2 "
+                      "(data, labels) inputs, has " + std::to_string(arity));
+        }
+        if (node.estimator == nullptr) {
+          report->Add(Severity::kError, rules::kPayloadMissing, id,
+                      NodeLabel(graph, id) + " has no estimator payload");
+        }
+        break;
+      case NodeKind::kApplyModel: {
+        if (arity != 1) {
+          report->Add(Severity::kError, rules::kArityApplyModel, id,
+                      NodeLabel(graph, id) + " must have exactly 1 data "
+                      "input, has " + std::to_string(arity));
+        }
+        const int model = node.model_input;
+        if (model < 0) {
+          report->Add(Severity::kError, rules::kModelMissing, id,
+                      NodeLabel(graph, id) +
+                          " has no model_input; ApplyModel needs the "
+                          "estimator node that supplies its model");
+        } else if (model >= graph.size()) {
+          report->Add(Severity::kError, rules::kEdgeOutOfRange, id,
+                      "model_input points at nonexistent node " +
+                          std::to_string(model));
+          edges_ok = false;
+        } else if (model >= id) {
+          report->Add(Severity::kError, rules::kEdgeForward, id,
+                      "model_input from node " + std::to_string(model) +
+                          " breaks the append-only topological order");
+          edges_ok = false;
+        } else if (graph.node(model).kind != NodeKind::kEstimator) {
+          report->Add(Severity::kError, rules::kModelNotEstimator, id,
+                      NodeLabel(graph, id) + " model_input points at " +
+                          NodeLabel(graph, model) +
+                          ", which is not an estimator");
+        }
+        break;
+      }
+      case NodeKind::kGather:
+        if (arity < 1) {
+          report->Add(Severity::kError, rules::kArityGather, id,
+                      NodeLabel(graph, id) + " must gather at least 1 "
+                      "input");
+        }
+        if (node.transformer == nullptr) {
+          report->Add(Severity::kError, rules::kPayloadMissing, id,
+                      NodeLabel(graph, id) + " has no gather payload");
+        }
+        break;
+    }
+  }
+  return edges_ok;
+}
+
+/// Whole-graph rules that need safe traversal: placeholder discipline,
+/// reachability from the sink, missed CSE.
+void CheckGraphRules(const PipelineGraph& graph,
+                     const PlanValidationOptions& options,
+                     ValidationReport* report) {
+  // Estimators are fit at training time on bound data; a training path
+  // that reaches back to a runtime placeholder can never execute
+  // (the executor would abort mid-fit).
+  for (int p = 0; p < graph.size(); ++p) {
+    if (graph.node(p).kind != NodeKind::kPlaceholder) continue;
+    const std::vector<bool> downstream = graph.ReachableFrom(p);
+    for (int id = 0; id < graph.size(); ++id) {
+      if (downstream[id] && graph.node(id).kind == NodeKind::kEstimator) {
+        report->Add(Severity::kError, rules::kPlaceholderTrainPath, id,
+                    NodeLabel(graph, id) + " transitively consumes "
+                    "placeholder '" + graph.node(p).name +
+                        "'; estimators must be fit on bound training data");
+      }
+    }
+  }
+
+  if (options.placeholder >= 0) {
+    if (options.placeholder >= graph.size() ||
+        graph.node(options.placeholder).kind != NodeKind::kPlaceholder) {
+      report->Add(Severity::kError, rules::kPlaceholderInvalid,
+                  options.placeholder,
+                  "declared runtime input is not a Placeholder node");
+    }
+  }
+
+  if (options.sink >= 0) {
+    if (options.sink >= graph.size()) {
+      report->Add(Severity::kError, rules::kEdgeOutOfRange, options.sink,
+                  "sink points at a nonexistent node");
+    } else {
+      const std::vector<bool> needed = graph.AncestorsOf(options.sink);
+      for (int id = 0; id < graph.size(); ++id) {
+        if (!needed[id] && options.warn_unreachable) {
+          report->Add(Severity::kWarning, rules::kUnreachable, id,
+                      NodeLabel(graph, id) +
+                          " does not feed the sink and will never execute");
+        }
+        // A second placeholder feeding the sink would stay unbound when
+        // the fitted pipeline is applied.
+        if (needed[id] && options.placeholder >= 0 &&
+            id != options.placeholder &&
+            graph.node(id).kind == NodeKind::kPlaceholder) {
+          report->Add(Severity::kError, rules::kPlaceholderUnbound, id,
+                      "placeholder '" + graph.node(id).name +
+                          "' feeds the sink but is not the declared "
+                          "runtime input; it can never be bound");
+        }
+      }
+    }
+  }
+
+  if (options.expect_cse) {
+    // Re-run CSE on a scratch copy; anything it would still merge among
+    // the nodes that actually feed the sink is a structurally identical
+    // subgraph that survived optimization. (CSE leaves merged duplicates
+    // behind as dead nodes; those re-merge trivially and do not count.)
+    PipelineGraph scratch = graph;
+    std::vector<int> canon;
+    scratch.EliminateCommonSubexpressions(&canon);
+    std::vector<bool> needed(graph.size(), true);
+    if (options.sink >= 0 && options.sink < graph.size()) {
+      needed = graph.AncestorsOf(options.sink);
+    }
+    int missed = 0;
+    for (int id = 0; id < graph.size(); ++id) {
+      if (needed[id] && canon[id] != id) ++missed;
+    }
+    if (missed > 0) {
+      report->Add(Severity::kWarning, rules::kMissedCse, -1,
+                  std::to_string(missed) +
+                      " structurally identical node(s) survived common "
+                      "sub-expression elimination");
+    }
+  }
+}
+
+bool Invalid(double v) { return !std::isfinite(v) || v < 0.0; }
+
+}  // namespace
+
+ValidationReport PlanValidator::Validate(const PipelineGraph& graph) const {
+  ValidationReport report;
+  if (CheckStructure(graph, &report)) {
+    CheckGraphRules(graph, options_, &report);
+  }
+  return report;
+}
+
+ValidationReport PlanValidator::ValidatePlan(
+    const MaterializationProblem& problem,
+    const std::vector<bool>& cache_set) const {
+  ValidationReport report;
+  const PipelineGraph& graph = *problem.graph;
+  if (static_cast<int>(cache_set.size()) != graph.size() ||
+      static_cast<int>(problem.info.size()) != graph.size()) {
+    report.Add(Severity::kError, rules::kCacheSetSize, -1,
+               "cache set covers " + std::to_string(cache_set.size()) +
+                   " nodes and runtime info " +
+                   std::to_string(problem.info.size()) + ", but the graph "
+                   "has " + std::to_string(graph.size()));
+    return report;
+  }
+
+  for (int id = 0; id < graph.size(); ++id) {
+    const NodeRuntimeInfo& info = problem.info[id];
+    if (cache_set[id] && !info.live) {
+      report.Add(Severity::kWarning, rules::kCacheDeadNode, id,
+                 "cache set materializes a node that never executes");
+    }
+    if (cache_set[id] && info.live && !info.cacheable) {
+      report.Add(Severity::kError, rules::kCacheNotCacheable, id,
+                 "cache set materializes a node marked non-cacheable");
+    }
+    if (!info.live) continue;
+    if (Invalid(info.compute_seconds)) {
+      report.Add(Severity::kError, rules::kCostInvalid, id,
+                 "compute_seconds is negative or non-finite (" +
+                     std::to_string(info.compute_seconds) + ")");
+    }
+    if (Invalid(info.output_bytes)) {
+      report.Add(Severity::kError, rules::kCostInvalid, id,
+                 "output_bytes is negative or non-finite (" +
+                     std::to_string(info.output_bytes) + ")");
+    }
+    if (info.weight < 1) {
+      report.Add(Severity::kError, rules::kCostInvalid, id,
+                 "iterative weight must be >= 1, is " +
+                     std::to_string(info.weight));
+    }
+  }
+
+  if (Invalid(problem.memory_budget_bytes)) {
+    report.Add(Severity::kError, rules::kCostInvalid, -1,
+               "memory budget is negative or non-finite");
+  } else {
+    const double used = CacheSetBytes(problem, cache_set);
+    // Tolerate rounding at the boundary: the planner itself admits nodes
+    // by `used + bytes <= budget`.
+    if (used > problem.memory_budget_bytes * (1.0 + 1e-9) + 1.0) {
+      std::ostringstream os;
+      os << "cache set needs " << used << " bytes but the cluster budget "
+         << "is " << problem.memory_budget_bytes;
+      report.Add(Severity::kError, rules::kCacheOverBudget, -1, os.str());
+    }
+  }
+  return report;
+}
+
+void CheckCostProfile(const CostProfile& cost, int node,
+                      const std::string& what, ValidationReport* report) {
+  const struct {
+    const char* name;
+    double value;
+  } fields[] = {{"flops", cost.flops},
+                {"bytes", cost.bytes},
+                {"network", cost.network},
+                {"rounds", cost.rounds}};
+  for (const auto& field : fields) {
+    if (Invalid(field.value)) {
+      std::ostringstream os;
+      os << what << " cost profile has negative or non-finite "
+         << field.name << " (" << field.value << ")";
+      report->Add(Severity::kError, rules::kCostProfile, node, os.str());
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace keystone

@@ -1,0 +1,45 @@
+#include "src/common/mutex.h"
+
+#ifndef NDEBUG
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace keystone {
+namespace internal {
+
+namespace {
+/// Ranks of the ranked mutexes this thread currently holds, in acquisition
+/// order. Unranked mutexes are exempt from order checking and never pushed.
+thread_local std::vector<int> held_ranks;
+}  // namespace
+
+void CheckLockOrder(int rank) {
+  if (rank == kLockRankUnranked) return;
+  for (int held : held_ranks) {
+    KS_CHECK_LT(held, rank)
+        << "lock-order violation: acquiring a mutex of rank " << rank
+        << " while holding rank " << held
+        << " (locks must be acquired in ascending LockRank order)";
+  }
+}
+
+void PushHeldRank(int rank) {
+  if (rank == kLockRankUnranked) return;
+  held_ranks.push_back(rank);
+}
+
+void PopHeldRank(int rank) {
+  if (rank == kLockRankUnranked) return;
+  const auto it = std::find(held_ranks.rbegin(), held_ranks.rend(), rank);
+  KS_CHECK(it != held_ranks.rend())
+      << "releasing a rank-" << rank << " mutex this thread does not hold";
+  held_ranks.erase(std::next(it).base());
+}
+
+}  // namespace internal
+}  // namespace keystone
+
+#endif  // NDEBUG

@@ -1,0 +1,108 @@
+#ifndef KEYSTONE_COMMON_THREAD_ANNOTATIONS_H_
+#define KEYSTONE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotation macros
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). When compiling
+/// with clang the annotations turn `-Wthread-safety` into a static checker
+/// for the locking discipline: members declare which mutex guards them
+/// (GUARDED_BY), functions declare what they acquire/release or require
+/// (ACQUIRE / RELEASE / REQUIRES / EXCLUDES), and the analysis rejects any
+/// access that cannot prove the right capability is held. Other compilers
+/// see empty macros, so the annotations are pure documentation there.
+///
+/// The annotated keystone::Mutex / keystone::MutexLock wrappers live in
+/// src/common/mutex.h; every mutex-protected structure in the codebase uses
+/// those (plain std::mutex is invisible to the analysis).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define KS_THREAD_ANNOTATION_ATTRIBUTE(x) \
+  (__has_attribute(x))
+#else
+#define KS_THREAD_ANNOTATION_ATTRIBUTE(x) 0
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(capability)
+#define CAPABILITY(x) __attribute__((capability(x)))
+#else
+#define CAPABILITY(x)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#define SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#else
+#define SCOPED_CAPABILITY
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by)
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+#else
+#define GUARDED_BY(x)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by)
+#define PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+#else
+#define PT_GUARDED_BY(x)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before)
+#define ACQUIRED_BEFORE(...) __attribute__((acquired_before(__VA_ARGS__)))
+#else
+#define ACQUIRED_BEFORE(...)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after)
+#define ACQUIRED_AFTER(...) __attribute__((acquired_after(__VA_ARGS__)))
+#else
+#define ACQUIRED_AFTER(...)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability)
+#define REQUIRES(...) __attribute__((requires_capability(__VA_ARGS__)))
+#else
+#define REQUIRES(...)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability)
+#define ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#else
+#define ACQUIRE(...)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(release_capability)
+#define RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#else
+#define RELEASE(...)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability)
+#define TRY_ACQUIRE(...) __attribute__((try_acquire_capability(__VA_ARGS__)))
+#else
+#define TRY_ACQUIRE(...)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded)
+#define EXCLUDES(...) __attribute__((locks_excluded(__VA_ARGS__)))
+#else
+#define EXCLUDES(...)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability)
+#define ASSERT_CAPABILITY(x) __attribute__((assert_capability(x)))
+#else
+#define ASSERT_CAPABILITY(x)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned)
+#define RETURN_CAPABILITY(x) __attribute__((lock_returned(x)))
+#else
+#define RETURN_CAPABILITY(x)
+#endif
+
+#if KS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+#define NO_THREAD_SAFETY_ANALYSIS __attribute__((no_thread_safety_analysis))
+#else
+#define NO_THREAD_SAFETY_ANALYSIS
+#endif
+
+#endif  // KEYSTONE_COMMON_THREAD_ANNOTATIONS_H_

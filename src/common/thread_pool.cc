@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -17,27 +19,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     KS_CHECK(!shutdown_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(&mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -65,9 +67,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && tasks_.empty()) task_available_.Wait(&mu_);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -84,9 +85,9 @@ void ThreadPool::WorkerLoop() {
         std::memory_order_relaxed);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -101,8 +102,8 @@ ThreadPool::Stats ThreadPool::stats() const {
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool =
-      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  static ThreadPool* pool = new ThreadPool(  // NOLINT: leaked singleton
+      std::max(1u, std::thread::hardware_concurrency()));
   return *pool;
 }
 

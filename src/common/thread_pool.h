@@ -2,14 +2,15 @@
 #define KEYSTONE_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace keystone {
 
@@ -25,14 +26,15 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have completed.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
   /// until all iterations finish.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -50,14 +52,14 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{kLockRankThreadPool};
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> tasks_submitted_{0};
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<int64_t> busy_nanos_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/analysis/plan_validator.h"
 #include "src/common/check.h"
 #include "src/common/string_util.h"
 #include "src/common/timer.h"
@@ -415,6 +416,18 @@ void PipelineExecutor::ProfilePass(PipelineGraph* graph,
       context_.profile_store()->RecordNodeProfile(
           obs::ProfileStore::NodeKey(id, node.name, sample_size), record);
     }
+    // Cost-profile sanity: a NaN or negative prediction would silently
+    // poison the extrapolation and every plan derived from it.
+    if (config_.validate_plans) {
+      analysis::ValidationReport cost_report;
+      analysis::CheckCostProfile(draft.span.predicted, id, node.name,
+                                 &cost_report);
+      if (draft.span.observed.has_value()) {
+        analysis::CheckCostProfile(*draft.span.observed, id,
+                                   node.name + " (observed)", &cost_report);
+      }
+      KS_CHECK(cost_report.ok()) << cost_report.ToString();
+    }
     draft.span.virtual_seconds = seconds;
     draft.span.output_bytes = out_stats.TotalBytes();
     draft.Flush(&context_, op_name.empty() ? node.name : op_name);
@@ -467,6 +480,19 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
   PipelineReport local_report;
   if (report == nullptr) report = &local_report;
   *report = PipelineReport();
+
+  // --- Static validation of the logical graph as submitted: catch
+  // ill-formed DAGs before any rewriting or execution happens.
+  if (config_.validate_plans) {
+    analysis::PlanValidationOptions vopts;
+    vopts.sink = sink;
+    vopts.placeholder = placeholder;
+    const analysis::ValidationReport vreport =
+        analysis::PlanValidator(vopts).Validate(original);
+    analysis::RecordDiagnostics(vreport, context_.metrics());
+    KS_CHECK(vreport.ok()) << "pipeline plan failed validation:\n"
+                           << vreport.ToString();
+  }
 
   auto graph = std::make_shared<PipelineGraph>(original);
   const auto& resources = context_.resources();
@@ -563,8 +589,8 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
   const std::vector<int> terminals = terminals_of();
 
   std::vector<bool> cache_set(graph->size(), false);
+  MaterializationProblem plan;
   if (plan_cache) {
-    MaterializationProblem plan;
     plan.graph = graph.get();
     plan.resources = resources;
     plan.memory_budget_bytes = budget;
@@ -600,6 +626,22 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
     cache_set = config_.cache_policy == CachePolicy::kGreedy
                     ? GreedyCacheSelection(plan)
                     : ExhaustiveCacheSelection(plan);
+  }
+
+  // --- Static validation of the optimized plan: the rewritten graph and
+  // the materialization plan it is about to execute.
+  if (config_.validate_plans) {
+    analysis::PlanValidationOptions vopts;
+    vopts.sink = sink;
+    vopts.placeholder = placeholder;
+    vopts.expect_cse = config_.common_subexpression;
+    vopts.warn_unreachable = false;  // CSE leaves dead duplicates behind.
+    const analysis::PlanValidator validator(vopts);
+    analysis::ValidationReport vreport = validator.Validate(*graph);
+    if (plan_cache) vreport.Merge(validator.ValidatePlan(plan, cache_set));
+    analysis::RecordDiagnostics(vreport, context_.metrics());
+    KS_CHECK(vreport.ok()) << "optimized plan failed validation:\n"
+                           << vreport.ToString();
   }
 
   // --- Full-scale execution of the training path.

@@ -60,6 +60,12 @@ struct OptimizationConfig {
   /// (PipelineReport::profiles_from_store reports when that happened).
   bool reuse_stored_profiles = false;
 
+  /// Statically validate plans (src/analysis): the logical graph as
+  /// submitted, then the rewritten graph plus its materialization plan
+  /// after optimization. Diagnostic counts land in the context's
+  /// MetricsRegistry; any kError aborts the fit before execution starts.
+  bool validate_plans = true;
+
   /// Unoptimized execution (None in Figure 9).
   static OptimizationConfig None();
 

@@ -2,8 +2,8 @@
 #define KEYSTONE_CORE_PIPELINE_H_
 
 #include <memory>
-#include <type_traits>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/core/pipeline_graph.h"

@@ -70,7 +70,7 @@ MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
 MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
                                                   MetricSnapshot::Kind kind) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.metrics.find(name);
   if (it == shard.metrics.end()) {
     Entry entry;
@@ -108,7 +108,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
   std::vector<MetricSnapshot> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [name, entry] : shard.metrics) {
       MetricSnapshot snap;
       snap.name = name;
@@ -195,13 +195,13 @@ bool MetricsRegistry::WriteJson(const std::string& path) const {
 
 void MetricsRegistry::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.metrics.clear();
   }
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = new MetricsRegistry();  // NOLINT: leaked singleton
   return *registry;
 }
 

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace keystone {
 namespace obs {
@@ -132,8 +134,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> metrics;
+    /// Stripe locks are leaves in the lock order: any subsystem may update
+    /// a metric while holding its own lock, so nothing may be acquired
+    /// while a stripe is held (see LockRank).
+    mutable Mutex mu{kLockRankMetricsShard};
+    std::unordered_map<std::string, Entry> metrics GUARDED_BY(mu);
   };
   static constexpr size_t kNumShards = 16;
 

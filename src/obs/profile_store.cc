@@ -61,7 +61,7 @@ void ProfileStore::RecordObservation(const std::string& op,
   const int bucket = RecordsBucket(in.num_records);
   std::ostringstream key;
   key << EscapeToken(op) << "|" << bucket << "|" << in.dim;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   OperatorObservation& obs = observations_[key.str()];
   if (obs.count == 0.0) {
     obs.op = op;
@@ -77,7 +77,7 @@ void ProfileStore::RecordObservation(const std::string& op,
 
 std::optional<CostProfile> ProfileStore::ObservedFor(
     const std::string& op, const DataStats& in) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Pool every scale bucket recorded for this operator: the per-record
   // costs are what transfers across scales.
   double records = 0.0, count = 0.0;
@@ -98,7 +98,7 @@ std::optional<CostProfile> ProfileStore::ObservedFor(
 }
 
 size_t ProfileStore::NumObservations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return observations_.size();
 }
 
@@ -111,20 +111,20 @@ std::string ProfileStore::NodeKey(int node_id, const std::string& name,
 
 void ProfileStore::RecordNodeProfile(const std::string& key,
                                      const NodeProfileRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   node_profiles_[key] = record;
 }
 
 std::optional<NodeProfileRecord> ProfileStore::NodeProfileFor(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = node_profiles_.find(key);
   if (it == node_profiles_.end()) return std::nullopt;
   return it->second;
 }
 
 size_t ProfileStore::NumNodeProfiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return node_profiles_.size();
 }
 
@@ -132,7 +132,7 @@ bool ProfileStore::Save(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   out << "# keystone profile store v1\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out.precision(17);
   for (const auto& [_, o] : observations_) {
     out << "obs " << EscapeToken(o.op) << " " << o.records_bucket << " "
@@ -187,7 +187,7 @@ bool ProfileStore::Load(const std::string& path) {
       return false;  // unknown record type: treat as corrupt
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   observations_ = std::move(observations);
   node_profiles_ = std::move(node_profiles);
   return true;
@@ -195,7 +195,7 @@ bool ProfileStore::Load(const std::string& path) {
 
 std::string ProfileStore::AccuracyReport(
     const ClusterResourceDescriptor& r) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::ostringstream os;
   os << "Cost-model accuracy from observed history ("
      << observations_.size() << " operator/scale cells)\n";
@@ -219,13 +219,13 @@ std::string ProfileStore::AccuracyReport(
 }
 
 void ProfileStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   observations_.clear();
   node_profiles_.clear();
 }
 
 ProfileStore& ProfileStore::Global() {
-  static ProfileStore* store = new ProfileStore();
+  static ProfileStore* store = new ProfileStore();  // NOLINT: leaked singleton
   return *store;
 }
 

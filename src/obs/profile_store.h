@@ -3,11 +3,12 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/data/data_stats.h"
 #include "src/sim/cost_profile.h"
 #include "src/sim/resources.h"
@@ -102,10 +103,10 @@ class ProfileStore {
  private:
   static int RecordsBucket(size_t records);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{kLockRankProfileStore};
   // Keyed by "<op>|<bucket>|<dim>"; map keeps dumps deterministic.
-  std::map<std::string, OperatorObservation> observations_;
-  std::map<std::string, NodeProfileRecord> node_profiles_;
+  std::map<std::string, OperatorObservation> observations_ GUARDED_BY(mu_);
+  std::map<std::string, NodeProfileRecord> node_profiles_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

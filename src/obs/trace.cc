@@ -75,7 +75,7 @@ const char* TracePhaseName(TracePhase phase) {
 }
 
 void TraceRecorder::Record(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   double& cursor = phase_cursor_[span.phase];
   span_start_.push_back(cursor);
   cursor += span.virtual_seconds;
@@ -83,24 +83,24 @@ void TraceRecorder::Record(TraceSpan span) {
 }
 
 size_t TraceRecorder::NumSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_.size();
 }
 
 std::vector<TraceSpan> TraceRecorder::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_;
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   spans_.clear();
   span_start_.clear();
   phase_cursor_.clear();
 }
 
 std::string TraceRecorder::ChromeTraceJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   // Name the process and one "thread" per phase.
@@ -172,7 +172,7 @@ std::string TraceRecorder::PlanReport() const {
 }
 
 TraceRecorder& TraceRecorder::Global() {
-  static TraceRecorder* recorder = new TraceRecorder();
+  static TraceRecorder* recorder = new TraceRecorder();  // NOLINT: leaked singleton
   return *recorder;
 }
 

@@ -2,11 +2,12 @@
 #define KEYSTONE_OBS_TRACE_H_
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/sim/cost_profile.h"
 
 namespace keystone {
@@ -76,12 +77,13 @@ class TraceRecorder {
   static TraceRecorder& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mu_{kLockRankTrace};
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
   /// Per-phase virtual-time cursor: spans within a phase are laid end to
   /// end, which matches the simulator's sequential charging model.
-  std::map<TracePhase, double> phase_cursor_;
-  std::vector<double> span_start_;  // virtual start time of spans_[i]
+  std::map<TracePhase, double> phase_cursor_ GUARDED_BY(mu_);
+  /// Virtual start time of spans_[i].
+  std::vector<double> span_start_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

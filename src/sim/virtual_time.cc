@@ -20,7 +20,7 @@ void VirtualTimeLedger::ChargeSeconds(const std::string& stage,
                                       double seconds) {
   KS_CHECK_GE(seconds, 0.0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = stage_seconds_.find(stage);
     if (it == stage_seconds_.end()) {
       stage_order_.push_back(stage);
@@ -36,21 +36,21 @@ void VirtualTimeLedger::ChargeSeconds(const std::string& stage,
 }
 
 double VirtualTimeLedger::TotalSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   double total = 0.0;
   for (const auto& [_, s] : stage_seconds_) total += s;
   return total;
 }
 
 double VirtualTimeLedger::StageSeconds(const std::string& stage) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = stage_seconds_.find(stage);
   return it == stage_seconds_.end() ? 0.0 : it->second;
 }
 
 std::vector<std::pair<std::string, double>> VirtualTimeLedger::Breakdown()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(stage_order_.size());
   for (const auto& name : stage_order_) {
@@ -60,7 +60,7 @@ std::vector<std::pair<std::string, double>> VirtualTimeLedger::Breakdown()
 }
 
 void VirtualTimeLedger::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stage_order_.clear();
   stage_seconds_.clear();
 }

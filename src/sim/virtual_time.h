@@ -2,10 +2,12 @@
 #define KEYSTONE_SIM_VIRTUAL_TIME_H_
 
 #include <map>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/sim/cost_profile.h"
 #include "src/sim/resources.h"
@@ -28,31 +30,33 @@ class VirtualTimeLedger {
   double Charge(const std::string& stage, const CostProfile& cost);
 
   /// Charges a raw number of virtual seconds.
-  void ChargeSeconds(const std::string& stage, double seconds);
+  void ChargeSeconds(const std::string& stage, double seconds) EXCLUDES(mu_);
 
   /// Total virtual seconds across all stages.
-  double TotalSeconds() const;
+  double TotalSeconds() const EXCLUDES(mu_);
 
   /// Virtual seconds charged to one stage.
-  double StageSeconds(const std::string& stage) const;
+  double StageSeconds(const std::string& stage) const EXCLUDES(mu_);
 
   /// Per-stage breakdown in insertion order.
-  std::vector<std::pair<std::string, double>> Breakdown() const;
+  std::vector<std::pair<std::string, double>> Breakdown() const EXCLUDES(mu_);
 
   const ClusterResourceDescriptor& resources() const { return resources_; }
 
   /// Attaches a metrics registry (nullptr detaches).
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
-  std::string ToString() const;
+  std::string ToString() const EXCLUDES(mu_);
 
  private:
   ClusterResourceDescriptor resources_;
-  mutable std::mutex mu_;
-  std::vector<std::string> stage_order_;
-  std::map<std::string, double> stage_seconds_;
+  /// Ranked below the metrics stripes: a charge may fan out into the
+  /// metrics registry, never the other way around (see LockRank).
+  mutable Mutex mu_{kLockRankLedger};
+  std::vector<std::string> stage_order_ GUARDED_BY(mu_);
+  std::map<std::string, double> stage_seconds_ GUARDED_BY(mu_);
   obs::MetricsRegistry* metrics_ = nullptr;
 };
 

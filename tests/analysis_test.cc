@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/plan_validator.h"
+#include "src/core/executor.h"
+#include "src/core/pipeline.h"
+#include "src/core/pipeline_graph.h"
+#include "src/data/dist_dataset.h"
+#include "src/obs/metrics.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/pipelines.h"
+#include "tests/test_operators.h"
+
+namespace keystone {
+namespace {
+
+using analysis::Diagnostic;
+using analysis::PlanValidationOptions;
+using analysis::PlanValidator;
+using analysis::Severity;
+using analysis::ValidationReport;
+using testing_ops::AddConst;
+using testing_ops::MeanCenterer;
+using testing_ops::Scale;
+
+std::shared_ptr<DistDataset<double>> Doubles(std::vector<double> values) {
+  return DistDataset<double>::Partitioned(std::move(values), 2);
+}
+
+/// source -> AddConst -> Scale, the minimal well-formed training chain.
+PipelineGraph CleanChain() {
+  PipelineGraph graph;
+  const int source = graph.AddSource(Doubles({1, 2, 3}), "Data");
+  const int add = graph.AddTransformer(std::make_shared<AddConst>(1.0), source);
+  graph.AddTransformer(std::make_shared<Scale>(2.0), add);
+  return graph;
+}
+
+ValidationReport Validate(const PipelineGraph& graph,
+                          PlanValidationOptions options = {}) {
+  return PlanValidator(options).Validate(graph);
+}
+
+// --- Structural rules ------------------------------------------------------
+
+TEST(PlanValidatorTest, CleanGraphHasNoDiagnostics) {
+  PlanValidationOptions options;
+  options.sink = 2;
+  const ValidationReport report = Validate(CleanChain(), options);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST(PlanValidatorTest, SourceWithInputsIsAnArityError) {
+  PipelineGraph graph = CleanChain();
+  graph.mutable_node(1)->kind = NodeKind::kSource;
+  graph.mutable_node(1)->bound_data = Doubles({1});
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kAritySource));
+  EXPECT_EQ(report.FindRule(analysis::rules::kAritySource)->severity,
+            Severity::kError);
+  EXPECT_EQ(report.FindRule(analysis::rules::kAritySource)->node, 1);
+}
+
+TEST(PlanValidatorTest, TransformerWithTwoInputsIsAnArityError) {
+  PipelineGraph graph = CleanChain();
+  graph.mutable_node(2)->inputs = {0, 1};
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kArityTransformer));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PlanValidatorTest, EstimatorWithThreeInputsIsAnArityError) {
+  PipelineGraph graph = CleanChain();
+  const int est = graph.AddEstimator(std::make_shared<MeanCenterer>(), 2, -1);
+  graph.mutable_node(est)->inputs = {0, 1, 2};
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kArityEstimator));
+}
+
+TEST(PlanValidatorTest, EmptyGatherIsAnArityError) {
+  PipelineGraph graph = CleanChain();
+  const int gather =
+      graph.AddGather(std::make_shared<AddConst>(0.0), {1, 2});
+  graph.mutable_node(gather)->inputs = {};
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kArityGather));
+}
+
+TEST(PlanValidatorTest, DanglingEdgeIsReported) {
+  PipelineGraph graph = CleanChain();
+  graph.mutable_node(2)->inputs = {99};
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kEdgeOutOfRange));
+  EXPECT_EQ(report.FindRule(analysis::rules::kEdgeOutOfRange)->node, 2);
+}
+
+TEST(PlanValidatorTest, ForwardEdgeBreaksTopologicalOrder) {
+  PipelineGraph graph = CleanChain();
+  graph.mutable_node(1)->inputs = {2};
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kEdgeForward));
+  EXPECT_EQ(report.FindRule(analysis::rules::kEdgeForward)->severity,
+            Severity::kError);
+}
+
+TEST(PlanValidatorTest, MissingPayloadIsReported) {
+  PipelineGraph graph = CleanChain();
+  graph.mutable_node(1)->transformer = nullptr;
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kPayloadMissing));
+}
+
+TEST(PlanValidatorTest, ApplyModelWithoutModelInput) {
+  PipelineGraph graph = CleanChain();
+  const int est = graph.AddEstimator(std::make_shared<MeanCenterer>(), 2, -1);
+  const int apply = graph.AddApplyModel(est, 2);
+  graph.mutable_node(apply)->model_input = -1;
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kModelMissing));
+}
+
+TEST(PlanValidatorTest, ApplyModelPointingAtNonEstimator) {
+  PipelineGraph graph = CleanChain();
+  const int est = graph.AddEstimator(std::make_shared<MeanCenterer>(), 2, -1);
+  const int apply = graph.AddApplyModel(est, 2);
+  graph.mutable_node(apply)->model_input = 1;  // a transformer
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kModelNotEstimator));
+}
+
+TEST(PlanValidatorTest, ModelInputOnTransformerIsReported) {
+  PipelineGraph graph = CleanChain();
+  const int est = graph.AddEstimator(std::make_shared<MeanCenterer>(), 1, -1);
+  graph.mutable_node(2)->model_input = est;
+  // The validator flags both the misuse and (because model edges come from
+  // Dependencies) nothing else.
+  ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kModelOnNonApply));
+}
+
+TEST(PlanValidatorTest, EstimatorOutputConsumedAsDataset) {
+  PipelineGraph graph = CleanChain();
+  const int est = graph.AddEstimator(std::make_shared<MeanCenterer>(), 2, -1);
+  graph.AddTransformer(std::make_shared<AddConst>(1.0), est);
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kDatasetEstimatorOutput));
+  EXPECT_EQ(
+      report.FindRule(analysis::rules::kDatasetEstimatorOutput)->severity,
+      Severity::kError);
+}
+
+// --- Whole-graph rules -----------------------------------------------------
+
+TEST(PlanValidatorTest, UnreachableNodeIsAWarningOnly) {
+  PipelineGraph graph = CleanChain();
+  graph.AddTransformer(std::make_shared<AddConst>(5.0), 0);  // dead branch
+  PlanValidationOptions options;
+  options.sink = 2;
+  const ValidationReport report = Validate(graph, options);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kUnreachable));
+  EXPECT_EQ(report.FindRule(analysis::rules::kUnreachable)->severity,
+            Severity::kWarning);
+  EXPECT_EQ(report.FindRule(analysis::rules::kUnreachable)->node, 3);
+  EXPECT_TRUE(report.ok());  // warnings are not fatal
+}
+
+TEST(PlanValidatorTest, UnreachableCanBeSuppressed) {
+  PipelineGraph graph = CleanChain();
+  graph.AddTransformer(std::make_shared<AddConst>(5.0), 0);
+  PlanValidationOptions options;
+  options.sink = 2;
+  options.warn_unreachable = false;
+  EXPECT_TRUE(Validate(graph, options).clean());
+}
+
+TEST(PlanValidatorTest, EstimatorOnPlaceholderPathIsReported) {
+  PipelineGraph graph;
+  const int input = graph.AddPlaceholder("Input");
+  const int t = graph.AddTransformer(std::make_shared<AddConst>(1.0), input);
+  graph.AddEstimator(std::make_shared<MeanCenterer>(), t, -1);
+  const ValidationReport report = Validate(graph);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kPlaceholderTrainPath));
+  EXPECT_EQ(report.FindRule(analysis::rules::kPlaceholderTrainPath)->node, 2);
+}
+
+TEST(PlanValidatorTest, DeclaredPlaceholderMustBeAPlaceholder) {
+  PipelineGraph graph = CleanChain();
+  PlanValidationOptions options;
+  options.sink = 2;
+  options.placeholder = 0;  // a source, not a placeholder
+  const ValidationReport report = Validate(graph, options);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kPlaceholderInvalid));
+}
+
+TEST(PlanValidatorTest, SecondPlaceholderFeedingSinkIsUnbound) {
+  PipelineGraph graph;
+  const int a = graph.AddPlaceholder("A");
+  const int b = graph.AddPlaceholder("B");
+  graph.AddGather(std::make_shared<AddConst>(0.0), {a, b});
+  PlanValidationOptions options;
+  options.sink = 2;
+  options.placeholder = a;
+  const ValidationReport report = Validate(graph, options);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kPlaceholderUnbound));
+  EXPECT_EQ(report.FindRule(analysis::rules::kPlaceholderUnbound)->node, b);
+}
+
+TEST(PlanValidatorTest, MissedCseIsAWarningWhenExpected) {
+  PipelineGraph graph;
+  const int source = graph.AddSource(Doubles({1, 2}), "Data");
+  auto op = std::make_shared<AddConst>(1.0);
+  const int t1 = graph.AddTransformer(op, source);
+  const int t2 = graph.AddTransformer(op, source);  // identical twin
+  graph.AddGather(std::make_shared<Scale>(1.0), {t1, t2});
+  PlanValidationOptions options;
+  options.sink = 3;
+  options.expect_cse = true;
+  const ValidationReport report = Validate(graph, options);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kMissedCse));
+  EXPECT_EQ(report.FindRule(analysis::rules::kMissedCse)->severity,
+            Severity::kWarning);
+
+  // Dead duplicates left behind by a CSE pass do not count as missed.
+  PipelineGraph optimized = graph;
+  std::vector<int> remap;
+  optimized.EliminateCommonSubexpressions(&remap);
+  options.sink = remap[3];
+  options.warn_unreachable = false;
+  EXPECT_TRUE(Validate(optimized, options).clean());
+}
+
+TEST(PlanValidatorTest, StructuralErrorsSuppressTraversalRules) {
+  PipelineGraph graph = CleanChain();
+  graph.mutable_node(2)->inputs = {99};  // dangling: traversal unsafe
+  PlanValidationOptions options;
+  options.sink = 2;
+  const ValidationReport report = Validate(graph, options);
+  EXPECT_TRUE(report.HasRule(analysis::rules::kEdgeOutOfRange));
+  EXPECT_FALSE(report.HasRule(analysis::rules::kUnreachable));
+}
+
+// --- Materialization-plan rules --------------------------------------------
+
+MaterializationProblem SmallProblem(const PipelineGraph& graph) {
+  MaterializationProblem problem;
+  problem.graph = &graph;
+  problem.resources = ClusterResourceDescriptor::R3_4xlarge(2);
+  problem.memory_budget_bytes = 100.0;
+  problem.info.resize(graph.size());
+  for (auto& info : problem.info) {
+    info.live = true;
+    info.compute_seconds = 1.0;
+    info.output_bytes = 80.0;
+  }
+  return problem;
+}
+
+TEST(PlanValidatorTest, CacheSetSizeMismatch) {
+  const PipelineGraph graph = CleanChain();
+  const MaterializationProblem problem = SmallProblem(graph);
+  const ValidationReport report =
+      PlanValidator().ValidatePlan(problem, std::vector<bool>(2, false));
+  ASSERT_TRUE(report.HasRule(analysis::rules::kCacheSetSize));
+}
+
+TEST(PlanValidatorTest, CacheSetOverBudget) {
+  const PipelineGraph graph = CleanChain();
+  const MaterializationProblem problem = SmallProblem(graph);
+  // Two live 80-byte nodes cached against a 100-byte budget.
+  const ValidationReport report =
+      PlanValidator().ValidatePlan(problem, {true, true, false});
+  ASSERT_TRUE(report.HasRule(analysis::rules::kCacheOverBudget));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PlanValidatorTest, WithinBudgetIsClean) {
+  const PipelineGraph graph = CleanChain();
+  const MaterializationProblem problem = SmallProblem(graph);
+  EXPECT_TRUE(
+      PlanValidator().ValidatePlan(problem, {true, false, false}).clean());
+}
+
+TEST(PlanValidatorTest, CachedDeadNodeIsAWarning) {
+  const PipelineGraph graph = CleanChain();
+  MaterializationProblem problem = SmallProblem(graph);
+  problem.info[1].live = false;
+  const ValidationReport report =
+      PlanValidator().ValidatePlan(problem, {false, true, false});
+  ASSERT_TRUE(report.HasRule(analysis::rules::kCacheDeadNode));
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(PlanValidatorTest, CachedUncacheableNodeIsAnError) {
+  const PipelineGraph graph = CleanChain();
+  MaterializationProblem problem = SmallProblem(graph);
+  problem.info[1].cacheable = false;
+  const ValidationReport report =
+      PlanValidator().ValidatePlan(problem, {false, true, false});
+  ASSERT_TRUE(report.HasRule(analysis::rules::kCacheNotCacheable));
+}
+
+TEST(PlanValidatorTest, NonFiniteRuntimeInfoIsAnError) {
+  const PipelineGraph graph = CleanChain();
+  MaterializationProblem problem = SmallProblem(graph);
+  problem.info[0].compute_seconds = std::nan("");
+  problem.info[1].output_bytes = -1.0;
+  problem.info[2].weight = 0;
+  const ValidationReport report =
+      PlanValidator().ValidatePlan(problem, {false, false, false});
+  EXPECT_EQ(report.CountOf(Severity::kError), 3);
+  EXPECT_TRUE(report.HasRule(analysis::rules::kCostInvalid));
+}
+
+TEST(CheckCostProfileTest, FlagsNegativeAndNaNFields) {
+  CostProfile cost;
+  cost.flops = std::nan("");
+  cost.network = -5.0;
+  ValidationReport report;
+  analysis::CheckCostProfile(cost, 3, "TestOp", &report);
+  EXPECT_EQ(report.CountOf(Severity::kError), 2);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kCostProfile));
+  EXPECT_EQ(report.FindRule(analysis::rules::kCostProfile)->node, 3);
+
+  ValidationReport clean;
+  analysis::CheckCostProfile(CostProfile{}, 0, "TestOp", &clean);
+  EXPECT_TRUE(clean.clean());
+}
+
+// --- Diagnostics plumbing --------------------------------------------------
+
+TEST(DiagnosticsTest, ReportAggregatesAndPrints) {
+  ValidationReport report;
+  report.Add(Severity::kError, "rule.a", 1, "broken");
+  report.Add(Severity::kWarning, "rule.b", -1, "suspicious");
+  EXPECT_EQ(report.errors(), 1);
+  EXPECT_EQ(report.warnings(), 1);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.clean());
+  EXPECT_NE(report.ToString().find("error [rule.a] node 1: broken"),
+            std::string::npos);
+
+  ValidationReport other;
+  other.Add(Severity::kInfo, "rule.c", 2, "fyi");
+  report.Merge(std::move(other));
+  EXPECT_EQ(static_cast<int>(report.diagnostics().size()), 3);
+  EXPECT_TRUE(report.HasRule("rule.c"));
+}
+
+TEST(DiagnosticsTest, RecordDiagnosticsCountsIntoRegistry) {
+  ValidationReport report;
+  report.Add(Severity::kError, "rule.a", 1, "broken");
+  report.Add(Severity::kWarning, "rule.b", -1, "suspicious");
+  obs::MetricsRegistry registry;
+  analysis::RecordDiagnostics(report, &registry);
+  analysis::RecordDiagnostics(report, nullptr);  // no-op, must not crash
+  EXPECT_EQ(registry.GetCounter("analysis.validations")->Value(), 1.0);
+  EXPECT_EQ(registry.GetCounter("analysis.diagnostics.error")->Value(), 1.0);
+  EXPECT_EQ(registry.GetCounter("analysis.diagnostics.warning")->Value(),
+            1.0);
+}
+
+// --- Executor integration --------------------------------------------------
+
+TEST(ExecutorValidationTest, FitRejectsIllFormedPlan) {
+  auto pipe = PipelineInput<double>("Input")
+                  .AndThen(std::make_shared<AddConst>(1.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), Doubles({1, 2}));
+  // Corrupt the graph behind the typed facade: dangling edge on the sink.
+  pipe.graph()->mutable_node(pipe.sink())->inputs = {999};
+  PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(2),
+                            OptimizationConfig::Full());
+  EXPECT_DEATH(executor.Fit(pipe), "failed validation");
+}
+
+TEST(ExecutorValidationTest, FitRecordsValidationMetrics) {
+  auto pipe = PipelineInput<double>("Input")
+                  .AndThen(std::make_shared<AddConst>(1.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), Doubles({1, 2}));
+  PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(2),
+                            OptimizationConfig::Full());
+  const double before = obs::MetricsRegistry::Global()
+                            .GetCounter("analysis.validations")
+                            ->Value();
+  auto fitted = executor.Fit(pipe);
+  const double after = obs::MetricsRegistry::Global()
+                           .GetCounter("analysis.validations")
+                           ->Value();
+  // Pre-optimization plus post-rewrite validation.
+  EXPECT_EQ(after - before, 2.0);
+}
+
+TEST(ExecutorValidationTest, ValidationCanBeDisabled) {
+  auto pipe = PipelineInput<double>("Input")
+                  .AndThen(std::make_shared<AddConst>(1.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), Doubles({1, 2}));
+  OptimizationConfig config = OptimizationConfig::Full();
+  config.validate_plans = false;
+  PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(2), config);
+  const double before = obs::MetricsRegistry::Global()
+                            .GetCounter("analysis.validations")
+                            ->Value();
+  auto fitted = executor.Fit(pipe);
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetCounter("analysis.validations")
+                ->Value(),
+            before);
+}
+
+// --- Shipped workloads lint clean ------------------------------------------
+
+template <typename A, typename B>
+void ExpectLintClean(const char* name, const Pipeline<A, B>& pipe) {
+  PlanValidationOptions options;
+  options.sink = pipe.sink();
+  options.placeholder = pipe.source();
+  const ValidationReport report =
+      PlanValidator(options).Validate(*pipe.graph());
+  EXPECT_TRUE(report.clean()) << name << ":\n" << report.ToString();
+}
+
+TEST(WorkloadLintTest, AllShippedPipelinesAreClean) {
+  using namespace workloads;
+  LinearSolverConfig solver;
+  solver.num_classes = 2;
+  const TextCorpus amazon = AmazonLike(32, 8, 10, 200, 7);
+  ExpectLintClean("amazon", BuildAmazonPipeline(amazon, 256, solver));
+
+  LinearSolverConfig dense_solver;
+  dense_solver.num_classes = 3;
+  const DenseCorpus timit = DenseClasses(32, 8, 16, 3, 1.0, 7);
+  ExpectLintClean("timit",
+                  BuildTimitPipeline(timit, 2, 8, 0.5, dense_solver, 7));
+
+  const ImageCorpus images = TexturedImages(8, 4, 32, 1, 3, 0.1, 7);
+  ExpectLintClean("voc", BuildVocPipeline(images, 4, 8, 4, dense_solver));
+  ExpectLintClean("imagenet",
+                  BuildImageNetPipeline(images, 4, 8, 4, dense_solver));
+  ExpectLintClean("cifar",
+                  BuildCifarPipeline(images, 5, 3, 8, dense_solver));
+
+  const DenseCorpus youtube = DenseClasses(32, 8, 16, 3, 1.0, 7);
+  ExpectLintClean("youtube", BuildYoutubePipeline(youtube, dense_solver));
+}
+
+}  // namespace
+}  // namespace keystone

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
@@ -157,6 +158,36 @@ TEST(ThreadPoolTest, ParallelForZeroAndOne) {
   pool.ParallelFor(1, [&calls](size_t) { ++calls; });
   EXPECT_EQ(calls, 1);
 }
+
+TEST(MutexTest, LockUnlockAndScopedLock) {
+  Mutex mu(kLockRankLedger);
+  mu.Lock();
+  mu.Unlock();
+  {
+    MutexLock lock(&mu);
+  }
+  EXPECT_EQ(mu.rank(), kLockRankLedger);
+}
+
+TEST(MutexTest, AscendingRanksAreAllowed) {
+  Mutex low(kLockRankLedger);
+  Mutex high(kLockRankMetricsShard);
+  MutexLock outer(&low);
+  MutexLock inner(&high);  // ledger < metrics shard: fine
+}
+
+#ifndef NDEBUG
+TEST(MutexDeathTest, DescendingRanksAbort) {
+  EXPECT_DEATH(
+      {
+        Mutex low(kLockRankLedger);
+        Mutex high(kLockRankMetricsShard);
+        MutexLock outer(&high);
+        MutexLock inner(&low);  // metrics shard -> ledger: order violation
+      },
+      "lock-order violation");
+}
+#endif
 
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;

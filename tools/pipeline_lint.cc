@@ -1,0 +1,126 @@
+// pipeline_lint: run every shipped workload pipeline through the static
+// plan validator (src/analysis) and report diagnostics.
+//
+// The tool only *builds* the logical graphs — no fitting, no sampling — so
+// it is fast enough for CI. Exit status is 1 when any pipeline has errors;
+// with --strict, warnings fail too.
+//
+// Usage: pipeline_lint [--strict] [--verbose] [--dot]
+//   --strict   treat warnings as failures
+//   --verbose  print every diagnostic, even for clean pipelines
+//   --dot      dump each pipeline graph in Graphviz format
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/plan_validator.h"
+#include "src/core/pipeline.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/pipelines.h"
+
+namespace keystone {
+namespace {
+
+struct LintTarget {
+  std::string name;
+  std::shared_ptr<PipelineGraph> graph;
+  int placeholder = -1;
+  int sink = -1;
+};
+
+template <typename A, typename B>
+LintTarget Target(std::string name, const Pipeline<A, B>& pipe) {
+  LintTarget target;
+  target.name = std::move(name);
+  target.graph = pipe.graph();
+  target.placeholder = pipe.source();
+  target.sink = pipe.sink();
+  return target;
+}
+
+/// Builds the logical graph of every shipped workload on tiny synthetic
+/// corpora (graph shape does not depend on corpus size).
+std::vector<LintTarget> ShippedPipelines() {
+  using namespace workloads;
+  std::vector<LintTarget> targets;
+
+  LinearSolverConfig solver;
+  solver.num_classes = 2;
+
+  const TextCorpus amazon = AmazonLike(32, 8, 10, 200, 7);
+  targets.push_back(Target("amazon", BuildAmazonPipeline(amazon, 256, solver)));
+
+  LinearSolverConfig dense_solver;
+  dense_solver.num_classes = 3;
+  const DenseCorpus timit = DenseClasses(32, 8, 16, 3, 1.0, 7);
+  targets.push_back(Target(
+      "timit", BuildTimitPipeline(timit, 2, 8, 0.5, dense_solver, 7)));
+
+  const ImageCorpus images = TexturedImages(8, 4, 32, 1, 3, 0.1, 7);
+  targets.push_back(Target(
+      "voc", BuildVocPipeline(images, 4, 8, 4, dense_solver)));
+  targets.push_back(Target(
+      "imagenet", BuildImageNetPipeline(images, 4, 8, 4, dense_solver)));
+  targets.push_back(Target(
+      "cifar", BuildCifarPipeline(images, 5, 3, 8, dense_solver)));
+
+  const DenseCorpus youtube = DenseClasses(32, 8, 16, 3, 1.0, 7);
+  targets.push_back(Target("youtube", BuildYoutubePipeline(youtube,
+                                                           dense_solver)));
+  return targets;
+}
+
+int Run(int argc, char** argv) {
+  bool strict = false;
+  bool verbose = false;
+  bool dot = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      dot = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: pipeline_lint [--strict] [--verbose] [--dot]\n");
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (const LintTarget& target : ShippedPipelines()) {
+    analysis::PlanValidationOptions options;
+    options.sink = target.sink;
+    options.placeholder = target.placeholder;
+    const analysis::ValidationReport report =
+        analysis::PlanValidator(options).Validate(*target.graph);
+
+    const bool failed = !report.ok() || (strict && report.warnings() > 0);
+    if (failed) ++failures;
+    std::printf("%-10s %-5s %3d nodes, %d errors, %d warnings\n",
+                target.name.c_str(), failed ? "FAIL" : "ok",
+                target.graph->size(), report.errors(), report.warnings());
+    if ((failed || verbose) && !report.clean()) {
+      for (const analysis::Diagnostic& diag : report.diagnostics()) {
+        std::printf("    %s\n", diag.ToString().c_str());
+      }
+    }
+    if (dot) std::printf("%s", target.graph->ToDot().c_str());
+  }
+  if (failures > 0) {
+    std::printf("pipeline_lint: %d pipeline(s) failed validation\n",
+                failures);
+    return 1;
+  }
+  std::printf("pipeline_lint: all pipelines clean\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main(int argc, char** argv) { return keystone::Run(argc, argv); }
