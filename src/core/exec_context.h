@@ -1,9 +1,13 @@
 #ifndef KEYSTONE_CORE_EXEC_CONTEXT_H_
 #define KEYSTONE_CORE_EXEC_CONTEXT_H_
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile_store.h"
@@ -51,24 +55,36 @@ class ExecContext {
   /// Operators whose cost depends on runtime behaviour (e.g. iterative
   /// solvers whose iteration count is data dependent) call this during
   /// ApplyAny/FitAny; the executor reads and clears it afterwards, falling
-  /// back to the operator's a-priori cost estimate when absent.
-  void ReportActualCost(const CostProfile& cost) { actual_cost_ = cost; }
+  /// back to the operator's a-priori cost estimate when absent. The slot is
+  /// per calling thread so branch-parallel node execution cannot attribute
+  /// one branch's report to another: PlanRunner invokes the operator and
+  /// takes its cost on the same scheduler thread.
+  void ReportActualCost(const CostProfile& cost) {
+    MutexLock lock(&actual_mu_);
+    actual_cost_[std::this_thread::get_id()] = cost;
+  }
 
   std::optional<CostProfile> TakeActualCost() {
-    auto out = actual_cost_;
-    actual_cost_.reset();
+    MutexLock lock(&actual_mu_);
+    auto it = actual_cost_.find(std::this_thread::get_id());
+    if (it == actual_cost_.end()) return std::nullopt;
+    CostProfile out = it->second;
+    actual_cost_.erase(it);
     return out;
   }
 
-  /// Discards any unconsumed actual-cost report. The executor calls this
-  /// immediately before invoking an operator so a stale report — left by a
-  /// caller that ran an operator without taking its cost — can never be
-  /// attributed to the next operator. Returns true when a stale report was
-  /// actually dropped (also counted in the `exec.stale_actual_costs`
-  /// metric).
+  /// Discards any unconsumed actual-cost report left on this thread. The
+  /// runner calls this immediately before invoking an operator so a stale
+  /// report — left by a caller that ran an operator without taking its
+  /// cost — can never be attributed to the next operator. Returns true when
+  /// a stale report was actually dropped (also counted in the
+  /// `exec.stale_actual_costs` metric).
   bool BeginOperatorScope() {
-    const bool stale = actual_cost_.has_value();
-    actual_cost_.reset();
+    bool stale = false;
+    {
+      MutexLock lock(&actual_mu_);
+      stale = actual_cost_.erase(std::this_thread::get_id()) > 0;
+    }
     if (stale && metrics_ != nullptr) {
       metrics_->Increment("exec.stale_actual_costs");
     }
@@ -82,7 +98,10 @@ class ExecContext {
   obs::TraceRecorder* tracer_;
   obs::MetricsRegistry* metrics_;
   obs::ProfileStore* profile_store_;
-  std::optional<CostProfile> actual_cost_;
+  /// Leaf lock (lowest rank): held only for map access, never across a call
+  /// into metrics/trace/ledger.
+  mutable Mutex actual_mu_{kLockRankExecContext};
+  std::map<std::thread::id, CostProfile> actual_cost_ GUARDED_BY(actual_mu_);
 };
 
 }  // namespace keystone

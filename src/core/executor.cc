@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "src/analysis/plan_validator.h"
 #include "src/common/check.h"
 #include "src/common/string_util.h"
-#include "src/common/timer.h"
+#include "src/core/plan_runner.h"
 #include "src/obs/metrics.h"
-#include "src/obs/profile_store.h"
-#include "src/obs/trace.h"
-#include "src/optimizer/operator_optimizer.h"
+#include "src/optimizer/pass_manager.h"
 
 namespace keystone {
 
@@ -21,88 +20,7 @@ namespace {
 /// policy and its failure mode).
 constexpr double kLruAdmitFraction = 0.35;
 
-/// Resolves the physical transformer for a node, honoring a chosen option
-/// when the node's operator is Optimizable.
-std::shared_ptr<TransformerBase> EffectiveTransformer(
-    const GraphNode& node, const std::map<const void*, int>& chosen) {
-  auto* optimizable =
-      dynamic_cast<OptimizableTransformer*>(node.transformer.get());
-  if (optimizable == nullptr) return node.transformer;
-  auto it = chosen.find(optimizable);
-  const int index = it == chosen.end() ? 0 : it->second;
-  return optimizable->options()[index];
-}
-
-std::shared_ptr<EstimatorBase> EffectiveEstimator(
-    const GraphNode& node, const std::map<const void*, int>& chosen) {
-  auto* optimizable =
-      dynamic_cast<OptimizableEstimator*>(node.estimator.get());
-  if (optimizable == nullptr) return node.estimator;
-  auto it = chosen.find(optimizable);
-  const int index = it == chosen.end() ? 0 : it->second;
-  return optimizable->options()[index];
-}
-
-/// Collects everything one operator execution produces for observability;
-/// the executor fills one of these per node per pass and flushes it to the
-/// context's trace recorder / metrics / profile store.
-struct SpanDraft {
-  obs::TraceSpan span;
-  // Input stats at the scale the kernel actually ran (for the store).
-  DataStats in_stats;
-  bool record_observation = false;
-
-  void Flush(ExecContext* ctx, const std::string& op_name) {
-    if (record_observation && span.observed.has_value() &&
-        ctx->profile_store() != nullptr) {
-      ctx->profile_store()->RecordObservation(op_name, in_stats,
-                                              span.predicted, *span.observed,
-                                              span.wall_seconds);
-    }
-    if (ctx->metrics() != nullptr) {
-      ctx->metrics()->Increment(
-          std::string("exec.spans.") + obs::TracePhaseName(span.phase));
-      ctx->metrics()->Observe("exec.wall_seconds", span.wall_seconds);
-    }
-    if (ctx->tracer() != nullptr) ctx->tracer()->Record(std::move(span));
-  }
-};
-
 }  // namespace
-
-const char* CachePolicyName(CachePolicy policy) {
-  switch (policy) {
-    case CachePolicy::kNone:
-      return "none";
-    case CachePolicy::kRuleBased:
-      return "rule-based";
-    case CachePolicy::kLru:
-      return "lru";
-    case CachePolicy::kGreedy:
-      return "greedy";
-    case CachePolicy::kExhaustive:
-      return "exhaustive";
-  }
-  return "?";
-}
-
-OptimizationConfig OptimizationConfig::None() {
-  OptimizationConfig cfg;
-  cfg.operator_selection = false;
-  cfg.common_subexpression = false;
-  cfg.cache_policy = CachePolicy::kNone;
-  return cfg;
-}
-
-OptimizationConfig OptimizationConfig::PipeOnly() {
-  OptimizationConfig cfg;
-  cfg.operator_selection = false;
-  cfg.common_subexpression = true;
-  cfg.cache_policy = CachePolicy::kGreedy;
-  return cfg;
-}
-
-OptimizationConfig OptimizationConfig::Full() { return OptimizationConfig(); }
 
 std::string PipelineReport::ToString() const {
   std::ostringstream os;
@@ -126,14 +44,9 @@ std::string PipelineReport::ToString() const {
 }
 
 FittedPipelineUntyped::FittedPipelineUntyped(
-    std::shared_ptr<PipelineGraph> graph, int placeholder, int sink,
-    std::map<int, std::shared_ptr<TransformerBase>> models,
-    std::map<int, std::shared_ptr<TransformerBase>> chosen_transformers)
-    : graph_(std::move(graph)),
-      placeholder_(placeholder),
-      sink_(sink),
-      models_(std::move(models)),
-      chosen_transformers_(std::move(chosen_transformers)) {}
+    std::shared_ptr<PhysicalPlan> plan,
+    std::map<int, std::shared_ptr<TransformerBase>> models)
+    : plan_(std::move(plan)), models_(std::move(models)) {}
 
 std::shared_ptr<TransformerBase> FittedPipelineUntyped::ModelFor(
     int estimator_node) const {
@@ -145,344 +58,24 @@ std::shared_ptr<TransformerBase> FittedPipelineUntyped::ModelFor(
 
 AnyDataset FittedPipelineUntyped::Apply(const AnyDataset& input,
                                         ExecContext* ctx) const {
-  const auto runtime_mask = graph_->ReachableFrom(placeholder_);
-  const auto needed = graph_->AncestorsOf(sink_);
   const auto& resources = ctx->resources();
-
   // Charge loading the evaluation data.
   const DataStats input_stats = input->ComputeStats();
   ctx->ledger()->ChargeSeconds(
       "LoadTest", resources.DiskReadSeconds(input_stats.TotalBytes() /
                                             std::max(1, resources.num_nodes)));
-
-  std::map<int, AnyDataset> outputs;
-  outputs[placeholder_] = input;
-
-  for (int id = 0; id < graph_->size(); ++id) {
-    if (!runtime_mask[id] || !needed[id] || id == placeholder_) continue;
-    const GraphNode& node = graph_->node(id);
-    std::vector<AnyDataset> inputs;
-    for (int dep : node.inputs) {
-      auto it = outputs.find(dep);
-      KS_CHECK(it != outputs.end())
-          << "runtime node " << node.name << " depends on train-only data";
-      inputs.push_back(it->second);
-    }
-    const DataStats in_stats = inputs[0]->ComputeStats();
-
-    std::shared_ptr<TransformerBase> op;
-    switch (node.kind) {
-      case NodeKind::kTransformer:
-      case NodeKind::kGather: {
-        auto it = chosen_transformers_.find(id);
-        op = it != chosen_transformers_.end() ? it->second : node.transformer;
-        break;
-      }
-      case NodeKind::kApplyModel:
-        op = ModelFor(node.model_input);
-        break;
-      default:
-        KS_CHECK(false) << "unexpected " << NodeKindName(node.kind)
-                        << " on the runtime path";
-    }
-    SpanDraft draft;
-    draft.span.node_id = id;
-    draft.span.name = node.name;
-    draft.span.kind = NodeKindName(node.kind);
-    draft.span.phase = obs::TracePhase::kEval;
-    draft.span.physical = op->Name();
-    draft.span.predicted = op->EstimateCost(in_stats, resources.num_nodes);
-    draft.span.records_in = in_stats.num_records;
-    ctx->BeginOperatorScope();
-    Timer timer;
-    outputs[id] = op->ApplyAny(inputs, ctx);
-    draft.span.wall_seconds = timer.ElapsedSeconds();
-    outputs[id]->set_virtual_scale(inputs[0]->virtual_scale());
-    draft.span.partitions = outputs[id]->NumPartitions();
-    const auto actual = ctx->TakeActualCost();
-    draft.span.observed = actual;
-    draft.span.used_observed =
-        actual.has_value() && inputs[0]->virtual_scale() <= 1.0;
-    draft.record_observation = inputs[0]->virtual_scale() <= 1.0;
-    draft.in_stats = in_stats;
-    const CostProfile cost =
-        draft.span.used_observed
-            ? *actual
-            : op->EstimateCost(in_stats, resources.num_nodes);
-    draft.span.virtual_seconds = ctx->ledger()->Charge("Eval", cost);
-    draft.span.output_bytes = outputs[id]->ComputeStats().TotalBytes();
-    draft.Flush(ctx, op->Name());
-  }
-  auto it = outputs.find(sink_);
-  KS_CHECK(it != outputs.end());
-  return it->second;
+  PlanRunner runner(plan_.get(), ctx);
+  return runner.RunApply(input, models_);
 }
 
 PipelineExecutor::PipelineExecutor(const ClusterResourceDescriptor& resources,
                                    const OptimizationConfig& config)
     : config_(config), context_(resources) {}
 
-void PipelineExecutor::ProfilePass(PipelineGraph* graph,
-                                   const std::vector<bool>& train_mask,
-                                   size_t sample_size, bool select_ops,
-                                   bool record_large,
-                                   std::map<int, int>* chosen_options,
-                                   std::vector<ProfileEntry>* profile,
-                                   PipelineReport* report) {
-  const auto& resources = context_.resources();
-  // Observed history only corrects selection estimates when the user opted
-  // into profile reuse; default behaviour stays purely model-driven.
-  const obs::ProfileStore* history =
-      config_.reuse_stored_profiles ? context_.profile_store() : nullptr;
-  const obs::TracePhase phase = record_large ? obs::TracePhase::kProfileLarge
-                                             : obs::TracePhase::kProfileSmall;
-  std::map<int, AnyDataset> outputs;
-  std::map<int, std::shared_ptr<TransformerBase>> sample_models;
-  std::map<const void*, int> chosen_ptrs;
-  for (const auto& [id, index] : *chosen_options) {
-    const GraphNode& node = graph->node(id);
-    const void* op = node.transformer != nullptr
-                         ? static_cast<const void*>(node.transformer.get())
-                         : static_cast<const void*>(node.estimator.get());
-    chosen_ptrs[op] = index;
-  }
-
-  for (int id = 0; id < graph->size(); ++id) {
-    if (!train_mask[id]) continue;
-    GraphNode& node = *graph->mutable_node(id);
-    ProfileEntry& entry = (*profile)[id];
-    double seconds = 0.0;
-    DataStats out_stats;
-    SpanDraft draft;
-    draft.span.node_id = id;
-    draft.span.name = node.name;
-    draft.span.kind = NodeKindName(node.kind);
-    draft.span.phase = phase;
-    std::string op_name;
-
-    switch (node.kind) {
-      case NodeKind::kSource: {
-        entry.full_records = static_cast<size_t>(
-            node.bound_data->NumRecords() * node.bound_data->virtual_scale());
-        Timer timer;
-        auto sample = node.bound_data->SamplePrefix(sample_size);
-        draft.span.wall_seconds = timer.ElapsedSeconds();
-        outputs[id] = sample;
-        out_stats = sample->ComputeStats();
-        seconds = resources.DiskReadSeconds(out_stats.TotalBytes() /
-                                            std::max(1, resources.num_nodes));
-        draft.span.predicted.bytes =
-            out_stats.TotalBytes() / std::max(1, resources.num_nodes);
-        draft.span.partitions = sample->NumPartitions();
-        draft.span.records_in = out_stats.num_records;
-        break;
-      }
-      case NodeKind::kTransformer:
-      case NodeKind::kGather: {
-        std::vector<AnyDataset> inputs;
-        for (int dep : node.inputs) inputs.push_back(outputs.at(dep));
-        const DataStats in_stats = inputs[0]->ComputeStats();
-        entry.full_records = (*profile)[node.inputs[0]].full_records;
-
-        auto* optimizable =
-            dynamic_cast<OptimizableTransformer*>(node.transformer.get());
-        if (select_ops && optimizable != nullptr &&
-            chosen_ptrs.count(optimizable) == 0) {
-          const DataStats full_stats = in_stats.ScaledTo(entry.full_records);
-          const PhysicalChoice choice = ChooseTransformerOption(
-              *optimizable, full_stats, resources, history);
-          (*chosen_options)[id] = choice.option_index;
-          chosen_ptrs[optimizable] = choice.option_index;
-        }
-        auto op = EffectiveTransformer(node, chosen_ptrs);
-        op_name = op->Name();
-        if (op != node.transformer) draft.span.physical = op_name;
-        draft.span.predicted = op->EstimateCost(in_stats, resources.num_nodes);
-        context_.BeginOperatorScope();
-        Timer timer;
-        outputs[id] = op->ApplyAny(inputs, &context_);
-        draft.span.wall_seconds = timer.ElapsedSeconds();
-        const auto actual = context_.TakeActualCost();
-        draft.span.observed = actual;
-        draft.span.used_observed = actual.has_value();
-        draft.in_stats = in_stats;
-        draft.record_observation = true;
-        CostProfile cost =
-            actual.has_value() ? *actual : draft.span.predicted;
-        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
-        seconds = resources.SecondsFor(cost);
-        out_stats = outputs[id]->ComputeStats();
-        draft.span.partitions = outputs[id]->NumPartitions();
-        draft.span.records_in = in_stats.num_records;
-        break;
-      }
-      case NodeKind::kEstimator: {
-        const AnyDataset data = outputs.at(node.inputs[0]);
-        const AnyDataset labels =
-            node.inputs.size() > 1 ? outputs.at(node.inputs[1]) : nullptr;
-        const DataStats in_stats = data->ComputeStats();
-        entry.full_records = 0;  // Output is a model, not a dataset.
-
-        auto* optimizable =
-            dynamic_cast<OptimizableEstimator*>(node.estimator.get());
-        if (select_ops && optimizable != nullptr &&
-            chosen_ptrs.count(optimizable) == 0) {
-          const size_t full_n = (*profile)[node.inputs[0]].full_records;
-          const DataStats full_stats = in_stats.ScaledTo(full_n);
-          const PhysicalChoice choice = ChooseEstimatorOption(
-              *optimizable, full_stats, resources, history);
-          (*chosen_options)[id] = choice.option_index;
-          chosen_ptrs[optimizable] = choice.option_index;
-        }
-        auto est = EffectiveEstimator(node, chosen_ptrs);
-        op_name = est->Name();
-        if (est != node.estimator) draft.span.physical = op_name;
-        draft.span.predicted =
-            est->EstimateCost(in_stats, resources.num_nodes);
-        context_.BeginOperatorScope();
-        Timer timer;
-        sample_models[id] = est->FitAny(data, labels, &context_);
-        draft.span.wall_seconds = timer.ElapsedSeconds();
-        const auto actual = context_.TakeActualCost();
-        draft.span.observed = actual;
-        draft.span.used_observed = actual.has_value();
-        draft.in_stats = in_stats;
-        draft.record_observation = true;
-        CostProfile cost =
-            actual.has_value() ? *actual : draft.span.predicted;
-        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
-        seconds = resources.SecondsFor(cost);
-        draft.span.partitions = data->NumPartitions();
-        draft.span.records_in = in_stats.num_records;
-        break;
-      }
-      case NodeKind::kApplyModel: {
-        const AnyDataset data = outputs.at(node.inputs[0]);
-        const DataStats in_stats = data->ComputeStats();
-        entry.full_records = (*profile)[node.inputs[0]].full_records;
-        auto model = sample_models.at(node.model_input);
-        op_name = model->Name();
-        draft.span.physical = op_name;
-        draft.span.predicted =
-            model->EstimateCost(in_stats, resources.num_nodes);
-        context_.BeginOperatorScope();
-        Timer timer;
-        outputs[id] = model->ApplyAny({data}, &context_);
-        draft.span.wall_seconds = timer.ElapsedSeconds();
-        const auto actual = context_.TakeActualCost();
-        draft.span.observed = actual;
-        draft.span.used_observed = actual.has_value();
-        draft.in_stats = in_stats;
-        draft.record_observation = true;
-        CostProfile cost =
-            actual.has_value() ? *actual : draft.span.predicted;
-        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
-        seconds = resources.SecondsFor(cost);
-        out_stats = outputs[id]->ComputeStats();
-        draft.span.partitions = outputs[id]->NumPartitions();
-        draft.span.records_in = in_stats.num_records;
-        break;
-      }
-      case NodeKind::kPlaceholder:
-        KS_CHECK(false) << "placeholder cannot be on the training path";
-    }
-
-    // Records that flowed through this node during the sample pass (the
-    // node input count; for sources/transformers that equals the output).
-    size_t sample_records = out_stats.num_records;
-    if (node.kind == NodeKind::kEstimator) {
-      sample_records = outputs.count(node.inputs[0]) > 0
-                           ? outputs.at(node.inputs[0])->NumRecords()
-                           : 0;
-    }
-    if (record_large) {
-      entry.seconds_large = seconds;
-      entry.records_large = sample_records;
-    } else {
-      entry.seconds_small = seconds;
-      entry.records_small = sample_records;
-    }
-    entry.bytes_per_record = out_stats.bytes_per_record;
-
-    if (context_.profile_store() != nullptr) {
-      obs::NodeProfileRecord record;
-      record.seconds = seconds;
-      record.records = sample_records;
-      record.bytes_per_record = entry.bytes_per_record;
-      record.full_records = entry.full_records;
-      auto chosen = chosen_options->find(id);
-      record.chosen_option =
-          chosen == chosen_options->end() ? -1 : chosen->second;
-      context_.profile_store()->RecordNodeProfile(
-          obs::ProfileStore::NodeKey(id, node.name, sample_size), record);
-    }
-    // Cost-profile sanity: a NaN or negative prediction would silently
-    // poison the extrapolation and every plan derived from it.
-    if (config_.validate_plans) {
-      analysis::ValidationReport cost_report;
-      analysis::CheckCostProfile(draft.span.predicted, id, node.name,
-                                 &cost_report);
-      if (draft.span.observed.has_value()) {
-        analysis::CheckCostProfile(*draft.span.observed, id,
-                                   node.name + " (observed)", &cost_report);
-      }
-      KS_CHECK(cost_report.ok()) << cost_report.ToString();
-    }
-    draft.span.virtual_seconds = seconds;
-    draft.span.output_bytes = out_stats.TotalBytes();
-    draft.Flush(&context_, op_name.empty() ? node.name : op_name);
-    (void)report;
-  }
-}
-
-bool PipelineExecutor::ReuseStoredProfiles(const PipelineGraph& graph,
-                                           const std::vector<bool>& train_mask,
-                                           std::map<int, int>* chosen_options,
-                                           std::vector<ProfileEntry>* profile) {
-  obs::ProfileStore* store = context_.profile_store();
-  if (store == nullptr) return false;
-  struct Stored {
-    int id;
-    obs::NodeProfileRecord small;
-    obs::NodeProfileRecord large;
-  };
-  std::vector<Stored> stored;
-  for (int id = 0; id < graph.size(); ++id) {
-    if (!train_mask[id]) continue;
-    const std::string& name = graph.node(id).name;
-    const auto large = store->NodeProfileFor(obs::ProfileStore::NodeKey(
-        id, name, config_.profile_sample_large));
-    const auto small = store->NodeProfileFor(obs::ProfileStore::NodeKey(
-        id, name, config_.profile_sample_small));
-    if (!large.has_value() || !small.has_value()) return false;
-    stored.push_back({id, *small, *large});
-  }
-  // Full coverage: rebuild what the two sampling passes would have filled.
-  for (const Stored& s : stored) {
-    ProfileEntry& entry = (*profile)[s.id];
-    entry.seconds_large = s.large.seconds;
-    entry.records_large = s.large.records;
-    entry.seconds_small = s.small.seconds;
-    entry.records_small = s.small.records;
-    // The small pass runs last live, so its stats are the ones that stick.
-    entry.bytes_per_record = s.small.bytes_per_record;
-    entry.full_records = s.large.full_records;
-    if (s.large.chosen_option >= 0) {
-      (*chosen_options)[s.id] = s.large.chosen_option;
-    }
-  }
-  return true;
-}
-
-std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
-    const PipelineGraph& original, int placeholder, int sink,
-    PipelineReport* report) {
-  PipelineReport local_report;
-  if (report == nullptr) report = &local_report;
-  *report = PipelineReport();
-
+std::shared_ptr<PhysicalPlan> PipelineExecutor::Compile(
+    const PipelineGraph& original, int placeholder, int sink) {
   // --- Static validation of the logical graph as submitted: catch
-  // ill-formed DAGs before any rewriting or execution happens.
+  // ill-formed DAGs before lowering (which assumes a well-formed DAG).
   if (config_.validate_plans) {
     analysis::PlanValidationOptions vopts;
     vopts.sink = sink;
@@ -494,326 +87,95 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
                            << vreport.ToString();
   }
 
+  // --- Lower to the PhysicalPlan IR over a private copy of the graph,
+  // then run the optimizer pass pipeline (CSE, profile + selection,
+  // materialization planning), re-validating after every pass.
   auto graph = std::make_shared<PipelineGraph>(original);
+  auto plan = std::make_shared<PhysicalPlan>(LowerToPhysical(
+      std::move(graph), placeholder, sink, config_, context_.resources()));
+  PassManager manager;
+  RegisterStandardPasses(&manager);
+  PassContext pctx;
+  pctx.ctx = &context_;
+  manager.Run(plan.get(), &pctx);
+  return plan;
+}
+
+std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
+    const PipelineGraph& original, int placeholder, int sink,
+    PipelineReport* report) {
+  PipelineReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = PipelineReport();
+
+  auto plan = Compile(original, placeholder, sink);
   const auto& resources = context_.resources();
+  report->cse_eliminated = plan->cse_eliminated;
+  report->profiles_from_store = plan->profiles_from_store;
+  report->optimize_seconds = plan->optimize_seconds;
+  report->cache_budget_bytes = plan->cache_budget_bytes;
 
-  // --- Whole-pipeline rewrite: common sub-expression elimination (§4.2).
-  if (config_.common_subexpression) {
-    std::vector<int> remap;
-    report->cse_eliminated = graph->EliminateCommonSubexpressions(&remap);
-    sink = remap[sink];
-    placeholder = remap[placeholder];
-  }
+  // --- Full-scale execution of the training path: the single execution
+  // loop, shared with the profile and apply modes, lives in PlanRunner.
+  PlanRunner runner(plan.get(), &context_);
+  RunResult run = runner.Run(ExecMode::kFit);
 
-  const auto live = graph->AncestorsOf(sink);
-  const auto runtime_mask = graph->ReachableFrom(placeholder);
-  std::vector<bool> train_mask(graph->size());
-  for (int id = 0; id < graph->size(); ++id) {
-    train_mask[id] = live[id] && !runtime_mask[id];
-  }
-
-  // --- Execution subsampling + operator selection (§3, §4.1).
-  const bool plan_cache = config_.cache_policy == CachePolicy::kGreedy ||
-                          config_.cache_policy == CachePolicy::kExhaustive;
-  const bool need_profile = config_.operator_selection || plan_cache;
-  std::map<int, int> chosen_options;
-  std::vector<ProfileEntry> profile(graph->size());
-  if (need_profile) {
-    bool reused = false;
-    if (config_.reuse_stored_profiles) {
-      reused = ReuseStoredProfiles(*graph, train_mask, &chosen_options,
-                                   &profile);
-      if (reused) {
-        report->profiles_from_store = true;
-        if (context_.metrics() != nullptr) {
-          context_.metrics()->Increment("profile_store.reuses");
-        }
-      }
-    }
-    if (!reused) {
-      ProfilePass(graph.get(), train_mask, config_.profile_sample_large,
-                  config_.operator_selection, /*record_large=*/true,
-                  &chosen_options, &profile, report);
-      ProfilePass(graph.get(), train_mask, config_.profile_sample_small,
-                  /*select_ops=*/false, /*record_large=*/false,
-                  &chosen_options, &profile, report);
-      for (int id = 0; id < graph->size(); ++id) {
-        if (train_mask[id]) {
-          report->optimize_seconds +=
-              profile[id].seconds_small + profile[id].seconds_large;
-        }
-      }
-    }
-  }
-
-  std::map<const void*, int> chosen_ptrs;
-  for (const auto& [id, index] : chosen_options) {
-    const GraphNode& node = graph->node(id);
-    const void* op = node.transformer != nullptr
-                         ? static_cast<const void*>(node.transformer.get())
-                         : static_cast<const void*>(node.estimator.get());
-    chosen_ptrs[op] = index;
-  }
-
-  // --- Materialization planning from the extrapolated profile (§4.3).
-  const double budget =
-      config_.cache_budget_bytes >= 0.0
-          ? config_.cache_budget_bytes
-          : config_.cache_fraction * resources.ClusterMemoryBytes();
-  report->cache_budget_bytes = budget;
-
-  auto node_weight = [&](int id) -> int {
-    const GraphNode& node = graph->node(id);
-    if (node.kind == NodeKind::kEstimator) {
-      return EffectiveEstimator(node, chosen_ptrs)->Weight();
-    }
-    if (node.transformer != nullptr) {
-      return EffectiveTransformer(node, chosen_ptrs)->Weight();
-    }
-    return 1;
-  };
-
-  auto terminals_of = [&]() {
-    const auto succ = graph->SuccessorLists();
-    std::vector<int> terminals;
-    for (int id = 0; id < graph->size(); ++id) {
-      if (!train_mask[id]) continue;
-      bool has_train_succ = false;
-      for (int s : succ[id]) {
-        if (train_mask[s] && live[s]) has_train_succ = true;
-      }
-      if (!has_train_succ) terminals.push_back(id);
-    }
-    return terminals;
-  };
-  const std::vector<int> terminals = terminals_of();
-
-  std::vector<bool> cache_set(graph->size(), false);
-  MaterializationProblem plan;
-  if (plan_cache) {
-    plan.graph = graph.get();
-    plan.resources = resources;
-    plan.memory_budget_bytes = budget;
-    plan.terminals = terminals;
-    plan.info.resize(graph->size());
-    for (int id = 0; id < graph->size(); ++id) {
-      NodeRuntimeInfo& info = plan.info[id];
-      info.live = train_mask[id];
-      if (!info.live) continue;
-      const GraphNode& node = graph->node(id);
-      info.weight = node_weight(id);
-      info.always_cached = node.kind == NodeKind::kEstimator;
-      const ProfileEntry& entry = profile[id];
-      const double n_full = static_cast<double>(entry.full_records);
-      // Linear extrapolation through the two sampled points (§5.4); when
-      // the dataset is smaller than both sample sizes the points coincide,
-      // so fall back to proportional scaling.
-      double total_seconds;
-      if (entry.records_large > entry.records_small) {
-        const double slope =
-            (entry.seconds_large - entry.seconds_small) /
-            (entry.records_large - entry.records_small);
-        total_seconds = std::max(
-            0.0, entry.seconds_large +
-                     slope * (n_full - entry.records_large));
-      } else {
-        total_seconds = entry.seconds_large * n_full /
-                        std::max<size_t>(1, entry.records_large);
-      }
-      info.compute_seconds = total_seconds / std::max(1, info.weight);
-      info.output_bytes = entry.bytes_per_record * n_full;
-    }
-    cache_set = config_.cache_policy == CachePolicy::kGreedy
-                    ? GreedyCacheSelection(plan)
-                    : ExhaustiveCacheSelection(plan);
-  }
-
-  // --- Static validation of the optimized plan: the rewritten graph and
-  // the materialization plan it is about to execute.
-  if (config_.validate_plans) {
-    analysis::PlanValidationOptions vopts;
-    vopts.sink = sink;
-    vopts.placeholder = placeholder;
-    vopts.expect_cse = config_.common_subexpression;
-    vopts.warn_unreachable = false;  // CSE leaves dead duplicates behind.
-    const analysis::PlanValidator validator(vopts);
-    analysis::ValidationReport vreport = validator.Validate(*graph);
-    if (plan_cache) vreport.Merge(validator.ValidatePlan(plan, cache_set));
-    analysis::RecordDiagnostics(vreport, context_.metrics());
-    KS_CHECK(vreport.ok()) << "optimized plan failed validation:\n"
-                           << vreport.ToString();
-  }
-
-  // --- Full-scale execution of the training path.
-  std::map<int, AnyDataset> outputs;
-  std::map<int, std::shared_ptr<TransformerBase>> models;
-  std::vector<NodeRuntimeInfo> actual_info(graph->size());
+  // --- Accounting: per-node records and final virtual-time charges under
+  // the configured cache policy.
+  std::vector<NodeRuntimeInfo> actual_info(plan->nodes.size());
   report->nodes.clear();
-
-  for (int id = 0; id < graph->size(); ++id) {
-    if (!train_mask[id]) continue;
-    const GraphNode& node = graph->node(id);
+  for (const PlannedNode& pn : plan->nodes) {
+    if (!pn.train) continue;
     NodeExecutionRecord record;
-    record.id = id;
-    record.name = node.name;
-    record.kind = node.kind;
-    record.weight = node_weight(id);
+    record.id = pn.id;
+    record.name = pn.name;
+    record.kind = pn.kind;
+    record.weight = pn.weight;
+    record.chosen_physical = pn.physical_name;
 
-    double total_seconds = 0.0;
-    DataStats out_stats;
-    SpanDraft draft;
-    draft.span.node_id = id;
-    draft.span.name = node.name;
-    draft.span.kind = NodeKindName(node.kind);
-    draft.span.phase = obs::TracePhase::kTrain;
-    std::string op_name;
-    switch (node.kind) {
-      case NodeKind::kSource: {
-        outputs[id] = node.bound_data;
-        out_stats = node.bound_data->ComputeStats();
-        total_seconds = resources.DiskReadSeconds(
-            out_stats.TotalBytes() / std::max(1, resources.num_nodes));
-        draft.span.predicted.bytes =
-            out_stats.TotalBytes() / std::max(1, resources.num_nodes);
-        draft.span.partitions = node.bound_data->NumPartitions();
-        draft.span.records_in = out_stats.num_records;
-        break;
-      }
-      case NodeKind::kTransformer:
-      case NodeKind::kGather: {
-        std::vector<AnyDataset> inputs;
-        for (int dep : node.inputs) inputs.push_back(outputs.at(dep));
-        const double scale = inputs[0]->virtual_scale();
-        const DataStats in_stats = inputs[0]->ComputeStats();
-        auto op = EffectiveTransformer(node, chosen_ptrs);
-        if (op != node.transformer) record.chosen_physical = op->Name();
-        op_name = op->Name();
-        draft.span.physical = record.chosen_physical;
-        draft.span.predicted = op->EstimateCost(in_stats, resources.num_nodes);
-        context_.BeginOperatorScope();
-        Timer timer;
-        outputs[id] = op->ApplyAny(inputs, &context_);
-        draft.span.wall_seconds = timer.ElapsedSeconds();
-        outputs[id]->set_virtual_scale(scale);
-        // With a virtual scale, kernel-reported costs describe the real
-        // (small) run; use the cost model at the scaled statistics instead.
-        const auto actual = context_.TakeActualCost();
-        draft.span.observed = actual;
-        draft.span.used_observed = actual.has_value() && scale <= 1.0;
-        draft.record_observation = scale <= 1.0;
-        draft.in_stats = in_stats;
-        total_seconds = resources.SecondsFor(
-            draft.span.used_observed ? *actual : draft.span.predicted);
-        out_stats = outputs[id]->ComputeStats();
-        draft.span.partitions = outputs[id]->NumPartitions();
-        draft.span.records_in = in_stats.num_records;
-        break;
-      }
-      case NodeKind::kEstimator: {
-        const AnyDataset data = outputs.at(node.inputs[0]);
-        const AnyDataset labels =
-            node.inputs.size() > 1 ? outputs.at(node.inputs[1]) : nullptr;
-        const double scale = data->virtual_scale();
-        const DataStats in_stats = data->ComputeStats();
-        auto est = EffectiveEstimator(node, chosen_ptrs);
-        if (est != node.estimator) record.chosen_physical = est->Name();
-        op_name = est->Name();
-        draft.span.physical = record.chosen_physical;
-        draft.span.predicted =
-            est->EstimateCost(in_stats, resources.num_nodes);
-        context_.BeginOperatorScope();
-        Timer timer;
-        models[id] = est->FitAny(data, labels, &context_);
-        draft.span.wall_seconds = timer.ElapsedSeconds();
-        const auto actual = context_.TakeActualCost();
-        draft.span.observed = actual;
-        draft.span.used_observed = actual.has_value() && scale <= 1.0;
-        draft.record_observation = scale <= 1.0;
-        draft.in_stats = in_stats;
-        total_seconds = resources.SecondsFor(
-            draft.span.used_observed ? *actual : draft.span.predicted);
-        draft.span.partitions = data->NumPartitions();
-        draft.span.records_in = in_stats.num_records;
-        break;
-      }
-      case NodeKind::kApplyModel: {
-        const AnyDataset data = outputs.at(node.inputs[0]);
-        const double scale = data->virtual_scale();
-        const DataStats in_stats = data->ComputeStats();
-        auto model = models.at(node.model_input);
-        op_name = model->Name();
-        draft.span.physical = op_name;
-        draft.span.predicted =
-            model->EstimateCost(in_stats, resources.num_nodes);
-        context_.BeginOperatorScope();
-        Timer timer;
-        outputs[id] = model->ApplyAny({data}, &context_);
-        draft.span.wall_seconds = timer.ElapsedSeconds();
-        outputs[id]->set_virtual_scale(scale);
-        const auto actual = context_.TakeActualCost();
-        draft.span.observed = actual;
-        draft.span.used_observed = actual.has_value() && scale <= 1.0;
-        draft.record_observation = scale <= 1.0;
-        draft.in_stats = in_stats;
-        total_seconds = resources.SecondsFor(
-            draft.span.used_observed ? *actual : draft.span.predicted);
-        out_stats = outputs[id]->ComputeStats();
-        draft.span.partitions = outputs[id]->NumPartitions();
-        draft.span.records_in = in_stats.num_records;
-        break;
-      }
-      case NodeKind::kPlaceholder:
-        KS_CHECK(false) << "placeholder cannot be on the training path";
-    }
-
-    NodeRuntimeInfo& info = actual_info[id];
+    NodeRuntimeInfo& info = actual_info[pn.id];
     info.live = true;
-    info.weight = record.weight;
-    info.always_cached = node.kind == NodeKind::kEstimator;
-    info.compute_seconds = total_seconds / std::max(1, record.weight);
-    info.output_bytes = out_stats.TotalBytes();
+    info.weight = pn.weight;
+    info.always_cached = pn.kind == NodeKind::kEstimator;
+    info.compute_seconds = run.node_seconds[pn.id] / std::max(1, pn.weight);
+    info.output_bytes = run.out_stats[pn.id].TotalBytes();
 
     record.compute_seconds = info.compute_seconds;
     record.output_bytes = info.output_bytes;
-    record.cached = cache_set[id];
-    record.output_stats = out_stats;
-    draft.span.virtual_seconds = total_seconds;
-    draft.span.cached = cache_set[id];
-    draft.span.output_bytes = info.output_bytes;
-    draft.Flush(&context_, op_name.empty() ? node.name : op_name);
+    record.cached = plan->cache_set[pn.id];
+    record.output_stats = run.out_stats[pn.id];
     report->nodes.push_back(std::move(record));
   }
 
-  // --- Final virtual-time accounting under the configured cache policy.
   MaterializationProblem actual;
-  actual.graph = graph.get();
+  actual.graph = plan->graph.get();
   actual.resources = resources;
-  actual.memory_budget_bytes = budget;
-  actual.terminals = terminals;
+  actual.memory_budget_bytes = plan->cache_budget_bytes;
+  actual.terminals = plan->terminals;
   actual.info = std::move(actual_info);
 
   std::vector<double> per_node;
   if (config_.cache_policy == CachePolicy::kLru) {
-    report->total_train_seconds =
-        SimulateLruRuntime(actual, budget, kLruAdmitFraction, &per_node);
+    report->total_train_seconds = SimulateLruRuntime(
+        actual, plan->cache_budget_bytes, kLruAdmitFraction, &per_node);
   } else {
     report->total_train_seconds =
-        EstimateRuntimeDetailed(actual, cache_set, &per_node);
+        EstimateRuntimeDetailed(actual, plan->cache_set, &per_node);
   }
-  report->cache_set = cache_set;
-  report->cache_used_bytes = CacheSetBytes(actual, cache_set);
+  report->cache_set = plan->cache_set;
+  report->cache_used_bytes = CacheSetBytes(actual, plan->cache_set);
 
-  for (int id = 0; id < graph->size(); ++id) {
-    if (!train_mask[id]) continue;
-    switch (graph->node(id).kind) {
+  for (const PlannedNode& pn : plan->nodes) {
+    if (!pn.train) continue;
+    switch (pn.kind) {
       case NodeKind::kSource:
-        report->load_seconds += per_node[id];
+        report->load_seconds += per_node[pn.id];
         break;
       case NodeKind::kEstimator:
-        report->solve_seconds += per_node[id];
+        report->solve_seconds += per_node[pn.id];
         break;
       default:
-        report->featurize_seconds += per_node[id];
+        report->featurize_seconds += per_node[pn.id];
         break;
     }
   }
@@ -826,8 +188,8 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
     metrics->Increment("exec.fits");
     metrics->Increment("optimizer.cse_eliminated", report->cse_eliminated);
     int planned_nodes = 0;
-    for (int id = 0; id < graph->size(); ++id) {
-      if (cache_set[id]) ++planned_nodes;
+    for (size_t id = 0; id < plan->cache_set.size(); ++id) {
+      if (plan->cache_set[id]) ++planned_nodes;
     }
     metrics->Set("cache.planned_nodes", planned_nodes);
     metrics->Set("cache.budget_bytes", report->cache_budget_bytes);
@@ -840,22 +202,8 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
     metrics->Set("pool.busy_seconds", pool.busy_seconds);
   }
 
-  // --- Resolve chosen physical transformers for the runtime path.
-  std::map<int, std::shared_ptr<TransformerBase>> chosen_transformers;
-  for (int id = 0; id < graph->size(); ++id) {
-    const GraphNode& node = graph->node(id);
-    if (node.transformer == nullptr) continue;
-    auto* optimizable =
-        dynamic_cast<OptimizableTransformer*>(node.transformer.get());
-    if (optimizable == nullptr) continue;
-    auto it = chosen_ptrs.find(optimizable);
-    const int index = it == chosen_ptrs.end() ? 0 : it->second;
-    chosen_transformers[id] = optimizable->options()[index];
-  }
-
-  return std::make_shared<FittedPipelineUntyped>(
-      graph, placeholder, sink, std::move(models),
-      std::move(chosen_transformers));
+  return std::make_shared<FittedPipelineUntyped>(plan,
+                                                 std::move(run.models));
 }
 
 }  // namespace keystone

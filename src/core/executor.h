@@ -7,74 +7,13 @@
 #include <vector>
 
 #include "src/core/exec_context.h"
+#include "src/core/physical_plan.h"
 #include "src/core/pipeline.h"
 #include "src/core/pipeline_graph.h"
 #include "src/data/dist_dataset.h"
 #include "src/optimizer/materialization.h"
 
 namespace keystone {
-
-/// Intermediate-data materialization policy (paper §4.3 / §5.4).
-enum class CachePolicy {
-  /// Nothing materialized (models excepted): every access recomputes.
-  kNone,
-  /// Cache only estimator results (the rule-based baseline).
-  kRuleBased,
-  /// Dynamic least-recently-used cache (the Spark default baseline).
-  kLru,
-  /// The paper's greedy Algorithm 1.
-  kGreedy,
-  /// Exhaustive optimal subset (small DAGs only; the ILP stand-in).
-  kExhaustive,
-};
-
-const char* CachePolicyName(CachePolicy policy);
-
-/// Which optimizations the executor applies — the "optimization levels" of
-/// Figure 9 are presets over these flags.
-struct OptimizationConfig {
-  /// Choose physical implementations for Optimizable operators (§3).
-  bool operator_selection = true;
-
-  /// Merge common sub-expressions (§4.2).
-  bool common_subexpression = true;
-
-  /// Profile on samples and plan materialization (§4.1/§4.3).
-  CachePolicy cache_policy = CachePolicy::kGreedy;
-
-  /// Fraction of cluster memory available to the cache.
-  double cache_fraction = 0.9;
-
-  /// Override: absolute cache budget in bytes (<0 means use cache_fraction).
-  double cache_budget_bytes = -1.0;
-
-  /// Sample sizes for execution subsampling; the two points anchor the
-  /// linear extrapolation of per-node time and size (§5.4).
-  size_t profile_sample_small = 512;
-  size_t profile_sample_large = 1024;
-
-  /// Seed the optimizer from the context's ProfileStore: stored observed
-  /// costs correct operator-selection estimates, and when the store holds a
-  /// node profile for every train node at both sample sizes the sampling
-  /// passes are skipped entirely in favour of the stored history
-  /// (PipelineReport::profiles_from_store reports when that happened).
-  bool reuse_stored_profiles = false;
-
-  /// Statically validate plans (src/analysis): the logical graph as
-  /// submitted, then the rewritten graph plus its materialization plan
-  /// after optimization. Diagnostic counts land in the context's
-  /// MetricsRegistry; any kError aborts the fit before execution starts.
-  bool validate_plans = true;
-
-  /// Unoptimized execution (None in Figure 9).
-  static OptimizationConfig None();
-
-  /// Whole-pipeline optimizations only (Pipe Only in Figure 9).
-  static OptimizationConfig PipeOnly();
-
-  /// Everything on (KeystoneML in Figure 9).
-  static OptimizationConfig Full();
-};
 
 /// Per-node record of what the executor did and measured.
 struct NodeExecutionRecord {
@@ -109,16 +48,14 @@ struct PipelineReport {
   std::string ToString() const;
 };
 
-/// A fitted pipeline over the type-erased graph: estimators replaced by
-/// their fitted models, optimizable operators by their chosen physical
-/// implementations. Obtained from PipelineExecutor::Fit.
+/// A fitted pipeline: the compiled PhysicalPlan plus the models fitted for
+/// its estimator nodes. Obtained from PipelineExecutor::Fit; Apply runs the
+/// plan's runtime path through PlanRunner.
 class FittedPipelineUntyped {
  public:
-  FittedPipelineUntyped(std::shared_ptr<PipelineGraph> graph, int placeholder,
-                        int sink,
-                        std::map<int, std::shared_ptr<TransformerBase>> models,
-                        std::map<int, std::shared_ptr<TransformerBase>>
-                            chosen_transformers);
+  FittedPipelineUntyped(
+      std::shared_ptr<PhysicalPlan> plan,
+      std::map<int, std::shared_ptr<TransformerBase>> models);
 
   /// Applies the runtime path to new data, charging the "Eval" ledger stage.
   AnyDataset Apply(const AnyDataset& input, ExecContext* ctx) const;
@@ -126,15 +63,15 @@ class FittedPipelineUntyped {
   /// The fitted model produced by the estimator node `id` (for inspection).
   std::shared_ptr<TransformerBase> ModelFor(int estimator_node) const;
 
-  const PipelineGraph& graph() const { return *graph_; }
-  int sink() const { return sink_; }
+  /// The compiled plan this pipeline executes (for inspection/dumping).
+  const PhysicalPlan& plan() const { return *plan_; }
+
+  const PipelineGraph& graph() const { return *plan_->graph; }
+  int sink() const { return plan_->sink; }
 
  private:
-  std::shared_ptr<PipelineGraph> graph_;
-  int placeholder_;
-  int sink_;
+  std::shared_ptr<PhysicalPlan> plan_;
   std::map<int, std::shared_ptr<TransformerBase>> models_;
-  std::map<int, std::shared_ptr<TransformerBase>> chosen_transformers_;
 };
 
 /// Typed facade over FittedPipelineUntyped.
@@ -166,9 +103,12 @@ class FittedPipeline {
   std::shared_ptr<FittedPipelineUntyped> impl_;
 };
 
-/// Optimizes and trains pipelines: operator selection on sampled statistics,
-/// common sub-expression elimination, profile-driven materialization, then
-/// full execution with virtual-time accounting (paper Figure 1, stages 2-4).
+/// Optimizes and trains pipelines (paper Figure 1, stages 2-4) as an
+/// explicit compile/execute split: Compile lowers the logical graph to a
+/// PhysicalPlan and runs the optimizer pass pipeline over it (CSE, profile
+/// + operator selection, materialization planning — re-validated after
+/// every pass); FitGraph then executes the compiled plan through the single
+/// PlanRunner and accounts virtual time under the cache policy.
 class PipelineExecutor {
  public:
   PipelineExecutor(const ClusterResourceDescriptor& resources,
@@ -183,7 +123,15 @@ class PipelineExecutor {
                  report));
   }
 
-  /// Type-erased core used by Fit.
+  /// Compiles a logical graph to an optimized PhysicalPlan without
+  /// executing the training pass: validates the submitted graph, lowers it
+  /// (over a private copy), and runs the standard optimizer passes. Used by
+  /// FitGraph and by the plan_dump / pipeline_lint tools.
+  std::shared_ptr<PhysicalPlan> Compile(const PipelineGraph& graph,
+                                        int placeholder, int sink);
+
+  /// Type-erased core used by Fit: Compile + one PlanRunner fit pass +
+  /// virtual-time accounting.
   std::shared_ptr<FittedPipelineUntyped> FitGraph(const PipelineGraph& graph,
                                                   int placeholder, int sink,
                                                   PipelineReport* report);
@@ -192,33 +140,6 @@ class PipelineExecutor {
   const OptimizationConfig& config() const { return config_; }
 
  private:
-  struct ProfileEntry {
-    double seconds_small = 0.0;   // total modeled seconds at the small sample
-    double seconds_large = 0.0;   // ... and at the large sample
-    size_t records_small = 0;     // records actually flowing at each sample
-    size_t records_large = 0;
-    double bytes_per_record = 0.0;
-    size_t full_records = 0;
-  };
-
-  // Runs the sampling pass at `sample_size`, choosing physical operators on
-  // the way when `select_ops` is set. Fills per-node profile info and
-  // records each node's profile into the context's ProfileStore.
-  void ProfilePass(PipelineGraph* graph, const std::vector<bool>& train_mask,
-                   size_t sample_size, bool select_ops, bool record_large,
-                   std::map<int, int>* chosen_options,
-                   std::vector<ProfileEntry>* profile,
-                   PipelineReport* report);
-
-  // Attempts to reconstruct the profile entries and operator choices from
-  // the context's ProfileStore instead of executing the sampling passes.
-  // Returns false (leaving outputs untouched) unless the store covers every
-  // train node at both sample sizes.
-  bool ReuseStoredProfiles(const PipelineGraph& graph,
-                           const std::vector<bool>& train_mask,
-                           std::map<int, int>* chosen_options,
-                           std::vector<ProfileEntry>* profile);
-
   OptimizationConfig config_;
   ExecContext context_;
 };

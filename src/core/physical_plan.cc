@@ -1,0 +1,382 @@
+#include "src/core/physical_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+
+namespace keystone {
+
+namespace {
+
+/// The shared operator instance a node carries (CSE and train/runtime
+/// copies share instances, so this is the propagation key for choices).
+const void* OperatorKey(const GraphNode& node) {
+  if (node.transformer != nullptr) return node.transformer.get();
+  if (node.estimator != nullptr) return node.estimator.get();
+  return nullptr;
+}
+
+/// Resolves the physical operator for a planned node from its logical node
+/// and chosen option: the selected (or default) option for Optimizable
+/// operators, the logical operator itself otherwise.
+void ResolvePhysical(const GraphNode& node, PlannedNode* pn) {
+  pn->optimizable = false;
+  pn->physical_transformer = nullptr;
+  pn->physical_estimator = nullptr;
+  pn->physical_name.clear();
+  pn->weight = 1;
+  switch (node.kind) {
+    case NodeKind::kTransformer:
+    case NodeKind::kGather: {
+      auto* optimizable =
+          dynamic_cast<OptimizableTransformer*>(node.transformer.get());
+      if (optimizable != nullptr) {
+        pn->optimizable = true;
+        const int index = pn->chosen_option >= 0 ? pn->chosen_option : 0;
+        pn->physical_transformer = optimizable->options()[index];
+        pn->physical_name = pn->physical_transformer->Name();
+      } else {
+        pn->physical_transformer = node.transformer;
+      }
+      pn->weight = pn->physical_transformer->Weight();
+      break;
+    }
+    case NodeKind::kEstimator: {
+      auto* optimizable =
+          dynamic_cast<OptimizableEstimator*>(node.estimator.get());
+      if (optimizable != nullptr) {
+        pn->optimizable = true;
+        const int index = pn->chosen_option >= 0 ? pn->chosen_option : 0;
+        pn->physical_estimator = optimizable->options()[index];
+        pn->physical_name = pn->physical_estimator->Name();
+      } else {
+        pn->physical_estimator = node.estimator;
+      }
+      pn->weight = pn->physical_estimator->Weight();
+      break;
+    }
+    default:
+      // Sources carry data; placeholders and apply-model nodes resolve
+      // their operator (the runtime input / the fitted model) at run time.
+      break;
+  }
+}
+
+/// The rename-stable part of a node's identity: the logical operator's
+/// signature, independent of the user-facing node name.
+std::string OperatorSignature(const PipelineGraph& graph,
+                              const GraphNode& node) {
+  switch (node.kind) {
+    case NodeKind::kSource:
+      return "source";
+    case NodeKind::kPlaceholder:
+      return "placeholder";
+    case NodeKind::kTransformer:
+    case NodeKind::kGather:
+      return node.transformer->Name();
+    case NodeKind::kEstimator:
+      return node.estimator->Name();
+    case NodeKind::kApplyModel: {
+      const GraphNode& est = graph.node(node.model_input);
+      return "apply(" +
+             (est.estimator != nullptr ? est.estimator->Name() : est.name) +
+             ")";
+    }
+  }
+  return "?";
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kNone:
+      return "none";
+    case CachePolicy::kRuleBased:
+      return "rule-based";
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kGreedy:
+      return "greedy";
+    case CachePolicy::kExhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+OptimizationConfig OptimizationConfig::None() {
+  OptimizationConfig cfg;
+  cfg.operator_selection = false;
+  cfg.common_subexpression = false;
+  cfg.cache_policy = CachePolicy::kNone;
+  return cfg;
+}
+
+OptimizationConfig OptimizationConfig::PipeOnly() {
+  OptimizationConfig cfg;
+  cfg.operator_selection = false;
+  cfg.common_subexpression = true;
+  cfg.cache_policy = CachePolicy::kGreedy;
+  return cfg;
+}
+
+OptimizationConfig OptimizationConfig::Full() { return OptimizationConfig(); }
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kProfileSmall:
+      return "profile-small";
+    case ExecMode::kProfileLarge:
+      return "profile-large";
+    case ExecMode::kFit:
+      return "fit";
+    case ExecMode::kApply:
+      return "apply";
+  }
+  return "?";
+}
+
+void PhysicalPlan::SetChosenOption(int id, int option) {
+  KS_CHECK(id >= 0 && id < static_cast<int>(nodes.size()));
+  const void* key = OperatorKey(graph->node(id));
+  KS_CHECK(key != nullptr) << "node " << id << " has no operator to choose";
+  // Train-time copies and their runtime counterparts share the Optimizable
+  // instance (CopyWithSubstitution shares operators), so one selection
+  // binds every node carrying that instance.
+  for (PlannedNode& pn : nodes) {
+    if (!pn.optimizable) continue;
+    if (OperatorKey(graph->node(pn.id)) != key) continue;
+    pn.chosen_option = option;
+    ResolvePhysical(graph->node(pn.id), &pn);
+  }
+}
+
+int PhysicalPlan::NumTrainNodes() const {
+  int n = 0;
+  for (const PlannedNode& pn : nodes) n += pn.train ? 1 : 0;
+  return n;
+}
+
+int PhysicalPlan::NumRuntimeNodes() const {
+  int n = 0;
+  for (const PlannedNode& pn : nodes) n += pn.runtime ? 1 : 0;
+  return n;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream os;
+  os << "PhysicalPlan{policy=" << CachePolicyName(config.cache_policy)
+     << ", nodes=" << nodes.size() << " (train=" << NumTrainNodes()
+     << ", runtime=" << NumRuntimeNodes() << ")"
+     << ", cse=" << (cse_applied ? "applied" : "off") << "/" << cse_eliminated
+     << " eliminated, budget=" << HumanBytes(cache_budget_bytes)
+     << ", optimize=" << HumanSeconds(optimize_seconds)
+     << ", profiles=" << (profiles_from_store ? "store" : "live") << "}\n";
+  for (const PlannedNode& pn : nodes) {
+    if (!pn.train && !pn.runtime) continue;
+    os << "  [" << pn.id << "] " << pn.name;
+    if (!pn.physical_name.empty()) {
+      os << " -> " << pn.physical_name << " (option " << pn.chosen_option
+         << ")";
+    }
+    os << " (" << NodeKindName(pn.kind) << ")";
+    if (pn.train) os << " train";
+    if (pn.runtime) os << " runtime";
+    if (pn.cached) os << " cached";
+    os << "\n      fp=\"" << pn.fingerprint << "\" in=" << pn.input_records
+       << " full=" << pn.full_records << " w=" << pn.weight;
+    if (materialized && pn.train) {
+      os << " est=" << HumanSeconds(pn.est_seconds)
+         << " out=" << HumanBytes(pn.est_output_bytes);
+    }
+    os << "\n";
+  }
+  if (!terminals.empty()) {
+    os << "  terminals:";
+    for (int t : terminals) os << " " << t;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string PhysicalPlan::ToJson() const {
+  std::ostringstream os;
+  os << "{\"policy\":\"" << CachePolicyName(config.cache_policy) << "\""
+     << ",\"operator_selection\":"
+     << (config.operator_selection ? "true" : "false")
+     << ",\"common_subexpression\":"
+     << (config.common_subexpression ? "true" : "false")
+     << ",\"cse_applied\":" << (cse_applied ? "true" : "false")
+     << ",\"cse_eliminated\":" << cse_eliminated
+     << ",\"materialized\":" << (materialized ? "true" : "false")
+     << ",\"profiles_from_store\":" << (profiles_from_store ? "true" : "false")
+     << ",\"cache_budget_bytes\":" << JsonNumber(cache_budget_bytes)
+     << ",\"optimize_seconds\":" << JsonNumber(optimize_seconds)
+     << ",\"sink\":" << sink << ",\"placeholder\":" << placeholder
+     << ",\"terminals\":[";
+  for (size_t i = 0; i < terminals.size(); ++i) {
+    if (i > 0) os << ",";
+    os << terminals[i];
+  }
+  os << "],\"nodes\":[";
+  bool first = true;
+  for (const PlannedNode& pn : nodes) {
+    if (!pn.train && !pn.runtime) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << pn.id << ",\"name\":\"" << JsonEscape(pn.name)
+       << "\",\"kind\":\"" << NodeKindName(pn.kind) << "\",\"inputs\":[";
+    for (size_t i = 0; i < pn.inputs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << pn.inputs[i];
+    }
+    os << "],\"train\":" << (pn.train ? "true" : "false")
+       << ",\"runtime\":" << (pn.runtime ? "true" : "false")
+       << ",\"optimizable\":" << (pn.optimizable ? "true" : "false")
+       << ",\"chosen_option\":" << pn.chosen_option << ",\"physical\":\""
+       << JsonEscape(pn.physical_name) << "\",\"fingerprint\":\""
+       << JsonEscape(pn.fingerprint) << "\",\"input_records\":"
+       << pn.input_records << ",\"full_records\":" << pn.full_records
+       << ",\"weight\":" << pn.weight
+       << ",\"cached\":" << (pn.cached ? "true" : "false")
+       << ",\"est_seconds\":" << JsonNumber(pn.est_seconds)
+       << ",\"est_output_bytes\":" << JsonNumber(pn.est_output_bytes) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+PhysicalPlan LowerToPhysical(std::shared_ptr<PipelineGraph> graph,
+                             int placeholder, int sink,
+                             const OptimizationConfig& config,
+                             const ClusterResourceDescriptor& resources) {
+  PhysicalPlan plan;
+  plan.graph = std::move(graph);
+  plan.placeholder = placeholder;
+  plan.sink = sink;
+  plan.config = config;
+  plan.resources = resources;
+  RelowerPlan(&plan);
+  return plan;
+}
+
+void RelowerPlan(PhysicalPlan* plan) {
+  const PipelineGraph& graph = *plan->graph;
+  const int n = graph.size();
+
+  // Chosen options survive a relower (CSE keeps node ids stable; the
+  // surviving node re-resolves from its saved choice).
+  std::vector<int> prev_chosen(n, -1);
+  for (const PlannedNode& pn : plan->nodes) {
+    if (pn.id >= 0 && pn.id < n) prev_chosen[pn.id] = pn.chosen_option;
+  }
+
+  const auto live = graph.AncestorsOf(plan->sink);
+  const auto runtime_mask = plan->placeholder >= 0
+                                ? graph.ReachableFrom(plan->placeholder)
+                                : std::vector<bool>(n, false);
+
+  plan->nodes.assign(n, PlannedNode());
+  plan->cache_set.assign(n, false);
+  // Static full-scale cardinality flow, in (topological) id order:
+  // sources emit their bound record count, record-wise operators preserve
+  // their input's count, estimators emit a model (0 records), and the
+  // runtime path (fed by the placeholder) is unknown until Apply.
+  std::vector<size_t> flow(n, 0);
+  for (int id = 0; id < n; ++id) {
+    const GraphNode& node = graph.node(id);
+    PlannedNode& pn = plan->nodes[id];
+    pn.id = id;
+    pn.kind = node.kind;
+    pn.name = node.name;
+    pn.inputs = node.inputs;
+    pn.model_input = node.model_input;
+    pn.train = live[id] && !runtime_mask[id];
+    pn.runtime =
+        runtime_mask[id] && live[id] && id != plan->placeholder;
+    pn.chosen_option = prev_chosen[id];
+    ResolvePhysical(node, &pn);
+
+    switch (node.kind) {
+      case NodeKind::kSource: {
+        flow[id] = static_cast<size_t>(node.bound_data->NumRecords() *
+                                       node.bound_data->virtual_scale());
+        pn.input_records = flow[id];
+        pn.full_records = flow[id];
+        break;
+      }
+      case NodeKind::kPlaceholder:
+        flow[id] = 0;
+        break;
+      case NodeKind::kEstimator:
+        pn.input_records = node.inputs.empty() ? 0 : flow[node.inputs[0]];
+        pn.full_records = 0;  // Output is a model, not a dataset.
+        flow[id] = 0;
+        break;
+      default:
+        pn.input_records = node.inputs.empty() ? 0 : flow[node.inputs[0]];
+        pn.full_records = pn.input_records;
+        flow[id] = pn.full_records;
+        break;
+    }
+    std::ostringstream fp;
+    fp << NodeKindName(node.kind) << "|" << OperatorSignature(graph, node)
+       << "|" << pn.input_records;
+    pn.fingerprint = fp.str();
+  }
+
+  // Train nodes demanded directly: no live train successor consumes them.
+  plan->terminals.clear();
+  const auto succ = graph.SuccessorLists();
+  for (int id = 0; id < n; ++id) {
+    if (!plan->nodes[id].train) continue;
+    bool has_train_succ = false;
+    for (int s : succ[id]) {
+      if (plan->nodes[s].train && live[s]) has_train_succ = true;
+    }
+    if (!has_train_succ) plan->terminals.push_back(id);
+  }
+}
+
+}  // namespace keystone

@@ -1,0 +1,433 @@
+#include "src/core/plan_runner.h"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "src/analysis/plan_validator.h"
+#include "src/common/check.h"
+#include "src/common/mutex.h"
+#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile_store.h"
+
+namespace keystone {
+
+namespace {
+
+obs::TracePhase PhaseFor(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kProfileSmall:
+      return obs::TracePhase::kProfileSmall;
+    case ExecMode::kProfileLarge:
+      return obs::TracePhase::kProfileLarge;
+    case ExecMode::kFit:
+      return obs::TracePhase::kTrain;
+    case ExecMode::kApply:
+      return obs::TracePhase::kEval;
+  }
+  return obs::TracePhase::kTrain;
+}
+
+}  // namespace
+
+PlanRunner::PlanRunner(PhysicalPlan* plan, ExecContext* ctx)
+    : plan_(plan), ctx_(ctx) {}
+
+void PlanRunner::ExecuteNode(int id) {
+  const PlannedNode& pn = plan_->nodes[id];
+  const GraphNode& node = plan_->graph->node(id);
+  const auto& resources = ctx_->resources();
+  const bool profile = InProfileMode();
+  NodeOutcome& out = outcomes_[id];
+  out.executed = true;
+  obs::TraceSpan& span = out.span;
+  span.node_id = id;
+  span.name = pn.name;
+  span.kind = NodeKindName(pn.kind);
+  span.phase = PhaseFor(mode_);
+
+  switch (pn.kind) {
+    case NodeKind::kSource: {
+      KS_CHECK(mode_ != ExecMode::kApply)
+          << "unexpected " << NodeKindName(pn.kind) << " on the runtime path";
+      if (profile) {
+        Timer timer;
+        outputs_[id] = node.bound_data->SamplePrefix(SampleSize());
+        span.wall_seconds = timer.ElapsedSeconds();
+      } else {
+        outputs_[id] = node.bound_data;
+      }
+      out.out_stats = outputs_[id]->ComputeStats();
+      out.seconds = resources.DiskReadSeconds(
+          out.out_stats.TotalBytes() / std::max(1, resources.num_nodes));
+      span.predicted.bytes =
+          out.out_stats.TotalBytes() / std::max(1, resources.num_nodes);
+      span.partitions = outputs_[id]->NumPartitions();
+      span.records_in = out.out_stats.num_records;
+      out.sample_records = out.out_stats.num_records;
+      break;
+    }
+    case NodeKind::kTransformer:
+    case NodeKind::kGather: {
+      std::vector<AnyDataset> inputs;
+      for (int dep : pn.inputs) {
+        KS_CHECK(outputs_[dep] != nullptr)
+            << "runtime node " << pn.name << " depends on train-only data";
+        inputs.push_back(outputs_[dep]);
+      }
+      const double scale = inputs[0]->virtual_scale();
+      const DataStats in_stats = inputs[0]->ComputeStats();
+      if (profile && select_ != nullptr && pn.optimizable &&
+          pn.chosen_option < 0) {
+        select_(id, in_stats);  // may rewrite pn via SetChosenOption
+      }
+      const std::shared_ptr<TransformerBase> op = pn.physical_transformer;
+      out.op_name = op->Name();
+      span.physical = mode_ == ExecMode::kApply ? out.op_name
+                                                : pn.physical_name;
+      span.predicted = op->EstimateCost(in_stats, resources.num_nodes);
+      ctx_->BeginOperatorScope();
+      Timer timer;
+      outputs_[id] = op->ApplyAny(inputs, ctx_);
+      span.wall_seconds = timer.ElapsedSeconds();
+      if (!profile) outputs_[id]->set_virtual_scale(scale);
+      const auto actual = ctx_->TakeActualCost();
+      span.observed = actual;
+      out.in_stats = in_stats;
+      if (profile) {
+        span.used_observed = actual.has_value();
+        out.record_observation = true;
+        CostProfile cost = actual.has_value() ? *actual : span.predicted;
+        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        out.seconds = resources.SecondsFor(cost);
+      } else {
+        // With a virtual scale, kernel-reported costs describe the real
+        // (small) run; use the cost model at the scaled statistics instead.
+        span.used_observed = actual.has_value() && scale <= 1.0;
+        out.record_observation = scale <= 1.0;
+        out.charge_cost = span.used_observed ? *actual : span.predicted;
+        out.seconds = resources.SecondsFor(out.charge_cost);
+      }
+      out.out_stats = outputs_[id]->ComputeStats();
+      span.partitions = outputs_[id]->NumPartitions();
+      span.records_in = in_stats.num_records;
+      out.sample_records = out.out_stats.num_records;
+      break;
+    }
+    case NodeKind::kEstimator: {
+      KS_CHECK(mode_ != ExecMode::kApply)
+          << "unexpected " << NodeKindName(pn.kind) << " on the runtime path";
+      const AnyDataset data = outputs_[pn.inputs[0]];
+      const AnyDataset labels =
+          pn.inputs.size() > 1 ? outputs_[pn.inputs[1]] : nullptr;
+      const double scale = data->virtual_scale();
+      const DataStats in_stats = data->ComputeStats();
+      if (profile && select_ != nullptr && pn.optimizable &&
+          pn.chosen_option < 0) {
+        select_(id, in_stats);
+      }
+      const std::shared_ptr<EstimatorBase> est = pn.physical_estimator;
+      out.op_name = est->Name();
+      span.physical = pn.physical_name;
+      span.predicted = est->EstimateCost(in_stats, resources.num_nodes);
+      ctx_->BeginOperatorScope();
+      Timer timer;
+      models_[id] = est->FitAny(data, labels, ctx_);
+      span.wall_seconds = timer.ElapsedSeconds();
+      const auto actual = ctx_->TakeActualCost();
+      span.observed = actual;
+      out.in_stats = in_stats;
+      if (profile) {
+        span.used_observed = actual.has_value();
+        out.record_observation = true;
+        CostProfile cost = actual.has_value() ? *actual : span.predicted;
+        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        out.seconds = resources.SecondsFor(cost);
+      } else {
+        span.used_observed = actual.has_value() && scale <= 1.0;
+        out.record_observation = scale <= 1.0;
+        out.charge_cost = span.used_observed ? *actual : span.predicted;
+        out.seconds = resources.SecondsFor(out.charge_cost);
+      }
+      span.partitions = data->NumPartitions();
+      span.records_in = in_stats.num_records;
+      out.sample_records = data->NumRecords();
+      break;
+    }
+    case NodeKind::kApplyModel: {
+      const AnyDataset data = outputs_[pn.inputs[0]];
+      KS_CHECK(data != nullptr)
+          << "runtime node " << pn.name << " depends on train-only data";
+      const double scale = data->virtual_scale();
+      const DataStats in_stats = data->ComputeStats();
+      std::shared_ptr<TransformerBase> model;
+      if (mode_ == ExecMode::kApply) {
+        auto it = apply_models_->find(pn.model_input);
+        KS_CHECK(it != apply_models_->end())
+            << "no model fitted for node " << pn.model_input;
+        model = it->second;
+      } else {
+        model = models_[pn.model_input];
+        KS_CHECK(model != nullptr)
+            << "no model available for node " << pn.model_input;
+      }
+      out.op_name = model->Name();
+      span.physical = out.op_name;
+      span.predicted = model->EstimateCost(in_stats, resources.num_nodes);
+      ctx_->BeginOperatorScope();
+      Timer timer;
+      outputs_[id] = model->ApplyAny({data}, ctx_);
+      span.wall_seconds = timer.ElapsedSeconds();
+      if (!profile) outputs_[id]->set_virtual_scale(scale);
+      const auto actual = ctx_->TakeActualCost();
+      span.observed = actual;
+      out.in_stats = in_stats;
+      if (profile) {
+        span.used_observed = actual.has_value();
+        out.record_observation = true;
+        CostProfile cost = actual.has_value() ? *actual : span.predicted;
+        cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        out.seconds = resources.SecondsFor(cost);
+      } else {
+        span.used_observed = actual.has_value() && scale <= 1.0;
+        out.record_observation = scale <= 1.0;
+        out.charge_cost = span.used_observed ? *actual : span.predicted;
+        out.seconds = resources.SecondsFor(out.charge_cost);
+      }
+      out.out_stats = outputs_[id]->ComputeStats();
+      span.partitions = outputs_[id]->NumPartitions();
+      span.records_in = in_stats.num_records;
+      out.sample_records = out.out_stats.num_records;
+      break;
+    }
+    case NodeKind::kPlaceholder:
+      KS_CHECK(false) << "placeholder cannot be on the training path";
+  }
+
+  // Cost-profile sanity: a NaN or negative prediction would silently
+  // poison the extrapolation and every plan derived from it.
+  if (profile && plan_->config.validate_plans) {
+    analysis::ValidationReport cost_report;
+    analysis::CheckCostProfile(span.predicted, id, pn.name, &cost_report);
+    if (span.observed.has_value()) {
+      analysis::CheckCostProfile(*span.observed, id, pn.name + " (observed)",
+                                 &cost_report);
+    }
+    KS_CHECK(cost_report.ok()) << cost_report.ToString();
+  }
+}
+
+void PlanRunner::FlushOutcome(int id) {
+  NodeOutcome& out = outcomes_[id];
+  if (!out.executed) return;
+  PlannedNode& pn = plan_->nodes[id];
+
+  if (mode_ == ExecMode::kApply) {
+    out.span.virtual_seconds = ctx_->ledger()->Charge("Eval", out.charge_cost);
+  } else {
+    out.span.virtual_seconds = out.seconds;
+  }
+  out.span.output_bytes = out.out_stats.TotalBytes();
+  if (mode_ == ExecMode::kFit) out.span.cached = plan_->cache_set[id];
+
+  if (InProfileMode()) {
+    ProfileEntry& entry = pn.profile;
+    if (mode_ == ExecMode::kProfileLarge) {
+      entry.seconds_large = out.seconds;
+      entry.records_large = out.sample_records;
+    } else {
+      entry.seconds_small = out.seconds;
+      entry.records_small = out.sample_records;
+    }
+    entry.bytes_per_record = out.out_stats.bytes_per_record;
+    entry.full_records = pn.full_records;
+    if (ctx_->profile_store() != nullptr) {
+      obs::NodeProfileRecord record;
+      record.seconds = out.seconds;
+      record.records = out.sample_records;
+      record.bytes_per_record = entry.bytes_per_record;
+      record.full_records = entry.full_records;
+      record.chosen_option = pn.chosen_option;
+      ctx_->profile_store()->RecordNodeProfile(
+          obs::ProfileStore::NodeKey(pn.fingerprint, SampleSize()), record);
+    }
+  }
+
+  if (out.record_observation && out.span.observed.has_value() &&
+      ctx_->profile_store() != nullptr) {
+    ctx_->profile_store()->RecordObservation(
+        out.op_name.empty() ? pn.name : out.op_name, out.in_stats,
+        out.span.predicted, *out.span.observed, out.span.wall_seconds);
+  }
+  if (ctx_->metrics() != nullptr) {
+    ctx_->metrics()->Increment(std::string("exec.spans.") +
+                               obs::TracePhaseName(out.span.phase));
+    ctx_->metrics()->Observe("exec.wall_seconds", out.span.wall_seconds);
+  }
+  if (ctx_->tracer() != nullptr) ctx_->tracer()->Record(std::move(out.span));
+}
+
+void PlanRunner::RunSerial(const std::vector<int>& exec_ids) {
+  for (int id : exec_ids) ExecuteNode(id);
+}
+
+void PlanRunner::RunParallel(const std::vector<int>& exec_ids) {
+  const int n = plan_->graph->size();
+  std::vector<bool> in_set(n, false);
+  for (int id : exec_ids) in_set[id] = true;
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> succ(n);
+  for (int id : exec_ids) {
+    for (int dep : plan_->graph->Dependencies(id)) {
+      if (in_set[dep]) {
+        ++indegree[id];
+        succ[dep].push_back(id);
+      }
+    }
+  }
+
+  // Dedicated scheduler threads over a ready queue. Node bodies must not
+  // run on the shared ThreadPool: operators block in ParallelFor on that
+  // pool, and ThreadPool::Wait waits for ALL in-flight tasks — scheduling
+  // nodes there would deadlock a node task waiting on its own pool.
+  Mutex mu;
+  CondVar cv;
+  std::deque<int> ready;
+  size_t remaining = exec_ids.size();
+  for (int id : exec_ids) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+
+  auto worker = [&]() {
+    for (;;) {
+      int id = -1;
+      {
+        MutexLock lock(&mu);
+        while (ready.empty() && remaining > 0) cv.Wait(&mu);
+        if (ready.empty()) return;
+        id = ready.front();
+        ready.pop_front();
+      }
+      ExecuteNode(id);
+      {
+        MutexLock lock(&mu);
+        --remaining;
+        for (int s : succ[id]) {
+          if (--indegree[s] == 0) ready.push_back(s);
+        }
+        cv.NotifyAll();
+      }
+    }
+  };
+
+  // At least two workers even on single-core hosts, so the concurrent
+  // scheduling path is always exercised (and sanitizer-checked) wherever
+  // parallel_branches is on.
+  const size_t hw = std::max(2u, std::thread::hardware_concurrency());
+  const size_t workers =
+      std::min<size_t>(exec_ids.size(), std::min<size_t>(hw, 8));
+  std::vector<std::thread> threads;
+  threads.reserve(workers > 0 ? workers - 1 : 0);
+  for (size_t i = 1; i < workers; ++i) threads.emplace_back(worker);
+  worker();  // the calling thread schedules too
+  for (auto& t : threads) t.join();
+  KS_CHECK(remaining == 0) << "plan scheduler stalled (cyclic dependencies?)";
+}
+
+RunResult PlanRunner::Run(ExecMode mode, const SelectHook& select) {
+  KS_CHECK(mode != ExecMode::kApply) << "use RunApply for the runtime path";
+  mode_ = mode;
+  select_ = select;
+  apply_models_ = nullptr;
+  const int n = plan_->graph->size();
+  outputs_.assign(n, nullptr);
+  models_.assign(n, nullptr);
+  outcomes_.assign(n, NodeOutcome());
+
+  std::vector<int> exec_ids;
+  for (int id = 0; id < n; ++id) {
+    if (plan_->nodes[id].train) exec_ids.push_back(id);
+  }
+
+  // Profile passes stay serial: operator selection must see nodes in
+  // topological order so upstream choices shape downstream samples.
+  const bool parallel = plan_->config.parallel_branches && !InProfileMode() &&
+                        exec_ids.size() > 1;
+  if (parallel) {
+    RunParallel(exec_ids);
+  } else {
+    RunSerial(exec_ids);
+  }
+  for (int id : exec_ids) FlushOutcome(id);
+
+  RunResult result;
+  result.node_seconds.assign(n, 0.0);
+  result.out_stats.assign(n, DataStats());
+  for (int id : exec_ids) {
+    result.node_seconds[id] = outcomes_[id].seconds;
+    result.out_stats[id] = outcomes_[id].out_stats;
+    if (models_[id] != nullptr) result.models[id] = models_[id];
+  }
+  return result;
+}
+
+AnyDataset PlanRunner::RunApply(
+    const AnyDataset& input,
+    const std::map<int, std::shared_ptr<TransformerBase>>& models) {
+  mode_ = ExecMode::kApply;
+  select_ = nullptr;
+  apply_models_ = &models;
+  const int n = plan_->graph->size();
+  outputs_.assign(n, nullptr);
+  models_.assign(n, nullptr);
+  outcomes_.assign(n, NodeOutcome());
+  KS_CHECK(plan_->placeholder >= 0) << "plan has no runtime placeholder";
+  outputs_[plan_->placeholder] = input;
+
+  std::vector<int> exec_ids;
+  for (int id = 0; id < n; ++id) {
+    if (plan_->nodes[id].runtime) exec_ids.push_back(id);
+  }
+  const bool parallel =
+      plan_->config.parallel_branches && exec_ids.size() > 1;
+  if (parallel) {
+    RunParallel(exec_ids);
+  } else {
+    RunSerial(exec_ids);
+  }
+  for (int id : exec_ids) FlushOutcome(id);
+
+  KS_CHECK(outputs_[plan_->sink] != nullptr);
+  return outputs_[plan_->sink];
+}
+
+void PlanRunner::EmitSyntheticProfileSpans(ExecMode mode) {
+  KS_CHECK(mode == ExecMode::kProfileSmall || mode == ExecMode::kProfileLarge);
+  const bool large = mode == ExecMode::kProfileLarge;
+  for (const PlannedNode& pn : plan_->nodes) {
+    if (!pn.train) continue;
+    obs::TraceSpan span;
+    span.node_id = pn.id;
+    span.name = pn.name;
+    span.kind = NodeKindName(pn.kind);
+    span.phase = PhaseFor(mode);
+    span.synthetic = true;
+    span.physical = pn.physical_name;
+    span.records_in =
+        large ? pn.profile.records_large : pn.profile.records_small;
+    span.virtual_seconds =
+        large ? pn.profile.seconds_large : pn.profile.seconds_small;
+    span.output_bytes =
+        pn.profile.bytes_per_record * static_cast<double>(span.records_in);
+    if (ctx_->metrics() != nullptr) {
+      ctx_->metrics()->Increment(std::string("exec.spans.") +
+                                 obs::TracePhaseName(span.phase));
+      ctx_->metrics()->Increment("exec.spans.synthetic");
+    }
+    if (ctx_->tracer() != nullptr) ctx_->tracer()->Record(std::move(span));
+  }
+}
+
+}  // namespace keystone

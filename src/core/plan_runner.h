@@ -1,0 +1,118 @@
+#ifndef KEYSTONE_CORE_PLAN_RUNNER_H_
+#define KEYSTONE_CORE_PLAN_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/exec_context.h"
+#include "src/core/physical_plan.h"
+#include "src/data/data_stats.h"
+#include "src/data/dist_dataset.h"
+#include "src/obs/trace.h"
+
+namespace keystone {
+
+/// Invoked by profile-mode runs for optimizable nodes whose option has not
+/// been chosen yet, immediately before the node executes. `in_stats`
+/// describes the sampled input actually flowing into the node; the hook
+/// typically scales it to full cardinality, scores the options, and calls
+/// PhysicalPlan::SetChosenOption (operator selection, §3).
+using SelectHook = std::function<void(int id, const DataStats& in_stats)>;
+
+/// What one Run produced, for the executor's accounting.
+struct RunResult {
+  /// Fitted models keyed by estimator node id (fit mode; sample models in
+  /// profile modes).
+  std::map<int, std::shared_ptr<TransformerBase>> models;
+  /// Per-node modeled virtual seconds of this pass, indexed by node id.
+  std::vector<double> node_seconds;
+  /// Per-node output statistics, indexed by node id (estimators: empty —
+  /// their output is a model).
+  std::vector<DataStats> out_stats;
+};
+
+/// The single execution engine for PhysicalPlans. Every mode — the two
+/// sampling passes (§4.1), the full-scale training pass, and
+/// fitted-pipeline apply — runs the same per-node body through the same
+/// instrumentation point: one trace span, one metrics update, and one
+/// profile-store observation per node execution.
+///
+/// Fit and apply dispatch independent DAG branches concurrently
+/// (OptimizationConfig::parallel_branches) on dedicated scheduler threads;
+/// profile modes stay serial so operator selection sees nodes in
+/// topological order. Virtual seconds are computed per node from the pure
+/// cost model, and all observable effects — trace spans, ledger charges,
+/// metrics, store writes — are buffered per node and flushed in node-id
+/// order after the pass, so parallel runs are bit-identical to serial ones.
+class PlanRunner {
+ public:
+  PlanRunner(PhysicalPlan* plan, ExecContext* ctx);
+
+  /// Executes the training path in `mode` (profile-small / profile-large /
+  /// fit). `select` fires per unchosen optimizable node in profile modes.
+  RunResult Run(ExecMode mode, const SelectHook& select = nullptr);
+
+  /// Executes the runtime path on `input`, charging each node to the
+  /// "Eval" ledger stage. `models` supplies the fitted models for
+  /// apply-model nodes. Returns the sink's output.
+  AnyDataset RunApply(
+      const AnyDataset& input,
+      const std::map<int, std::shared_ptr<TransformerBase>>& models);
+
+  /// Emits one synthetic trace span per train node for a profile phase
+  /// that was skipped (reuse_stored_profiles), reconstructed from the
+  /// plan's ProfileEntry, so plan reports and metrics do not silently omit
+  /// those nodes.
+  void EmitSyntheticProfileSpans(ExecMode mode);
+
+ private:
+  /// Everything one node execution produced, buffered so effects can be
+  /// flushed deterministically in node-id order after the pass.
+  struct NodeOutcome {
+    bool executed = false;
+    obs::TraceSpan span;
+    DataStats in_stats;   // input stats at the scale the kernel ran
+    DataStats out_stats;  // output stats (estimators: default)
+    bool record_observation = false;
+    std::string op_name;  // physical operator name (store key)
+    double seconds = 0.0;  // modeled virtual seconds of this execution
+    CostProfile charge_cost;    // apply mode: cost charged to "Eval"
+    size_t sample_records = 0;  // profile modes: records that flowed
+  };
+
+  void ExecuteNode(int id);
+  void FlushOutcome(int id);
+  void RunSerial(const std::vector<int>& exec_ids);
+  void RunParallel(const std::vector<int>& exec_ids);
+
+  bool InProfileMode() const {
+    return mode_ == ExecMode::kProfileSmall ||
+           mode_ == ExecMode::kProfileLarge;
+  }
+  size_t SampleSize() const {
+    return mode_ == ExecMode::kProfileSmall
+               ? plan_->config.profile_sample_small
+               : plan_->config.profile_sample_large;
+  }
+
+  PhysicalPlan* plan_;
+  ExecContext* ctx_;
+
+  // Per-run state; indexed by node id. In parallel runs each scheduler
+  // thread writes only the slots of nodes it executed, and cross-thread
+  // visibility is ordered by the scheduler's ready-queue mutex.
+  ExecMode mode_ = ExecMode::kFit;
+  SelectHook select_;
+  std::vector<AnyDataset> outputs_;
+  std::vector<std::shared_ptr<TransformerBase>> models_;
+  std::vector<NodeOutcome> outcomes_;
+  const std::map<int, std::shared_ptr<TransformerBase>>* apply_models_ =
+      nullptr;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_CORE_PLAN_RUNNER_H_

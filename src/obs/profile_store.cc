@@ -102,10 +102,10 @@ size_t ProfileStore::NumObservations() const {
   return observations_.size();
 }
 
-std::string ProfileStore::NodeKey(int node_id, const std::string& name,
+std::string ProfileStore::NodeKey(const std::string& fingerprint,
                                   size_t sample_size) {
   std::ostringstream os;
-  os << node_id << ":" << EscapeToken(name) << "@" << sample_size;
+  os << EscapeToken(fingerprint) << "@" << sample_size;
   return os.str();
 }
 

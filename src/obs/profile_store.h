@@ -72,8 +72,11 @@ class ProfileStore {
 
   // --- Per-node sampling profiles --------------------------------------
 
-  /// Stable key for one pipeline node at one sample size.
-  static std::string NodeKey(int node_id, const std::string& name,
+  /// Stable key for one pipeline node at one sample size. `fingerprint` is
+  /// the node's structural identity — operator kind, physical signature, and
+  /// input cardinality (PhysicalPlan computes it) — so renaming a node
+  /// neither misses nor mismatches stored profiles.
+  static std::string NodeKey(const std::string& fingerprint,
                              size_t sample_size);
 
   void RecordNodeProfile(const std::string& key,

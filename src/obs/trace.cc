@@ -134,6 +134,7 @@ std::string TraceRecorder::ChromeTraceJson() const {
     }
     os << ",\"used_observed\":" << (s.used_observed ? "true" : "false")
        << ",\"cached\":" << (s.cached ? "true" : "false")
+       << ",\"synthetic\":" << (s.synthetic ? "true" : "false")
        << ",\"output_bytes\":" << JsonNumber(s.output_bytes) << "}}";
   }
   os << "]}";
@@ -161,6 +162,7 @@ std::string TraceRecorder::PlanReport() const {
        << s.partitions << " part, wall=" << HumanSeconds(s.wall_seconds)
        << ", virtual=" << HumanSeconds(s.virtual_seconds);
     if (s.cached) os << " [cached " << HumanBytes(s.output_bytes) << "]";
+    if (s.synthetic) os << " [synthetic]";
     os << "\n    predicted=" << s.predicted.ToString();
     if (s.observed.has_value()) {
       os << "\n    observed =" << s.observed->ToString()

@@ -45,6 +45,11 @@ struct TraceSpan {
 
   bool cached = false;          // output chosen for materialization
   double output_bytes = 0.0;    // bytes the output materializes to
+  /// True for spans reconstructed from stored profiles rather than a live
+  /// execution (reuse_stored_profiles skips the sampling passes; the
+  /// optimizer emits synthetic profile-phase spans so reports and metrics
+  /// still cover every node).
+  bool synthetic = false;
 };
 
 /// Thread-safe sink for execution spans plus the export logic: Chrome

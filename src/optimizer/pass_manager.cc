@@ -1,0 +1,236 @@
+#include "src/optimizer/pass_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/plan_validator.h"
+#include "src/common/check.h"
+#include "src/core/plan_runner.h"
+#include "src/obs/profile_store.h"
+#include "src/optimizer/operator_optimizer.h"
+
+namespace keystone {
+
+namespace {
+
+/// Re-validates the plan after a pass: the (possibly rewritten) graph plus,
+/// once built, the materialization plan. Dead duplicates are the expected
+/// residue of CSE, so unreachable-node warnings are off here — the
+/// submitted graph was already checked with them on before lowering.
+void ValidateAfterPass(const PhysicalPlan& plan, const char* pass_name,
+                       ExecContext* ctx) {
+  if (!plan.config.validate_plans) return;
+  analysis::PlanValidationOptions vopts;
+  vopts.sink = plan.sink;
+  vopts.placeholder = plan.placeholder;
+  vopts.expect_cse = plan.cse_applied;
+  vopts.warn_unreachable = false;
+  const analysis::PlanValidator validator(vopts);
+  analysis::ValidationReport vreport = validator.Validate(*plan.graph);
+  if (plan.materialized) {
+    vreport.Merge(
+        validator.ValidatePlan(plan.planning_problem, plan.cache_set));
+  }
+  analysis::RecordDiagnostics(vreport, ctx->metrics());
+  KS_CHECK(vreport.ok()) << "plan failed validation after pass '" << pass_name
+                         << "':\n"
+                         << vreport.ToString();
+}
+
+bool PlansCache(const OptimizationConfig& config) {
+  return config.cache_policy == CachePolicy::kGreedy ||
+         config.cache_policy == CachePolicy::kExhaustive;
+}
+
+bool NeedsProfile(const OptimizationConfig& config) {
+  return config.operator_selection || PlansCache(config);
+}
+
+/// Attempts to reconstruct every train node's profile and operator choice
+/// from the ProfileStore instead of executing the sampling passes. Returns
+/// false (leaving the plan untouched) unless the store covers every train
+/// node at both sample sizes.
+bool TryReuseStoredProfiles(PhysicalPlan* plan, ExecContext* ctx) {
+  obs::ProfileStore* store = ctx->profile_store();
+  if (store == nullptr) return false;
+  struct Stored {
+    int id;
+    obs::NodeProfileRecord small;
+    obs::NodeProfileRecord large;
+  };
+  std::vector<Stored> stored;
+  for (const PlannedNode& pn : plan->nodes) {
+    if (!pn.train) continue;
+    const auto large = store->NodeProfileFor(obs::ProfileStore::NodeKey(
+        pn.fingerprint, plan->config.profile_sample_large));
+    const auto small = store->NodeProfileFor(obs::ProfileStore::NodeKey(
+        pn.fingerprint, plan->config.profile_sample_small));
+    if (!large.has_value() || !small.has_value()) return false;
+    stored.push_back({pn.id, *small, *large});
+  }
+  // Full coverage: rebuild what the two sampling passes would have filled.
+  for (const Stored& s : stored) {
+    ProfileEntry& entry = plan->nodes[s.id].profile;
+    entry.seconds_large = s.large.seconds;
+    entry.records_large = s.large.records;
+    entry.seconds_small = s.small.seconds;
+    entry.records_small = s.small.records;
+    // The small pass runs last live, so its stats are the ones that stick.
+    entry.bytes_per_record = s.small.bytes_per_record;
+    entry.full_records = s.large.full_records;
+    if (s.large.chosen_option >= 0) {
+      plan->SetChosenOption(s.id, s.large.chosen_option);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void PassManager::AddPass(std::unique_ptr<PlanPass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+void PassManager::Run(PhysicalPlan* plan, PassContext* pctx) {
+  KS_CHECK(pctx != nullptr && pctx->ctx != nullptr);
+  for (const auto& pass : passes_) {
+    pass->Run(plan, pctx);
+    ValidateAfterPass(*plan, pass->name(), pctx->ctx);
+  }
+}
+
+void CsePass::Run(PhysicalPlan* plan, PassContext* pctx) {
+  (void)pctx;
+  if (!plan->config.common_subexpression) return;
+  std::vector<int> remap;
+  plan->cse_eliminated = plan->graph->EliminateCommonSubexpressions(&remap);
+  plan->sink = remap[plan->sink];
+  plan->placeholder = remap[plan->placeholder];
+  plan->cse_applied = true;
+  RelowerPlan(plan);
+}
+
+void ProfileAndSelectPass::Run(PhysicalPlan* plan, PassContext* pctx) {
+  if (!NeedsProfile(plan->config)) return;
+  ExecContext* ctx = pctx->ctx;
+  PlanRunner runner(plan, ctx);
+
+  if (plan->config.reuse_stored_profiles &&
+      TryReuseStoredProfiles(plan, ctx)) {
+    plan->profiles_from_store = true;
+    if (ctx->metrics() != nullptr) {
+      ctx->metrics()->Increment("profile_store.reuses");
+    }
+    // The skipped sampling passes still surface in reports and metrics:
+    // one synthetic span per node per phase, reconstructed from the store.
+    runner.EmitSyntheticProfileSpans(ExecMode::kProfileLarge);
+    runner.EmitSyntheticProfileSpans(ExecMode::kProfileSmall);
+    return;
+  }
+
+  // Observed history only corrects selection estimates when the user opted
+  // into profile reuse; default behaviour stays purely model-driven.
+  const obs::ProfileStore* history =
+      plan->config.reuse_stored_profiles ? ctx->profile_store() : nullptr;
+  SelectHook select;
+  if (plan->config.operator_selection) {
+    select = [plan, ctx, history](int id, const DataStats& in_stats) {
+      const PlannedNode& pn = plan->nodes[id];
+      const GraphNode& node = plan->graph->node(id);
+      // Score options at the node's full-scale input cardinality, not the
+      // sample the hook observed (§3: selection targets the real run).
+      const DataStats full_stats = in_stats.ScaledTo(pn.input_records);
+      int option = 0;
+      if (node.kind == NodeKind::kEstimator) {
+        auto* optimizable =
+            dynamic_cast<OptimizableEstimator*>(node.estimator.get());
+        option = ChooseEstimatorOption(*optimizable, full_stats,
+                                       ctx->resources(), history)
+                     .option_index;
+      } else {
+        auto* optimizable =
+            dynamic_cast<OptimizableTransformer*>(node.transformer.get());
+        option = ChooseTransformerOption(*optimizable, full_stats,
+                                         ctx->resources(), history)
+                     .option_index;
+      }
+      plan->SetChosenOption(id, option);
+    };
+  }
+  // Large pass selects; the small pass reuses its choices. Both record
+  // into the ProfileStore keyed by node fingerprint.
+  runner.Run(ExecMode::kProfileLarge, select);
+  runner.Run(ExecMode::kProfileSmall);
+  for (const PlannedNode& pn : plan->nodes) {
+    if (pn.train) {
+      plan->optimize_seconds +=
+          pn.profile.seconds_small + pn.profile.seconds_large;
+    }
+  }
+}
+
+void MaterializationPass::Run(PhysicalPlan* plan, PassContext* pctx) {
+  (void)pctx;
+  const OptimizationConfig& config = plan->config;
+  const ClusterResourceDescriptor& resources = plan->resources;
+  plan->cache_budget_bytes =
+      config.cache_budget_bytes >= 0.0
+          ? config.cache_budget_bytes
+          : config.cache_fraction * resources.ClusterMemoryBytes();
+
+  if (NeedsProfile(config)) {
+    for (PlannedNode& pn : plan->nodes) {
+      if (!pn.train) continue;
+      const ProfileEntry& entry = pn.profile;
+      const double n_full = static_cast<double>(entry.full_records);
+      // Linear extrapolation through the two sampled points (§5.4); when
+      // the dataset is smaller than both sample sizes the points coincide,
+      // so fall back to proportional scaling.
+      double total_seconds;
+      if (entry.records_large > entry.records_small) {
+        const double slope = (entry.seconds_large - entry.seconds_small) /
+                             (entry.records_large - entry.records_small);
+        total_seconds =
+            std::max(0.0, entry.seconds_large +
+                              slope * (n_full - entry.records_large));
+      } else {
+        total_seconds = entry.seconds_large * n_full /
+                        std::max<size_t>(1, entry.records_large);
+      }
+      pn.est_seconds = total_seconds / std::max(1, pn.weight);
+      pn.est_output_bytes = entry.bytes_per_record * n_full;
+    }
+  }
+
+  if (!PlansCache(config)) return;
+
+  MaterializationProblem& problem = plan->planning_problem;
+  problem.graph = plan->graph.get();
+  problem.resources = resources;
+  problem.memory_budget_bytes = plan->cache_budget_bytes;
+  problem.terminals = plan->terminals;
+  problem.info.assign(plan->nodes.size(), NodeRuntimeInfo());
+  for (const PlannedNode& pn : plan->nodes) {
+    NodeRuntimeInfo& info = problem.info[pn.id];
+    info.live = pn.train;
+    if (!info.live) continue;
+    info.weight = pn.weight;
+    info.always_cached = pn.kind == NodeKind::kEstimator;
+    info.compute_seconds = pn.est_seconds;
+    info.output_bytes = pn.est_output_bytes;
+  }
+  plan->cache_set = config.cache_policy == CachePolicy::kGreedy
+                        ? GreedyCacheSelection(problem)
+                        : ExhaustiveCacheSelection(problem);
+  plan->materialized = true;
+  for (PlannedNode& pn : plan->nodes) pn.cached = plan->cache_set[pn.id];
+}
+
+void RegisterStandardPasses(PassManager* manager) {
+  manager->AddPass(std::make_unique<CsePass>());
+  manager->AddPass(std::make_unique<ProfileAndSelectPass>());
+  manager->AddPass(std::make_unique<MaterializationPass>());
+}
+
+}  // namespace keystone

@@ -389,8 +389,10 @@ TEST(ExecutorValidationTest, FitRecordsValidationMetrics) {
   const double after = obs::MetricsRegistry::Global()
                            .GetCounter("analysis.validations")
                            ->Value();
-  // Pre-optimization plus post-rewrite validation.
-  EXPECT_EQ(after - before, 2.0);
+  // Pre-lowering validation of the submitted graph plus one validation
+  // after each of the three optimizer passes (cse, profile-select,
+  // materialization).
+  EXPECT_EQ(after - before, 4.0);
 }
 
 TEST(ExecutorValidationTest, ValidationCanBeDisabled) {

@@ -289,7 +289,8 @@ TEST(ProfileStoreTest, RoundTripsThroughDisk) {
   node.full_records = 65000000;
   node.chosen_option = 2;
   const std::string key =
-      obs::ProfileStore::NodeKey(3, "Common Sparse Features", 512);
+      obs::ProfileStore::NodeKey("Transformer|Common Sparse Features|65000000",
+                                 512);
   store.RecordNodeProfile(key, node);
 
   const std::string path = ::testing::TempDir() + "/profile_store.txt";
@@ -421,11 +422,21 @@ TEST(ProfileStoreTest, OptimizerConsumesStoredProfilesInsteadOfResampling) {
   executor.Fit(build(), &second);
 
   EXPECT_TRUE(second.profiles_from_store);
-  // No sampling executions happened: every recorded span is full-scale.
+  // No sampling executions happened: profile-phase spans exist only as
+  // synthetic reconstructions from the store (so reports and metrics still
+  // cover every node), and every live span is full-scale.
+  size_t synthetic_profile_spans = 0;
   for (const auto& span : recorder.Spans()) {
-    EXPECT_EQ(span.phase, obs::TracePhase::kTrain)
-        << "unexpected sampling span for " << span.name;
+    if (span.phase == obs::TracePhase::kTrain) {
+      EXPECT_FALSE(span.synthetic) << "synthetic train span for " << span.name;
+    } else {
+      EXPECT_TRUE(span.synthetic)
+          << "live sampling span for " << span.name;
+      ++synthetic_profile_spans;
+    }
   }
+  // One synthetic span per train node per skipped sampling pass.
+  EXPECT_EQ(synthetic_profile_spans, 2 * second.nodes.size());
   // The plan is identical to the sampled run: same physical choice, same
   // cache set, same modeled training time — without the profiling cost.
   ASSERT_EQ(second.nodes.size(), first.nodes.size());

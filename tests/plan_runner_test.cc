@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/physical_plan.h"
+#include "src/core/pipeline.h"
+#include "src/core/pipeline_graph.h"
+#include "src/data/dist_dataset.h"
+#include "src/obs/profile_store.h"
+#include "src/obs/trace.h"
+#include "tests/test_operators.h"
+
+namespace keystone {
+namespace {
+
+using testing_ops::AddConst;
+using testing_ops::MeanCenterer;
+using testing_ops::Scale;
+
+std::shared_ptr<DistDataset<double>> Doubles(std::vector<double> values,
+                                             size_t parts = 2) {
+  return DistDataset<double>::Partitioned(std::move(values), parts);
+}
+
+ClusterResourceDescriptor TestCluster() {
+  return ClusterResourceDescriptor::R3_4xlarge(4);
+}
+
+/// A Gather-heavy pipeline: `branches` independent featurization chains,
+/// each ending in an estimator, zipped into one output vector. Exercises
+/// DAG-level branch parallelism on both the train and runtime paths.
+Pipeline<double, std::vector<double>> BranchyPipeline(int branches) {
+  auto train = Doubles({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  auto base = PipelineInput<double>();
+  std::vector<Pipeline<double, double>> chains;
+  for (int i = 0; i < branches; ++i) {
+    chains.push_back(base.AndThen(std::make_shared<Scale>(i + 1.0))
+                         .AndThen(std::make_shared<AddConst>(i * 0.5))
+                         .AndThen(std::make_shared<MeanCenterer>(), train));
+  }
+  return Pipeline<double, double>::Gather(chains);
+}
+
+struct FitObservation {
+  std::vector<double> output;
+  double fit_ledger_seconds = 0.0;
+  double apply_ledger_seconds = 0.0;
+  std::string report_text;
+  std::vector<std::string> span_names;
+};
+
+FitObservation FitAndObserve(const OptimizationConfig& config) {
+  auto pipe = BranchyPipeline(6);
+  PipelineExecutor executor(TestCluster(), config);
+  obs::TraceRecorder recorder;
+  executor.context()->set_tracer(&recorder);
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+  FitObservation obs;
+  obs.fit_ledger_seconds = executor.context()->ledger()->TotalSeconds();
+  obs.output = fitted.ApplyOne(2.0, executor.context());
+  obs.apply_ledger_seconds =
+      executor.context()->ledger()->TotalSeconds() - obs.fit_ledger_seconds;
+  obs.report_text = report.ToString();
+  for (const auto& span : recorder.Spans()) obs.span_names.push_back(span.name);
+  return obs;
+}
+
+TEST(PlanRunnerTest, ParallelFitIsDeterministic) {
+  const FitObservation first = FitAndObserve(OptimizationConfig::Full());
+  const FitObservation second = FitAndObserve(OptimizationConfig::Full());
+  // Bit-identical models, charged virtual time, plan report, and span order
+  // across runs, regardless of the order the scheduler dispatched branches.
+  EXPECT_EQ(first.output, second.output);
+  EXPECT_EQ(first.fit_ledger_seconds, second.fit_ledger_seconds);
+  EXPECT_EQ(first.apply_ledger_seconds, second.apply_ledger_seconds);
+  EXPECT_EQ(first.report_text, second.report_text);
+  EXPECT_EQ(first.span_names, second.span_names);
+}
+
+TEST(PlanRunnerTest, SerialAndParallelExecutionAgree) {
+  OptimizationConfig serial = OptimizationConfig::Full();
+  serial.parallel_branches = false;
+  const FitObservation off = FitAndObserve(serial);
+  const FitObservation on = FitAndObserve(OptimizationConfig::Full());
+  // Branch parallelism is a wall-clock optimization only: every observable
+  // effect — fitted models, virtual-time charges, report, trace — matches
+  // strictly serial execution exactly.
+  EXPECT_EQ(off.output, on.output);
+  EXPECT_EQ(off.fit_ledger_seconds, on.fit_ledger_seconds);
+  EXPECT_EQ(off.apply_ledger_seconds, on.apply_ledger_seconds);
+  EXPECT_EQ(off.report_text, on.report_text);
+  EXPECT_EQ(off.span_names, on.span_names);
+}
+
+TEST(PlanRunnerTest, UnoptimizedConfigsAgreeAcrossSchedulers) {
+  OptimizationConfig serial = OptimizationConfig::None();
+  serial.parallel_branches = false;
+  const FitObservation off = FitAndObserve(serial);
+  const FitObservation on = FitAndObserve(OptimizationConfig::None());
+  EXPECT_EQ(off.output, on.output);
+  EXPECT_EQ(off.fit_ledger_seconds, on.fit_ledger_seconds);
+  EXPECT_EQ(off.report_text, on.report_text);
+}
+
+TEST(CompileTest, ExposesCompiledPlan) {
+  auto pipe = BranchyPipeline(3);
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->materialized);
+  EXPECT_GT(plan->NumTrainNodes(), 0);
+  EXPECT_GT(plan->NumRuntimeNodes(), 0);
+  // Every node carries a structural fingerprint; both renderings print it.
+  for (const PlannedNode& pn : plan->nodes) {
+    if (pn.train || pn.runtime) {
+      EXPECT_FALSE(pn.fingerprint.empty());
+    }
+  }
+  EXPECT_NE(plan->ToString().find("PhysicalPlan{"), std::string::npos);
+  EXPECT_NE(plan->ToJson().find("\"fingerprint\""), std::string::npos);
+}
+
+TEST(CompileTest, FitMatchesCompiledPlanDecisions) {
+  auto pipe = BranchyPipeline(3);
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+  const PhysicalPlan& plan = fitted.impl().plan();
+  EXPECT_EQ(report.cache_set, plan.cache_set);
+  EXPECT_EQ(report.cse_eliminated, plan.cse_eliminated);
+  for (const NodeExecutionRecord& record : report.nodes) {
+    EXPECT_EQ(record.chosen_physical, plan.nodes[record.id].physical_name);
+  }
+}
+
+TEST(FingerprintTest, StableUnderNodeRename) {
+  auto pipe = BranchyPipeline(2);
+  auto graph = std::make_shared<PipelineGraph>(*pipe.graph());
+  const OptimizationConfig config = OptimizationConfig::Full();
+  PhysicalPlan plan = LowerToPhysical(graph, pipe.source(), pipe.sink(),
+                                      config, TestCluster());
+  std::vector<std::string> before;
+  for (const PlannedNode& pn : plan.nodes) before.push_back(pn.fingerprint);
+  for (int id = 0; id < graph->size(); ++id) {
+    graph->mutable_node(id)->name += " (renamed)";
+  }
+  RelowerPlan(&plan);
+  for (const PlannedNode& pn : plan.nodes) {
+    EXPECT_EQ(pn.fingerprint, before[pn.id]) << "node " << pn.id;
+  }
+}
+
+TEST(FingerprintTest, StoredProfilesSurviveNodeRename) {
+  // Profiles recorded under one naming must be reused after every node in
+  // the pipeline is renamed: the store is keyed by structural fingerprint,
+  // not display name.
+  auto pipe = BranchyPipeline(2);
+  obs::ProfileStore store;
+  {
+    PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+    executor.context()->set_profile_store(&store);
+    executor.Fit(pipe);
+  }
+  for (int id = 0; id < pipe.graph()->size(); ++id) {
+    pipe.graph()->mutable_node(id)->name += " v2";
+  }
+  OptimizationConfig reuse = OptimizationConfig::Full();
+  reuse.reuse_stored_profiles = true;
+  PipelineExecutor executor(TestCluster(), reuse);
+  executor.context()->set_profile_store(&store);
+  PipelineReport report;
+  executor.Fit(pipe, &report);
+  EXPECT_TRUE(report.profiles_from_store);
+  EXPECT_EQ(report.optimize_seconds, 0.0);
+}
+
+TEST(ExecContextTest, ActualCostIsPerThread) {
+  ExecContext ctx(TestCluster());
+  CostProfile other;
+  other.flops = 2.0;
+  std::thread worker([&] { ctx.ReportActualCost(other); });
+  worker.join();
+  // The worker thread's report is invisible to this thread...
+  EXPECT_FALSE(ctx.TakeActualCost().has_value());
+  // ...and a stale report on this thread is cleared by the next scope.
+  CostProfile mine;
+  mine.flops = 1.0;
+  ctx.ReportActualCost(mine);
+  EXPECT_TRUE(ctx.BeginOperatorScope());
+  EXPECT_FALSE(ctx.TakeActualCost().has_value());
+  EXPECT_FALSE(ctx.BeginOperatorScope());
+}
+
+}  // namespace
+}  // namespace keystone

@@ -1,9 +1,9 @@
 // pipeline_lint: run every shipped workload pipeline through the static
-// plan validator (src/analysis) and report diagnostics.
-//
-// The tool only *builds* the logical graphs — no fitting, no sampling — so
-// it is fast enough for CI. Exit status is 1 when any pipeline has errors;
-// with --strict, warnings fail too.
+// plan validator (src/analysis), twice per workload — first on the logical
+// graph as submitted, then on the compiled PhysicalPlan IR (post-CSE graph
+// plus the materialization plan), so a pass that breaks an invariant is
+// caught here as well as at fit time. Exit status is 1 when any pipeline
+// has errors; with --strict, warnings fail too.
 //
 // Usage: pipeline_lint [--strict] [--verbose] [--dot]
 //   --strict   treat warnings as failures
@@ -12,66 +12,16 @@
 
 #include <cstdio>
 #include <cstring>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/analysis/plan_validator.h"
-#include "src/core/pipeline.h"
-#include "src/workloads/datasets.h"
-#include "src/workloads/pipelines.h"
+#include "src/core/executor.h"
+#include "src/sim/resources.h"
+#include "tools/shipped_workloads.h"
 
 namespace keystone {
 namespace {
-
-struct LintTarget {
-  std::string name;
-  std::shared_ptr<PipelineGraph> graph;
-  int placeholder = -1;
-  int sink = -1;
-};
-
-template <typename A, typename B>
-LintTarget Target(std::string name, const Pipeline<A, B>& pipe) {
-  LintTarget target;
-  target.name = std::move(name);
-  target.graph = pipe.graph();
-  target.placeholder = pipe.source();
-  target.sink = pipe.sink();
-  return target;
-}
-
-/// Builds the logical graph of every shipped workload on tiny synthetic
-/// corpora (graph shape does not depend on corpus size).
-std::vector<LintTarget> ShippedPipelines() {
-  using namespace workloads;
-  std::vector<LintTarget> targets;
-
-  LinearSolverConfig solver;
-  solver.num_classes = 2;
-
-  const TextCorpus amazon = AmazonLike(32, 8, 10, 200, 7);
-  targets.push_back(Target("amazon", BuildAmazonPipeline(amazon, 256, solver)));
-
-  LinearSolverConfig dense_solver;
-  dense_solver.num_classes = 3;
-  const DenseCorpus timit = DenseClasses(32, 8, 16, 3, 1.0, 7);
-  targets.push_back(Target(
-      "timit", BuildTimitPipeline(timit, 2, 8, 0.5, dense_solver, 7)));
-
-  const ImageCorpus images = TexturedImages(8, 4, 32, 1, 3, 0.1, 7);
-  targets.push_back(Target(
-      "voc", BuildVocPipeline(images, 4, 8, 4, dense_solver)));
-  targets.push_back(Target(
-      "imagenet", BuildImageNetPipeline(images, 4, 8, 4, dense_solver)));
-  targets.push_back(Target(
-      "cifar", BuildCifarPipeline(images, 5, 3, 8, dense_solver)));
-
-  const DenseCorpus youtube = DenseClasses(32, 8, 16, 3, 1.0, 7);
-  targets.push_back(Target("youtube", BuildYoutubePipeline(youtube,
-                                                           dense_solver)));
-  return targets;
-}
 
 int Run(int argc, char** argv) {
   bool strict = false;
@@ -92,18 +42,42 @@ int Run(int argc, char** argv) {
   }
 
   int failures = 0;
-  for (const LintTarget& target : ShippedPipelines()) {
+  for (const tools::ShippedWorkload& target : tools::ShippedWorkloads()) {
+    // Stage 1: the logical graph as submitted, with unreachable-node
+    // warnings on (the user-facing contract).
     analysis::PlanValidationOptions options;
     options.sink = target.sink;
     options.placeholder = target.placeholder;
-    const analysis::ValidationReport report =
+    analysis::ValidationReport report =
         analysis::PlanValidator(options).Validate(*target.graph);
+
+    // Stage 2: compile to the PhysicalPlan IR (validate_plans off so a
+    // defect is reported here instead of aborting inside the pass manager)
+    // and re-validate the optimized graph plus the cache plan.
+    OptimizationConfig config = OptimizationConfig::Full();
+    config.validate_plans = false;
+    PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(4),
+                              config);
+    const auto plan =
+        executor.Compile(*target.graph, target.placeholder, target.sink);
+    analysis::PlanValidationOptions compiled_options;
+    compiled_options.sink = plan->sink;
+    compiled_options.placeholder = plan->placeholder;
+    compiled_options.expect_cse = plan->cse_applied;
+    compiled_options.warn_unreachable = false;  // CSE leaves dead duplicates
+    const analysis::PlanValidator compiled_validator(compiled_options);
+    report.Merge(compiled_validator.Validate(*plan->graph));
+    if (plan->materialized) {
+      report.Merge(compiled_validator.ValidatePlan(plan->planning_problem,
+                                                   plan->cache_set));
+    }
 
     const bool failed = !report.ok() || (strict && report.warnings() > 0);
     if (failed) ++failures;
-    std::printf("%-10s %-5s %3d nodes, %d errors, %d warnings\n",
+    std::printf("%-10s %-5s %3d nodes (%d compiled), %d errors, %d warnings\n",
                 target.name.c_str(), failed ? "FAIL" : "ok",
-                target.graph->size(), report.errors(), report.warnings());
+                target.graph->size(), plan->NumTrainNodes(), report.errors(),
+                report.warnings());
     if ((failed || verbose) && !report.clean()) {
       for (const analysis::Diagnostic& diag : report.diagnostics()) {
         std::printf("    %s\n", diag.ToString().c_str());

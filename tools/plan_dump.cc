@@ -1,0 +1,81 @@
+// plan_dump: compile shipped workload pipelines to the PhysicalPlan IR and
+// print the result — every optimizer decision (chosen physical operators,
+// cache set, extrapolated costs, execution masks) as the executor will see
+// it, without running the full-scale training pass.
+//
+// Usage: plan_dump [--json] [--none|--pipe-only] [workload...]
+//   --json       machine-readable output (one JSON object per workload)
+//   --none       compile under OptimizationConfig::None()
+//   --pipe-only  compile under OptimizationConfig::PipeOnly()
+//   workload     subset to dump (default: all six shipped workloads)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/sim/resources.h"
+#include "tools/shipped_workloads.h"
+
+namespace keystone {
+namespace {
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  OptimizationConfig config = OptimizationConfig::Full();
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--none") == 0) {
+      config = OptimizationConfig::None();
+    } else if (std::strcmp(argv[i], "--pipe-only") == 0) {
+      config = OptimizationConfig::PipeOnly();
+    } else if (argv[i][0] == '-') {
+      std::fprintf(
+          stderr,
+          "usage: plan_dump [--json] [--none|--pipe-only] [workload...]\n");
+      return 2;
+    } else {
+      wanted.emplace_back(argv[i]);
+    }
+  }
+
+  const auto targets = tools::ShippedWorkloads();
+  int matched = 0;
+  bool first = true;
+  if (json) std::printf("[");
+  for (const tools::ShippedWorkload& target : targets) {
+    if (!wanted.empty() &&
+        std::find(wanted.begin(), wanted.end(), target.name) ==
+            wanted.end()) {
+      continue;
+    }
+    ++matched;
+    PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(4),
+                              config);
+    const auto plan =
+        executor.Compile(*target.graph, target.placeholder, target.sink);
+    if (json) {
+      std::printf("%s{\"workload\":\"%s\",\"plan\":%s}", first ? "" : ",\n",
+                  target.name.c_str(), plan->ToJson().c_str());
+    } else {
+      std::printf("=== %s ===\n%s\n", target.name.c_str(),
+                  plan->ToString().c_str());
+    }
+    first = false;
+  }
+  if (json) std::printf("]\n");
+  if (!wanted.empty() && matched != static_cast<int>(wanted.size())) {
+    std::fprintf(stderr, "plan_dump: unknown workload name\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main(int argc, char** argv) { return keystone::Run(argc, argv); }
