@@ -129,7 +129,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("ablation_materialization", argc, argv);
   keystone::bench::Banner(
       "Ablation: greedy materialization vs. exhaustive optimum",
       "Algorithm 1 should be near-optimal at a fraction of the planning "

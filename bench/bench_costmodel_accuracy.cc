@@ -156,7 +156,7 @@ void PcaStudy(Tally* tally) {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("costmodel_accuracy", argc, argv);
   keystone::bench::Banner(
       "Cost model evaluation (Section 3)",
       "Paper: optimizer matches the empirical best 90% (solvers) / 84% (PCA);\n"

@@ -92,7 +92,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("fig10_caching", argc, argv);
   keystone::bench::Banner(
       "Figure 10: caching strategy vs. memory budget",
       "Simulated training seconds per policy; greedy should dominate.");

@@ -48,7 +48,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("fig11_cacheset", argc, argv);
   keystone::bench::Banner(
       "Figure 11: greedy cache-set selection on the VOC pipeline",
       "With ample memory the expensive mid-pipeline outputs are cached;\n"

@@ -77,7 +77,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("fig12_scaling", argc, argv);
   keystone::bench::Banner(
       "Figure 12: strong scaling, 8 -> 128 nodes",
       "Per-stage simulated seconds; 'vs ideal' is the slowdown relative to\n"

@@ -119,7 +119,7 @@ void CorrectnessCrossCheck() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("fig6_solvers", argc, argv);
   keystone::bench::Banner(
       "Figure 6: solver runtime vs. feature count",
       "Paper: L-BFGS 5-260x faster on sparse text; exact crashes >4k sparse\n"

@@ -56,7 +56,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("fig7_convolution", argc, argv);
   keystone::bench::Banner(
       "Figure 7: convolution strategy vs. filter size",
       "Paper shape: BLAS fastest at small k, cost grows with k^2; FFT flat\n"

@@ -127,7 +127,7 @@ void LossCrossCheck() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("fig8_systems", argc, argv);
   keystone::bench::Banner(
       "Figure 8: KeystoneML vs. Vowpal Wabbit vs. SystemML",
       "Paper shape: KeystoneML at or below both baselines at every size,\n"

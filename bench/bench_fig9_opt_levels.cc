@@ -103,7 +103,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("fig9_opt_levels", argc, argv);
   keystone::bench::Banner(
       "Figure 9: optimization levels (None / Pipe Only / KeystoneML)",
       "Per-stage simulated seconds; speedups relative to unoptimized.");

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/timer.h"
 #include "src/core/executor.h"
 #include "src/core/pipeline.h"
@@ -131,4 +132,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace keystone
 
-int main(int argc, char** argv) { return keystone::Run(argc, argv); }
+int main(int argc, char** argv) {
+  keystone::bench::ObsSession obs("parallel_runner", argc, argv);
+  return keystone::Run(argc, argv);
+}

@@ -94,7 +94,7 @@ void SubspaceCrossCheck() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("table2_pca", argc, argv);
   keystone::bench::Banner(
       "Table 2: PCA physical operator runtimes (seconds)",
       "Paper shape: local wins small problems; TSVD wins small k at large d;\n"

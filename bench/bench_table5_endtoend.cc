@@ -107,7 +107,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("table5_endtoend", argc, argv);
   keystone::bench::Banner(
       "Table 5: end-to-end applications, time to accuracy",
       "All five pipelines train through the full optimizer stack; simulated\n"

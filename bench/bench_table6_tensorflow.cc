@@ -69,7 +69,7 @@ void Run() {
 }  // namespace keystone
 
 int main(int argc, char** argv) {
-  keystone::bench::ObsSession obs(argc, argv);
+  keystone::bench::ObsSession obs("table6_tensorflow", argc, argv);
   keystone::bench::Banner(
       "Table 6: time (minutes) to 84% CIFAR-10 accuracy",
       "Paper shape: TensorFlow bottoms out at ~4 machines and regresses\n"

@@ -3,8 +3,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
 #include "src/data/data_stats.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile_store.h"
@@ -19,17 +23,30 @@ namespace bench {
 ///   --profile-store=PATH  load observed-cost history before the run and
 ///                         save the updated store after it
 ///   --plan-report         print the human-readable span report on exit
+///   --no-bench-json       skip the BENCH_<name>.json result file
 /// Every ExecContext feeds the process-global recorder/registry/store by
 /// default, so instrumenting a bench is just constructing this object.
+///
+/// When constructed with a bench name, the destructor also writes
+/// BENCH_<name>.json into the working directory: total virtual time charged
+/// (per trace phase), real wall time of the process, and the command-line
+/// configuration — one machine-readable record per bench run.
 class ObsSession {
  public:
+  ObsSession(const char* bench_name, int argc, char** argv)
+      : ObsSession(argc, argv) {
+    bench_name_ = bench_name;
+  }
+
   ObsSession(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      TakeValue(arg, "--trace-out=", &trace_path_) ||
-          TakeValue(arg, "--metrics-out=", &metrics_path_) ||
-          TakeValue(arg, "--profile-store=", &profile_path_) ||
-          (plan_report_ = plan_report_ || arg == "--plan-report");
+      args_.push_back(arg);
+      if (TakeValue(arg, "--trace-out=", &trace_path_)) continue;
+      if (TakeValue(arg, "--metrics-out=", &metrics_path_)) continue;
+      if (TakeValue(arg, "--profile-store=", &profile_path_)) continue;
+      if (arg == "--no-bench-json") bench_json_ = false;
+      if (arg == "--plan-report") plan_report_ = true;
     }
     if (!profile_path_.empty() &&
         obs::ProfileStore::Global().Load(profile_path_)) {
@@ -74,6 +91,7 @@ class ObsSession {
                      profile_path_.c_str());
       }
     }
+    if (!bench_name_.empty() && bench_json_) WriteBenchJson();
   }
 
  private:
@@ -85,10 +103,52 @@ class ObsSession {
     return true;
   }
 
+  /// Writes BENCH_<name>.json: one record per bench run with the total
+  /// virtual cluster time charged (and its per-phase split, from the global
+  /// trace recorder), the real wall time, and the invocation config.
+  void WriteBenchJson() const {
+    double virtual_total = 0.0;
+    std::map<obs::TracePhase, double> per_phase;
+    for (const obs::TraceSpan& span : obs::TraceRecorder::Global().Spans()) {
+      virtual_total += span.virtual_seconds;
+      per_phase[span.phase] += span.virtual_seconds;
+    }
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[obs] FAILED to write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"wall_seconds\":%s,",
+                 JsonEscape(bench_name_).c_str(),
+                 JsonNumber(wall_.ElapsedSeconds()).c_str());
+    std::fprintf(f, "\"virtual_seconds\":%s,\"virtual_seconds_by_phase\":{",
+                 JsonNumber(virtual_total).c_str());
+    bool first = true;
+    for (const auto& [phase, seconds] : per_phase) {
+      std::fprintf(f, "%s\"%s\":%s", first ? "" : ",",
+                   obs::TracePhaseName(phase), JsonNumber(seconds).c_str());
+      first = false;
+    }
+    std::fprintf(f, "},\"config\":{\"args\":[");
+    for (size_t i = 0; i < args_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ",",
+                   JsonEscape(args_[i]).c_str());
+    }
+    std::fprintf(f, "],\"spans\":%zu}}\n",
+                 obs::TraceRecorder::Global().NumSpans());
+    std::fclose(f);
+    std::printf("[obs] wrote bench result to %s\n", path.c_str());
+  }
+
+  std::string bench_name_;
+  std::vector<std::string> args_;
+  Timer wall_;
   std::string trace_path_;
   std::string metrics_path_;
   std::string profile_path_;
   bool plan_report_ = false;
+  bool bench_json_ = true;
 };
 
 /// Prints a banner naming the experiment being regenerated.

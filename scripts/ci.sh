@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: repo lint, tier-1 verification with warnings-as-errors,
-# the pipeline_lint static-analysis pass, then a sanitizer matrix running
-# the full test suite under each sanitizer.
+# the pipeline_lint static-analysis pass, the explain observability pass
+# (decision provenance + calibration over every shipped workload), then a
+# sanitizer matrix running the full test suite under each sanitizer.
 #
 #   scripts/ci.sh                  # lint + tier-1 + ASan, UBSan, TSan legs
 #   scripts/ci.sh --no-sanitizers  # lint + tier-1 only (alias: --no-asan)
@@ -33,6 +34,11 @@ cmake --build build -j"$(nproc)"
 
 echo "=== static analysis: pipeline_lint over shipped workloads ==="
 ./build/tools/pipeline_lint --strict
+
+echo "=== observability: explain over shipped workloads ==="
+# Compiles and fits all six shipped workloads, failing on an empty optimizer
+# decision log or any non-finite cost-model calibration residual.
+./build/tools/explain --strict > /dev/null
 
 if [[ "$RUN_SANITIZED" == 1 ]]; then
   for sanitizer in $SANITIZERS; do

@@ -21,6 +21,8 @@ enum LockRank : int {
   kLockRankLedger = 10,        // VirtualTimeLedger::mu_
   kLockRankProfileStore = 20,  // obs::ProfileStore::mu_
   kLockRankTrace = 30,         // obs::TraceRecorder::mu_
+  kLockRankDecisionLog = 32,   // obs::OptimizerDecisionLog::mu_
+  kLockRankTimeline = 34,      // obs::ResourceTimeline::mu_
   kLockRankThreadPool = 40,    // ThreadPool::mu_
   kLockRankMetricsShard = 50,  // obs::MetricsRegistry stripes (leaf locks)
 };

@@ -23,6 +23,16 @@ std::string HumanBytes(double bytes);
 /// Renders seconds human-readably, e.g. "2.35 s" or "118 ms".
 std::string HumanSeconds(double seconds);
 
+/// Escapes `s` for embedding inside a double-quoted JSON string: quote,
+/// backslash, and control characters below 0x20 (the named escapes \n, \t,
+/// \r, \b, \f where they exist, \u00XX otherwise). The result round-trips
+/// through any conforming JSON parser.
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double as a JSON number. JSON has no NaN/Infinity literals,
+/// so non-finite values degrade to 0 rather than corrupting the document.
+std::string JsonNumber(double v);
+
 }  // namespace keystone
 
 #endif  // KEYSTONE_COMMON_STRING_UTIL_H_

@@ -11,6 +11,7 @@
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile_store.h"
+#include "src/obs/resource_timeline.h"
 #include "src/obs/trace.h"
 #include "src/sim/cost_profile.h"
 #include "src/sim/resources.h"
@@ -33,7 +34,8 @@ class ExecContext {
         pool_(&ThreadPool::Global()),
         tracer_(&obs::TraceRecorder::Global()),
         metrics_(&obs::MetricsRegistry::Global()),
-        profile_store_(&obs::ProfileStore::Global()) {
+        profile_store_(&obs::ProfileStore::Global()),
+        timeline_(&obs::ResourceTimeline::Global()) {
     ledger_.set_metrics(metrics_);
   }
 
@@ -51,6 +53,8 @@ class ExecContext {
   }
   obs::ProfileStore* profile_store() const { return profile_store_; }
   void set_profile_store(obs::ProfileStore* store) { profile_store_ = store; }
+  obs::ResourceTimeline* timeline() const { return timeline_; }
+  void set_timeline(obs::ResourceTimeline* timeline) { timeline_ = timeline; }
 
   /// Operators whose cost depends on runtime behaviour (e.g. iterative
   /// solvers whose iteration count is data dependent) call this during
@@ -98,6 +102,7 @@ class ExecContext {
   obs::TraceRecorder* tracer_;
   obs::MetricsRegistry* metrics_;
   obs::ProfileStore* profile_store_;
+  obs::ResourceTimeline* timeline_;
   /// Leaf lock (lowest rank): held only for map access, never across a call
   /// into metrics/trace/ledger.
   mutable Mutex actual_mu_{kLockRankExecContext};

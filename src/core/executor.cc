@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/common/string_util.h"
 #include "src/core/plan_runner.h"
+#include "src/obs/calibration.h"
 #include "src/obs/metrics.h"
 #include "src/optimizer/pass_manager.h"
 
@@ -200,6 +201,21 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
     metrics->Set("pool.tasks_executed",
                  static_cast<double>(pool.tasks_executed));
     metrics->Set("pool.busy_seconds", pool.busy_seconds);
+
+    // Cost-model calibration: predicted-vs-observed residuals over every
+    // span this context has traced (gauges — rebuilt each fit, not summed).
+    // Fresh runs calibrate from live spans; profile-reuse runs fall back to
+    // the store's persisted observation history.
+    if (context_.tracer() != nullptr) {
+      obs::CalibrationReport calibration =
+          obs::BuildCalibrationFromSpans(context_.tracer()->Spans(), resources);
+      if (calibration.samples == 0 && context_.profile_store() != nullptr) {
+        calibration =
+            obs::BuildCalibrationFromStore(*context_.profile_store(),
+                                           resources);
+      }
+      obs::RecordCalibration(calibration, metrics);
+    }
   }
 
   return std::make_shared<FittedPipelineUntyped>(plan,

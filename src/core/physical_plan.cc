@@ -90,42 +90,8 @@ std::string OperatorSignature(const PipelineGraph& graph,
   return "?";
 }
 
-std::string JsonEscape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
+// JSON escaping/number rendering come from common/string_util (shared with
+// the obs exporters).
 
 }  // namespace
 
@@ -207,10 +173,12 @@ int PhysicalPlan::NumRuntimeNodes() const {
 std::string PhysicalPlan::ToString() const {
   std::ostringstream os;
   os << "PhysicalPlan{policy=" << CachePolicyName(config.cache_policy)
-     << ", nodes=" << nodes.size() << " (train=" << NumTrainNodes()
-     << ", runtime=" << NumRuntimeNodes() << ")"
+     << ", opsel=" << (config.operator_selection ? "on" : "off")
      << ", cse=" << (cse_applied ? "applied" : "off") << "/" << cse_eliminated
-     << " eliminated, budget=" << HumanBytes(cache_budget_bytes)
+     << " eliminated, nodes=" << nodes.size() << " (train=" << NumTrainNodes()
+     << ", runtime=" << NumRuntimeNodes() << ")"
+     << ", placeholder=" << placeholder << ", sink=" << sink
+     << ", budget=" << HumanBytes(cache_budget_bytes)
      << ", optimize=" << HumanSeconds(optimize_seconds)
      << ", profiles=" << (profiles_from_store ? "store" : "live") << "}\n";
   for (const PlannedNode& pn : nodes) {
@@ -224,11 +192,26 @@ std::string PhysicalPlan::ToString() const {
     if (pn.train) os << " train";
     if (pn.runtime) os << " runtime";
     if (pn.cached) os << " cached";
-    os << "\n      fp=\"" << pn.fingerprint << "\" in=" << pn.input_records
-       << " full=" << pn.full_records << " w=" << pn.weight;
+    os << "\n      fp=\"" << pn.fingerprint << "\" inputs=[";
+    for (size_t i = 0; i < pn.inputs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << pn.inputs[i];
+    }
+    os << "]";
+    if (pn.model_input >= 0) os << " model=" << pn.model_input;
+    os << " in=" << pn.input_records << " full=" << pn.full_records
+       << " w=" << pn.weight;
     if (materialized && pn.train) {
       os << " est=" << HumanSeconds(pn.est_seconds)
          << " out=" << HumanBytes(pn.est_output_bytes);
+    }
+    if (pn.train && (pn.profile.records_small > 0 ||
+                     pn.profile.records_large > 0)) {
+      os << "\n      profile: " << HumanSeconds(pn.profile.seconds_small)
+         << "@" << pn.profile.records_small << " / "
+         << HumanSeconds(pn.profile.seconds_large) << "@"
+         << pn.profile.records_large << ", "
+         << HumanBytes(pn.profile.bytes_per_record) << "/rec";
     }
     os << "\n";
   }
@@ -236,6 +219,9 @@ std::string PhysicalPlan::ToString() const {
     os << "  terminals:";
     for (int t : terminals) os << " " << t;
     os << "\n";
+  }
+  if (decision_log != nullptr && !decision_log->Empty()) {
+    os << decision_log->ToString();
   }
   return os.str();
 }
@@ -271,7 +257,8 @@ std::string PhysicalPlan::ToJson() const {
       if (i > 0) os << ",";
       os << pn.inputs[i];
     }
-    os << "],\"train\":" << (pn.train ? "true" : "false")
+    os << "],\"model_input\":" << pn.model_input
+       << ",\"train\":" << (pn.train ? "true" : "false")
        << ",\"runtime\":" << (pn.runtime ? "true" : "false")
        << ",\"optimizable\":" << (pn.optimizable ? "true" : "false")
        << ",\"chosen_option\":" << pn.chosen_option << ",\"physical\":\""
@@ -281,9 +268,20 @@ std::string PhysicalPlan::ToJson() const {
        << ",\"weight\":" << pn.weight
        << ",\"cached\":" << (pn.cached ? "true" : "false")
        << ",\"est_seconds\":" << JsonNumber(pn.est_seconds)
-       << ",\"est_output_bytes\":" << JsonNumber(pn.est_output_bytes) << "}";
+       << ",\"est_output_bytes\":" << JsonNumber(pn.est_output_bytes)
+       << ",\"profile\":{\"seconds_small\":"
+       << JsonNumber(pn.profile.seconds_small)
+       << ",\"seconds_large\":" << JsonNumber(pn.profile.seconds_large)
+       << ",\"records_small\":" << pn.profile.records_small
+       << ",\"records_large\":" << pn.profile.records_large
+       << ",\"bytes_per_record\":" << JsonNumber(pn.profile.bytes_per_record)
+       << ",\"full_records\":" << pn.profile.full_records << "}}";
   }
-  os << "]}";
+  os << "]";
+  if (decision_log != nullptr && !decision_log->Empty()) {
+    os << ",\"decision_log\":" << decision_log->ToJson();
+  }
+  os << "}";
   return os.str();
 }
 
@@ -297,6 +295,7 @@ PhysicalPlan LowerToPhysical(std::shared_ptr<PipelineGraph> graph,
   plan.sink = sink;
   plan.config = config;
   plan.resources = resources;
+  plan.decision_log = std::make_shared<obs::OptimizerDecisionLog>();
   RelowerPlan(&plan);
   return plan;
 }

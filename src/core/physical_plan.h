@@ -7,6 +7,7 @@
 
 #include "src/core/pipeline_graph.h"
 #include "src/data/data_stats.h"
+#include "src/obs/decision_log.h"
 #include "src/optimizer/materialization.h"
 #include "src/sim/resources.h"
 
@@ -187,6 +188,11 @@ struct PhysicalPlan {
   /// The profile-extrapolated problem the cache set was selected against
   /// (valid when `materialized`; its graph pointer aliases `graph`).
   MaterializationProblem planning_problem;
+
+  /// Structured provenance of every optimizer decision made while compiling
+  /// this plan (LowerToPhysical creates it; the passes append; RelowerPlan
+  /// preserves it). Shared so reports can outlive the plan.
+  std::shared_ptr<obs::OptimizerDecisionLog> decision_log;
 
   /// Sets the chosen physical option for node `id` and every node sharing
   /// the same Optimizable operator instance (train-time copies and their

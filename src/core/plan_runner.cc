@@ -101,6 +101,7 @@ void PlanRunner::ExecuteNode(int id) {
         out.record_observation = true;
         CostProfile cost = actual.has_value() ? *actual : span.predicted;
         cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        out.charge_cost = cost;  // also the timeline's per-resource split
         out.seconds = resources.SecondsFor(cost);
       } else {
         // With a virtual scale, kernel-reported costs describe the real
@@ -144,6 +145,7 @@ void PlanRunner::ExecuteNode(int id) {
         out.record_observation = true;
         CostProfile cost = actual.has_value() ? *actual : span.predicted;
         cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        out.charge_cost = cost;  // also the timeline's per-resource split
         out.seconds = resources.SecondsFor(cost);
       } else {
         span.used_observed = actual.has_value() && scale <= 1.0;
@@ -189,6 +191,7 @@ void PlanRunner::ExecuteNode(int id) {
         out.record_observation = true;
         CostProfile cost = actual.has_value() ? *actual : span.predicted;
         cost.rounds = 0;  // Sample jobs skip full-cluster barriers.
+        out.charge_cost = cost;  // also the timeline's per-resource split
         out.seconds = resources.SecondsFor(cost);
       } else {
         span.used_observed = actual.has_value() && scale <= 1.0;
@@ -260,6 +263,40 @@ void PlanRunner::FlushOutcome(int id) {
     ctx_->profile_store()->RecordObservation(
         out.op_name.empty() ? pn.name : out.op_name, out.in_stats,
         out.span.predicted, *out.span.observed, out.span.wall_seconds);
+  }
+  if (ctx_->timeline() != nullptr) {
+    obs::ResourceTimeline* timeline = ctx_->timeline();
+    const char* phase = obs::TracePhaseName(out.span.phase);
+    if (pn.kind == NodeKind::kSource) {
+      // Source loads are charged directly in disk seconds (no CostProfile).
+      timeline->RecordDiskSeconds(phase, id, pn.name, out.seconds);
+    } else {
+      timeline->RecordNodeCost(phase, id, pn.name, out.charge_cost,
+                               ctx_->resources());
+    }
+    if (!InProfileMode()) {
+      // Cache accounting: each data dependency either hits the materialized
+      // set (fit mode only — apply recomputes the runtime path) or misses;
+      // apply-model nodes additionally fetch their fitted model, which is
+      // always materialized.
+      for (int dep : pn.inputs) {
+        const bool hit = mode_ == ExecMode::kFit && plan_->cache_set[dep];
+        timeline->RecordCacheAccess(hit);
+        if (ctx_->metrics() != nullptr) {
+          ctx_->metrics()->Increment(hit ? "exec.cache_hits"
+                                         : "exec.cache_misses");
+        }
+      }
+      if (pn.kind == NodeKind::kApplyModel) {
+        timeline->RecordCacheAccess(true);
+        if (ctx_->metrics() != nullptr) {
+          ctx_->metrics()->Increment("exec.cache_hits");
+        }
+      }
+      if (mode_ == ExecMode::kFit && plan_->cache_set[id]) {
+        timeline->RecordResidentBytes(out.out_stats.TotalBytes());
+      }
+    }
   }
   if (ctx_->metrics() != nullptr) {
     ctx_->metrics()->Increment(std::string("exec.spans.") +
@@ -349,6 +386,10 @@ RunResult PlanRunner::Run(ExecMode mode, const SelectHook& select) {
   std::vector<int> exec_ids;
   for (int id = 0; id < n; ++id) {
     if (plan_->nodes[id].train) exec_ids.push_back(id);
+  }
+
+  if (mode == ExecMode::kFit && ctx_->timeline() != nullptr) {
+    ctx_->timeline()->NoteCacheBudget(plan_->cache_budget_bytes);
   }
 
   // Profile passes stay serial: operator selection must see nodes in

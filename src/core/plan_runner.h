@@ -79,7 +79,10 @@ class PlanRunner {
     bool record_observation = false;
     std::string op_name;  // physical operator name (store key)
     double seconds = 0.0;  // modeled virtual seconds of this execution
-    CostProfile charge_cost;    // apply mode: cost charged to "Eval"
+    /// The cost profile `seconds` was modeled from (apply mode charges it
+    /// to the "Eval" ledger stage); also the ResourceTimeline's
+    /// per-resource split. Sources have none — they occupy disk directly.
+    CostProfile charge_cost;
     size_t sample_records = 0;  // profile modes: records that flowed
   };
 

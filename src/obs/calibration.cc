@@ -1,0 +1,252 @@
+#include "src/obs/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace keystone {
+namespace obs {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Symmetric relative residual, bounded in [-1, 1] and finite for every
+/// input pair (including predicted == observed == 0, which yields 0).
+double RelResidual(double predicted, double observed) {
+  const double denom =
+      std::max({std::fabs(predicted), std::fabs(observed), kEps});
+  return (observed - predicted) / denom;
+}
+
+enum Dim { kFlops = 0, kBytes, kNetwork, kRounds, kSeconds, kNumDims };
+
+struct Accumulator {
+  int node_id = -1;
+  std::string op;
+  double count = 0;
+  double pred[kNumDims] = {};
+  double obs[kNumDims] = {};
+  double bias[kNumDims] = {};
+  double abs_rel[kNumDims] = {};
+
+  /// Adds `weight` samples whose per-sample mean costs are `p`/`o`.
+  void Add(const CostProfile& p, const CostProfile& o, double pred_seconds,
+           double obs_seconds, double weight) {
+    count += weight;
+    const double pv[kNumDims] = {p.flops, p.bytes, p.network, p.rounds,
+                                 pred_seconds};
+    const double ov[kNumDims] = {o.flops, o.bytes, o.network, o.rounds,
+                                 obs_seconds};
+    for (int d = 0; d < kNumDims; ++d) {
+      pred[d] += pv[d] * weight;
+      obs[d] += ov[d] * weight;
+      const double r = RelResidual(pv[d], ov[d]);
+      bias[d] += r * weight;
+      abs_rel[d] += std::fabs(r) * weight;
+    }
+  }
+
+  CalibrationEntry Finalize() const {
+    CalibrationEntry e;
+    e.node_id = node_id;
+    e.op = op;
+    e.count = count;
+    ResourceResidual* dims[kNumDims] = {&e.flops, &e.bytes, &e.network,
+                                        &e.rounds, &e.seconds};
+    const double n = count > 0 ? count : 1;
+    for (int d = 0; d < kNumDims; ++d) {
+      dims[d]->predicted_mean = pred[d] / n;
+      dims[d]->observed_mean = obs[d] / n;
+      dims[d]->bias = bias[d] / n;
+      dims[d]->mean_abs_rel = abs_rel[d] / n;
+    }
+    return e;
+  }
+};
+
+bool ResidualFinite(const ResourceResidual& r) {
+  return std::isfinite(r.predicted_mean) && std::isfinite(r.observed_mean) &&
+         std::isfinite(r.bias) && std::isfinite(r.mean_abs_rel);
+}
+
+bool EntryFinite(const CalibrationEntry& e) {
+  return ResidualFinite(e.flops) && ResidualFinite(e.bytes) &&
+         ResidualFinite(e.network) && ResidualFinite(e.rounds) &&
+         ResidualFinite(e.seconds);
+}
+
+void AppendResidualJson(std::ostringstream* out, const char* key,
+                        const ResourceResidual& r) {
+  *out << "\"" << key << "\":{\"predicted_mean\":" << JsonNumber(r.predicted_mean)
+       << ",\"observed_mean\":" << JsonNumber(r.observed_mean)
+       << ",\"bias\":" << JsonNumber(r.bias)
+       << ",\"mean_abs_rel\":" << JsonNumber(r.mean_abs_rel) << "}";
+}
+
+void AppendEntryJson(std::ostringstream* out, const CalibrationEntry& e) {
+  *out << "{\"node\":" << e.node_id << ",\"op\":\"" << JsonEscape(e.op)
+       << "\",\"count\":" << JsonNumber(e.count) << ",";
+  AppendResidualJson(out, "flops", e.flops);
+  *out << ",";
+  AppendResidualJson(out, "bytes", e.bytes);
+  *out << ",";
+  AppendResidualJson(out, "network", e.network);
+  *out << ",";
+  AppendResidualJson(out, "rounds", e.rounds);
+  *out << ",";
+  AppendResidualJson(out, "seconds", e.seconds);
+  *out << "}";
+}
+
+CalibrationReport FinalizeReport(const std::map<int, Accumulator>& per_node,
+                                 const std::map<std::string, Accumulator>&
+                                     per_op,
+                                 double samples, double bias_seconds_sum,
+                                 double abs_seconds_sum) {
+  CalibrationReport report;
+  for (const auto& [id, acc] : per_node) report.per_node.push_back(acc.Finalize());
+  for (const auto& [op, acc] : per_op) report.per_op.push_back(acc.Finalize());
+  report.samples = samples;
+  if (samples > 0) {
+    report.overall_bias_seconds = bias_seconds_sum / samples;
+    report.mean_abs_residual_seconds = abs_seconds_sum / samples;
+  }
+  return report;
+}
+
+}  // namespace
+
+bool CalibrationReport::AllFinite() const {
+  if (!std::isfinite(samples) || !std::isfinite(overall_bias_seconds) ||
+      !std::isfinite(mean_abs_residual_seconds)) {
+    return false;
+  }
+  for (const auto& e : per_node) {
+    if (!EntryFinite(e)) return false;
+  }
+  for (const auto& e : per_op) {
+    if (!EntryFinite(e)) return false;
+  }
+  return true;
+}
+
+std::string CalibrationReport::ToString() const {
+  std::ostringstream out;
+  out << "Cost-model calibration (" << JsonNumber(samples) << " samples)\n";
+  out << "  overall seconds bias " << JsonNumber(overall_bias_seconds * 100.0)
+      << "%, mean |residual| "
+      << JsonNumber(mean_abs_residual_seconds * 100.0) << "%\n";
+  out << "  per operator kind:\n";
+  for (const auto& e : per_op) {
+    out << "    " << e.op << " (n=" << JsonNumber(e.count) << "): seconds "
+        << HumanSeconds(e.seconds.predicted_mean) << " pred vs "
+        << HumanSeconds(e.seconds.observed_mean) << " obs, bias "
+        << JsonNumber(e.seconds.bias * 100.0) << "% [flops "
+        << JsonNumber(e.flops.bias * 100.0) << "%, bytes "
+        << JsonNumber(e.bytes.bias * 100.0) << "%, net "
+        << JsonNumber(e.network.bias * 100.0) << "%, rounds "
+        << JsonNumber(e.rounds.bias * 100.0) << "%]\n";
+  }
+  return out.str();
+}
+
+std::string CalibrationReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"samples\":" << JsonNumber(samples)
+      << ",\"overall_bias_seconds\":" << JsonNumber(overall_bias_seconds)
+      << ",\"mean_abs_residual_seconds\":"
+      << JsonNumber(mean_abs_residual_seconds) << ",\"per_op\":[";
+  for (size_t i = 0; i < per_op.size(); ++i) {
+    if (i) out << ",";
+    AppendEntryJson(&out, per_op[i]);
+  }
+  out << "],\"per_node\":[";
+  for (size_t i = 0; i < per_node.size(); ++i) {
+    if (i) out << ",";
+    AppendEntryJson(&out, per_node[i]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+CalibrationReport BuildCalibrationFromSpans(
+    const std::vector<TraceSpan>& spans, const ClusterResourceDescriptor& r) {
+  std::map<int, Accumulator> per_node;
+  std::map<std::string, Accumulator> per_op;
+  double samples = 0, bias_sum = 0, abs_sum = 0;
+  for (const TraceSpan& s : spans) {
+    if (!s.observed.has_value() || s.synthetic) continue;
+    const std::string op = s.physical.empty() ? s.name : s.physical;
+    const double pred_s = r.SecondsFor(s.predicted);
+    const double obs_s = r.SecondsFor(*s.observed);
+
+    Accumulator& node_acc = per_node[s.node_id];
+    node_acc.node_id = s.node_id;
+    if (node_acc.op.empty()) node_acc.op = op;
+    node_acc.Add(s.predicted, *s.observed, pred_s, obs_s, 1.0);
+
+    Accumulator& op_acc = per_op[op];
+    op_acc.op = op;
+    op_acc.Add(s.predicted, *s.observed, pred_s, obs_s, 1.0);
+
+    samples += 1;
+    const double res = RelResidual(pred_s, obs_s);
+    bias_sum += res;
+    abs_sum += std::fabs(res);
+  }
+  return FinalizeReport(per_node, per_op, samples, bias_sum, abs_sum);
+}
+
+CalibrationReport BuildCalibrationFromStore(
+    const ProfileStore& store, const ClusterResourceDescriptor& r) {
+  std::map<int, Accumulator> per_node;  // store history is per-operator only
+  std::map<std::string, Accumulator> per_op;
+  double samples = 0, bias_sum = 0, abs_sum = 0;
+  for (const OperatorObservation& o : store.Observations()) {
+    if (o.count <= 0) continue;
+    CostProfile pred = o.predicted_sum;
+    CostProfile obs = o.observed_sum;
+    const double inv = 1.0 / o.count;
+    pred.flops *= inv;
+    pred.bytes *= inv;
+    pred.network *= inv;
+    pred.rounds *= inv;
+    obs.flops *= inv;
+    obs.bytes *= inv;
+    obs.network *= inv;
+    obs.rounds *= inv;
+    const double pred_s = r.SecondsFor(pred);
+    const double obs_s = r.SecondsFor(obs);
+
+    Accumulator& op_acc = per_op[o.op];
+    op_acc.op = o.op;
+    op_acc.Add(pred, obs, pred_s, obs_s, o.count);
+
+    samples += o.count;
+    const double res = RelResidual(pred_s, obs_s);
+    bias_sum += res * o.count;
+    abs_sum += std::fabs(res) * o.count;
+  }
+  return FinalizeReport(per_node, per_op, samples, bias_sum, abs_sum);
+}
+
+void RecordCalibration(const CalibrationReport& report,
+                       MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->Set("calibration.samples", report.samples);
+  metrics->Set("calibration.bias_seconds", report.overall_bias_seconds);
+  metrics->Set("calibration.mean_abs_residual_seconds",
+               report.mean_abs_residual_seconds);
+  for (const auto& e : report.per_op) {
+    metrics->Set("calibration.bias." + e.op, e.seconds.bias);
+    metrics->Set("calibration.abs_rel." + e.op, e.seconds.mean_abs_rel);
+  }
+}
+
+}  // namespace obs
+}  // namespace keystone

@@ -1,0 +1,78 @@
+#ifndef KEYSTONE_OBS_CALIBRATION_H_
+#define KEYSTONE_OBS_CALIBRATION_H_
+
+// Cost-model calibration: estimated vs. observed cost, per node and per
+// operator kind, per resource dimension. Residuals are symmetric relative
+// errors, (observed - predicted) / max(|predicted|, |observed|, eps), so
+// they are bounded in [-1, 1] and always finite — a residual of +0.5 means
+// the kernel reported twice the predicted cost. Reports are built from live
+// trace spans or from the ProfileStore's persisted observation history (the
+// latter is what gives reuse_stored_profiles runs calibration coverage).
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/profile_store.h"
+#include "src/obs/trace.h"
+#include "src/sim/resources.h"
+
+namespace keystone {
+namespace obs {
+
+/// Mean predicted/observed values and residuals of one resource dimension.
+struct ResourceResidual {
+  double predicted_mean = 0;
+  double observed_mean = 0;
+  double bias = 0;          // mean signed relative residual
+  double mean_abs_rel = 0;  // mean |relative residual|
+};
+
+/// Calibration of one node (node_id >= 0) or one operator kind aggregated
+/// across nodes (node_id == -1).
+struct CalibrationEntry {
+  int node_id = -1;
+  std::string op;  // physical operator name (or node name for sources)
+  double count = 0;
+  ResourceResidual flops;
+  ResourceResidual bytes;
+  ResourceResidual network;
+  ResourceResidual rounds;
+  ResourceResidual seconds;  // under the cluster descriptor the report used
+};
+
+struct CalibrationReport {
+  std::vector<CalibrationEntry> per_node;  // sorted by node id
+  std::vector<CalibrationEntry> per_op;    // sorted by operator name
+  double samples = 0;                      // spans/observations consumed
+  double overall_bias_seconds = 0;
+  double mean_abs_residual_seconds = 0;
+
+  /// True when every residual in the report is finite (the CI --strict
+  /// invariant; symmetric residuals make this hold by construction).
+  bool AllFinite() const;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+/// Builds calibration from live trace spans: every non-synthetic span with
+/// an observed cost contributes one sample. Seconds residuals use `r`.
+CalibrationReport BuildCalibrationFromSpans(const std::vector<TraceSpan>& spans,
+                                            const ClusterResourceDescriptor& r);
+
+/// Builds calibration from the store's persisted per-operator observation
+/// history (predicted/observed sums). Node-level entries are unavailable
+/// here, so per_node stays empty.
+CalibrationReport BuildCalibrationFromStore(const ProfileStore& store,
+                                            const ClusterResourceDescriptor& r);
+
+/// Publishes the report's aggregates into `metrics` as calibration.* gauges
+/// (gauges, not counters: rebuilding a report must not double-count).
+void RecordCalibration(const CalibrationReport& report,
+                       MetricsRegistry* metrics);
+
+}  // namespace obs
+}  // namespace keystone
+
+#endif  // KEYSTONE_OBS_CALIBRATION_H_

@@ -1,0 +1,211 @@
+#include "src/obs/decision_log.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace keystone {
+namespace obs {
+
+namespace {
+
+void AppendCostJson(std::ostringstream* out, const CostProfile& cost) {
+  *out << "{\"flops\":" << JsonNumber(cost.flops)
+       << ",\"bytes\":" << JsonNumber(cost.bytes)
+       << ",\"network\":" << JsonNumber(cost.network)
+       << ",\"rounds\":" << JsonNumber(cost.rounds) << "}";
+}
+
+}  // namespace
+
+void OptimizerDecisionLog::RecordSelection(SelectionDecision decision) {
+  MutexLock lock(&mu_);
+  selections_.push_back(std::move(decision));
+}
+
+void OptimizerDecisionLog::RecordCseGroup(CseMergeGroup group) {
+  MutexLock lock(&mu_);
+  cse_groups_.push_back(std::move(group));
+}
+
+void OptimizerDecisionLog::RecordMaterializationStep(MaterializationStep step) {
+  MutexLock lock(&mu_);
+  ledger_.push_back(std::move(step));
+}
+
+void OptimizerDecisionLog::RecordMaterializationSummary(
+    MaterializationSummary summary) {
+  MutexLock lock(&mu_);
+  summary_ = std::move(summary);
+  summary_.recorded = true;
+}
+
+std::vector<SelectionDecision> OptimizerDecisionLog::Selections() const {
+  MutexLock lock(&mu_);
+  return selections_;
+}
+
+std::vector<CseMergeGroup> OptimizerDecisionLog::CseGroups() const {
+  MutexLock lock(&mu_);
+  return cse_groups_;
+}
+
+std::vector<MaterializationStep> OptimizerDecisionLog::MaterializationLedger()
+    const {
+  MutexLock lock(&mu_);
+  return ledger_;
+}
+
+MaterializationSummary OptimizerDecisionLog::Summary() const {
+  MutexLock lock(&mu_);
+  return summary_;
+}
+
+bool OptimizerDecisionLog::Empty() const {
+  MutexLock lock(&mu_);
+  return selections_.empty() && cse_groups_.empty() && ledger_.empty() &&
+         !summary_.recorded;
+}
+
+void OptimizerDecisionLog::Clear() {
+  MutexLock lock(&mu_);
+  selections_.clear();
+  cse_groups_.clear();
+  ledger_.clear();
+  summary_ = MaterializationSummary();
+}
+
+std::string OptimizerDecisionLog::ToString() const {
+  MutexLock lock(&mu_);
+  std::ostringstream out;
+  out << "Optimizer decision log\n";
+  out << "  operator selection (" << selections_.size() << " decisions):\n";
+  for (const auto& d : selections_) {
+    out << "    node " << d.node_id << " [" << d.node_name << "] -> option "
+        << d.chosen_option << " (" << HumanSeconds(d.chosen_seconds)
+        << ", margin " << JsonNumber(d.margin * 100.0) << "%"
+        << (d.from_store ? ", from store" : "") << ")\n";
+    for (const auto& o : d.options) {
+      out << "      option " << o.option_index << " [" << o.name << "] "
+          << HumanSeconds(o.estimated_seconds) << " scratch "
+          << HumanBytes(o.scratch_bytes)
+          << (o.feasible ? "" : " INFEASIBLE")
+          << (o.from_history ? " (history)" : "") << "\n";
+    }
+  }
+  out << "  cse merge groups (" << cse_groups_.size() << "):\n";
+  for (const auto& g : cse_groups_) {
+    out << "    survivor " << g.survivor << " <-";
+    for (int id : g.merged) out << " " << id;
+    out << "  [" << g.fingerprint << "]\n";
+  }
+  out << "  materialization ledger (" << ledger_.size() << " iterations):\n";
+  for (const auto& s : ledger_) {
+    out << "    iter " << s.iteration << ": budget "
+        << HumanBytes(s.budget_before) << ", runtime "
+        << HumanSeconds(s.runtime_before) << ", chose "
+        << (s.chosen >= 0 ? "node " + std::to_string(s.chosen) : "nothing");
+    if (s.chosen >= 0) {
+      out << " (benefit " << HumanSeconds(s.benefit_seconds) << ", "
+          << HumanBytes(s.remaining_budget) << " left)";
+    }
+    out << "\n";
+    for (const auto& c : s.candidates) {
+      out << "      candidate " << c.node_id << ": size "
+          << HumanBytes(c.output_bytes)
+          << (c.fits ? "" : " OVER BUDGET");
+      if (c.evaluated) {
+        out << ", benefit " << HumanSeconds(c.benefit_seconds);
+      }
+      out << "\n";
+    }
+  }
+  if (summary_.recorded) {
+    out << "  materialization summary: policy " << summary_.policy
+        << ", budget " << HumanBytes(summary_.budget_bytes) << ", runtime "
+        << HumanSeconds(summary_.initial_runtime) << " -> "
+        << HumanSeconds(summary_.final_runtime) << ", "
+        << summary_.cached_nodes << " nodes cached\n";
+  }
+  return out.str();
+}
+
+std::string OptimizerDecisionLog::ToJson() const {
+  MutexLock lock(&mu_);
+  std::ostringstream out;
+  out << "{\"selections\":[";
+  for (size_t i = 0; i < selections_.size(); ++i) {
+    const auto& d = selections_[i];
+    if (i) out << ",";
+    out << "{\"node\":" << d.node_id << ",\"name\":\""
+        << JsonEscape(d.node_name) << "\",\"fingerprint\":\""
+        << JsonEscape(d.fingerprint) << "\",\"chosen\":" << d.chosen_option
+        << ",\"seconds\":" << JsonNumber(d.chosen_seconds)
+        << ",\"margin\":" << JsonNumber(d.margin)
+        << ",\"from_store\":" << (d.from_store ? "true" : "false")
+        << ",\"options\":[";
+    for (size_t j = 0; j < d.options.size(); ++j) {
+      const auto& o = d.options[j];
+      if (j) out << ",";
+      out << "{\"index\":" << o.option_index << ",\"name\":\""
+          << JsonEscape(o.name) << "\",\"seconds\":"
+          << JsonNumber(o.estimated_seconds)
+          << ",\"scratch_bytes\":" << JsonNumber(o.scratch_bytes)
+          << ",\"feasible\":" << (o.feasible ? "true" : "false")
+          << ",\"from_history\":" << (o.from_history ? "true" : "false")
+          << ",\"cost\":";
+      AppendCostJson(&out, o.cost);
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "],\"cse_groups\":[";
+  for (size_t i = 0; i < cse_groups_.size(); ++i) {
+    const auto& g = cse_groups_[i];
+    if (i) out << ",";
+    out << "{\"survivor\":" << g.survivor << ",\"fingerprint\":\""
+        << JsonEscape(g.fingerprint) << "\",\"merged\":[";
+    for (size_t j = 0; j < g.merged.size(); ++j) {
+      if (j) out << ",";
+      out << g.merged[j];
+    }
+    out << "]}";
+  }
+  out << "],\"materialization\":{\"steps\":[";
+  for (size_t i = 0; i < ledger_.size(); ++i) {
+    const auto& s = ledger_[i];
+    if (i) out << ",";
+    out << "{\"iteration\":" << s.iteration
+        << ",\"budget_before\":" << JsonNumber(s.budget_before)
+        << ",\"runtime_before\":" << JsonNumber(s.runtime_before)
+        << ",\"chosen\":" << s.chosen
+        << ",\"benefit_seconds\":" << JsonNumber(s.benefit_seconds)
+        << ",\"remaining_budget\":" << JsonNumber(s.remaining_budget)
+        << ",\"candidates\":[";
+    for (size_t j = 0; j < s.candidates.size(); ++j) {
+      const auto& c = s.candidates[j];
+      if (j) out << ",";
+      out << "{\"node\":" << c.node_id
+          << ",\"output_bytes\":" << JsonNumber(c.output_bytes)
+          << ",\"fits\":" << (c.fits ? "true" : "false")
+          << ",\"evaluated\":" << (c.evaluated ? "true" : "false")
+          << ",\"runtime_if_cached\":" << JsonNumber(c.runtime_if_cached)
+          << ",\"benefit_seconds\":" << JsonNumber(c.benefit_seconds) << "}";
+    }
+    out << "]}";
+  }
+  out << "]";
+  if (summary_.recorded) {
+    out << ",\"summary\":{\"policy\":\"" << JsonEscape(summary_.policy)
+        << "\",\"budget_bytes\":" << JsonNumber(summary_.budget_bytes)
+        << ",\"initial_runtime\":" << JsonNumber(summary_.initial_runtime)
+        << ",\"final_runtime\":" << JsonNumber(summary_.final_runtime)
+        << ",\"cached_nodes\":" << summary_.cached_nodes << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace keystone

@@ -1,0 +1,120 @@
+#ifndef KEYSTONE_OBS_DECISION_LOG_H_
+#define KEYSTONE_OBS_DECISION_LOG_H_
+
+// Structured provenance for every decision the optimizer passes make while
+// compiling a PhysicalPlan: which physical implementation won a node and by
+// what margin, which nodes CSE merged, and the full iteration ledger of the
+// greedy materialization algorithm (paper Algorithm 1). Nodes are referred
+// to by plan node id and structural fingerprint only, so this layer stays
+// independent of src/core (same rule as the tracer).
+
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/sim/cost_profile.h"
+
+namespace keystone {
+namespace obs {
+
+/// One scored physical alternative considered for an optimizable node.
+struct OptionScore {
+  int option_index = -1;
+  std::string name;              // physical operator name
+  CostProfile cost;              // estimated (or history-corrected) cost
+  double estimated_seconds = 0;  // cost under the cluster descriptor
+  double scratch_bytes = 0;      // per-node scratch demand
+  bool feasible = true;          // scratch fits node memory
+  bool from_history = false;     // cost rescaled from ProfileStore history
+};
+
+/// The outcome of physical selection for one node: every alternative with
+/// its score, the winner, and the winner's margin over the runner-up
+/// (relative: runner_up/winner - 1; 0 when there is no feasible runner-up).
+struct SelectionDecision {
+  int node_id = -1;
+  std::string node_name;
+  std::string fingerprint;
+  int chosen_option = -1;
+  double chosen_seconds = 0;
+  double margin = 0;
+  bool from_store = false;  // decision replayed from persisted profiles
+  std::vector<OptionScore> options;
+};
+
+/// One CSE merge group: the surviving node and the duplicates folded into it.
+struct CseMergeGroup {
+  int survivor = -1;
+  std::string fingerprint;
+  std::vector<int> merged;  // logical ids eliminated in favor of `survivor`
+};
+
+/// One candidate considered during a greedy materialization iteration.
+struct MaterializationCandidate {
+  int node_id = -1;
+  double output_bytes = 0;
+  bool fits = false;               // output fits the remaining budget
+  bool evaluated = false;          // runtime_if_cached/benefit are meaningful
+  double runtime_if_cached = 0;    // estimated runtime with this node cached
+  double benefit_seconds = 0;      // runtime_before - runtime_if_cached
+};
+
+/// One iteration of greedy materialization: the candidate set with scores,
+/// the node chosen (or -1 when the loop terminates), and the budget state.
+struct MaterializationStep {
+  int iteration = 0;
+  double budget_before = 0;
+  double runtime_before = 0;
+  int chosen = -1;
+  double benefit_seconds = 0;
+  double remaining_budget = 0;
+  std::vector<MaterializationCandidate> candidates;
+};
+
+/// End-of-pass materialization summary.
+struct MaterializationSummary {
+  bool recorded = false;
+  std::string policy;
+  double budget_bytes = 0;
+  double initial_runtime = 0;
+  double final_runtime = 0;
+  int cached_nodes = 0;
+};
+
+/// Thread-safe append-only log. One instance lives on each PhysicalPlan
+/// (created by lowering); the optimizer passes append, reporting tools read.
+class OptimizerDecisionLog {
+ public:
+  void RecordSelection(SelectionDecision decision);
+  void RecordCseGroup(CseMergeGroup group);
+  void RecordMaterializationStep(MaterializationStep step);
+  void RecordMaterializationSummary(MaterializationSummary summary);
+
+  std::vector<SelectionDecision> Selections() const;
+  std::vector<CseMergeGroup> CseGroups() const;
+  std::vector<MaterializationStep> MaterializationLedger() const;
+  MaterializationSummary Summary() const;
+
+  /// True when no pass recorded anything (the CI --strict failure mode).
+  bool Empty() const;
+
+  void Clear();
+
+  /// Human-readable report of every recorded decision.
+  std::string ToString() const;
+
+  /// The log as a JSON object (selections, cse_groups, materialization).
+  std::string ToJson() const;
+
+ private:
+  mutable Mutex mu_{kLockRankDecisionLog};
+  std::vector<SelectionDecision> selections_ GUARDED_BY(mu_);
+  std::vector<CseMergeGroup> cse_groups_ GUARDED_BY(mu_);
+  std::vector<MaterializationStep> ledger_ GUARDED_BY(mu_);
+  MaterializationSummary summary_ GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace keystone
+
+#endif  // KEYSTONE_OBS_DECISION_LOG_H_

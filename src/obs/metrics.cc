@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/string_util.h"
 
 namespace keystone {
 namespace obs {
@@ -160,20 +161,26 @@ std::string MetricsRegistry::ToJson() const {
   std::ostringstream counters, gauges, histograms;
   bool first_c = true, first_g = true, first_h = true;
   for (const MetricSnapshot& m : Snapshot()) {
+    // Metric names flow in from operator names, so they must be escaped,
+    // and values can be non-finite (JsonNumber degrades those to 0) — raw
+    // streaming of either corrupts the document.
     switch (m.kind) {
       case MetricSnapshot::Kind::kCounter:
-        counters << (first_c ? "" : ",") << "\"" << m.name
-                 << "\":" << m.value;
+        counters << (first_c ? "" : ",") << "\"" << JsonEscape(m.name)
+                 << "\":" << JsonNumber(m.value);
         first_c = false;
         break;
       case MetricSnapshot::Kind::kGauge:
-        gauges << (first_g ? "" : ",") << "\"" << m.name << "\":" << m.value;
+        gauges << (first_g ? "" : ",") << "\"" << JsonEscape(m.name)
+               << "\":" << JsonNumber(m.value);
         first_g = false;
         break;
       case MetricSnapshot::Kind::kHistogram:
-        histograms << (first_h ? "" : ",") << "\"" << m.name
-                   << "\":{\"count\":" << m.count << ",\"sum\":" << m.value
-                   << ",\"min\":" << m.min << ",\"max\":" << m.max << "}";
+        histograms << (first_h ? "" : ",") << "\"" << JsonEscape(m.name)
+                   << "\":{\"count\":" << m.count
+                   << ",\"sum\":" << JsonNumber(m.value)
+                   << ",\"min\":" << JsonNumber(m.min)
+                   << ",\"max\":" << JsonNumber(m.max) << "}";
         first_h = false;
         break;
     }

@@ -102,6 +102,16 @@ size_t ProfileStore::NumObservations() const {
   return observations_.size();
 }
 
+std::vector<OperatorObservation> ProfileStore::Observations() const {
+  MutexLock lock(&mu_);
+  std::vector<OperatorObservation> out;
+  out.reserve(observations_.size());
+  for (const auto& [key, observation] : observations_) {
+    out.push_back(observation);
+  }
+  return out;
+}
+
 std::string ProfileStore::NodeKey(const std::string& fingerprint,
                                   size_t sample_size) {
   std::ostringstream os;

@@ -70,6 +70,11 @@ class ProfileStore {
 
   size_t NumObservations() const;
 
+  /// Every aggregated observation record, ordered by key (deterministic).
+  /// This is the persisted predicted-vs-observed history the calibration
+  /// report is built from on reuse_stored_profiles runs.
+  std::vector<OperatorObservation> Observations() const;
+
   // --- Per-node sampling profiles --------------------------------------
 
   /// Stable key for one pipeline node at one sample size. `fingerprint` is

@@ -1,0 +1,193 @@
+#include "src/obs/resource_timeline.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace keystone {
+namespace obs {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kDisk:
+      return "disk";
+    case ResourceKind::kNetwork:
+      return "network";
+    case ResourceKind::kCoordination:
+      return "coordination";
+  }
+  return "unknown";
+}
+
+void ResourceTimeline::Append(const std::string& phase, int node_id,
+                              const std::string& name, ResourceKind kind,
+                              double seconds) {
+  if (seconds <= 0) return;
+  const CursorKey key{phase, static_cast<int>(kind)};
+  double* cursor = nullptr;
+  for (auto& entry : cursors_) {
+    if (!(entry.first < key) && !(key < entry.first)) {
+      cursor = &entry.second;
+      break;
+    }
+  }
+  if (cursor == nullptr) {
+    cursors_.emplace_back(key, 0.0);
+    cursor = &cursors_.back().second;
+  }
+  ResourceInterval interval;
+  interval.phase = phase;
+  interval.node_id = node_id;
+  interval.name = name;
+  interval.resource = kind;
+  interval.start_seconds = *cursor;
+  interval.seconds = seconds;
+  *cursor += seconds;
+  intervals_.push_back(std::move(interval));
+}
+
+void ResourceTimeline::RecordNodeCost(const std::string& phase, int node_id,
+                                      const std::string& name,
+                                      const CostProfile& cost,
+                                      const ClusterResourceDescriptor& r) {
+  MutexLock lock(&mu_);
+  Append(phase, node_id, name, ResourceKind::kCpu,
+         cost.flops / (r.gflops_per_node * 1e9));
+  Append(phase, node_id, name, ResourceKind::kMemory,
+         cost.bytes / (r.mem_bandwidth_gb * 1e9));
+  Append(phase, node_id, name, ResourceKind::kNetwork,
+         cost.network / (r.network_gb * 1e9));
+  Append(phase, node_id, name, ResourceKind::kCoordination,
+         cost.rounds * r.round_latency_s);
+}
+
+void ResourceTimeline::RecordDiskSeconds(const std::string& phase, int node_id,
+                                         const std::string& name,
+                                         double seconds) {
+  MutexLock lock(&mu_);
+  Append(phase, node_id, name, ResourceKind::kDisk, seconds);
+}
+
+void ResourceTimeline::RecordCacheAccess(bool hit) {
+  MutexLock lock(&mu_);
+  if (hit) {
+    ++cache_.hits;
+  } else {
+    ++cache_.misses;
+  }
+}
+
+void ResourceTimeline::RecordResidentBytes(double delta_bytes) {
+  MutexLock lock(&mu_);
+  resident_bytes_ += delta_bytes;
+  if (resident_bytes_ > high_water_bytes_) {
+    high_water_bytes_ = resident_bytes_;
+  }
+}
+
+void ResourceTimeline::NoteCacheBudget(double bytes) {
+  MutexLock lock(&mu_);
+  budget_bytes_ = bytes;
+}
+
+std::vector<ResourceInterval> ResourceTimeline::Intervals() const {
+  MutexLock lock(&mu_);
+  return intervals_;
+}
+
+CacheCounters ResourceTimeline::cache_counters() const {
+  MutexLock lock(&mu_);
+  return cache_;
+}
+
+double ResourceTimeline::high_water_bytes() const {
+  MutexLock lock(&mu_);
+  return high_water_bytes_;
+}
+
+double ResourceTimeline::budget_bytes() const {
+  MutexLock lock(&mu_);
+  return budget_bytes_;
+}
+
+double ResourceTimeline::BusySeconds(ResourceKind kind) const {
+  MutexLock lock(&mu_);
+  double total = 0;
+  for (const auto& interval : intervals_) {
+    if (interval.resource == kind) total += interval.seconds;
+  }
+  return total;
+}
+
+void ResourceTimeline::Clear() {
+  MutexLock lock(&mu_);
+  intervals_.clear();
+  cursors_.clear();
+  cache_ = CacheCounters();
+  resident_bytes_ = 0;
+  high_water_bytes_ = 0;
+  budget_bytes_ = 0;
+}
+
+std::string ResourceTimeline::ToString() const {
+  MutexLock lock(&mu_);
+  std::ostringstream out;
+  out << "Resource timeline (" << intervals_.size() << " intervals)\n";
+  double busy[5] = {0, 0, 0, 0, 0};
+  for (const auto& interval : intervals_) {
+    busy[static_cast<int>(interval.resource)] += interval.seconds;
+  }
+  for (int k = 0; k < 5; ++k) {
+    if (busy[k] <= 0) continue;
+    out << "  " << ResourceKindName(static_cast<ResourceKind>(k))
+        << " busy: " << HumanSeconds(busy[k]) << "\n";
+  }
+  out << "  cache: " << cache_.hits << " hits / " << cache_.misses
+      << " misses, high water " << HumanBytes(high_water_bytes_)
+      << " of budget " << HumanBytes(budget_bytes_) << "\n";
+  return out.str();
+}
+
+std::string ResourceTimeline::ToJson() const {
+  MutexLock lock(&mu_);
+  std::ostringstream out;
+  double busy[5] = {0, 0, 0, 0, 0};
+  for (const auto& interval : intervals_) {
+    busy[static_cast<int>(interval.resource)] += interval.seconds;
+  }
+  out << "{\"budget_bytes\":" << JsonNumber(budget_bytes_)
+      << ",\"high_water_bytes\":" << JsonNumber(high_water_bytes_)
+      << ",\"cache\":{\"hits\":" << cache_.hits
+      << ",\"misses\":" << cache_.misses << "},\"busy_seconds\":{";
+  for (int k = 0; k < 5; ++k) {
+    if (k) out << ",";
+    out << "\"" << ResourceKindName(static_cast<ResourceKind>(k))
+        << "\":" << JsonNumber(busy[k]);
+  }
+  out << "},\"intervals\":[";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    const auto& interval = intervals_[i];
+    if (i) out << ",";
+    out << "{\"phase\":\"" << JsonEscape(interval.phase)
+        << "\",\"node\":" << interval.node_id << ",\"name\":\""
+        << JsonEscape(interval.name) << "\",\"resource\":\""
+        << ResourceKindName(interval.resource)
+        << "\",\"start\":" << JsonNumber(interval.start_seconds)
+        << ",\"seconds\":" << JsonNumber(interval.seconds) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+ResourceTimeline& ResourceTimeline::Global() {
+  static ResourceTimeline* instance = new ResourceTimeline();  // NOLINT
+  return *instance;
+}
+
+}  // namespace obs
+}  // namespace keystone

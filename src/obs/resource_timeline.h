@@ -1,0 +1,107 @@
+#ifndef KEYSTONE_OBS_RESOURCE_TIMELINE_H_
+#define KEYSTONE_OBS_RESOURCE_TIMELINE_H_
+
+// Per-resource occupancy timeline derived from the cost profiles charged to
+// the VirtualTimeLedger. Each node execution splits its CostProfile into the
+// same per-resource terms ClusterResourceDescriptor::SecondsFor sums (CPU =
+// flops, memory = bytes, network, coordination = rounds; disk is charged
+// directly in seconds by source loads) and lays one interval per non-zero
+// term end-to-end on that phase's cursor. PlanRunner buffers node effects
+// and flushes them in node-id order, so the serial and branch-parallel
+// schedules produce bit-identical timelines. The timeline also tracks the
+// cache-memory high-water mark against the plan's budget and cache hit/miss
+// counts observed while walking node dependencies.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/sim/cost_profile.h"
+#include "src/sim/resources.h"
+
+namespace keystone {
+namespace obs {
+
+enum class ResourceKind { kCpu, kMemory, kDisk, kNetwork, kCoordination };
+
+const char* ResourceKindName(ResourceKind kind);
+
+/// One occupancy interval of one resource by one node execution.
+struct ResourceInterval {
+  std::string phase;
+  int node_id = -1;
+  std::string name;
+  ResourceKind resource = ResourceKind::kCpu;
+  double start_seconds = 0;
+  double seconds = 0;
+};
+
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+class ResourceTimeline {
+ public:
+  /// Splits `cost` into per-resource seconds under `r` and appends one
+  /// interval per non-zero term, laid end-to-end on the phase cursor.
+  void RecordNodeCost(const std::string& phase, int node_id,
+                      const std::string& name, const CostProfile& cost,
+                      const ClusterResourceDescriptor& r);
+
+  /// Appends a disk-occupancy interval (source loads charge the ledger in
+  /// seconds directly, without a CostProfile).
+  void RecordDiskSeconds(const std::string& phase, int node_id,
+                         const std::string& name, double seconds);
+
+  void RecordCacheAccess(bool hit);
+
+  /// Adjusts tracked resident cache bytes (positive on materialization) and
+  /// updates the high-water mark.
+  void RecordResidentBytes(double delta_bytes);
+
+  /// Declares the cache budget the high-water mark is compared against.
+  void NoteCacheBudget(double bytes);
+
+  std::vector<ResourceInterval> Intervals() const;
+  CacheCounters cache_counters() const;
+  double high_water_bytes() const;
+  double budget_bytes() const;
+
+  /// Total busy seconds per resource kind, across all phases.
+  double BusySeconds(ResourceKind kind) const;
+
+  void Clear();
+  std::string ToString() const;
+  std::string ToJson() const;
+
+  /// Default process-wide instance (same pattern as TraceRecorder).
+  static ResourceTimeline& Global();
+
+ private:
+  struct CursorKey {
+    std::string phase;
+    int resource;
+    bool operator<(const CursorKey& other) const {
+      if (phase != other.phase) return phase < other.phase;
+      return resource < other.resource;
+    }
+  };
+
+  void Append(const std::string& phase, int node_id, const std::string& name,
+              ResourceKind kind, double seconds) REQUIRES(mu_);
+
+  mutable Mutex mu_{kLockRankTimeline};
+  std::vector<ResourceInterval> intervals_ GUARDED_BY(mu_);
+  std::vector<std::pair<CursorKey, double>> cursors_ GUARDED_BY(mu_);
+  CacheCounters cache_ GUARDED_BY(mu_);
+  double resident_bytes_ GUARDED_BY(mu_) = 0;
+  double high_water_bytes_ GUARDED_BY(mu_) = 0;
+  double budget_bytes_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace keystone
+
+#endif  // KEYSTONE_OBS_RESOURCE_TIMELINE_H_

@@ -11,44 +11,9 @@ namespace obs {
 
 namespace {
 
-/// Escapes a string for embedding in a JSON string literal.
-std::string JsonEscape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// JSON-safe number rendering (JSON has no inf/nan).
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
+// String escaping and number rendering come from the shared
+// common/string_util JSON helpers (JsonEscape handles \r/\b/\f and negative
+// chars correctly, which the local copy this replaced did not).
 
 void AppendCostArgs(std::ostringstream* os, const char* prefix,
                     const CostProfile& cost) {

@@ -6,6 +6,7 @@
 #include <limits>
 #include <list>
 #include <map>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -86,7 +87,9 @@ std::vector<bool> RuleBasedCacheSelection(const MaterializationProblem& p) {
   return std::vector<bool>(p.graph->size(), false);
 }
 
-std::vector<bool> GreedyCacheSelection(const MaterializationProblem& p) {
+std::vector<bool> GreedyCacheSelection(
+    const MaterializationProblem& p,
+    std::vector<obs::MaterializationStep>* ledger) {
   const int n = p.graph->size();
   std::vector<bool> cached(n, false);
   double mem_left = p.memory_budget_bytes;
@@ -95,27 +98,50 @@ std::vector<bool> GreedyCacheSelection(const MaterializationProblem& p) {
   // Require a minimally meaningful gain so near-zero-benefit nodes are not
   // materialized on floating-point noise.
   const double min_gain = 1e-3;
+  int iteration = 0;
   while (true) {
+    obs::MaterializationStep step;
+    step.iteration = iteration++;
+    step.budget_before = mem_left;
+    step.runtime_before = best_runtime;
+
     int next = -1;
+    // Strict `<` against the incumbent means equal-runtime candidates never
+    // displace an earlier one: ties resolve to the lowest node id.
     double next_runtime = best_runtime * (1.0 - min_gain);
     for (int v = 0; v < n; ++v) {
       const NodeRuntimeInfo& info = p.info[v];
       if (cached[v] || !info.live || !info.cacheable || info.always_cached) {
         continue;
       }
-      if (info.output_bytes > mem_left) continue;
-      cached[v] = true;
-      const double runtime = EstimateRuntime(p, cached);
-      cached[v] = false;
-      if (runtime < next_runtime) {
-        next_runtime = runtime;
-        next = v;
+      obs::MaterializationCandidate candidate;
+      candidate.node_id = v;
+      candidate.output_bytes = info.output_bytes;
+      candidate.fits = info.output_bytes <= mem_left;
+      if (candidate.fits) {
+        cached[v] = true;
+        const double runtime = EstimateRuntime(p, cached);
+        cached[v] = false;
+        candidate.evaluated = true;
+        candidate.runtime_if_cached = runtime;
+        candidate.benefit_seconds = best_runtime - runtime;
+        if (runtime < next_runtime) {
+          next_runtime = runtime;
+          next = v;
+        }
       }
+      if (ledger != nullptr) step.candidates.push_back(candidate);
     }
+    step.chosen = next;
+    if (next >= 0) {
+      cached[next] = true;
+      mem_left -= p.info[next].output_bytes;
+      step.benefit_seconds = best_runtime - next_runtime;
+      best_runtime = next_runtime;
+    }
+    step.remaining_budget = mem_left;
+    if (ledger != nullptr) ledger->push_back(std::move(step));
     if (next < 0) break;
-    cached[next] = true;
-    mem_left -= p.info[next].output_bytes;
-    best_runtime = next_runtime;
   }
   return cached;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/pipeline_graph.h"
+#include "src/obs/decision_log.h"
 #include "src/sim/resources.h"
 
 namespace keystone {
@@ -69,7 +70,14 @@ std::vector<bool> RuleBasedCacheSelection(const MaterializationProblem& p);
 
 /// The paper's Algorithm 1: greedily add the node whose materialization
 /// most reduces estimated runtime while fitting in the remaining budget.
-std::vector<bool> GreedyCacheSelection(const MaterializationProblem& p);
+/// Ties (equal runtimes) resolve to the lowest node id, so the result is
+/// deterministic. When `ledger` is non-null, every iteration appends one
+/// MaterializationStep recording the full candidate set — including
+/// over-budget candidates that were rejected without evaluation — the
+/// chosen node, and the remaining budget (the decision-log provenance).
+std::vector<bool> GreedyCacheSelection(
+    const MaterializationProblem& p,
+    std::vector<obs::MaterializationStep>* ledger = nullptr);
 
 /// Exhaustive search over all cache subsets (test oracle standing in for
 /// the paper's ILP). Only valid for small problems; KS_CHECKs that at most

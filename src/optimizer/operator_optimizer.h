@@ -2,9 +2,11 @@
 #define KEYSTONE_OPTIMIZER_OPERATOR_OPTIMIZER_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/core/operator.h"
 #include "src/data/data_stats.h"
+#include "src/obs/decision_log.h"
 #include "src/obs/profile_store.h"
 #include "src/sim/resources.h"
 
@@ -18,6 +20,12 @@ struct PhysicalChoice {
   /// How many options were scored from observed history (a ProfileStore)
   /// rather than the a-priori cost model.
   int history_corrected = 0;
+  /// Winner's margin over the runner-up among feasible options
+  /// (runner_up_seconds / winner_seconds - 1); 0 with a single candidate.
+  double margin = 0.0;
+  /// Every alternative with its score, in option order — the decision-log
+  /// provenance for this choice.
+  std::vector<obs::OptionScore> scored;
 };
 
 /// Picks the cheapest feasible physical implementation for an Optimizable

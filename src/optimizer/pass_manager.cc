@@ -1,7 +1,9 @@
 #include "src/optimizer/pass_manager.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
+#include <vector>
 
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/plan_validator.h"
@@ -109,6 +111,23 @@ void CsePass::Run(PhysicalPlan* plan, PassContext* pctx) {
   plan->placeholder = remap[plan->placeholder];
   plan->cse_applied = true;
   RelowerPlan(plan);
+
+  if (plan->decision_log != nullptr) {
+    // Invert the remap into merge groups: every id folded into a survivor.
+    std::map<int, std::vector<int>> groups;
+    for (int id = 0; id < static_cast<int>(remap.size()); ++id) {
+      if (remap[id] != id) groups[remap[id]].push_back(id);
+    }
+    for (const auto& [survivor, merged] : groups) {
+      obs::CseMergeGroup group;
+      group.survivor = survivor;
+      group.merged = merged;
+      if (survivor >= 0 && survivor < static_cast<int>(plan->nodes.size())) {
+        group.fingerprint = plan->nodes[survivor].fingerprint;
+      }
+      plan->decision_log->RecordCseGroup(std::move(group));
+    }
+  }
 }
 
 void ProfileAndSelectPass::Run(PhysicalPlan* plan, PassContext* pctx) {
@@ -121,6 +140,21 @@ void ProfileAndSelectPass::Run(PhysicalPlan* plan, PassContext* pctx) {
     plan->profiles_from_store = true;
     if (ctx->metrics() != nullptr) {
       ctx->metrics()->Increment("profile_store.reuses");
+    }
+    if (plan->decision_log != nullptr) {
+      // Selections replayed from the store still leave provenance: the
+      // chosen option per optimizable node, flagged as history-driven
+      // (no live alternatives were scored this run).
+      for (const PlannedNode& pn : plan->nodes) {
+        if (!pn.train || !pn.optimizable || pn.chosen_option < 0) continue;
+        obs::SelectionDecision decision;
+        decision.node_id = pn.id;
+        decision.node_name = pn.name;
+        decision.fingerprint = pn.fingerprint;
+        decision.chosen_option = pn.chosen_option;
+        decision.from_store = true;
+        plan->decision_log->RecordSelection(std::move(decision));
+      }
     }
     // The skipped sampling passes still surface in reports and metrics:
     // one synthetic span per node per phase, reconstructed from the store.
@@ -141,21 +175,30 @@ void ProfileAndSelectPass::Run(PhysicalPlan* plan, PassContext* pctx) {
       // Score options at the node's full-scale input cardinality, not the
       // sample the hook observed (§3: selection targets the real run).
       const DataStats full_stats = in_stats.ScaledTo(pn.input_records);
-      int option = 0;
+      PhysicalChoice choice;
       if (node.kind == NodeKind::kEstimator) {
         auto* optimizable =
             dynamic_cast<OptimizableEstimator*>(node.estimator.get());
-        option = ChooseEstimatorOption(*optimizable, full_stats,
-                                       ctx->resources(), history)
-                     .option_index;
+        choice = ChooseEstimatorOption(*optimizable, full_stats,
+                                       ctx->resources(), history);
       } else {
         auto* optimizable =
             dynamic_cast<OptimizableTransformer*>(node.transformer.get());
-        option = ChooseTransformerOption(*optimizable, full_stats,
-                                         ctx->resources(), history)
-                     .option_index;
+        choice = ChooseTransformerOption(*optimizable, full_stats,
+                                         ctx->resources(), history);
       }
-      plan->SetChosenOption(id, option);
+      plan->SetChosenOption(id, choice.option_index);
+      if (plan->decision_log != nullptr) {
+        obs::SelectionDecision decision;
+        decision.node_id = id;
+        decision.node_name = pn.name;
+        decision.fingerprint = pn.fingerprint;
+        decision.chosen_option = choice.option_index;
+        decision.chosen_seconds = choice.estimated_seconds;
+        decision.margin = choice.margin;
+        decision.options = std::move(choice.scored);
+        plan->decision_log->RecordSelection(std::move(decision));
+      }
     };
   }
   // Large pass selects; the small pass reuses its choices. Both record
@@ -220,11 +263,30 @@ void MaterializationPass::Run(PhysicalPlan* plan, PassContext* pctx) {
     info.compute_seconds = pn.est_seconds;
     info.output_bytes = pn.est_output_bytes;
   }
+  std::vector<obs::MaterializationStep> ledger;
+  auto* ledger_out = plan->decision_log != nullptr &&
+                             config.cache_policy == CachePolicy::kGreedy
+                         ? &ledger
+                         : nullptr;
   plan->cache_set = config.cache_policy == CachePolicy::kGreedy
-                        ? GreedyCacheSelection(problem)
+                        ? GreedyCacheSelection(problem, ledger_out)
                         : ExhaustiveCacheSelection(problem);
   plan->materialized = true;
   for (PlannedNode& pn : plan->nodes) pn.cached = plan->cache_set[pn.id];
+
+  if (plan->decision_log != nullptr) {
+    for (auto& step : ledger) {
+      plan->decision_log->RecordMaterializationStep(std::move(step));
+    }
+    obs::MaterializationSummary summary;
+    summary.policy = CachePolicyName(config.cache_policy);
+    summary.budget_bytes = plan->cache_budget_bytes;
+    summary.initial_runtime = EstimateRuntime(
+        problem, std::vector<bool>(plan->nodes.size(), false));
+    summary.final_runtime = EstimateRuntime(problem, plan->cache_set);
+    for (bool cached : plan->cache_set) summary.cached_nodes += cached ? 1 : 0;
+    plan->decision_log->RecordMaterializationSummary(std::move(summary));
+  }
 }
 
 void RegisterStandardPasses(PassManager* manager) {

@@ -6,6 +6,7 @@
 #include "src/common/rng.h"
 #include "src/core/pipeline_graph.h"
 #include "src/data/dist_dataset.h"
+#include "src/obs/decision_log.h"
 #include "src/optimizer/materialization.h"
 #include "tests/test_operators.h"
 
@@ -240,6 +241,120 @@ TEST(LruTest, GreedyBeatsLruUnderMemoryPressure) {
   const double t_greedy = EstimateRuntime(problem, greedy);
   const double t_lru = SimulateLruRuntime(problem, 2e6, /*admit_fraction=*/1.0);
   EXPECT_LT(t_greedy, t_lru);
+}
+
+TEST(GreedyLedgerTest, ZeroBudgetRecordsRejectedCandidates) {
+  auto chain = MakeChain(3, 50, 1.0, 1e6, 0.0);
+  std::vector<obs::MaterializationStep> ledger;
+  const auto cached = GreedyCacheSelection(chain.problem, &ledger);
+  for (bool c : cached) EXPECT_FALSE(c);
+  // One terminating iteration: every candidate was considered, none fit the
+  // zero budget, so none was evaluated and nothing was chosen.
+  ASSERT_EQ(ledger.size(), 1u);
+  const obs::MaterializationStep& step = ledger[0];
+  EXPECT_EQ(step.chosen, -1);
+  EXPECT_EQ(step.budget_before, 0.0);
+  EXPECT_EQ(step.remaining_budget, 0.0);
+  ASSERT_FALSE(step.candidates.empty());
+  for (const obs::MaterializationCandidate& c : step.candidates) {
+    EXPECT_FALSE(c.fits) << "node " << c.node_id;
+    EXPECT_FALSE(c.evaluated) << "node " << c.node_id;
+    EXPECT_GT(c.output_bytes, 0.0);
+  }
+}
+
+TEST(GreedyLedgerTest, AmpleBudgetEvaluatesEveryCandidate) {
+  auto chain = MakeChain(2, 50, 1.0, 1e6, 1e12);
+  std::vector<obs::MaterializationStep> ledger;
+  const auto cached = GreedyCacheSelection(chain.problem, &ledger);
+  // The estimator's direct input is the hot node and must be cached.
+  EXPECT_TRUE(cached[2]);
+  // A budget above the sum of all intermediates means every candidate fits
+  // in every iteration, so each one carries an evaluated benefit score.
+  ASSERT_GE(ledger.size(), 2u);
+  for (const obs::MaterializationStep& step : ledger) {
+    ASSERT_FALSE(step.candidates.empty());
+    for (const obs::MaterializationCandidate& c : step.candidates) {
+      EXPECT_TRUE(c.fits) << "node " << c.node_id;
+      EXPECT_TRUE(c.evaluated) << "node " << c.node_id;
+      EXPECT_DOUBLE_EQ(c.benefit_seconds,
+                       step.runtime_before - c.runtime_if_cached);
+    }
+  }
+  // The runtime trajectory is monotone and ends where the final cache set
+  // puts it; the last iteration terminates the loop without a pick.
+  for (size_t i = 1; i < ledger.size(); ++i) {
+    EXPECT_LE(ledger[i].runtime_before, ledger[i - 1].runtime_before + 1e-12);
+  }
+  EXPECT_EQ(ledger.back().chosen, -1);
+  EXPECT_DOUBLE_EQ(ledger.back().runtime_before,
+                   EstimateRuntime(chain.problem, cached));
+}
+
+TEST(GreedyLedgerTest, TieBreaksToLowestNodeIdDeterministically) {
+  // Two structurally identical branches with equal cost, size, and benefit:
+  // the strict-< incumbent rule must resolve the tie to the lower node id,
+  // and repeated runs must produce bit-identical ledgers.
+  auto graph = std::make_shared<PipelineGraph>();
+  auto data = DistDataset<double>::Partitioned({1, 2}, 1);
+  const int src = graph->AddSource(data, "src");
+  const int a = graph->AddTransformer(std::make_shared<AddConst>(1.0), src);
+  const int b = graph->AddTransformer(std::make_shared<AddConst>(1.0), src);
+  const int est_a =
+      graph->AddEstimator(std::make_shared<MeanCenterer>(10), a, -1);
+  const int est_b =
+      graph->AddEstimator(std::make_shared<MeanCenterer>(10), b, -1);
+
+  // All quantities are small dyadic rationals so the runtime replay sums
+  // them exactly regardless of addition order: the two branches score
+  // bit-identical benefits and only the tie-break separates them. The
+  // branch output size makes one memory transfer exactly 2^-10 seconds
+  // (24414062.5 B per node at 25 GB/s) and only one branch fits the budget.
+  const double branch_bytes = 2.0 * 24414062.5;
+  MaterializationProblem problem;
+  problem.graph = graph.get();
+  problem.resources = ClusterResourceDescriptor::R3_4xlarge(2);
+  problem.memory_budget_bytes = branch_bytes;
+  problem.terminals = {est_a, est_b};
+  problem.info.resize(graph->size());
+  problem.info[src] = {.compute_seconds = 0.25, .output_bytes = 1e12,
+                       .weight = 1, .cacheable = true, .always_cached = false,
+                       .live = true};
+  for (int id : {a, b}) {
+    problem.info[id] = {.compute_seconds = 1.0, .output_bytes = branch_bytes,
+                        .weight = 1, .cacheable = true, .always_cached = false,
+                        .live = true};
+  }
+  for (int est : {est_a, est_b}) {
+    problem.info[est] = {.compute_seconds = 0.0, .output_bytes = 0.0,
+                         .weight = 10, .cacheable = true, .always_cached = true,
+                         .live = true};
+  }
+
+  std::vector<obs::MaterializationStep> first;
+  const auto cached1 = GreedyCacheSelection(problem, &first);
+  EXPECT_TRUE(cached1[a]);
+  EXPECT_FALSE(cached1[b]);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first[0].chosen, a);
+
+  std::vector<obs::MaterializationStep> second;
+  const auto cached2 = GreedyCacheSelection(problem, &second);
+  EXPECT_EQ(cached1, cached2);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].chosen, second[i].chosen);
+    EXPECT_EQ(first[i].budget_before, second[i].budget_before);
+    EXPECT_EQ(first[i].runtime_before, second[i].runtime_before);
+    EXPECT_EQ(first[i].remaining_budget, second[i].remaining_budget);
+    ASSERT_EQ(first[i].candidates.size(), second[i].candidates.size());
+    for (size_t j = 0; j < first[i].candidates.size(); ++j) {
+      EXPECT_EQ(first[i].candidates[j].node_id,
+                second[i].candidates[j].node_id);
+      EXPECT_EQ(first[i].candidates[j].benefit_seconds,
+                second[i].candidates[j].benefit_seconds);
+    }
+  }
 }
 
 TEST(RuleBasedTest, CachesNothingBeyondModels) {

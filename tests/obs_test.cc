@@ -7,11 +7,18 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
+#include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/core/executor.h"
 #include "src/core/pipeline.h"
+#include "src/obs/calibration.h"
+#include "src/obs/decision_log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile_store.h"
+#include "src/obs/resource_timeline.h"
 #include "src/obs/trace.h"
 #include "src/optimizer/operator_optimizer.h"
 #include "tests/test_operators.h"
@@ -448,6 +455,313 @@ TEST(ProfileStoreTest, OptimizerConsumesStoredProfilesInsteadOfResampling) {
   EXPECT_NEAR(second.total_train_seconds, first.total_train_seconds,
               1e-9 * std::max(1.0, first.total_train_seconds));
   EXPECT_DOUBLE_EQ(second.optimize_seconds, 0.0);
+}
+
+TEST(JsonEscapingTest, MetricNamesWithSpecialCharactersStayValidJson) {
+  // Regression: metric names flow into ToJson verbatim as object keys, so
+  // quotes, backslashes, and control characters must be escaped.
+  obs::MetricsRegistry registry;
+  registry.Increment("weird \"quoted\" name");
+  registry.Set("back\\slash\tgauge", 3.5);
+  registry.Observe("ctrl\x01name\n", 1.0);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("weird \\\"quoted\\\" name"), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash\\tgauge"), std::string::npos);
+  EXPECT_NE(json.find("ctrl\\u0001name\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(JsonEscapingTest, NonFiniteMetricValuesAreSanitized) {
+  // NaN/Inf are not valid JSON literals; the exporter must not emit them.
+  obs::MetricsRegistry registry;
+  registry.Set("bad.gauge", std::numeric_limits<double>::quiet_NaN());
+  registry.Set("unbounded.gauge", std::numeric_limits<double>::infinity());
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(JsonEscapingTest, TraceSpanNamesWithSpecialCharactersStayValidJson) {
+  obs::TraceRecorder recorder;
+  obs::TraceSpan span;
+  span.name = "op \\ with \"specials\"\nand\x02" "ctrl";
+  span.physical = "impl\t\"x\"";
+  span.virtual_seconds = 0.5;
+  recorder.Record(span);
+  const std::string json = recorder.ChromeTraceJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("op \\\\ with \\\"specials\\\"\\nand\\u0002ctrl"),
+            std::string::npos);
+  EXPECT_EQ(json.find('\x02'), std::string::npos);
+}
+
+TEST(JsonEscapingTest, HelperEscapesAndSanitizes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te\rf\bg\fh"),
+            "a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh");
+  // Negative chars (high-bit UTF-8 bytes) must pass through unmangled.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+}
+
+TEST(DecisionLogTest, RecordsAndRendersEveryDecisionKind) {
+  obs::OptimizerDecisionLog log;
+  EXPECT_TRUE(log.Empty());
+
+  obs::SelectionDecision decision;
+  decision.node_id = 3;
+  decision.node_name = "Solver \"quoted\"";
+  decision.fingerprint = "Estimator|Solver|100";
+  decision.chosen_option = 1;
+  decision.chosen_seconds = 2.0;
+  decision.margin = 0.5;
+  obs::OptionScore lost;
+  lost.option_index = 0;
+  lost.name = "slow-impl";
+  lost.estimated_seconds = 3.0;
+  lost.feasible = true;
+  decision.options.push_back(lost);
+  obs::OptionScore won = lost;
+  won.option_index = 1;
+  won.name = "fast-impl";
+  won.estimated_seconds = 2.0;
+  decision.options.push_back(won);
+  log.RecordSelection(decision);
+
+  obs::CseMergeGroup group;
+  group.survivor = 2;
+  group.fingerprint = "Transformer|NGrams|100";
+  group.merged = {7, 9};
+  log.RecordCseGroup(group);
+
+  obs::MaterializationStep step;
+  step.iteration = 0;
+  step.budget_before = 1e9;
+  step.chosen = 2;
+  obs::MaterializationCandidate candidate;
+  candidate.node_id = 2;
+  candidate.fits = true;
+  candidate.evaluated = true;
+  candidate.benefit_seconds = 1.25;
+  step.candidates.push_back(candidate);
+  log.RecordMaterializationStep(step);
+
+  obs::MaterializationSummary summary;
+  summary.policy = "greedy";
+  summary.budget_bytes = 1e9;
+  summary.initial_runtime = 10.0;
+  summary.final_runtime = 4.0;
+  summary.cached_nodes = 1;
+  log.RecordMaterializationSummary(summary);
+
+  EXPECT_FALSE(log.Empty());
+  ASSERT_EQ(log.Selections().size(), 1u);
+  EXPECT_EQ(log.Selections()[0].chosen_option, 1);
+  ASSERT_EQ(log.CseGroups().size(), 1u);
+  EXPECT_EQ(log.CseGroups()[0].merged, (std::vector<int>{7, 9}));
+  ASSERT_EQ(log.MaterializationLedger().size(), 1u);
+  EXPECT_TRUE(log.Summary().recorded);
+
+  const std::string text = log.ToString();
+  EXPECT_NE(text.find("fast-impl"), std::string::npos);
+  EXPECT_NE(text.find("survivor 2"), std::string::npos);
+  const std::string json = log.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("Solver \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"cse_groups\""), std::string::npos);
+  EXPECT_NE(json.find("\"materialization\""), std::string::npos);
+
+  log.Clear();
+  EXPECT_TRUE(log.Empty());
+}
+
+TEST(DecisionLogTest, CompileAttachesProvenanceToThePlan) {
+  auto train = Doubles({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(2.0))
+                  .AndThen(std::make_shared<MeanCenterer>(), train);
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  ASSERT_NE(plan->decision_log, nullptr);
+  // Full() plans the cache greedily, so at minimum the materialization
+  // ledger and summary must be present.
+  EXPECT_FALSE(plan->decision_log->Empty());
+  EXPECT_TRUE(plan->decision_log->Summary().recorded);
+  EXPECT_FALSE(plan->decision_log->MaterializationLedger().empty());
+  // The plan renderings embed the log.
+  EXPECT_NE(plan->ToString().find("Optimizer decision log"),
+            std::string::npos);
+  EXPECT_NE(plan->ToJson().find("\"decision_log\""), std::string::npos);
+}
+
+TEST(ResourceTimelineTest, SplitsCostIntoPerResourceIntervals) {
+  obs::ResourceTimeline timeline;
+  const auto cluster = TestCluster();
+  // One second of CPU work per the cluster descriptor, plus network and a
+  // coordination round; zero bytes so no memory interval appears.
+  CostProfile cost;
+  cost.flops = cluster.gflops_per_node * 1e9;
+  cost.network = cluster.network_gb * 1e9;
+  cost.rounds = 2;
+  timeline.RecordNodeCost("train", 4, "op", cost, cluster);
+  timeline.RecordDiskSeconds("train", 0, "src", 0.25);
+
+  const auto intervals = timeline.Intervals();
+  ASSERT_EQ(intervals.size(), 4u);  // cpu, network, coordination, disk
+  EXPECT_DOUBLE_EQ(timeline.BusySeconds(obs::ResourceKind::kCpu), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.BusySeconds(obs::ResourceKind::kNetwork), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.BusySeconds(obs::ResourceKind::kCoordination),
+                   2 * cluster.round_latency_s);
+  EXPECT_DOUBLE_EQ(timeline.BusySeconds(obs::ResourceKind::kDisk), 0.25);
+  EXPECT_DOUBLE_EQ(timeline.BusySeconds(obs::ResourceKind::kMemory), 0.0);
+
+  // A second execution on the same phase lands after the first on each
+  // per-resource cursor.
+  timeline.RecordNodeCost("train", 5, "op2", cost, cluster);
+  double cpu_start = -1;
+  for (const auto& iv : timeline.Intervals()) {
+    if (iv.node_id == 5 && iv.resource == obs::ResourceKind::kCpu) {
+      cpu_start = iv.start_seconds;
+    }
+  }
+  EXPECT_DOUBLE_EQ(cpu_start, 1.0);
+
+  timeline.RecordCacheAccess(true);
+  timeline.RecordCacheAccess(false);
+  timeline.RecordCacheAccess(false);
+  EXPECT_EQ(timeline.cache_counters().hits, 1u);
+  EXPECT_EQ(timeline.cache_counters().misses, 2u);
+  timeline.NoteCacheBudget(100.0);
+  timeline.RecordResidentBytes(60.0);
+  timeline.RecordResidentBytes(-20.0);
+  timeline.RecordResidentBytes(30.0);
+  EXPECT_DOUBLE_EQ(timeline.high_water_bytes(), 70.0);
+  EXPECT_DOUBLE_EQ(timeline.budget_bytes(), 100.0);
+
+  EXPECT_TRUE(JsonBalanced(timeline.ToJson())) << timeline.ToJson();
+  timeline.Clear();
+  EXPECT_TRUE(timeline.Intervals().empty());
+}
+
+TEST(CalibrationTest, ResidualsAreSymmetricAndFinite) {
+  const auto cluster = TestCluster();
+  std::vector<obs::TraceSpan> spans;
+  obs::TraceSpan span;
+  span.node_id = 1;
+  span.name = "op";
+  span.physical = "impl";
+  span.phase = obs::TracePhase::kTrain;
+  span.predicted = CostProfile(1e9, 1e6, 0, 1);
+  span.observed = CostProfile(2e9, 1e6, 0, 1);
+  spans.push_back(span);
+
+  const auto report = obs::BuildCalibrationFromSpans(spans, cluster);
+  EXPECT_EQ(report.samples, 1.0);
+  EXPECT_TRUE(report.AllFinite());
+  ASSERT_EQ(report.per_node.size(), 1u);
+  ASSERT_EQ(report.per_op.size(), 1u);
+  EXPECT_EQ(report.per_op[0].op, "impl");
+  // flops doubled: symmetric residual = (2e9 - 1e9) / 2e9 = +0.5.
+  EXPECT_NEAR(report.per_node[0].flops.bias, 0.5, 1e-12);
+  // bytes matched exactly: zero residual.
+  EXPECT_NEAR(report.per_node[0].bytes.bias, 0.0, 1e-12);
+  EXPECT_TRUE(JsonBalanced(report.ToJson())) << report.ToJson();
+  EXPECT_NE(report.ToString().find("impl"), std::string::npos);
+}
+
+TEST(CalibrationTest, ZeroPredictedCostStaysFinite) {
+  // predicted == 0 with observed > 0 is the classic division hazard; the
+  // symmetric residual is (o - 0) / max(0, o, eps) = 1, not inf.
+  const auto cluster = TestCluster();
+  std::vector<obs::TraceSpan> spans;
+  obs::TraceSpan span;
+  span.node_id = 0;
+  span.name = "op";
+  span.predicted = CostProfile(0, 0, 0, 0);
+  span.observed = CostProfile(1e9, 0, 0, 0);
+  spans.push_back(span);
+  const auto report = obs::BuildCalibrationFromSpans(spans, cluster);
+  EXPECT_TRUE(report.AllFinite());
+  ASSERT_EQ(report.per_node.size(), 1u);
+  EXPECT_NEAR(report.per_node[0].flops.bias, 1.0, 1e-12);
+}
+
+TEST(CalibrationTest, SyntheticAndUnobservedSpansAreIgnored) {
+  const auto cluster = TestCluster();
+  std::vector<obs::TraceSpan> spans;
+  obs::TraceSpan synthetic;
+  synthetic.predicted = CostProfile(1e9, 0, 0, 0);
+  synthetic.observed = CostProfile(2e9, 0, 0, 0);
+  synthetic.synthetic = true;
+  spans.push_back(synthetic);
+  obs::TraceSpan unobserved;
+  unobserved.predicted = CostProfile(1e9, 0, 0, 0);
+  spans.push_back(unobserved);
+  const auto report = obs::BuildCalibrationFromSpans(spans, cluster);
+  EXPECT_EQ(report.samples, 0.0);
+  EXPECT_TRUE(report.per_node.empty());
+  EXPECT_TRUE(report.AllFinite());
+}
+
+TEST(CalibrationTest, StoreHistoryProvidesPerOperatorCalibration) {
+  const auto cluster = TestCluster();
+  obs::ProfileStore store;
+  DataStats stats;
+  stats.num_records = 100;
+  stats.dim = 8;
+  store.RecordObservation("solver", stats, CostProfile(1e9, 1e6, 0, 1),
+                          CostProfile(3e9, 1e6, 0, 1), 0.5);
+  const auto report = obs::BuildCalibrationFromStore(store, cluster);
+  EXPECT_GT(report.samples, 0.0);
+  EXPECT_TRUE(report.per_node.empty());  // store history has no node ids
+  ASSERT_EQ(report.per_op.size(), 1u);
+  EXPECT_EQ(report.per_op[0].op, "solver");
+  EXPECT_NEAR(report.per_op[0].flops.bias, 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(report.AllFinite());
+}
+
+TEST(CalibrationTest, RecordPublishesGaugesNotCounters) {
+  obs::MetricsRegistry metrics;
+  obs::CalibrationReport report;
+  report.samples = 4;
+  report.overall_bias_seconds = -0.25;
+  report.mean_abs_residual_seconds = 0.3;
+  obs::CalibrationEntry entry;
+  entry.op = "impl";
+  entry.seconds.bias = -0.25;
+  entry.seconds.mean_abs_rel = 0.3;
+  report.per_op.push_back(entry);
+  // Recording twice must not double anything: these are gauges.
+  obs::RecordCalibration(report, &metrics);
+  obs::RecordCalibration(report, &metrics);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("calibration.samples")->Value(), 4.0);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("calibration.bias_seconds")->Value(),
+                   -0.25);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("calibration.bias.impl")->Value(), -0.25);
+}
+
+TEST(CalibrationTest, EndToEndFitPublishesCalibration) {
+  const CostProfile predicted(1e9, 1e6, 0, 1);
+  const CostProfile observed(3e9, 2e6, 0, 4);
+  auto train = Doubles({1, 2, 3, 4});
+  auto pipe = PipelineInput<double>().AndThenLogicalEstimator<double>(
+      std::make_shared<ReportingEstimator>("reporting-est", predicted,
+                                           observed),
+      train, nullptr);
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  executor.context()->set_tracer(&recorder);
+  executor.context()->set_metrics(&metrics);
+  executor.Fit(pipe);
+  EXPECT_GT(metrics.GetGauge("calibration.samples")->Value(), 0.0);
+  const auto report =
+      obs::BuildCalibrationFromSpans(recorder.Spans(), TestCluster());
+  EXPECT_TRUE(report.AllFinite());
+  EXPECT_GT(report.samples, 0.0);
 }
 
 }  // namespace

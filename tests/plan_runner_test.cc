@@ -10,6 +10,7 @@
 #include "src/core/pipeline_graph.h"
 #include "src/data/dist_dataset.h"
 #include "src/obs/profile_store.h"
+#include "src/obs/resource_timeline.h"
 #include "src/obs/trace.h"
 #include "tests/test_operators.h"
 
@@ -50,13 +51,16 @@ struct FitObservation {
   double apply_ledger_seconds = 0.0;
   std::string report_text;
   std::vector<std::string> span_names;
+  std::string timeline_json;
 };
 
 FitObservation FitAndObserve(const OptimizationConfig& config) {
   auto pipe = BranchyPipeline(6);
   PipelineExecutor executor(TestCluster(), config);
   obs::TraceRecorder recorder;
+  obs::ResourceTimeline timeline;
   executor.context()->set_tracer(&recorder);
+  executor.context()->set_timeline(&timeline);
   PipelineReport report;
   auto fitted = executor.Fit(pipe, &report);
   FitObservation obs;
@@ -66,6 +70,7 @@ FitObservation FitAndObserve(const OptimizationConfig& config) {
       executor.context()->ledger()->TotalSeconds() - obs.fit_ledger_seconds;
   obs.report_text = report.ToString();
   for (const auto& span : recorder.Spans()) obs.span_names.push_back(span.name);
+  obs.timeline_json = timeline.ToJson();
   return obs;
 }
 
@@ -94,6 +99,20 @@ TEST(PlanRunnerTest, SerialAndParallelExecutionAgree) {
   EXPECT_EQ(off.apply_ledger_seconds, on.apply_ledger_seconds);
   EXPECT_EQ(off.report_text, on.report_text);
   EXPECT_EQ(off.span_names, on.span_names);
+}
+
+TEST(PlanRunnerTest, ResourceTimelineBitIdenticalAcrossSchedulers) {
+  // The timeline is built from per-node effects buffered by PlanRunner and
+  // flushed in node-id order, so the serial and branch-parallel schedules
+  // must render byte-for-byte identical timelines: same intervals in the
+  // same order, same cache counters, same high-water mark.
+  OptimizationConfig serial = OptimizationConfig::Full();
+  serial.parallel_branches = false;
+  const FitObservation off = FitAndObserve(serial);
+  const FitObservation on = FitAndObserve(OptimizationConfig::Full());
+  EXPECT_FALSE(on.timeline_json.empty());
+  EXPECT_NE(on.timeline_json.find("\"intervals\""), std::string::npos);
+  EXPECT_EQ(off.timeline_json, on.timeline_json);
 }
 
 TEST(PlanRunnerTest, UnoptimizedConfigsAgreeAcrossSchedulers) {

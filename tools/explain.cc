@@ -1,0 +1,124 @@
+// explain: compile AND run shipped workloads, then report the full
+// observability picture for each — the optimizer's decision provenance
+// (physical-operator selections with margins, CSE merges, the greedy
+// materialization ledger), the per-resource occupancy timeline of the run,
+// and the cost-model calibration (estimated vs observed residuals).
+//
+// Usage: explain [--json] [--strict] [workload...]
+//   --json       machine-readable output (one JSON object per workload)
+//   --strict     exit nonzero when any workload produces an empty decision
+//                log or a non-finite calibration residual (the CI gate)
+//   workload     subset to explain (default: all six shipped workloads)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/obs/calibration.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile_store.h"
+#include "src/obs/resource_timeline.h"
+#include "src/obs/trace.h"
+#include "src/sim/resources.h"
+#include "tools/shipped_workloads.h"
+
+namespace keystone {
+namespace {
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: explain [--json] [--strict] [workload...]\n");
+      return 2;
+    } else {
+      wanted.emplace_back(argv[i]);
+    }
+  }
+
+  const auto targets = tools::ShippedWorkloads();
+  int matched = 0;
+  int strict_failures = 0;
+  bool first = true;
+  if (json) std::printf("[");
+  for (const tools::ShippedWorkload& target : targets) {
+    if (!wanted.empty() &&
+        std::find(wanted.begin(), wanted.end(), target.name) ==
+            wanted.end()) {
+      continue;
+    }
+    ++matched;
+
+    // Per-workload observability sinks so each report covers exactly one
+    // compile + fit, independent of the process-wide globals.
+    obs::TraceRecorder tracer;
+    obs::MetricsRegistry metrics;
+    obs::ProfileStore store;
+    obs::ResourceTimeline timeline;
+
+    const ClusterResourceDescriptor resources =
+        ClusterResourceDescriptor::R3_4xlarge(4);
+    PipelineExecutor executor(resources, OptimizationConfig::Full());
+    executor.context()->set_tracer(&tracer);
+    executor.context()->set_metrics(&metrics);
+    executor.context()->set_profile_store(&store);
+    executor.context()->set_timeline(&timeline);
+
+    PipelineReport report;
+    const auto fitted = executor.FitGraph(*target.graph, target.placeholder,
+                                          target.sink, &report);
+    const obs::OptimizerDecisionLog& log = *fitted->plan().decision_log;
+    const obs::CalibrationReport calibration =
+        obs::BuildCalibrationFromSpans(tracer.Spans(), resources);
+
+    if (strict) {
+      if (log.Empty()) {
+        std::fprintf(stderr, "explain: %s: empty decision log\n",
+                     target.name.c_str());
+        ++strict_failures;
+      }
+      if (!calibration.AllFinite()) {
+        std::fprintf(stderr,
+                     "explain: %s: non-finite calibration residual\n",
+                     target.name.c_str());
+        ++strict_failures;
+      }
+    }
+
+    if (json) {
+      std::printf(
+          "%s{\"workload\":\"%s\",\"decision_log\":%s,"
+          "\"timeline\":%s,\"calibration\":%s}",
+          first ? "" : ",\n", target.name.c_str(), log.ToJson().c_str(),
+          timeline.ToJson().c_str(), calibration.ToJson().c_str());
+    } else {
+      std::printf("=== %s ===\n%s\n--- resource timeline ---\n%s\n"
+                  "--- calibration ---\n%s\n",
+                  target.name.c_str(), log.ToString().c_str(),
+                  timeline.ToString().c_str(),
+                  calibration.ToString().c_str());
+    }
+    first = false;
+  }
+  if (json) std::printf("]\n");
+  if (!wanted.empty() && matched != static_cast<int>(wanted.size())) {
+    std::fprintf(stderr, "explain: unknown workload name\n");
+    return 2;
+  }
+  return strict_failures > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main(int argc, char** argv) { return keystone::Run(argc, argv); }
