@@ -9,9 +9,10 @@
 #   KEYSTONE_SANITIZE=thread scripts/ci.sh            # custom legs
 #   KEYSTONE_SANITIZE="address undefined" scripts/ci.sh
 #
-# The thread leg runs the runner-labeled concurrency suite (the PlanRunner
-# branch scheduler) rather than the full suite: that is where threads share
-# state, and TSan slows the rest of the suite ~10x for no extra coverage.
+# The thread leg runs the runner- and faults-labeled concurrency suites (the
+# PlanRunner branch scheduler and the fault-replay layer that fans out into
+# ledger/metrics/trace from it) rather than the full suite: that is where
+# threads share state, and TSan slows the rest ~10x for no extra coverage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +41,11 @@ echo "=== observability: explain over shipped workloads ==="
 # decision log or any non-finite cost-model calibration residual.
 ./build/tools/explain --strict > /dev/null
 
+echo "=== fault injection: explain over a faulted run ==="
+# The same gate with a fault schedule injected: recovery decisions must land
+# in the decision log and the calibration must stay finite under retries.
+./build/tools/explain --strict --fault-rate=0.3 --fault-seed=7 > /dev/null
+
 if [[ "$RUN_SANITIZED" == 1 ]]; then
   for sanitizer in $SANITIZERS; do
     echo "=== ${sanitizer} sanitizer pass (full suite) ==="
@@ -50,7 +56,9 @@ if [[ "$RUN_SANITIZED" == 1 ]]; then
       -DKEYSTONE_WERROR=ON -DKEYSTONE_SANITIZE="${sanitizer}"
     cmake --build "build-${sanitizer}" -j"$(nproc)"
     if [[ "$sanitizer" == thread ]]; then
-      (cd "build-${sanitizer}" && ctest -L runner --output-on-failure)
+      # runner = the PlanRunner branch scheduler; faults = the fault-replay
+      # suite, whose ledger/metrics/trace fan-out runs inside that scheduler.
+      (cd "build-${sanitizer}" && ctest -L 'runner|faults' --output-on-failure)
     else
       (cd "build-${sanitizer}" && ctest --output-on-failure -j"$(nproc)")
     fi

@@ -305,5 +305,66 @@ void CheckCostProfile(const CostProfile& cost, int node,
   }
 }
 
+ValidationReport ValidateFaultConfig(
+    const faults::FaultInjectionConfig& config) {
+  ValidationReport report;
+  auto check_rate = [&](const char* name, double rate) {
+    if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+      std::ostringstream os;
+      os << name << " must be a probability in [0, 1], got " << rate;
+      report.Add(Severity::kError, rules::kFaultRate, -1, os.str());
+    }
+  };
+  check_rate("task_failure_rate", config.task_failure_rate);
+  check_rate("executor_loss_rate", config.executor_loss_rate);
+  check_rate("straggler_rate", config.straggler_rate);
+  // The two failure kinds partition a single uniform draw, so their sum is
+  // itself a probability.
+  if (std::isfinite(config.task_failure_rate) &&
+      std::isfinite(config.executor_loss_rate) &&
+      config.task_failure_rate + config.executor_loss_rate > 1.0) {
+    std::ostringstream os;
+    os << "task_failure_rate + executor_loss_rate must not exceed 1, got "
+       << config.task_failure_rate + config.executor_loss_rate;
+    report.Add(Severity::kError, rules::kFaultRate, -1, os.str());
+  }
+
+  if (config.retry.max_retries < 0) {
+    std::ostringstream os;
+    os << "max_retries must be non-negative, got "
+       << config.retry.max_retries;
+    report.Add(Severity::kError, rules::kFaultRetry, -1, os.str());
+  }
+  if (!std::isfinite(config.retry.backoff_base_seconds) ||
+      config.retry.backoff_base_seconds < 0.0) {
+    std::ostringstream os;
+    os << "backoff_base_seconds must be finite and non-negative, got "
+       << config.retry.backoff_base_seconds;
+    report.Add(Severity::kError, rules::kFaultRetry, -1, os.str());
+  }
+  if (!std::isfinite(config.retry.backoff_multiplier) ||
+      config.retry.backoff_multiplier < 1.0) {
+    std::ostringstream os;
+    os << "backoff_multiplier must be >= 1 (exponential backoff), got "
+       << config.retry.backoff_multiplier;
+    report.Add(Severity::kError, rules::kFaultRetry, -1, os.str());
+  }
+
+  if (!std::isfinite(config.straggler_multiplier) ||
+      config.straggler_multiplier < 1.0) {
+    std::ostringstream os;
+    os << "straggler_multiplier must be >= 1 (a slowdown), got "
+       << config.straggler_multiplier;
+    report.Add(Severity::kError, rules::kFaultStraggler, -1, os.str());
+  }
+  if (!std::isfinite(config.speculation_cap) ||
+      config.speculation_cap < 1.0) {
+    std::ostringstream os;
+    os << "speculation_cap must be >= 1, got " << config.speculation_cap;
+    report.Add(Severity::kError, rules::kFaultStraggler, -1, os.str());
+  }
+  return report;
+}
+
 }  // namespace analysis
 }  // namespace keystone

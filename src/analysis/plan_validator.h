@@ -8,6 +8,7 @@
 #include "src/core/pipeline_graph.h"
 #include "src/optimizer/materialization.h"
 #include "src/sim/cost_profile.h"
+#include "src/sim/faults/fault_plan.h"
 
 namespace keystone {
 namespace analysis {
@@ -42,6 +43,10 @@ inline constexpr char kCacheNotCacheable[] = "cache.not-cacheable";
 // --- Cost sanity --------------------------------------------------------
 inline constexpr char kCostInvalid[] = "cost.invalid";
 inline constexpr char kCostProfile[] = "cost.profile";
+// --- Fault-injection config sanity --------------------------------------
+inline constexpr char kFaultRate[] = "fault.rate";
+inline constexpr char kFaultRetry[] = "fault.retry";
+inline constexpr char kFaultStraggler[] = "fault.straggler";
 }  // namespace rules
 
 /// What the validator knows about the plan beyond the bare graph.
@@ -101,6 +106,16 @@ class PlanValidator {
 /// origin in the message (e.g. the operator name).
 void CheckCostProfile(const CostProfile& cost, int node,
                       const std::string& what, ValidationReport* report);
+
+/// Validates a fault-injection configuration before PlanRunner replays a
+/// pass under it: every rate must be a finite probability in [0, 1] (with
+/// the two failure kinds summing to at most 1 — they partition one uniform
+/// draw), the retry policy must be sane (non-negative retry bound, finite
+/// non-negative base backoff, multiplier >= 1), and the straggler model
+/// must slow tasks down (multiplier and speculation cap >= 1). Errors use
+/// the fault.* rules; wired behind OptimizationConfig::validate_plans.
+ValidationReport ValidateFaultConfig(
+    const faults::FaultInjectionConfig& config);
 
 }  // namespace analysis
 }  // namespace keystone

@@ -19,6 +19,10 @@
 
 namespace keystone {
 
+namespace faults {
+class FaultPlan;
+}  // namespace faults
+
 /// Everything an operator needs at execution time: the cluster description,
 /// the virtual-time ledger, and a worker pool for real (in-process) compute.
 /// Operators run their real kernels on the pool and report the cost profile
@@ -55,6 +59,15 @@ class ExecContext {
   void set_profile_store(obs::ProfileStore* store) { profile_store_ = store; }
   obs::ResourceTimeline* timeline() const { return timeline_; }
   void set_timeline(obs::ResourceTimeline* timeline) { timeline_ = timeline; }
+
+  /// Optional fault-injection plan. When set (and enabled), PlanRunner
+  /// replays every full-scale node execution under the plan and charges the
+  /// resulting retry/recompute/straggler time to the "Recovery" ledger
+  /// stage. Null (the default) means a cluster that never fails — all
+  /// pre-fault behavior is preserved bit-for-bit. The plan is borrowed, not
+  /// owned; the caller keeps it alive across the run.
+  const faults::FaultPlan* fault_plan() const { return fault_plan_; }
+  void set_fault_plan(const faults::FaultPlan* plan) { fault_plan_ = plan; }
 
   /// Operators whose cost depends on runtime behaviour (e.g. iterative
   /// solvers whose iteration count is data dependent) call this during
@@ -103,6 +116,7 @@ class ExecContext {
   obs::MetricsRegistry* metrics_;
   obs::ProfileStore* profile_store_;
   obs::ResourceTimeline* timeline_;
+  const faults::FaultPlan* fault_plan_ = nullptr;
   /// Leaf lock (lowest rank): held only for map access, never across a call
   /// into metrics/trace/ledger.
   mutable Mutex actual_mu_{kLockRankExecContext};

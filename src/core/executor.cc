@@ -29,8 +29,13 @@ std::string PipelineReport::ToString() const {
      << (profiles_from_store ? " (from store)" : "")
      << ", load=" << HumanSeconds(load_seconds)
      << ", featurize=" << HumanSeconds(featurize_seconds)
-     << ", solve=" << HumanSeconds(solve_seconds)
-     << ", total=" << HumanSeconds(total_train_seconds)
+     << ", solve=" << HumanSeconds(solve_seconds);
+  // Only faulted runs print the recovery term, so fault-free reports keep
+  // their exact pre-fault shape.
+  if (recovery_seconds > 0.0) {
+    os << ", recovery=" << HumanSeconds(recovery_seconds);
+  }
+  os << ", total=" << HumanSeconds(total_train_seconds)
      << ", cse_eliminated=" << cse_eliminated << ", cache="
      << HumanBytes(cache_used_bytes) << "/" << HumanBytes(cache_budget_bytes)
      << "}\n";
@@ -179,7 +184,11 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
         report->featurize_seconds += per_node[pn.id];
         break;
     }
+    report->recovery_seconds += run.recovery_seconds[pn.id];
   }
+  // PlanRunner already charged recovery to the ledger's "Recovery" stage
+  // during its id-ordered flush; here it only joins the report total.
+  report->total_train_seconds += report->recovery_seconds;
   context_.ledger()->ChargeSeconds("Optimize", report->optimize_seconds);
   context_.ledger()->ChargeSeconds("Load", report->load_seconds);
   context_.ledger()->ChargeSeconds("Featurize", report->featurize_seconds);

@@ -37,7 +37,11 @@ struct PipelineReport {
   double load_seconds = 0.0;
   double featurize_seconds = 0.0;
   double solve_seconds = 0.0;
-  /// Load + featurize + solve (training time under the cache policy).
+  /// Fault-recovery virtual seconds charged by the fault-injection layer
+  /// during the training pass (zero without an enabled FaultPlan).
+  double recovery_seconds = 0.0;
+  /// Load + featurize + solve + recovery (training time under the cache
+  /// policy, including any injected-fault overhead).
   double total_train_seconds = 0.0;
   double cache_budget_bytes = 0.0;
   double cache_used_bytes = 0.0;

@@ -71,6 +71,15 @@ struct OptimizationConfig {
   /// off to force strictly serial node order.
   bool parallel_branches = true;
 
+  /// Expected per-node failure rate the materialization pass prices in:
+  /// caching an output shields its downstream consumers from re-running the
+  /// upstream chain when a task fails, so a non-zero rate shifts the greedy
+  /// cache selection toward recompute-expensive subtrees (the Helix-style
+  /// interaction). Zero (the default) reproduces the failure-free paper
+  /// model exactly. Independent of any FaultPlan actually injected at run
+  /// time: this is the optimizer's prior, not the simulation.
+  double expected_fault_rate = 0.0;
+
   /// Unoptimized execution (None in Figure 9).
   static OptimizationConfig None();
 

@@ -11,10 +11,23 @@
 #include "src/common/timer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile_store.h"
+#include "src/sim/faults/fault_plan.h"
 
 namespace keystone {
 
 namespace {
+
+/// Fails fast on an insane fault-injection config (rates outside [0, 1],
+/// negative backoff, ...) before any node executes under it. Gated on the
+/// plan's validate_plans flag, like every other static check.
+void ValidateFaultPlan(const PhysicalPlan& plan, ExecContext* ctx) {
+  if (ctx->fault_plan() == nullptr || !plan.config.validate_plans) return;
+  const analysis::ValidationReport report =
+      analysis::ValidateFaultConfig(ctx->fault_plan()->config());
+  analysis::RecordDiagnostics(report, ctx->metrics());
+  KS_CHECK(report.ok()) << "fault-injection config failed validation:\n"
+                        << report.ToString();
+}
 
 obs::TracePhase PhaseFor(ExecMode mode) {
   switch (mode) {
@@ -222,6 +235,105 @@ void PlanRunner::ExecuteNode(int id) {
   }
 }
 
+double PlanRunner::RecomputeChainSeconds(int id, bool respect_cache) const {
+  const NodeOutcome& out = outcomes_[id];
+  // Placeholder input on the runtime path: nothing of ours to recompute.
+  if (!out.executed) return 0.0;
+  if (respect_cache && mode_ == ExecMode::kFit && plan_->cache_set[id]) {
+    // Materialized output: recovery re-reads it from cluster memory.
+    return ctx_->resources().MemoryReadSeconds(
+        out.out_stats.TotalBytes() /
+        std::max(1, ctx_->resources().num_nodes));
+  }
+  double total = out.seconds;
+  for (int dep : plan_->nodes[id].inputs) {
+    total += RecomputeChainSeconds(dep, respect_cache);
+  }
+  return total;
+}
+
+void PlanRunner::SimulateFaults(int id) {
+  const faults::FaultPlan* fault_plan = ctx_->fault_plan();
+  // Profile passes run sample jobs on a clean cluster; faults only hit the
+  // full-scale fit and apply passes.
+  if (fault_plan == nullptr || !fault_plan->Enabled() || InProfileMode()) {
+    return;
+  }
+  NodeOutcome& out = outcomes_[id];
+  const PlannedNode& pn = plan_->nodes[id];
+
+  faults::RecoveryContext rctx;
+  rctx.node_id = id;
+  rctx.fingerprint = pn.fingerprint;
+  rctx.base_seconds = out.seconds;
+  rctx.partitions = std::max<size_t>(1, out.span.partitions);
+  rctx.slots = ctx_->resources().TotalSlots();
+  bool inputs_materialized = !pn.inputs.empty();
+  for (int dep : pn.inputs) {
+    rctx.lineage_recovery_seconds +=
+        RecomputeChainSeconds(dep, /*respect_cache=*/true);
+    rctx.full_lineage_seconds +=
+        RecomputeChainSeconds(dep, /*respect_cache=*/false);
+    inputs_materialized = inputs_materialized &&
+                          mode_ == ExecMode::kFit && plan_->cache_set[dep];
+  }
+  rctx.inputs_materialized = inputs_materialized;
+
+  out.fault = faults::SimulateNodeFaults(*fault_plan, rctx);
+  if (!out.fault.Any()) return;
+
+  out.span.fault_attempts = out.fault.attempts;
+  out.span.recovery_seconds = out.fault.overhead_seconds;
+  for (const faults::FaultEvent& event : out.fault.events) {
+    if (event.cache_recovery) out.span.cache_recovery = true;
+  }
+  if (out.fault.overhead_seconds > 0.0) {
+    ctx_->ledger()->ChargeSeconds("Recovery", out.fault.overhead_seconds);
+    if (ctx_->timeline() != nullptr) {
+      ctx_->timeline()->RecordRecoverySeconds(
+          obs::TracePhaseName(out.span.phase), id, pn.name,
+          out.fault.overhead_seconds);
+    }
+  }
+  if (ctx_->metrics() != nullptr) {
+    obs::MetricsRegistry* metrics = ctx_->metrics();
+    for (const faults::FaultEvent& event : out.fault.events) {
+      metrics->Increment("faults.injected");
+      switch (event.kind) {
+        case faults::FaultEvent::Kind::kTaskFailure:
+          metrics->Increment("faults.task_failures");
+          metrics->Increment("faults.retries");
+          break;
+        case faults::FaultEvent::Kind::kExecutorLoss:
+          metrics->Increment("faults.executor_losses");
+          metrics->Increment("faults.retries");
+          break;
+        case faults::FaultEvent::Kind::kStraggler:
+          metrics->Increment("faults.stragglers");
+          break;
+      }
+    }
+    if (out.fault.retries_exhausted) {
+      metrics->Increment("faults.retries_exhausted");
+    }
+    metrics->Observe("faults.recovery_seconds", out.fault.overhead_seconds);
+  }
+  if (plan_->decision_log != nullptr) {
+    for (const faults::FaultEvent& event : out.fault.events) {
+      obs::RecoveryDecision decision;
+      decision.node_id = id;
+      decision.node_name = pn.name;
+      decision.kind = faults::FaultEventKindName(event.kind);
+      decision.attempt = event.attempt;
+      decision.cache_recovery = event.cache_recovery;
+      decision.wasted_seconds = event.wasted_seconds;
+      decision.backoff_seconds = event.backoff_seconds;
+      decision.recovery_seconds = event.recovery_seconds;
+      plan_->decision_log->RecordRecovery(std::move(decision));
+    }
+  }
+}
+
 void PlanRunner::FlushOutcome(int id) {
   NodeOutcome& out = outcomes_[id];
   if (!out.executed) return;
@@ -234,6 +346,11 @@ void PlanRunner::FlushOutcome(int id) {
   }
   out.span.output_bytes = out.out_stats.TotalBytes();
   if (mode_ == ExecMode::kFit) out.span.cached = plan_->cache_set[id];
+
+  // Fault replay must run inside this serial, id-ordered flush: the draws
+  // are order-independent by construction, but the ledger/metrics/trace
+  // effects below have to land in the same order for every schedule.
+  SimulateFaults(id);
 
   if (InProfileMode()) {
     ProfileEntry& entry = pn.profile;
@@ -303,7 +420,27 @@ void PlanRunner::FlushOutcome(int id) {
                                obs::TracePhaseName(out.span.phase));
     ctx_->metrics()->Observe("exec.wall_seconds", out.span.wall_seconds);
   }
+  const obs::TracePhase phase = out.span.phase;
   if (ctx_->tracer() != nullptr) ctx_->tracer()->Record(std::move(out.span));
+
+  // One dedicated span per injected fault event, laid on the phase timeline
+  // right after the node span it hit. Only faulted runs emit these.
+  if (ctx_->tracer() != nullptr) {
+    for (const faults::FaultEvent& event : out.fault.events) {
+      obs::TraceSpan rspan;
+      rspan.node_id = id;
+      rspan.name = pn.name;
+      rspan.kind = "recovery";
+      rspan.physical = faults::FaultEventKindName(event.kind);
+      rspan.phase = phase;
+      rspan.fault_attempts = event.attempt + 1;
+      rspan.cache_recovery = event.cache_recovery;
+      rspan.recovery_seconds = event.wasted_seconds + event.backoff_seconds +
+                               event.recovery_seconds;
+      rspan.virtual_seconds = rspan.recovery_seconds;
+      ctx_->tracer()->Record(std::move(rspan));
+    }
+  }
 }
 
 void PlanRunner::RunSerial(const std::vector<int>& exec_ids) {
@@ -375,6 +512,7 @@ void PlanRunner::RunParallel(const std::vector<int>& exec_ids) {
 
 RunResult PlanRunner::Run(ExecMode mode, const SelectHook& select) {
   KS_CHECK(mode != ExecMode::kApply) << "use RunApply for the runtime path";
+  ValidateFaultPlan(*plan_, ctx_);
   mode_ = mode;
   select_ = select;
   apply_models_ = nullptr;
@@ -406,9 +544,11 @@ RunResult PlanRunner::Run(ExecMode mode, const SelectHook& select) {
   RunResult result;
   result.node_seconds.assign(n, 0.0);
   result.out_stats.assign(n, DataStats());
+  result.recovery_seconds.assign(n, 0.0);
   for (int id : exec_ids) {
     result.node_seconds[id] = outcomes_[id].seconds;
     result.out_stats[id] = outcomes_[id].out_stats;
+    result.recovery_seconds[id] = outcomes_[id].fault.overhead_seconds;
     if (models_[id] != nullptr) result.models[id] = models_[id];
   }
   return result;
@@ -417,6 +557,7 @@ RunResult PlanRunner::Run(ExecMode mode, const SelectHook& select) {
 AnyDataset PlanRunner::RunApply(
     const AnyDataset& input,
     const std::map<int, std::shared_ptr<TransformerBase>>& models) {
+  ValidateFaultPlan(*plan_, ctx_);
   mode_ = ExecMode::kApply;
   select_ = nullptr;
   apply_models_ = &models;

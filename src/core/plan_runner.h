@@ -12,6 +12,7 @@
 #include "src/data/data_stats.h"
 #include "src/data/dist_dataset.h"
 #include "src/obs/trace.h"
+#include "src/sim/faults/recovery.h"
 
 namespace keystone {
 
@@ -32,6 +33,10 @@ struct RunResult {
   /// Per-node output statistics, indexed by node id (estimators: empty —
   /// their output is a model).
   std::vector<DataStats> out_stats;
+  /// Per-node fault-recovery virtual seconds charged to the "Recovery"
+  /// ledger stage, indexed by node id. All zero unless the ExecContext
+  /// carries an enabled FaultPlan.
+  std::vector<double> recovery_seconds;
 };
 
 /// The single execution engine for PhysicalPlans. Every mode — the two
@@ -84,10 +89,24 @@ class PlanRunner {
     /// per-resource split. Sources have none — they occupy disk directly.
     CostProfile charge_cost;
     size_t sample_records = 0;  // profile modes: records that flowed
+    /// Fault-injection replay of this execution (empty without a plan).
+    /// Computed during the serial, id-ordered flush so the draws and the
+    /// lineage costs they price are identical for every schedule.
+    faults::FaultOutcome fault;
   };
 
   void ExecuteNode(int id);
   void FlushOutcome(int id);
+
+  /// Virtual seconds to re-produce node `id`'s output during recovery:
+  /// a cache read when the output is materialized and `respect_cache`
+  /// holds, else the node's own seconds plus its inputs' chains.
+  double RecomputeChainSeconds(int id, bool respect_cache) const;
+
+  /// Replays outcome `id` under the context's fault plan (no-op without
+  /// one) and routes the priced recovery into ledger, metrics, timeline,
+  /// trace, and the plan's decision log. Called from FlushOutcome.
+  void SimulateFaults(int id);
   void RunSerial(const std::vector<int>& exec_ids);
   void RunParallel(const std::vector<int>& exec_ids);
 

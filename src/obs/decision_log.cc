@@ -41,6 +41,11 @@ void OptimizerDecisionLog::RecordMaterializationSummary(
   summary_.recorded = true;
 }
 
+void OptimizerDecisionLog::RecordRecovery(RecoveryDecision decision) {
+  MutexLock lock(&mu_);
+  recoveries_.push_back(std::move(decision));
+}
+
 std::vector<SelectionDecision> OptimizerDecisionLog::Selections() const {
   MutexLock lock(&mu_);
   return selections_;
@@ -62,10 +67,15 @@ MaterializationSummary OptimizerDecisionLog::Summary() const {
   return summary_;
 }
 
+std::vector<RecoveryDecision> OptimizerDecisionLog::Recoveries() const {
+  MutexLock lock(&mu_);
+  return recoveries_;
+}
+
 bool OptimizerDecisionLog::Empty() const {
   MutexLock lock(&mu_);
   return selections_.empty() && cse_groups_.empty() && ledger_.empty() &&
-         !summary_.recorded;
+         !summary_.recorded && recoveries_.empty();
 }
 
 void OptimizerDecisionLog::Clear() {
@@ -74,6 +84,7 @@ void OptimizerDecisionLog::Clear() {
   cse_groups_.clear();
   ledger_.clear();
   summary_ = MaterializationSummary();
+  recoveries_.clear();
 }
 
 std::string OptimizerDecisionLog::ToString() const {
@@ -127,6 +138,21 @@ std::string OptimizerDecisionLog::ToString() const {
         << HumanSeconds(summary_.initial_runtime) << " -> "
         << HumanSeconds(summary_.final_runtime) << ", "
         << summary_.cached_nodes << " nodes cached\n";
+  }
+  // Rendered only on faulted runs so fault-free reports keep their exact
+  // pre-fault shape.
+  if (!recoveries_.empty()) {
+    out << "  fault recoveries (" << recoveries_.size() << "):\n";
+    for (const auto& r : recoveries_) {
+      out << "    node " << r.node_id << " [" << r.node_name << "] "
+          << r.kind << " attempt " << r.attempt << ": "
+          << (r.kind == "straggler"
+                  ? "slow task"
+                  : (r.cache_recovery ? "cache read" : "lineage recompute"))
+          << ", wasted " << HumanSeconds(r.wasted_seconds) << ", backoff "
+          << HumanSeconds(r.backoff_seconds) << ", recovery "
+          << HumanSeconds(r.recovery_seconds) << "\n";
+    }
   }
   return out.str();
 }
@@ -203,7 +229,25 @@ std::string OptimizerDecisionLog::ToJson() const {
         << ",\"final_runtime\":" << JsonNumber(summary_.final_runtime)
         << ",\"cached_nodes\":" << summary_.cached_nodes << "}";
   }
-  out << "}}";
+  out << "}";
+  // Faulted runs only: fault-free JSON keeps the pre-fault schema.
+  if (!recoveries_.empty()) {
+    out << ",\"recoveries\":[";
+    for (size_t i = 0; i < recoveries_.size(); ++i) {
+      const auto& r = recoveries_[i];
+      if (i) out << ",";
+      out << "{\"node\":" << r.node_id << ",\"name\":\""
+          << JsonEscape(r.node_name) << "\",\"kind\":\""
+          << JsonEscape(r.kind) << "\",\"attempt\":" << r.attempt
+          << ",\"cache_recovery\":" << (r.cache_recovery ? "true" : "false")
+          << ",\"wasted_seconds\":" << JsonNumber(r.wasted_seconds)
+          << ",\"backoff_seconds\":" << JsonNumber(r.backoff_seconds)
+          << ",\"recovery_seconds\":" << JsonNumber(r.recovery_seconds)
+          << "}";
+    }
+    out << "]";
+  }
+  out << "}";
   return out.str();
 }
 

@@ -71,6 +71,21 @@ struct MaterializationStep {
   std::vector<MaterializationCandidate> candidates;
 };
 
+/// One fault-recovery decision the runner took under a FaultPlan: what kind
+/// of fault hit the node, which attempt, and whether recovery re-read the
+/// materialized inputs from cache or paid lineage recompute — the
+/// interaction the materialization pass prices via expected_fault_rate.
+struct RecoveryDecision {
+  int node_id = -1;
+  std::string node_name;
+  std::string kind;  // task-failure / executor-loss / straggler
+  int attempt = 0;
+  bool cache_recovery = false;  // inputs re-read from cache (vs lineage)
+  double wasted_seconds = 0;    // partial work lost with the attempt
+  double backoff_seconds = 0;   // retry scheduling delay
+  double recovery_seconds = 0;  // input re-acquisition / straggler time
+};
+
 /// End-of-pass materialization summary.
 struct MaterializationSummary {
   bool recorded = false;
@@ -89,11 +104,13 @@ class OptimizerDecisionLog {
   void RecordCseGroup(CseMergeGroup group);
   void RecordMaterializationStep(MaterializationStep step);
   void RecordMaterializationSummary(MaterializationSummary summary);
+  void RecordRecovery(RecoveryDecision decision);
 
   std::vector<SelectionDecision> Selections() const;
   std::vector<CseMergeGroup> CseGroups() const;
   std::vector<MaterializationStep> MaterializationLedger() const;
   MaterializationSummary Summary() const;
+  std::vector<RecoveryDecision> Recoveries() const;
 
   /// True when no pass recorded anything (the CI --strict failure mode).
   bool Empty() const;
@@ -112,6 +129,7 @@ class OptimizerDecisionLog {
   std::vector<CseMergeGroup> cse_groups_ GUARDED_BY(mu_);
   std::vector<MaterializationStep> ledger_ GUARDED_BY(mu_);
   MaterializationSummary summary_ GUARDED_BY(mu_);
+  std::vector<RecoveryDecision> recoveries_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -20,9 +20,17 @@ const char* ResourceKindName(ResourceKind kind) {
       return "network";
     case ResourceKind::kCoordination:
       return "coordination";
+    case ResourceKind::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }
+
+namespace {
+/// Number of ResourceKind values, for busy-seconds accumulators.
+constexpr int kNumResourceKinds =
+    static_cast<int>(ResourceKind::kRecovery) + 1;
+}  // namespace
 
 void ResourceTimeline::Append(const std::string& phase, int node_id,
                               const std::string& name, ResourceKind kind,
@@ -71,6 +79,14 @@ void ResourceTimeline::RecordDiskSeconds(const std::string& phase, int node_id,
                                          double seconds) {
   MutexLock lock(&mu_);
   Append(phase, node_id, name, ResourceKind::kDisk, seconds);
+}
+
+void ResourceTimeline::RecordRecoverySeconds(const std::string& phase,
+                                             int node_id,
+                                             const std::string& name,
+                                             double seconds) {
+  MutexLock lock(&mu_);
+  Append(phase, node_id, name, ResourceKind::kRecovery, seconds);
 }
 
 void ResourceTimeline::RecordCacheAccess(bool hit) {
@@ -138,11 +154,11 @@ std::string ResourceTimeline::ToString() const {
   MutexLock lock(&mu_);
   std::ostringstream out;
   out << "Resource timeline (" << intervals_.size() << " intervals)\n";
-  double busy[5] = {0, 0, 0, 0, 0};
+  double busy[kNumResourceKinds] = {};
   for (const auto& interval : intervals_) {
     busy[static_cast<int>(interval.resource)] += interval.seconds;
   }
-  for (int k = 0; k < 5; ++k) {
+  for (int k = 0; k < kNumResourceKinds; ++k) {
     if (busy[k] <= 0) continue;
     out << "  " << ResourceKindName(static_cast<ResourceKind>(k))
         << " busy: " << HumanSeconds(busy[k]) << "\n";
@@ -156,7 +172,7 @@ std::string ResourceTimeline::ToString() const {
 std::string ResourceTimeline::ToJson() const {
   MutexLock lock(&mu_);
   std::ostringstream out;
-  double busy[5] = {0, 0, 0, 0, 0};
+  double busy[kNumResourceKinds] = {};
   for (const auto& interval : intervals_) {
     busy[static_cast<int>(interval.resource)] += interval.seconds;
   }
@@ -164,7 +180,14 @@ std::string ResourceTimeline::ToJson() const {
       << ",\"high_water_bytes\":" << JsonNumber(high_water_bytes_)
       << ",\"cache\":{\"hits\":" << cache_.hits
       << ",\"misses\":" << cache_.misses << "},\"busy_seconds\":{";
-  for (int k = 0; k < 5; ++k) {
+  for (int k = 0; k < kNumResourceKinds; ++k) {
+    // The original five kinds are always present (stable schema); the
+    // recovery key appears only on faulted runs so fault-free JSON stays
+    // byte-identical to pre-fault output.
+    if (static_cast<ResourceKind>(k) == ResourceKind::kRecovery &&
+        busy[k] <= 0) {
+      continue;
+    }
     if (k) out << ",";
     out << "\"" << ResourceKindName(static_cast<ResourceKind>(k))
         << "\":" << JsonNumber(busy[k]);

@@ -23,7 +23,17 @@
 namespace keystone {
 namespace obs {
 
-enum class ResourceKind { kCpu, kMemory, kDisk, kNetwork, kCoordination };
+enum class ResourceKind {
+  kCpu,
+  kMemory,
+  kDisk,
+  kNetwork,
+  kCoordination,
+  /// Fault-recovery occupancy: retries, backoff, and lineage recompute
+  /// charged by the fault-injection layer. Rendered only when non-zero so
+  /// fault-free timelines stay byte-identical to pre-fault output.
+  kRecovery,
+};
 
 const char* ResourceKindName(ResourceKind kind);
 
@@ -54,6 +64,11 @@ class ResourceTimeline {
   /// seconds directly, without a CostProfile).
   void RecordDiskSeconds(const std::string& phase, int node_id,
                          const std::string& name, double seconds);
+
+  /// Appends a fault-recovery interval (retry/backoff/recompute time the
+  /// fault-injection layer charged for this node, in seconds directly).
+  void RecordRecoverySeconds(const std::string& phase, int node_id,
+                             const std::string& name, double seconds);
 
   void RecordCacheAccess(bool hit);
 

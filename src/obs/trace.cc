@@ -100,7 +100,15 @@ std::string TraceRecorder::ChromeTraceJson() const {
     os << ",\"used_observed\":" << (s.used_observed ? "true" : "false")
        << ",\"cached\":" << (s.cached ? "true" : "false")
        << ",\"synthetic\":" << (s.synthetic ? "true" : "false")
-       << ",\"output_bytes\":" << JsonNumber(s.output_bytes) << "}}";
+       << ",\"output_bytes\":" << JsonNumber(s.output_bytes);
+    if (s.fault_attempts > 0) {
+      // Only faulted spans carry recovery args; fault-free traces stay
+      // byte-identical to builds without the fault layer.
+      os << ",\"fault_attempts\":" << s.fault_attempts
+         << ",\"recovery_s\":" << JsonNumber(s.recovery_seconds)
+         << ",\"cache_recovery\":" << (s.cache_recovery ? "true" : "false");
+    }
+    os << "}}";
   }
   os << "]}";
   return os.str();
@@ -128,6 +136,11 @@ std::string TraceRecorder::PlanReport() const {
        << ", virtual=" << HumanSeconds(s.virtual_seconds);
     if (s.cached) os << " [cached " << HumanBytes(s.output_bytes) << "]";
     if (s.synthetic) os << " [synthetic]";
+    if (s.fault_attempts > 0) {
+      os << " [" << s.fault_attempts << " attempts, recovery "
+         << HumanSeconds(s.recovery_seconds)
+         << (s.cache_recovery ? ", from cache" : "") << "]";
+    }
     os << "\n    predicted=" << s.predicted.ToString();
     if (s.observed.has_value()) {
       os << "\n    observed =" << s.observed->ToString()

@@ -45,6 +45,15 @@ struct TraceSpan {
 
   bool cached = false;          // output chosen for materialization
   double output_bytes = 0.0;    // bytes the output materializes to
+  /// Fault-injection accounting (fit/eval under a FaultPlan). A node span
+  /// carries the aggregate recovery time its execution paid; dedicated
+  /// recovery spans (kind == "recovery") carry one fault event each.
+  /// fault_attempts == 0 means no fault plan touched this span, so the
+  /// exporters omit these fields entirely and fault-free traces stay
+  /// byte-identical to pre-fault builds.
+  double recovery_seconds = 0.0;
+  int fault_attempts = 0;
+  bool cache_recovery = false;  // a retry re-read inputs from cache
   /// True for spans reconstructed from stored profiles rather than a live
   /// execution (reuse_stored_profiles skips the sampling passes; the
   /// optimizer emits synthetic profile-phase spans so reports and metrics

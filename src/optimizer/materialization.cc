@@ -62,6 +62,32 @@ double EstimateRuntimeDetailed(const MaterializationProblem& problem,
       demand[dep] += executions[v] * info.weight;
     }
   }
+
+  // Expected fault-recovery surcharge. Every execution of v risks (at rate
+  // `failure_rate`) losing half its own work and re-acquiring its inputs:
+  // materialized inputs are a cache read, non-materialized ones pay their
+  // full upstream recompute chain. chain[v] is that re-acquisition cost for
+  // v's own output; ids are topological (edges low -> high) so a forward
+  // sweep sees inputs first. Caching a node both caps its own executions
+  // (above) and shrinks every consumer's recovery chain (here) — the
+  // interaction the greedy selection is exposed to.
+  if (problem.failure_rate > 0.0) {
+    std::vector<double> chain(n, 0.0);
+    for (int v = 0; v < n; ++v) {
+      const NodeRuntimeInfo& info = problem.info[v];
+      if (!info.live || demand[v] <= 0.0) continue;
+      const bool is_cached = cached[v] || info.always_cached;
+      double inputs_chain = 0.0;
+      for (int dep : graph.Dependencies(v)) inputs_chain += chain[dep];
+      const double own = info.weight * info.compute_seconds;
+      chain[v] = is_cached ? MemTransferSeconds(problem, info.output_bytes)
+                           : own + inputs_chain;
+      const double extra = problem.failure_rate * executions[v] *
+                           (0.5 * own + inputs_chain);
+      total += extra;
+      if (per_node_seconds != nullptr) (*per_node_seconds)[v] += extra;
+    }
+  }
   return total;
 }
 

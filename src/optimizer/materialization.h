@@ -43,6 +43,15 @@ struct MaterializationProblem {
   std::vector<int> terminals;
   double memory_budget_bytes = 0.0;
   ClusterResourceDescriptor resources;
+
+  /// Expected per-execution failure rate the runtime estimate prices in.
+  /// Each execution of a node risks losing half its own work plus the cost
+  /// of re-acquiring its inputs — a cache read for materialized inputs,
+  /// the full upstream recompute chain otherwise. Zero (the default)
+  /// reproduces the paper's failure-free objective exactly; a positive
+  /// rate makes caching recompute-expensive subtrees worth more to the
+  /// greedy selection (OptimizationConfig::expected_fault_rate).
+  double failure_rate = 0.0;
 };
 
 /// Estimated total execution time (virtual seconds) of the pipeline when

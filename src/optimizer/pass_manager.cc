@@ -253,6 +253,7 @@ void MaterializationPass::Run(PhysicalPlan* plan, PassContext* pctx) {
   problem.resources = resources;
   problem.memory_budget_bytes = plan->cache_budget_bytes;
   problem.terminals = plan->terminals;
+  problem.failure_rate = config.expected_fault_rate;
   problem.info.assign(plan->nodes.size(), NodeRuntimeInfo());
   for (const PlannedNode& pn : plan->nodes) {
     NodeRuntimeInfo& info = problem.info[pn.id];

@@ -1,0 +1,89 @@
+#include "src/sim/faults/fault_plan.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace keystone {
+namespace faults {
+
+namespace {
+
+/// FNV-1a over the fingerprint: a stable, platform-independent string hash
+/// (std::hash is implementation-defined and would break replay across
+/// standard libraries).
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: decorrelates the combined key before it seeds the
+/// per-draw generator.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryPolicy::BackoffSeconds(int failed_attempt) const {
+  KS_CHECK_GE(failed_attempt, 0);
+  double backoff = backoff_base_seconds;
+  for (int i = 0; i < failed_attempt; ++i) backoff *= backoff_multiplier;
+  return backoff;
+}
+
+FaultDraw FaultPlan::DrawFor(int node_id, const std::string& fingerprint,
+                             int attempt) const {
+  FaultDraw draw;
+  if (!Enabled()) return draw;
+  // One private generator per (seed, node, attempt): draws are a pure
+  // function of stable identity, independent of scheduling order.
+  uint64_t key = Mix(config_.seed);
+  key = Mix(key ^ Fnv1a(fingerprint));
+  key = Mix(key ^ static_cast<uint64_t>(node_id));
+  key = Mix(key ^ static_cast<uint64_t>(attempt));
+  Rng rng(key);
+
+  // A single uniform decides the failure kind so the two rates partition
+  // one interval: [0, loss) executor loss, [loss, loss + task) task failure.
+  const double u = rng.NextDouble();
+  if (u < config_.executor_loss_rate) {
+    draw.fails = true;
+    draw.executor_loss = true;
+  } else if (u < config_.executor_loss_rate + config_.task_failure_rate) {
+    draw.fails = true;
+  }
+  if (draw.fails) {
+    // How far the attempt got before dying; drawn after the kind so the
+    // fraction stream is independent of the rates.
+    draw.fail_fraction = rng.Uniform(0.1, 0.9);
+  }
+  draw.straggler = rng.NextDouble() < config_.straggler_rate;
+  return draw;
+}
+
+std::string FaultPlan::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "FaultPlan{seed=%llu, task=%.3g, exec_loss=%.3g, straggler=%.3g x%.2g, "
+      "retries=%d, backoff=%.3gs x%.2g%s}",
+      static_cast<unsigned long long>(config_.seed),
+      config_.task_failure_rate, config_.executor_loss_rate,
+      config_.straggler_rate, config_.straggler_multiplier,
+      config_.retry.max_retries, config_.retry.backoff_base_seconds,
+      config_.retry.backoff_multiplier,
+      config_.speculative_execution ? ", spec-ex" : "");
+  return buf;
+}
+
+}  // namespace faults
+}  // namespace keystone

@@ -1,0 +1,112 @@
+#ifndef KEYSTONE_SIM_FAULTS_FAULT_PLAN_H_
+#define KEYSTONE_SIM_FAULTS_FAULT_PLAN_H_
+
+// Deterministic fault injection for the cluster simulator. KeystoneML's
+// cost model assumes a Spark-like substrate where tasks fail, executors
+// die, and stragglers appear — and where lineage-based recomputation and
+// task retry make those failures survivable. A FaultPlan decides, for every
+// (node, attempt) pair, whether that execution attempt fails, loses its
+// executor, or straggles. Every decision is a pure function of the plan's
+// seed and the node's stable identity, NEVER of execution order: the
+// branch-parallel and serial schedules of PlanRunner must draw identical
+// faults so their ledgers stay byte-identical. No std::random_device or
+// global engine is ever consulted.
+
+#include <cstdint>
+#include <string>
+
+namespace keystone {
+namespace faults {
+
+/// Bounded-retry policy with exponential backoff in virtual time.
+/// A failed attempt charges BackoffSeconds(attempt) of coordination delay
+/// before the next attempt starts (Spark's task re-launch delay).
+struct RetryPolicy {
+  /// Maximum retries per node execution; the attempt after the last retry
+  /// is forced to succeed so the simulator always terminates (forced
+  /// successes are surfaced via the `faults.retries_exhausted` metric).
+  int max_retries = 3;
+
+  /// Virtual seconds of scheduling delay before the first retry.
+  double backoff_base_seconds = 0.1;
+
+  /// Multiplier applied per subsequent retry (exponential backoff).
+  double backoff_multiplier = 2.0;
+
+  double BackoffSeconds(int failed_attempt) const;
+};
+
+/// Everything that parameterizes a FaultPlan. Rates are per node-execution
+/// attempt; all randomness derives from `seed`.
+struct FaultInjectionConfig {
+  uint64_t seed = 0;
+
+  /// Probability an attempt fails as a plain task failure: partial work is
+  /// wasted and non-materialized upstream outputs must be recomputed
+  /// (materialized ones recover from cache).
+  double task_failure_rate = 0.0;
+
+  /// Probability an attempt fails as an executor loss: like a task failure,
+  /// but cached upstream partitions die with the executor, so recovery pays
+  /// full lineage recompute even for materialized inputs.
+  double executor_loss_rate = 0.0;
+
+  /// Probability an attempt straggles: its slowest task runs
+  /// `straggler_multiplier` times longer than its siblings.
+  double straggler_rate = 0.0;
+
+  /// Slowdown of a straggling task (>= 1).
+  double straggler_multiplier = 4.0;
+
+  /// Speculative execution: when a task straggles, a backup copy is
+  /// launched and the effective slowdown is capped at `speculation_cap`
+  /// (the original plus one relaunch), mirroring Spark's spec-ex.
+  bool speculative_execution = true;
+  double speculation_cap = 2.0;
+
+  RetryPolicy retry;
+
+  /// True when any fault can ever be injected.
+  bool Enabled() const {
+    return task_failure_rate > 0.0 || executor_loss_rate > 0.0 ||
+           straggler_rate > 0.0;
+  }
+};
+
+/// What the plan decided for one (node, attempt) execution.
+struct FaultDraw {
+  bool fails = false;          // the attempt fails and must be retried
+  bool executor_loss = false;  // the failure also lost cached partitions
+  bool straggler = false;      // the attempt's slowest task straggles
+  /// Fraction of the attempt's work completed before the failure hit
+  /// (wasted virtual seconds = fail_fraction * attempt seconds).
+  double fail_fraction = 0.0;
+};
+
+/// A compiled, immutable fault schedule. Thread-safe by construction: every
+/// method is const and DrawFor derives a private PRNG per (node, attempt)
+/// from the seed and the node's stable identity, so concurrent scheduler
+/// threads draw identical faults regardless of execution order.
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultInjectionConfig& config) : config_(config) {}
+
+  const FaultInjectionConfig& config() const { return config_; }
+  bool Enabled() const { return config_.Enabled(); }
+
+  /// The fault decision for attempt `attempt` (0-based) of the node with
+  /// the given plan id and structural fingerprint. Deterministic: same
+  /// (seed, id, fingerprint, attempt) always yields the same draw.
+  FaultDraw DrawFor(int node_id, const std::string& fingerprint,
+                    int attempt) const;
+
+  std::string ToString() const;
+
+ private:
+  FaultInjectionConfig config_;
+};
+
+}  // namespace faults
+}  // namespace keystone
+
+#endif  // KEYSTONE_SIM_FAULTS_FAULT_PLAN_H_

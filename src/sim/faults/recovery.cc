@@ -1,0 +1,100 @@
+#include "src/sim/faults/recovery.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/sim/virtual_time.h"
+
+namespace keystone {
+namespace faults {
+
+const char* FaultEventKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kTaskFailure:
+      return "task-failure";
+    case FaultEvent::Kind::kExecutorLoss:
+      return "executor-loss";
+    case FaultEvent::Kind::kStraggler:
+      return "straggler";
+  }
+  return "unknown";
+}
+
+double StragglerOverheadSeconds(const RecoveryContext& ctx,
+                                const FaultInjectionConfig& config) {
+  if (ctx.base_seconds <= 0.0) return 0.0;
+  const size_t tasks = std::max<size_t>(1, ctx.partitions);
+  const int slots = std::max(1, ctx.slots);
+  // Recover the per-task time that makes the clean schedule's makespan
+  // equal the node's modeled seconds: equal tasks list-schedule into
+  // ceil(tasks / slots) waves.
+  const size_t waves = (tasks + static_cast<size_t>(slots) - 1) /
+                       static_cast<size_t>(slots);
+  const double task_seconds = ctx.base_seconds / static_cast<double>(waves);
+  double multiplier = config.straggler_multiplier;
+  if (config.speculative_execution) {
+    // A backup copy launches once the task overruns; the effective
+    // slowdown is capped at the speculation window.
+    multiplier = std::min(multiplier, config.speculation_cap);
+  }
+  if (multiplier <= 1.0) return 0.0;
+  std::vector<double> task_times(tasks, task_seconds);
+  task_times[0] = task_seconds * multiplier;  // the straggling task
+  const double makespan = StageMakespan(task_times, slots);
+  return std::max(0.0, makespan - ctx.base_seconds);
+}
+
+FaultOutcome SimulateNodeFaults(const FaultPlan& plan,
+                                const RecoveryContext& ctx) {
+  FaultOutcome out;
+  if (!plan.Enabled()) return out;
+  const RetryPolicy& retry = plan.config().retry;
+  KS_CHECK_GE(retry.max_retries, 0);
+
+  for (int attempt = 0;; ++attempt) {
+    const FaultDraw draw =
+        plan.DrawFor(ctx.node_id, ctx.fingerprint, attempt);
+    const bool can_retry = attempt < retry.max_retries;
+    if (draw.fails && can_retry) {
+      FaultEvent event;
+      event.kind = draw.executor_loss ? FaultEvent::Kind::kExecutorLoss
+                                      : FaultEvent::Kind::kTaskFailure;
+      event.attempt = attempt;
+      event.wasted_seconds = draw.fail_fraction * ctx.base_seconds;
+      event.backoff_seconds = retry.BackoffSeconds(attempt);
+      if (draw.executor_loss) {
+        // Cached partitions died with the executor: full lineage recompute.
+        event.recovery_seconds = ctx.full_lineage_seconds;
+        event.cache_recovery = false;
+      } else {
+        event.recovery_seconds = ctx.lineage_recovery_seconds;
+        event.cache_recovery = ctx.inputs_materialized;
+      }
+      out.overhead_seconds += event.wasted_seconds + event.backoff_seconds +
+                              event.recovery_seconds;
+      out.events.push_back(event);
+      continue;
+    }
+
+    // This attempt completes — naturally, or forced because the retry
+    // budget ran out (the simulator must terminate either way).
+    out.retries_exhausted = draw.fails;
+    if (draw.straggler) {
+      const double slow = StragglerOverheadSeconds(ctx, plan.config());
+      if (slow > 0.0) {
+        FaultEvent event;
+        event.kind = FaultEvent::Kind::kStraggler;
+        event.attempt = attempt;
+        event.recovery_seconds = slow;
+        out.overhead_seconds += slow;
+        out.events.push_back(event);
+      }
+    }
+    out.attempts = attempt + 1;
+    return out;
+  }
+}
+
+}  // namespace faults
+}  // namespace keystone

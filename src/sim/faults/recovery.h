@@ -1,0 +1,99 @@
+#ifndef KEYSTONE_SIM_FAULTS_RECOVERY_H_
+#define KEYSTONE_SIM_FAULTS_RECOVERY_H_
+
+// Recovery simulation: replays one node execution under a FaultPlan and
+// prices what the cluster would have paid to survive the injected faults —
+// wasted partial work, retry backoff, lineage recomputation of
+// non-materialized upstream outputs (or the far cheaper cache read when the
+// inputs were materialized), and straggler slowdown bounded by speculative
+// execution. Everything is virtual time; the real kernels run exactly once.
+
+#include <string>
+#include <vector>
+
+#include "src/sim/faults/fault_plan.h"
+
+namespace keystone {
+namespace faults {
+
+/// What one injected fault cost, in virtual seconds.
+struct FaultEvent {
+  enum class Kind { kTaskFailure, kExecutorLoss, kStraggler };
+
+  Kind kind = Kind::kTaskFailure;
+  int attempt = 0;  // 0-based attempt the fault hit
+  /// Partial work lost when the attempt died (failures only).
+  double wasted_seconds = 0.0;
+  /// Retry scheduling delay charged before the next attempt.
+  double backoff_seconds = 0.0;
+  /// Re-acquiring the node's inputs: lineage recompute or cache read.
+  double recovery_seconds = 0.0;
+  /// True when every input was re-read from the materialized cache (task
+  /// failures with fully cached inputs); false when lineage recompute ran.
+  bool cache_recovery = false;
+};
+
+const char* FaultEventKindName(FaultEvent::Kind kind);
+
+/// Total fault overhead of one node execution.
+struct FaultOutcome {
+  std::vector<FaultEvent> events;
+  int attempts = 1;  // total attempts including the successful one
+  /// True when max_retries was exhausted and the final attempt was forced
+  /// to succeed despite an injected failure draw.
+  bool retries_exhausted = false;
+  /// Sum of all event costs: wasted + backoff + recovery + straggler.
+  double overhead_seconds = 0.0;
+
+  bool Any() const { return !events.empty(); }
+};
+
+/// Everything recovery pricing needs to know about the node execution it is
+/// replaying. The caller (PlanRunner) fills this from the run's per-node
+/// outcomes, so the numbers reflect the schedule actually being executed.
+struct RecoveryContext {
+  int node_id = -1;
+  std::string fingerprint;
+
+  /// Modeled virtual seconds of one clean execution of this node.
+  double base_seconds = 0.0;
+
+  /// Partition/slot shape of the node's stage, for the straggler model:
+  /// the stage is treated as `partitions` equal tasks list-scheduled over
+  /// `slots` workers (StageMakespan).
+  size_t partitions = 1;
+  int slots = 1;
+
+  /// Seconds to re-acquire the node's inputs when a retry respects the
+  /// materialized set: cached inputs are re-read from cluster memory,
+  /// non-cached ones pay their upstream recompute chain.
+  double lineage_recovery_seconds = 0.0;
+
+  /// Seconds to re-acquire the inputs when cached partitions were lost
+  /// with their executor: the full upstream chain recomputes, cache or not.
+  double full_lineage_seconds = 0.0;
+
+  /// True when every direct input was materialized (a task-failure retry
+  /// recovers purely from cache).
+  bool inputs_materialized = false;
+};
+
+/// Extra virtual seconds a straggling attempt adds: the stage's tasks are
+/// laid out with StageMakespan, the slowest task is slowed by the
+/// configured multiplier (capped by speculative execution when enabled),
+/// and the overhead is the makespan growth over the clean schedule.
+double StragglerOverheadSeconds(const RecoveryContext& ctx,
+                                const FaultInjectionConfig& config);
+
+/// Replays the node execution under `plan`: draws each attempt's fault,
+/// prices failures (wasted work + backoff + input recovery) until an
+/// attempt succeeds or retries are exhausted, and adds straggler overhead
+/// on the successful attempt. Pure and deterministic — identical inputs
+/// always produce identical outcomes, on any thread.
+FaultOutcome SimulateNodeFaults(const FaultPlan& plan,
+                                const RecoveryContext& ctx);
+
+}  // namespace faults
+}  // namespace keystone
+
+#endif  // KEYSTONE_SIM_FAULTS_RECOVERY_H_

@@ -1,6 +1,7 @@
 #include "src/sim/virtual_time.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <sstream>
 
@@ -18,7 +19,16 @@ double VirtualTimeLedger::Charge(const std::string& stage,
 
 void VirtualTimeLedger::ChargeSeconds(const std::string& stage,
                                       double seconds) {
-  KS_CHECK_GE(seconds, 0.0);
+  // Input hygiene: a NaN or infinite charge would silently corrupt
+  // TotalSeconds() and every report derived from it (NaN also poisons all
+  // later additions), and a negative charge would let a bad cost profile
+  // claw time back. Fail loudly at the source instead.
+  KS_CHECK(std::isfinite(seconds))
+      << "non-finite virtual-time charge to stage '" << stage
+      << "': " << seconds;
+  KS_CHECK_GE(seconds, 0.0)
+      << "negative virtual-time charge to stage '" << stage << "'";
+  double total = 0.0;
   {
     MutexLock lock(&mu_);
     auto it = stage_seconds_.find(stage);
@@ -28,10 +38,12 @@ void VirtualTimeLedger::ChargeSeconds(const std::string& stage,
     } else {
       it->second += seconds;
     }
+    for (const auto& [_, s] : stage_seconds_) total += s;
   }
   if (metrics_ != nullptr) {
     metrics_->Increment("ledger.charges");
     metrics_->Observe("ledger.charge_seconds", seconds);
+    metrics_->Set("ledger.total_seconds", total);
   }
 }
 
@@ -60,9 +72,15 @@ std::vector<std::pair<std::string, double>> VirtualTimeLedger::Breakdown()
 }
 
 void VirtualTimeLedger::Reset() {
-  MutexLock lock(&mu_);
-  stage_order_.clear();
-  stage_seconds_.clear();
+  {
+    MutexLock lock(&mu_);
+    // Cleared together: Breakdown() iterates stage_order_ and indexes
+    // stage_seconds_ by those names, so the two must never diverge.
+    stage_order_.clear();
+    stage_seconds_.clear();
+  }
+  // Keep any attached gauge coherent with the now-empty ledger.
+  if (metrics_ != nullptr) metrics_->Set("ledger.total_seconds", 0.0);
 }
 
 std::string VirtualTimeLedger::ToString() const {
@@ -76,15 +94,20 @@ std::string VirtualTimeLedger::ToString() const {
 }
 
 double StageMakespan(const std::vector<double>& task_seconds, int slots) {
-  KS_CHECK_GT(slots, 0);
+  // An empty stage takes no time regardless of the slot count — checked
+  // before the slots guard so callers scheduling zero tasks on a cluster
+  // they haven't sized yet get 0, not an abort.
   if (task_seconds.empty()) return 0.0;
+  KS_CHECK_GT(slots, 0) << "cannot schedule " << task_seconds.size()
+                        << " tasks on a cluster with no worker slots";
   std::vector<double> sorted = task_seconds;
   std::sort(sorted.begin(), sorted.end(), std::greater<double>());
   // Min-heap of per-slot finish times.
   std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
   for (int i = 0; i < slots; ++i) heap.push(0.0);
   for (double t : sorted) {
-    KS_CHECK_GE(t, 0.0);
+    KS_CHECK(std::isfinite(t) && t >= 0.0)
+        << "invalid task duration " << t << " in stage makespan";
     const double earliest = heap.top();
     heap.pop();
     heap.push(earliest + t);

@@ -29,7 +29,11 @@ class VirtualTimeLedger {
   /// Charges the estimated seconds for a critical-path cost profile.
   double Charge(const std::string& stage, const CostProfile& cost);
 
-  /// Charges a raw number of virtual seconds.
+  /// Charges a raw number of virtual seconds. The charge must be finite
+  /// and non-negative (KS_CHECK): a NaN/infinite/negative charge would
+  /// silently corrupt TotalSeconds() and every report built from it. When
+  /// a metrics registry is attached, the `ledger.total_seconds` gauge
+  /// tracks the running total (and is reset to 0 by Reset()).
   void ChargeSeconds(const std::string& stage, double seconds) EXCLUDES(mu_);
 
   /// Total virtual seconds across all stages.
@@ -62,7 +66,10 @@ class VirtualTimeLedger {
 
 /// Makespan (seconds) of independent tasks greedily list-scheduled over
 /// `slots` parallel workers, longest-processing-time-first. Used to simulate
-/// a distributed stage made of per-partition tasks.
+/// a distributed stage made of per-partition tasks (and the fault layer's
+/// straggler model). An empty task list returns 0 for any slot count;
+/// scheduling a non-empty list on `slots <= 0` or passing a negative or
+/// non-finite task duration KS_CHECK-fails with a clear message.
 double StageMakespan(const std::vector<double>& task_seconds, int slots);
 
 }  // namespace keystone

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/sim/cost_profile.h"
@@ -151,6 +153,46 @@ TEST(VirtualTimeLedgerTest, ChargesFeedAttachedMetrics) {
   EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 4.0);
 }
 
+TEST(VirtualTimeLedgerTest, RejectsNonFiniteAndNegativeCharges) {
+  VirtualTimeLedger ledger(ClusterResourceDescriptor::R3_4xlarge(2));
+  EXPECT_DEATH(ledger.ChargeSeconds("Bad", -1.0), "negative virtual-time");
+  EXPECT_DEATH(
+      ledger.ChargeSeconds("Bad", std::numeric_limits<double>::quiet_NaN()),
+      "non-finite virtual-time");
+  EXPECT_DEATH(
+      ledger.ChargeSeconds("Bad", std::numeric_limits<double>::infinity()),
+      "non-finite virtual-time");
+  // The ledger is untouched by the rejected charges.
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 0.0);
+  EXPECT_TRUE(ledger.Breakdown().empty());
+}
+
+TEST(VirtualTimeLedgerTest, ChargeWithNonFiniteCostProfileDies) {
+  // A poisoned cost profile must not corrupt TotalSeconds() via Charge().
+  VirtualTimeLedger ledger(ClusterResourceDescriptor::R3_4xlarge(2));
+  CostProfile bad(std::numeric_limits<double>::quiet_NaN(), 0, 0, 0);
+  EXPECT_DEATH(ledger.Charge("Bad", bad), "non-finite virtual-time");
+}
+
+TEST(VirtualTimeLedgerTest, TotalSecondsGaugeTracksChargesAndReset) {
+  obs::MetricsRegistry registry;
+  VirtualTimeLedger ledger(ClusterResourceDescriptor::R3_4xlarge(2));
+  ledger.set_metrics(&registry);
+  ledger.ChargeSeconds("Load", 2.0);
+  ledger.ChargeSeconds("Solve", 3.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ledger.total_seconds")->Value(), 5.0);
+  // Reset clears the stages and the gauge together: a stale gauge after
+  // Reset would report time the ledger no longer holds.
+  ledger.Reset();
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 0.0);
+  EXPECT_TRUE(ledger.Breakdown().empty());
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ledger.total_seconds")->Value(), 0.0);
+  // Charges after a reset resume coherently.
+  ledger.ChargeSeconds("Load", 1.5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ledger.total_seconds")->Value(), 1.5);
+  EXPECT_DOUBLE_EQ(ledger.TotalSeconds(), 1.5);
+}
+
 TEST(StageMakespanTest, SingleSlotIsSum) {
   EXPECT_DOUBLE_EQ(StageMakespan({1, 2, 3}, 1), 6.0);
 }
@@ -167,6 +209,28 @@ TEST(StageMakespanTest, DominantTask) {
 
 TEST(StageMakespanTest, EmptyTasks) {
   EXPECT_DOUBLE_EQ(StageMakespan({}, 4), 0.0);
+}
+
+TEST(StageMakespanTest, EmptyTasksWithNoSlotsIsStillZero) {
+  // Zero tasks take zero time even before the cluster has any slots; the
+  // empty check must precede the slots guard (regression: this aborted).
+  EXPECT_DOUBLE_EQ(StageMakespan({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(StageMakespan({}, -3), 0.0);
+}
+
+TEST(StageMakespanTest, TasksWithoutSlotsDie) {
+  EXPECT_DEATH(StageMakespan({1.0, 2.0}, 0), "no worker slots");
+  EXPECT_DEATH(StageMakespan({1.0}, -1), "no worker slots");
+}
+
+TEST(StageMakespanTest, InvalidTaskDurationsDie) {
+  EXPECT_DEATH(StageMakespan({1.0, -2.0}, 2), "invalid task duration");
+  EXPECT_DEATH(
+      StageMakespan({std::numeric_limits<double>::quiet_NaN()}, 2),
+      "invalid task duration");
+  EXPECT_DEATH(
+      StageMakespan({std::numeric_limits<double>::infinity()}, 2),
+      "invalid task duration");
 }
 
 TEST(StageMakespanTest, LptBalancesLoad) {

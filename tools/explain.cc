@@ -4,14 +4,21 @@
 // materialization ledger), the per-resource occupancy timeline of the run,
 // and the cost-model calibration (estimated vs observed residuals).
 //
-// Usage: explain [--json] [--strict] [workload...]
+// Usage: explain [--json] [--strict] [--fault-rate=R] [--fault-seed=S]
+//                [workload...]
 //   --json       machine-readable output (one JSON object per workload)
 //   --strict     exit nonzero when any workload produces an empty decision
 //                log or a non-finite calibration residual (the CI gate)
+//   --fault-rate=R  replay each fit under an injected fault schedule: task
+//                failures at rate R per attempt (executor losses at R/4,
+//                stragglers at R/2); fault recoveries then appear in the
+//                decision log and the recovery timeline track
+//   --fault-seed=S  seed of the injected fault schedule (default 42)
 //   workload     subset to explain (default: all six shipped workloads)
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,29 +29,52 @@
 #include "src/obs/profile_store.h"
 #include "src/obs/resource_timeline.h"
 #include "src/obs/trace.h"
+#include "src/sim/faults/fault_plan.h"
 #include "src/sim/resources.h"
 #include "tools/shipped_workloads.h"
 
 namespace keystone {
 namespace {
 
+bool TakeValue(const char* arg, const char* prefix, std::string* out) {
+  const size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  *out = arg + n;
+  return true;
+}
+
 int Run(int argc, char** argv) {
   bool json = false;
   bool strict = false;
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 42;
+  std::string value;
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (TakeValue(argv[i], "--fault-rate=", &value)) {
+      fault_rate = std::strtod(value.c_str(), nullptr);
+    } else if (TakeValue(argv[i], "--fault-seed=", &value)) {
+      fault_seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
-                   "usage: explain [--json] [--strict] [workload...]\n");
+                   "usage: explain [--json] [--strict] [--fault-rate=R] "
+                   "[--fault-seed=S] [workload...]\n");
       return 2;
     } else {
       wanted.emplace_back(argv[i]);
     }
   }
+
+  faults::FaultInjectionConfig fault_config;
+  fault_config.seed = fault_seed;
+  fault_config.task_failure_rate = fault_rate;
+  fault_config.executor_loss_rate = fault_rate / 4.0;
+  fault_config.straggler_rate = fault_rate / 2.0;
+  const faults::FaultPlan fault_plan(fault_config);
 
   const auto targets = tools::ShippedWorkloads();
   int matched = 0;
@@ -73,6 +103,9 @@ int Run(int argc, char** argv) {
     executor.context()->set_metrics(&metrics);
     executor.context()->set_profile_store(&store);
     executor.context()->set_timeline(&timeline);
+    if (fault_plan.Enabled()) {
+      executor.context()->set_fault_plan(&fault_plan);
+    }
 
     PipelineReport report;
     const auto fitted = executor.FitGraph(*target.graph, target.placeholder,
