@@ -1,0 +1,219 @@
+// Serving experiment: micro-batched, multi-tenant pipeline serving under
+// open-loop load. Two fitted pipelines (Amazon text classification and the
+// YouTube dense model) share one PipelineServer; a seeded Poisson workload
+// sweeps arrival rates, and each rate runs both unbatched (max_batch=1) and
+// micro-batched (max_batch=16) at the same SLO. Reported per configuration:
+// p50/p99/p999 latency, sustained throughput, SLO attainment, and shed
+// counts — the latency/throughput trade the per-batch scheduling overhead
+// creates, and how batching amortizes it.
+//
+// The bench also self-checks the serving determinism claim (byte-identical
+// response streams for kernel pools of 1 vs 4 threads) and, in --smoke
+// mode, doubles as the CI gate: it fails unless batching sustains strictly
+// higher throughput than unbatched serving at the saturating rate.
+//
+// Usage: bench_serving [--smoke] [ObsSession flags]
+//   --smoke   smaller corpora and request counts (CI-sized, ~seconds)
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/check.h"
+#include "src/core/executor.h"
+#include "src/serve/load_generator.h"
+#include "src/serve/pipeline_server.h"
+#include "src/serve/request.h"
+#include "src/serve/servable_pipeline.h"
+#include "src/serve/serve_options.h"
+#include "src/sim/resources.h"
+#include "src/solvers/solvers.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/pipelines.h"
+
+namespace keystone {
+namespace {
+
+using serve::MergedSource;
+using serve::OpenLoopSource;
+using serve::PipelineServer;
+using serve::ServablePipeline;
+using serve::ServeOptions;
+using serve::ServeReport;
+using serve::ServerConfig;
+using serve::TypedRequestCodec;
+
+struct ServingFixture {
+  std::shared_ptr<FittedPipelineUntyped> amazon;
+  std::shared_ptr<FittedPipelineUntyped> youtube;
+  std::shared_ptr<serve::RequestCodec> amazon_codec;
+  std::shared_ptr<serve::RequestCodec> youtube_codec;
+};
+
+ClusterResourceDescriptor Cluster() {
+  return ClusterResourceDescriptor::R3_4xlarge(4);
+}
+
+/// Fits both tenant pipelines once; every serving configuration reuses the
+/// same fitted models and payload universes (the test splits).
+ServingFixture BuildFixture(bool smoke) {
+  ServingFixture fixture;
+  {
+    workloads::TextCorpus corpus = workloads::AmazonLike(
+        smoke ? 400 : 2000, smoke ? 80 : 200, 30, 1000, 81);
+    LinearSolverConfig solver;
+    solver.num_classes = 2;
+    solver.lbfgs_iterations = smoke ? 5 : 20;
+    auto pipe =
+        workloads::BuildAmazonPipeline(corpus, smoke ? 1000 : 4000, solver);
+    PipelineExecutor executor(Cluster(), OptimizationConfig::Full());
+    fixture.amazon = executor.Fit(pipe).impl_ptr();
+    fixture.amazon_codec =
+        std::make_shared<TypedRequestCodec<std::string, std::vector<double>>>(
+            corpus.test_docs->Collect());
+  }
+  {
+    workloads::DenseCorpus corpus = workloads::DenseClasses(
+        smoke ? 600 : 2500, smoke ? 120 : 250, 64, 8, 7.0, 83);
+    LinearSolverConfig solver;
+    solver.num_classes = 8;
+    auto pipe = workloads::BuildYoutubePipeline(corpus, solver);
+    PipelineExecutor executor(Cluster(), OptimizationConfig::Full());
+    fixture.youtube = executor.Fit(pipe).impl_ptr();
+    fixture.youtube_codec = std::make_shared<
+        TypedRequestCodec<std::vector<double>, std::vector<double>>>(
+        corpus.test->Collect());
+  }
+  return fixture;
+}
+
+/// One serving configuration: both tenants at `rate_per_tenant`, batching
+/// capped at `max_batch`. Returns the report (and the response stream when
+/// `stream_out` is set, for the determinism check).
+ServeReport RunConfig(const ServingFixture& fixture, double rate_per_tenant,
+                      size_t max_batch, size_t requests_per_tenant,
+                      size_t num_threads, std::string* stream_out) {
+  ServerConfig config;
+  config.server_slots = 4;
+  config.num_threads = num_threads;
+  PipelineServer server(Cluster(), config);
+  ServeOptions options;
+  options.max_batch_size = max_batch;
+  options.max_batch_delay_seconds = 0.05;
+  options.queue_depth = 64;
+  options.slo_seconds = 4.0;
+  options.cost_admission = true;
+  options.admission_headroom = 1.0;
+  const int amazon = server.AddTenant(
+      "amazon", ServablePipeline(fixture.amazon), fixture.amazon_codec,
+      options);
+  const int youtube = server.AddTenant(
+      "youtube", ServablePipeline(fixture.youtube), fixture.youtube_codec,
+      options);
+  OpenLoopSource amazon_load(amazon, rate_per_tenant, requests_per_tenant,
+                             fixture.amazon_codec->NumPayloads(), 2024);
+  OpenLoopSource youtube_load(youtube, rate_per_tenant, requests_per_tenant,
+                              fixture.youtube_codec->NumPayloads(), 4048);
+  MergedSource load({&amazon_load, &youtube_load});
+  ServeReport report = server.Run(&load);
+  if (stream_out != nullptr) *stream_out = report.ResponseStream();
+  return report;
+}
+
+int Run(int argc, char** argv) {
+  bench::ObsSession session("serving", argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::Banner("Pipeline serving: micro-batching vs per-request dispatch",
+                "Two tenants (Amazon text, YouTube dense) on one server; "
+                "open-loop Poisson arrivals swept across rates, batch=1 vs "
+                "batch=16 at a fixed 4s SLO.");
+
+  std::printf("[serving] fitting tenant pipelines (%s mode)...\n",
+              smoke ? "smoke" : "full");
+  const ServingFixture fixture = BuildFixture(smoke);
+  const size_t requests = smoke ? 120 : 600;
+  const std::vector<double> rates = {2.0, 8.0, 32.0};
+  const std::vector<size_t> batch_sizes = {1, 16};
+
+  std::string results_json = "{\"slo_seconds\":4.0,\"configs\":[";
+  bool first = true;
+  // throughput[batch index] at the saturating (last) rate, for the gate.
+  double saturated_throughput[2] = {0.0, 0.0};
+  for (double rate : rates) {
+    for (size_t b = 0; b < batch_sizes.size(); ++b) {
+      const size_t batch = batch_sizes[b];
+      const ServeReport report =
+          RunConfig(fixture, rate, batch, requests, 0, nullptr);
+      double completed = 0.0;
+      for (const auto& tenant : report.tenants) {
+        completed += static_cast<double>(tenant.completed);
+      }
+      const double throughput = report.makespan_seconds > 0.0
+                                    ? completed / report.makespan_seconds
+                                    : 0.0;
+      if (rate == rates.back()) saturated_throughput[b] = throughput;
+      std::printf("\n--- rate %.0f rps/tenant, max_batch=%zu ---\n%s",
+                  rate, batch, report.ToString().c_str());
+      char head[128];
+      std::snprintf(head, sizeof(head),
+                    "%s{\"rate_per_tenant\":%g,\"max_batch\":%zu,"
+                    "\"total_throughput_rps\":%g,\"report\":",
+                    first ? "" : ",", rate, batch, throughput);
+      results_json += head;
+      results_json += report.ToJson();
+      results_json += "}";
+      first = false;
+    }
+  }
+
+  // Determinism self-check: the saturating batched configuration must
+  // produce byte-identical response streams on 1- and 4-thread kernel
+  // pools.
+  std::string stream_1thread, stream_4thread;
+  RunConfig(fixture, rates.back(), 16, requests, 1, &stream_1thread);
+  RunConfig(fixture, rates.back(), 16, requests, 4, &stream_4thread);
+  const bool deterministic = stream_1thread == stream_4thread;
+  std::printf("\n[serving] determinism (1 vs 4 kernel threads): %s\n",
+              deterministic ? "byte-identical" : "MISMATCH");
+  std::printf("[serving] sustained throughput at %g rps/tenant: "
+              "batch=1 -> %.2f rps, batch=16 -> %.2f rps (%.2fx)\n",
+              rates.back(), saturated_throughput[0], saturated_throughput[1],
+              saturated_throughput[0] > 0.0
+                  ? saturated_throughput[1] / saturated_throughput[0]
+                  : 0.0);
+
+  results_json += "],\"determinism\":";
+  results_json += deterministic ? "\"pass\"" : "\"FAIL\"";
+  results_json += ",\"saturated_throughput_batch1_rps\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", saturated_throughput[0]);
+  results_json += buf;
+  results_json += ",\"saturated_throughput_batch16_rps\":";
+  std::snprintf(buf, sizeof(buf), "%g", saturated_throughput[1]);
+  results_json += buf;
+  results_json += "}";
+  session.AddJsonField("serving", results_json);
+
+  if (!deterministic) {
+    std::fprintf(stderr, "[serving] FAIL: responses differ across thread "
+                         "counts\n");
+    return 1;
+  }
+  if (saturated_throughput[1] <= saturated_throughput[0]) {
+    std::fprintf(stderr, "[serving] FAIL: micro-batching did not raise "
+                         "sustained throughput at saturation\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main(int argc, char** argv) { return keystone::Run(argc, argv); }

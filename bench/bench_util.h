@@ -5,6 +5,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/string_util.h"
@@ -60,6 +61,15 @@ class ObsSession {
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Attaches an extra top-level field to BENCH_<name>.json. `json_value`
+  /// must already be valid JSON (object, array, number, or quoted string);
+  /// it is written verbatim. Benches use this to embed structured results
+  /// (e.g. bench_serving's per-configuration latency/throughput tables)
+  /// alongside the standard wall/virtual-time record.
+  void AddJsonField(const std::string& key, std::string json_value) {
+    extra_fields_.emplace_back(key, std::move(json_value));
+  }
 
   ~ObsSession() {
     auto& tracer = obs::TraceRecorder::Global();
@@ -135,14 +145,19 @@ class ObsSession {
       std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ",",
                    JsonEscape(args_[i]).c_str());
     }
-    std::fprintf(f, "],\"spans\":%zu}}\n",
+    std::fprintf(f, "],\"spans\":%zu}",
                  obs::TraceRecorder::Global().NumSpans());
+    for (const auto& [key, value] : extra_fields_) {
+      std::fprintf(f, ",\"%s\":%s", JsonEscape(key).c_str(), value.c_str());
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("[obs] wrote bench result to %s\n", path.c_str());
   }
 
   std::string bench_name_;
   std::vector<std::string> args_;
+  std::vector<std::pair<std::string, std::string>> extra_fields_;
   Timer wall_;
   std::string trace_path_;
   std::string metrics_path_;

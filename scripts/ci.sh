@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: repo lint, tier-1 verification with warnings-as-errors,
 # the pipeline_lint static-analysis pass, the explain observability pass
-# (decision provenance + calibration over every shipped workload), then a
+# (decision provenance + calibration over every shipped workload), the
+# serving smoke gate (determinism + batching-throughput checks), then a
 # sanitizer matrix running the full test suite under each sanitizer.
 #
 #   scripts/ci.sh                  # lint + tier-1 + ASan, UBSan, TSan legs
@@ -46,6 +47,13 @@ echo "=== fault injection: explain over a faulted run ==="
 # in the decision log and the calibration must stay finite under retries.
 ./build/tools/explain --strict --fault-rate=0.3 --fault-seed=7 > /dev/null
 
+echo "=== serving: bench_serving smoke gate ==="
+# Serves two tenants across an arrival-rate sweep; exits nonzero unless
+# responses are byte-identical across kernel-pool sizes AND micro-batching
+# sustains strictly higher throughput than per-request dispatch at
+# saturation.
+(cd build/bench && ./bench_serving --smoke --no-bench-json > /dev/null)
+
 if [[ "$RUN_SANITIZED" == 1 ]]; then
   for sanitizer in $SANITIZERS; do
     echo "=== ${sanitizer} sanitizer pass (full suite) ==="
@@ -57,8 +65,10 @@ if [[ "$RUN_SANITIZED" == 1 ]]; then
     cmake --build "build-${sanitizer}" -j"$(nproc)"
     if [[ "$sanitizer" == thread ]]; then
       # runner = the PlanRunner branch scheduler; faults = the fault-replay
-      # suite, whose ledger/metrics/trace fan-out runs inside that scheduler.
-      (cd "build-${sanitizer}" && ctest -L 'runner|faults' --output-on-failure)
+      # suite, whose ledger/metrics/trace fan-out runs inside that scheduler;
+      # serve = the PipelineServer request path, which runs kernels on its
+      # own pool while the event loop publishes obs state.
+      (cd "build-${sanitizer}" && ctest -L 'runner|faults|serve' --output-on-failure)
     else
       (cd "build-${sanitizer}" && ctest --output-on-failure -j"$(nproc)")
     fi

@@ -366,5 +366,82 @@ ValidationReport ValidateFaultConfig(
   return report;
 }
 
+ValidationReport ValidateServablePlan(
+    const PhysicalPlan& plan,
+    const std::map<int, std::shared_ptr<TransformerBase>>* models) {
+  ValidationReport report;
+  const int n = static_cast<int>(plan.nodes.size());
+  if (plan.placeholder < 0 || plan.placeholder >= n) {
+    report.Add(Severity::kError, rules::kServePlaceholderMissing,
+               plan.placeholder,
+               "plan has no runtime placeholder: nothing binds the request "
+               "input at serve time");
+    return report;  // The runtime mask is meaningless without one.
+  }
+
+  if (plan.NumRuntimeNodes() == 0) {
+    report.Add(Severity::kError, rules::kServeEmptyRuntimePath,
+               plan.placeholder,
+               "runtime mask is empty: no node consumes the placeholder on "
+               "a path to the sink");
+  }
+  if (plan.sink >= 0 && plan.sink < n && !plan.nodes[plan.sink].runtime) {
+    report.Add(Severity::kError, rules::kServeTrainOnlyTerminal, plan.sink,
+               "sink '" + plan.nodes[plan.sink].name +
+                   "' is not on the runtime path: the response terminal is "
+                   "train-only and will be stripped");
+  }
+
+  for (const PlannedNode& pn : plan.nodes) {
+    if (!pn.runtime) continue;
+    const GraphNode& node = plan.graph->node(pn.id);
+    switch (pn.kind) {
+      case NodeKind::kEstimator:
+        report.Add(Severity::kError, rules::kServeEstimatorOnRuntimePath,
+                   pn.id,
+                   "estimator '" + pn.name +
+                       "' sits on the runtime path; fitting cannot run per "
+                       "request (models must be fitted ahead of serving)");
+        break;
+      case NodeKind::kSource:
+        if (node.bound_data == nullptr) {
+          report.Add(Severity::kError, rules::kServeUnboundSource, pn.id,
+                     "source '" + pn.name +
+                         "' on the runtime path has no bound dataset");
+        }
+        break;
+      case NodeKind::kPlaceholder:
+        // The plan's own placeholder is excluded from the runtime mask by
+        // construction, so any placeholder seen here is a second, unbound
+        // request input nothing will feed.
+        report.Add(Severity::kError, rules::kServeUnboundSource, pn.id,
+                   "placeholder '" + pn.name +
+                       "' on the runtime path is not the plan's runtime "
+                       "input and nothing binds it at serve time");
+        break;
+      default:
+        break;
+    }
+
+    for (int dep : pn.inputs) {
+      if (dep < 0 || dep >= n) continue;  // structural rules cover this
+      if (dep == plan.placeholder || plan.nodes[dep].runtime) continue;
+      report.Add(Severity::kError, rules::kServeTrainDependency, pn.id,
+                 "runtime node '" + pn.name + "' reads dataset output of '" +
+                     plan.nodes[dep].name +
+                     "' which is train-only and unavailable at serve time");
+    }
+
+    if (pn.kind == NodeKind::kApplyModel && models != nullptr &&
+        models->find(pn.model_input) == models->end()) {
+      report.Add(Severity::kError, rules::kServeModelMissing, pn.id,
+                 "apply-model node '" + pn.name +
+                     "' has no fitted model for estimator node " +
+                     std::to_string(pn.model_input));
+    }
+  }
+  return report;
+}
+
 }  // namespace analysis
 }  // namespace keystone

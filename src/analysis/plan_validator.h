@@ -1,10 +1,13 @@
 #ifndef KEYSTONE_ANALYSIS_PLAN_VALIDATOR_H_
 #define KEYSTONE_ANALYSIS_PLAN_VALIDATOR_H_
 
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analysis/diagnostics.h"
+#include "src/core/physical_plan.h"
 #include "src/core/pipeline_graph.h"
 #include "src/optimizer/materialization.h"
 #include "src/sim/cost_profile.h"
@@ -47,6 +50,15 @@ inline constexpr char kCostProfile[] = "cost.profile";
 inline constexpr char kFaultRate[] = "fault.rate";
 inline constexpr char kFaultRetry[] = "fault.retry";
 inline constexpr char kFaultStraggler[] = "fault.straggler";
+// --- Servable-plan rules (the apply-masked runtime path) ----------------
+inline constexpr char kServePlaceholderMissing[] = "serve.placeholder-missing";
+inline constexpr char kServeEmptyRuntimePath[] = "serve.empty-runtime-path";
+inline constexpr char kServeTrainOnlyTerminal[] = "serve.train-only-terminal";
+inline constexpr char kServeTrainDependency[] = "serve.train-dependency";
+inline constexpr char kServeUnboundSource[] = "serve.unbound-source";
+inline constexpr char kServeEstimatorOnRuntimePath[] =
+    "serve.estimator-on-runtime-path";
+inline constexpr char kServeModelMissing[] = "serve.model-missing";
 }  // namespace rules
 
 /// What the validator knows about the plan beyond the bare graph.
@@ -116,6 +128,24 @@ void CheckCostProfile(const CostProfile& cost, int node,
 /// the fault.* rules; wired behind OptimizationConfig::validate_plans.
 ValidationReport ValidateFaultConfig(
     const faults::FaultInjectionConfig& config);
+
+/// Validates the servable (apply-masked) view of a compiled plan — the
+/// exact node set PlanRunner::RunApply executes per request. Every
+/// condition reported here as a serve.* error would otherwise abort inside
+/// the runner mid-request:
+///  - the plan must carry a runtime placeholder and a non-empty runtime
+///    path ending at the sink (no train-only terminals);
+///  - every dataset edge consumed on the runtime path must come from the
+///    placeholder or another runtime node (train-only intermediates are
+///    stripped and unavailable at serve time);
+///  - no estimator may sit on the runtime path, and any source or
+///    placeholder inside the runtime mask must be the bound runtime input
+///    itself, not an unbound stand-in;
+///  - with `models` supplied (ServablePipeline validation), every
+///    apply-model node must have a fitted model for its estimator.
+ValidationReport ValidateServablePlan(
+    const PhysicalPlan& plan,
+    const std::map<int, std::shared_ptr<TransformerBase>>* models = nullptr);
 
 }  // namespace analysis
 }  // namespace keystone

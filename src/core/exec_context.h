@@ -30,6 +30,16 @@ class FaultPlan;
 /// the ledger. The context also carries the observability sinks — trace
 /// recorder, metrics registry, and observed-cost profile store — which
 /// default to the process-wide instances and may be redirected per context.
+///
+/// The state splits into two layers:
+///  - the shared execution *environment* (cluster description, worker pool,
+///    observability sinks), safely shared across any number of contexts and
+///    long-lived (a PipelineExecutor or a PipelineServer owns one); and
+///  - the per-run state (ledger, fault plan, actual-cost slots) that
+///    belongs to exactly one fit or one serving request.
+/// MakeRequestContext() clones the environment into a fresh context with
+/// clean per-run state — the serving path mints one per batch so request
+/// ledgers never bleed into each other or into a concurrent fit.
 class ExecContext {
  public:
   explicit ExecContext(const ClusterResourceDescriptor& resources)
@@ -43,9 +53,14 @@ class ExecContext {
     ledger_.set_metrics(metrics_);
   }
 
+  // --- Shared execution environment --------------------------------------
+
   const ClusterResourceDescriptor& resources() const { return resources_; }
-  VirtualTimeLedger* ledger() { return &ledger_; }
   ThreadPool* pool() { return pool_; }
+  /// Redirects kernel execution to a caller-owned pool (e.g. the
+  /// PipelineServer's dedicated serving pool). The pool is borrowed; the
+  /// caller keeps it alive across every run on this context.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Observability sinks. Never null by default; set to nullptr to disable.
   obs::TraceRecorder* tracer() const { return tracer_; }
@@ -59,6 +74,24 @@ class ExecContext {
   void set_profile_store(obs::ProfileStore* store) { profile_store_ = store; }
   obs::ResourceTimeline* timeline() const { return timeline_; }
   void set_timeline(obs::ResourceTimeline* timeline) { timeline_ = timeline; }
+
+  /// A fresh context sharing this one's environment (resources, pool,
+  /// observability sinks) with clean per-run state: a zeroed ledger, no
+  /// fault plan, no pending actual-cost reports. The serving request path
+  /// reads a request's virtual service seconds off its own ledger.
+  std::unique_ptr<ExecContext> MakeRequestContext() const {
+    auto ctx = std::make_unique<ExecContext>(resources_);
+    ctx->pool_ = pool_;
+    ctx->tracer_ = tracer_;
+    ctx->set_metrics(metrics_);
+    ctx->profile_store_ = profile_store_;
+    ctx->timeline_ = timeline_;
+    return ctx;
+  }
+
+  // --- Per-run state ------------------------------------------------------
+
+  VirtualTimeLedger* ledger() { return &ledger_; }
 
   /// Optional fault-injection plan. When set (and enabled), PlanRunner
   /// replays every full-scale node execution under the plan and charges the

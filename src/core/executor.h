@@ -69,6 +69,13 @@ class FittedPipelineUntyped {
 
   /// The compiled plan this pipeline executes (for inspection/dumping).
   const PhysicalPlan& plan() const { return *plan_; }
+  /// Shared handle to the plan (ServablePipeline keeps it alive).
+  const std::shared_ptr<PhysicalPlan>& plan_ptr() const { return plan_; }
+
+  /// All fitted models, keyed by estimator node id.
+  const std::map<int, std::shared_ptr<TransformerBase>>& models() const {
+    return models_;
+  }
 
   const PipelineGraph& graph() const { return *plan_->graph; }
   int sink() const { return plan_->sink; }

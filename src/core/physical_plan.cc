@@ -170,7 +170,7 @@ int PhysicalPlan::NumRuntimeNodes() const {
   return n;
 }
 
-std::string PhysicalPlan::ToString() const {
+std::string PhysicalPlan::ToString(bool runtime_only) const {
   std::ostringstream os;
   os << "PhysicalPlan{policy=" << CachePolicyName(config.cache_policy)
      << ", opsel=" << (config.operator_selection ? "on" : "off")
@@ -180,9 +180,11 @@ std::string PhysicalPlan::ToString() const {
      << ", placeholder=" << placeholder << ", sink=" << sink
      << ", budget=" << HumanBytes(cache_budget_bytes)
      << ", optimize=" << HumanSeconds(optimize_seconds)
-     << ", profiles=" << (profiles_from_store ? "store" : "live") << "}\n";
+     << ", profiles=" << (profiles_from_store ? "store" : "live");
+  if (runtime_only) os << ", view=runtime";
+  os << "}\n";
   for (const PlannedNode& pn : nodes) {
-    if (!pn.train && !pn.runtime) continue;
+    if (runtime_only ? !pn.runtime : (!pn.train && !pn.runtime)) continue;
     os << "  [" << pn.id << "] " << pn.name;
     if (!pn.physical_name.empty()) {
       os << " -> " << pn.physical_name << " (option " << pn.chosen_option
@@ -215,20 +217,23 @@ std::string PhysicalPlan::ToString() const {
     }
     os << "\n";
   }
-  if (!terminals.empty()) {
-    os << "  terminals:";
-    for (int t : terminals) os << " " << t;
-    os << "\n";
-  }
-  if (decision_log != nullptr && !decision_log->Empty()) {
-    os << decision_log->ToString();
+  if (!runtime_only) {
+    if (!terminals.empty()) {
+      os << "  terminals:";
+      for (int t : terminals) os << " " << t;
+      os << "\n";
+    }
+    if (decision_log != nullptr && !decision_log->Empty()) {
+      os << decision_log->ToString();
+    }
   }
   return os.str();
 }
 
-std::string PhysicalPlan::ToJson() const {
+std::string PhysicalPlan::ToJson(bool runtime_only) const {
   std::ostringstream os;
   os << "{\"policy\":\"" << CachePolicyName(config.cache_policy) << "\""
+     << ",\"view\":\"" << (runtime_only ? "runtime" : "full") << "\""
      << ",\"operator_selection\":"
      << (config.operator_selection ? "true" : "false")
      << ",\"common_subexpression\":"
@@ -248,7 +253,7 @@ std::string PhysicalPlan::ToJson() const {
   os << "],\"nodes\":[";
   bool first = true;
   for (const PlannedNode& pn : nodes) {
-    if (!pn.train && !pn.runtime) continue;
+    if (runtime_only ? !pn.runtime : (!pn.train && !pn.runtime)) continue;
     if (!first) os << ",";
     first = false;
     os << "{\"id\":" << pn.id << ",\"name\":\"" << JsonEscape(pn.name)
@@ -278,7 +283,7 @@ std::string PhysicalPlan::ToJson() const {
        << ",\"full_records\":" << pn.profile.full_records << "}}";
   }
   os << "]";
-  if (decision_log != nullptr && !decision_log->Empty()) {
+  if (!runtime_only && decision_log != nullptr && !decision_log->Empty()) {
     os << ",\"decision_log\":" << decision_log->ToJson();
   }
   os << "}";

@@ -212,10 +212,14 @@ struct PhysicalPlan {
   int NumTrainNodes() const;
   int NumRuntimeNodes() const;
 
-  /// Human-readable plan listing (plan_dump default output).
-  std::string ToString() const;
-  /// Machine-readable plan listing (plan_dump --json).
-  std::string ToJson() const;
+  /// Human-readable plan listing (plan_dump default output). With
+  /// `runtime_only` the listing is the servable view: only apply-masked
+  /// (runtime) nodes, no train terminals, no compile-time decision log —
+  /// exactly what ServablePipeline executes per request.
+  std::string ToString(bool runtime_only = false) const;
+  /// Machine-readable plan listing (plan_dump --json); `runtime_only` as
+  /// for ToString.
+  std::string ToJson(bool runtime_only = false) const;
 };
 
 /// Lowers a logical graph to the initial physical plan: resolves default

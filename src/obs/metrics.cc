@@ -32,20 +32,75 @@ void AtomicAdd(std::atomic<double>* slot, double delta) {
 
 }  // namespace
 
+int Histogram::BucketFor(double value) {
+  // NaN and values below the first inner bucket (including zero and
+  // negatives) land in the underflow bucket.
+  if (!(value >= std::pow(10.0, kMinExp))) return 0;
+  if (value >= std::pow(10.0, kMaxExp)) return kNumBuckets - 1;
+  const int idx = 1 +
+                  static_cast<int>(std::floor(
+                      std::log10(value) * kBucketsPerDecade)) -
+                  kMinExp * kBucketsPerDecade;
+  // log10 rounding at bucket boundaries can land one off; clamp to the
+  // inner range rather than spilling into the open-ended ends.
+  return std::clamp(idx, 1, kNumBuckets - 2);
+}
+
+double Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::pow(10.0, kMinExp + static_cast<double>(bucket - 1) /
+                            kBucketsPerDecade);
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  if (bucket >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::pow(10.0,
+                  kMinExp + static_cast<double>(bucket) / kBucketsPerDecade);
+}
+
 void Histogram::Record(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, value);
   AtomicExtreme(&min_, value, std::less<double>());
   AtomicExtreme(&max_, value, std::greater<double>());
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+}
 
-  int bucket = 0;
-  if (value > 0.0) {
-    // Decade buckets: bucket 1 starts at 1e-9, bucket kNumBuckets-1 catches
-    // everything >= 1e9.
-    bucket = static_cast<int>(std::floor(std::log10(value))) + 10;
-    bucket = std::clamp(bucket, 0, kNumBuckets - 1);
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto buckets = Buckets();
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+
+  // The observation with (1-based) rank ceil(q * total), found by walking
+  // the cumulative tallies; rank 0 degenerates to the minimum.
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    double value;
+    if (i == 0) {
+      value = Min();
+    } else if (i == kNumBuckets - 1) {
+      value = Max();
+    } else {
+      // Geometric interpolation inside the covering log bucket.
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketUpperBound(i);
+      const uint64_t before = cumulative - buckets[i];
+      const double fraction =
+          (target - static_cast<double>(before)) /
+          static_cast<double>(buckets[i]);
+      value = lo * std::pow(hi / lo, std::clamp(fraction, 0.0, 1.0));
+    }
+    return std::clamp(value, Min(), Max());
   }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  return Max();
 }
 
 double Histogram::Min() const {
@@ -126,6 +181,10 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
           snap.count = entry.histogram->Count();
           snap.min = entry.histogram->Min();
           snap.max = entry.histogram->Max();
+          snap.p50 = entry.histogram->Quantile(0.50);
+          snap.p90 = entry.histogram->Quantile(0.90);
+          snap.p99 = entry.histogram->Quantile(0.99);
+          snap.p999 = entry.histogram->Quantile(0.999);
           break;
       }
       out.push_back(std::move(snap));
@@ -150,7 +209,8 @@ std::string MetricsRegistry::ToString() const {
         break;
       case MetricSnapshot::Kind::kHistogram:
         os << m.name << " (histogram) count=" << m.count << " sum=" << m.value
-           << " min=" << m.min << " max=" << m.max << "\n";
+           << " min=" << m.min << " max=" << m.max << " p50=" << m.p50
+           << " p99=" << m.p99 << " p999=" << m.p999 << "\n";
         break;
     }
   }
@@ -180,7 +240,11 @@ std::string MetricsRegistry::ToJson() const {
                    << "\":{\"count\":" << m.count
                    << ",\"sum\":" << JsonNumber(m.value)
                    << ",\"min\":" << JsonNumber(m.min)
-                   << ",\"max\":" << JsonNumber(m.max) << "}";
+                   << ",\"max\":" << JsonNumber(m.max)
+                   << ",\"p50\":" << JsonNumber(m.p50)
+                   << ",\"p90\":" << JsonNumber(m.p90)
+                   << ",\"p99\":" << JsonNumber(m.p99)
+                   << ",\"p999\":" << JsonNumber(m.p999) << "}";
         first_h = false;
         break;
     }

@@ -44,12 +44,20 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Log-scale histogram over positive values (decade buckets from 1e-9 to
-/// 1e+9) with lock-free recording; tracks count/sum/min/max alongside the
-/// bucket tallies.
+/// Log-scale histogram over positive values with lock-free recording:
+/// fixed log buckets at kBucketsPerDecade resolution spanning 1e-9..1e+9
+/// (plus open-ended underflow/overflow buckets), tracking count/sum/min/max
+/// alongside the tallies. Fine enough that interpolated quantiles are
+/// accurate to ~33% relative error worst case (one bucket width), which is
+/// what tail-latency reporting (p99/p999) needs without storing samples.
 class Histogram {
  public:
-  static constexpr int kNumBuckets = 20;  // [<1e-9, 1e-9..1e-8, ..., >=1e9]
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kMinExp = -9;  // first inner bucket starts at 1e-9
+  static constexpr int kMaxExp = 9;   // overflow bucket starts at 1e+9
+  /// Underflow + (kMaxExp - kMinExp) decades + overflow.
+  static constexpr int kNumBuckets =
+      (kMaxExp - kMinExp) * kBucketsPerDecade + 2;
 
   void Record(double value);
 
@@ -62,11 +70,25 @@ class Histogram {
   double Min() const;
   double Max() const;
 
-  /// Bucket tallies; bucket i covers [1e(i-10), 1e(i-9)) with the first and
-  /// last buckets open-ended.
+  /// Interpolated quantile (q in [0, 1]) from the bucket tallies:
+  /// geometric interpolation inside the covering bucket, clamped to the
+  /// observed [Min, Max]. Returns 0 for an empty histogram. Under
+  /// concurrent recording the result is a consistent-enough snapshot (each
+  /// bucket is read once); exact readers quiesce writers first.
+  double Quantile(double q) const;
+
+  /// Bucket tallies. Bucket 0 catches values < 1e-9 (including zero and
+  /// negatives), the last bucket values >= 1e+9; inner bucket i covers
+  /// [BucketLowerBound(i), BucketUpperBound(i)).
   std::array<uint64_t, kNumBuckets> Buckets() const;
 
+  /// Value range of bucket i (0 and +inf for the open-ended ends).
+  static double BucketLowerBound(int bucket);
+  static double BucketUpperBound(int bucket);
+
  private:
+  static int BucketFor(double value);
+
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   // Extrema start at the opposite infinity so the first Record() wins the
@@ -85,6 +107,11 @@ struct MetricSnapshot {
   uint64_t count = 0;      // histogram observation count
   double min = 0.0;
   double max = 0.0;
+  // Interpolated quantiles (histograms only).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 /// Named registry of counters/gauges/histograms. Lookup is lock-striped so

@@ -35,6 +35,8 @@ const char* TracePhaseName(TracePhase phase) {
       return "train";
     case TracePhase::kEval:
       return "eval";
+    case TracePhase::kServe:
+      return "serve";
   }
   return "?";
 }
@@ -71,7 +73,7 @@ std::string TraceRecorder::ChromeTraceJson() const {
   // Name the process and one "thread" per phase.
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"virtual cluster\"}}";
-  for (int t = 0; t < 4; ++t) {
+  for (int t = 0; t < kNumTracePhases; ++t) {
     os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
        << ",\"args\":{\"name\":\""
        << TracePhaseName(static_cast<TracePhase>(t)) << "\"}}";

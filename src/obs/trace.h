@@ -20,7 +20,12 @@ enum class TracePhase {
   kProfileLarge,  // execution subsampling, large sample
   kTrain,         // full-scale training pass
   kEval,          // fitted-pipeline Apply
+  kServe,         // PipelineServer request/batch executions
 };
+
+/// Number of TracePhase values (Chrome-trace exporters emit one timeline
+/// row per phase).
+inline constexpr int kNumTracePhases = 5;
 
 const char* TracePhaseName(TracePhase phase);
 

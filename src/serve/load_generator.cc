@@ -1,0 +1,149 @@
+#include "src/serve/load_generator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/sim/arrivals.h"
+
+namespace keystone {
+namespace serve {
+
+OpenLoopSource::OpenLoopSource(int tenant, double rate_per_second,
+                               size_t num_requests, size_t num_payloads,
+                               uint64_t seed) {
+  KS_CHECK_GT(num_payloads, 0u);
+  PoissonArrivals arrivals(rate_per_second, seed);
+  Rng payload_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  requests_.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    ServeRequest request;
+    request.tenant = tenant;
+    request.id = i;
+    request.arrival_seconds = arrivals.Next();
+    request.payload = payload_rng.NextIndex(num_payloads);
+    requests_.push_back(request);
+  }
+}
+
+bool OpenLoopSource::Peek(ServeRequest* out) const {
+  if (next_ >= requests_.size()) return false;
+  *out = requests_[next_];
+  return true;
+}
+
+void OpenLoopSource::Pop() {
+  KS_CHECK(next_ < requests_.size());
+  ++next_;
+}
+
+bool OpenLoopSource::Exhausted() const { return next_ >= requests_.size(); }
+
+ClosedLoopSource::ClosedLoopSource(int tenant, int users,
+                                   size_t requests_per_user,
+                                   double think_seconds, size_t num_payloads,
+                                   uint64_t seed)
+    : tenant_(tenant),
+      think_seconds_(think_seconds),
+      num_payloads_(num_payloads),
+      rng_(seed),
+      remaining_(static_cast<size_t>(users), requests_per_user) {
+  KS_CHECK_GT(users, 0);
+  KS_CHECK_GT(num_payloads, 0u);
+  // Each user's first request arrives after an initial think period, so
+  // the users start out of phase instead of in one synchronized burst.
+  for (int user = 0; user < users; ++user) ScheduleUser(user, 0.0);
+}
+
+void ClosedLoopSource::ScheduleUser(int user, double not_before) {
+  auto& budget = remaining_[static_cast<size_t>(user)];
+  if (budget == 0) return;
+  --budget;
+  ServeRequest request;
+  request.tenant = tenant_;
+  request.id = next_id_++;
+  request.user = user;
+  request.arrival_seconds =
+      not_before + ExponentialSample(&rng_, think_seconds_);
+  request.payload = rng_.NextIndex(num_payloads_);
+  pending_.push(request);
+}
+
+bool ClosedLoopSource::Peek(ServeRequest* out) const {
+  if (pending_.empty()) return false;
+  *out = pending_.top();
+  return true;
+}
+
+void ClosedLoopSource::Pop() {
+  KS_CHECK(!pending_.empty());
+  pending_.pop();
+  ++outstanding_;
+}
+
+bool ClosedLoopSource::Exhausted() const {
+  // Every user keeps exactly one request pending or outstanding until its
+  // budget drains, so no pending work and no in-flight responses means the
+  // source is done for good.
+  return pending_.empty() && outstanding_ == 0;
+}
+
+void ClosedLoopSource::OnResponse(const ServeResponse& response) {
+  if (response.tenant != tenant_ || response.user < 0) return;
+  KS_CHECK_GT(outstanding_, 0u);
+  --outstanding_;
+  // Rejected requests still consume the user's attention: the user thinks
+  // again and retries-as-new-request, keeping the loop closed either way.
+  ScheduleUser(response.user, response.completion_seconds);
+}
+
+MergedSource::MergedSource(std::vector<RequestSource*> sources)
+    : sources_(std::move(sources)) {
+  KS_CHECK(!sources_.empty());
+  for (RequestSource* source : sources_) KS_CHECK(source != nullptr);
+}
+
+int MergedSource::NextSource() const {
+  int best = -1;
+  ServeRequest best_request;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    ServeRequest candidate;
+    if (!sources_[i]->Peek(&candidate)) continue;
+    const bool wins =
+        best < 0 ||
+        candidate.arrival_seconds < best_request.arrival_seconds ||
+        (candidate.arrival_seconds == best_request.arrival_seconds &&
+         candidate.tenant < best_request.tenant);
+    if (wins) {
+      best = static_cast<int>(i);
+      best_request = candidate;
+    }
+  }
+  return best;
+}
+
+bool MergedSource::Peek(ServeRequest* out) const {
+  const int i = NextSource();
+  if (i < 0) return false;
+  return sources_[static_cast<size_t>(i)]->Peek(out);
+}
+
+void MergedSource::Pop() {
+  const int i = NextSource();
+  KS_CHECK(i >= 0) << "Pop on an empty merged source";
+  sources_[static_cast<size_t>(i)]->Pop();
+}
+
+bool MergedSource::Exhausted() const {
+  for (RequestSource* source : sources_) {
+    if (!source->Exhausted()) return false;
+  }
+  return true;
+}
+
+void MergedSource::OnResponse(const ServeResponse& response) {
+  for (RequestSource* source : sources_) source->OnResponse(response);
+}
+
+}  // namespace serve
+}  // namespace keystone

@@ -1,0 +1,116 @@
+#ifndef KEYSTONE_SERVE_LOAD_GENERATOR_H_
+#define KEYSTONE_SERVE_LOAD_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/serve/request.h"
+
+namespace keystone {
+namespace serve {
+
+/// A deterministic stream of timestamped requests, consumed by
+/// PipelineServer::Run. Peek/Pop instead of a plain iterator because
+/// closed-loop sources cannot know their next arrival until earlier
+/// responses come back — OnResponse is the feedback edge.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Copies the next request (smallest arrival time) into `*out` without
+  /// consuming it. Returns false when no request is currently pending —
+  /// which is not the same as Exhausted(): a closed-loop source may be
+  /// waiting for a response before its next think time starts.
+  virtual bool Peek(ServeRequest* out) const = 0;
+
+  /// Consumes the request Peek exposed.
+  virtual void Pop() = 0;
+
+  /// True once the source will never produce another request.
+  virtual bool Exhausted() const = 0;
+
+  /// Response feedback (both accepts and rejects), delivered in completion
+  /// order on the server's serial event loop.
+  virtual void OnResponse(const ServeResponse& /*response*/) {}
+};
+
+/// Open-loop (partly-offered-load) traffic: a seeded Poisson process of
+/// `num_requests` arrivals at `rate_per_second`, payloads drawn uniformly.
+/// Arrivals ignore responses — exactly the regime where shedding matters.
+class OpenLoopSource : public RequestSource {
+ public:
+  OpenLoopSource(int tenant, double rate_per_second, size_t num_requests,
+                 size_t num_payloads, uint64_t seed);
+
+  bool Peek(ServeRequest* out) const override;
+  void Pop() override;
+  bool Exhausted() const override;
+
+ private:
+  std::vector<ServeRequest> requests_;  // pregenerated, arrival order
+  size_t next_ = 0;
+};
+
+/// Closed-loop traffic: `users` independent users, each issuing
+/// `requests_per_user` requests with exponential think times between a
+/// response (accept or reject) and the next request. Throughput
+/// self-limits to the server's speed, so nothing is shed in steady state.
+class ClosedLoopSource : public RequestSource {
+ public:
+  ClosedLoopSource(int tenant, int users, size_t requests_per_user,
+                   double think_seconds, size_t num_payloads, uint64_t seed);
+
+  bool Peek(ServeRequest* out) const override;
+  void Pop() override;
+  bool Exhausted() const override;
+  void OnResponse(const ServeResponse& response) override;
+
+ private:
+  struct Later {
+    bool operator()(const ServeRequest& a, const ServeRequest& b) const {
+      if (a.arrival_seconds != b.arrival_seconds) {
+        return a.arrival_seconds > b.arrival_seconds;
+      }
+      return a.id > b.id;  // ids are globally unique within the source
+    }
+  };
+
+  void ScheduleUser(int user, double not_before);
+
+  int tenant_;
+  double think_seconds_;
+  size_t num_payloads_;
+  Rng rng_;
+  std::priority_queue<ServeRequest, std::vector<ServeRequest>, Later> pending_;
+  std::vector<size_t> remaining_;  // per user, counts down to 0
+  uint64_t next_id_ = 0;
+  size_t outstanding_ = 0;  // issued but no response yet
+};
+
+/// Interleaves several sources into one stream ordered by (arrival time,
+/// tenant, registration index) — a deterministic total order even when two
+/// tenants' arrivals coincide. Responses fan out to every child (each
+/// child filters by tenant itself).
+class MergedSource : public RequestSource {
+ public:
+  explicit MergedSource(std::vector<RequestSource*> sources);
+
+  bool Peek(ServeRequest* out) const override;
+  void Pop() override;
+  bool Exhausted() const override;
+  void OnResponse(const ServeResponse& response) override;
+
+ private:
+  /// Index of the child owning the globally-next request, or -1.
+  int NextSource() const;
+
+  std::vector<RequestSource*> sources_;
+};
+
+}  // namespace serve
+}  // namespace keystone
+
+#endif  // KEYSTONE_SERVE_LOAD_GENERATOR_H_

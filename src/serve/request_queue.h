@@ -1,0 +1,70 @@
+#ifndef KEYSTONE_SERVE_REQUEST_QUEUE_H_
+#define KEYSTONE_SERVE_REQUEST_QUEUE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/serve/request.h"
+
+namespace keystone {
+namespace serve {
+
+/// Bounded FIFO of admitted-but-not-yet-dispatched requests for one tenant.
+///
+/// Deliberately not thread-safe: the PipelineServer's event loop is the
+/// only code that ever touches a queue (arrivals, timer pops, and batch
+/// formation are all serialized on the virtual-time axis), so locking here
+/// would buy nothing and cost determinism review effort. Kernel execution
+/// is what runs on the thread pool, never queue mutation.
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(size_t depth) : depth_(depth) {
+    KS_CHECK_GT(depth, 0u);
+  }
+
+  /// Admits the request unless the queue is at depth.
+  bool TryPush(ServeRequest request) {
+    if (queue_.size() >= depth_) return false;
+    queue_.push_back(std::move(request));
+    high_water_ = std::max(high_water_, queue_.size());
+    return true;
+  }
+
+  /// Pops up to `max_n` requests in arrival order.
+  std::vector<ServeRequest> PopBatch(size_t max_n) {
+    const size_t n = std::min(max_n, queue_.size());
+    std::vector<ServeRequest> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return batch;
+  }
+
+  /// Oldest queued request, or nullptr when empty. Batch-delay timers carry
+  /// the front request's id so a stale timer (the request already left in
+  /// an earlier size-triggered batch) can be recognized and dropped.
+  const ServeRequest* Front() const {
+    return queue_.empty() ? nullptr : &queue_.front();
+  }
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  size_t depth() const { return depth_; }
+  size_t high_water() const { return high_water_; }
+
+ private:
+  size_t depth_;
+  std::deque<ServeRequest> queue_;
+  size_t high_water_ = 0;
+};
+
+}  // namespace serve
+}  // namespace keystone
+
+#endif  // KEYSTONE_SERVE_REQUEST_QUEUE_H_

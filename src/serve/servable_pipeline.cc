@@ -1,0 +1,54 @@
+#include "src/serve/servable_pipeline.h"
+
+#include <utility>
+
+#include "src/analysis/plan_validator.h"
+#include "src/common/check.h"
+#include "src/core/exec_context.h"
+#include "src/sim/virtual_time.h"
+
+namespace keystone {
+namespace serve {
+
+ServablePipeline::ServablePipeline(
+    std::shared_ptr<FittedPipelineUntyped> fitted, bool validate)
+    : fitted_(std::move(fitted)) {
+  KS_CHECK(fitted_ != nullptr);
+  const PhysicalPlan& plan = fitted_->plan();
+  if (validate) {
+    const analysis::ValidationReport report =
+        analysis::ValidateServablePlan(plan, &fitted_->models());
+    KS_CHECK(report.ok()) << "pipeline is not servable:\n" << report.ToString();
+  }
+  // Every runtime node is one job submission: a scheduling round at the
+  // cluster's round latency, independent of batch size.
+  fixed_overhead_seconds_ =
+      plan.resources.round_latency_s * plan.NumRuntimeNodes();
+}
+
+AnyDataset ServablePipeline::Apply(const AnyDataset& batch,
+                                   ExecContext* request_ctx,
+                                   double* variable_seconds) const {
+  KS_CHECK(request_ctx != nullptr);
+  KS_CHECK_EQ(request_ctx->ledger()->TotalSeconds(), 0.0)
+      << "request contexts must arrive with a fresh ledger";
+  AnyDataset out = fitted_->Apply(batch, request_ctx);
+  if (variable_seconds != nullptr) {
+    *variable_seconds = request_ctx->ledger()->TotalSeconds();
+  }
+  return out;
+}
+
+void ServablePipeline::ObserveBatch(size_t records, double variable_seconds) {
+  if (records == 0) return;
+  const double per_record = variable_seconds / static_cast<double>(records);
+  if (!calibrated_) {
+    per_record_seconds_ = per_record;
+    calibrated_ = true;
+  } else {
+    per_record_seconds_ = 0.5 * per_record_seconds_ + 0.5 * per_record;
+  }
+}
+
+}  // namespace serve
+}  // namespace keystone

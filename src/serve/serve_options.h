@@ -1,0 +1,52 @@
+#ifndef KEYSTONE_SERVE_SERVE_OPTIONS_H_
+#define KEYSTONE_SERVE_SERVE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace keystone {
+namespace serve {
+
+/// Per-tenant serving knobs (the ExecOptions idiom: a plain struct of
+/// documented defaults, passed by value at registration time). The knobs
+/// trade latency against throughput: batching amortizes the per-job
+/// scheduling rounds the cost model charges every micro-batch, while the
+/// queue bound and the cost-based admission test shed load the tenant's
+/// SLO could not absorb.
+struct ServeOptions {
+  /// Coalesce up to this many queued single-row requests into one
+  /// micro-batch (1 = no batching; each request is its own plan run).
+  size_t max_batch_size = 16;
+
+  /// Longest a queued request may wait (virtual seconds) for co-riders
+  /// before its batch is dispatched anyway.
+  double max_batch_delay_seconds = 0.05;
+
+  /// Bounded request queue depth; arrivals beyond it are shed with
+  /// RejectReason::kQueueFull.
+  size_t queue_depth = 64;
+
+  /// Per-request latency objective (virtual seconds), measured from
+  /// arrival to batch completion.
+  double slo_seconds = 1.0;
+
+  /// Also reject when the cost model predicts queueing + service latency
+  /// above `admission_headroom * slo_seconds` (RejectReason::
+  /// kPredictedCost). The prediction reuses the tenant pipeline's
+  /// calibrated per-record cost — runtime-plan costing applied per
+  /// request. Off = queue-depth admission only.
+  bool cost_admission = true;
+
+  /// Admission budget multiplier over the SLO (>1 admits optimistically,
+  /// <1 sheds early).
+  double admission_headroom = 1.0;
+
+  /// Emit one trace span per request (TracePhase::kServe) in addition to
+  /// the per-batch span. Spans are buffered per batch and flushed from the
+  /// serial completion path, so the request path itself stays lock-free.
+  bool emit_request_spans = true;
+};
+
+}  // namespace serve
+}  // namespace keystone
+
+#endif  // KEYSTONE_SERVE_SERVE_OPTIONS_H_

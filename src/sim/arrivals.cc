@@ -1,0 +1,26 @@
+#include "src/sim/arrivals.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace keystone {
+
+double ExponentialSample(Rng* rng, double mean_seconds) {
+  if (mean_seconds <= 0.0) return 0.0;
+  // NextDouble() is in [0, 1), so 1-u is in (0, 1] and the log is finite.
+  const double u = rng->NextDouble();
+  return -mean_seconds * std::log(1.0 - u);
+}
+
+PoissonArrivals::PoissonArrivals(double rate_per_second, uint64_t seed)
+    : rate_(rate_per_second), rng_(seed) {
+  KS_CHECK(rate_per_second > 0.0) << "arrival rate must be positive";
+}
+
+double PoissonArrivals::Next() {
+  now_ += ExponentialSample(&rng_, 1.0 / rate_);
+  return now_;
+}
+
+}  // namespace keystone

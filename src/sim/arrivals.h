@@ -1,0 +1,37 @@
+#ifndef KEYSTONE_SIM_ARRIVALS_H_
+#define KEYSTONE_SIM_ARRIVALS_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace keystone {
+
+/// Samples an exponential holding time with the given mean from `rng`.
+/// The building block of every virtual-time arrival/think process in the
+/// serving simulator; mean <= 0 returns 0 (a degenerate, instant process).
+double ExponentialSample(Rng* rng, double mean_seconds);
+
+/// Deterministic Poisson arrival process on the virtual-time axis:
+/// successive Next() calls return non-decreasing arrival timestamps whose
+/// inter-arrival gaps are exponential with rate `rate_per_second`. Seeded,
+/// so a load trace is exactly reproducible run-to-run — the foundation of
+/// the serving benchmarks' byte-identical determinism claims.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate_per_second, uint64_t seed);
+
+  /// Timestamp (virtual seconds) of the next arrival.
+  double Next();
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_SIM_ARRIVALS_H_

@@ -302,6 +302,100 @@ TEST(ExecutorTest, LedgerChargesStages) {
   EXPECT_GT(ledger->StageSeconds("Eval"), 0.0);
 }
 
+TEST(RuntimeMaskTest, ModelEdgeNodesSplitAcrossFitAndApply) {
+  // placeholder -> Scale -> apply-model, with a train branch replicating
+  // Scale over the bound training source into the estimator. The masks
+  // must split exactly at the model edge: the estimator and everything it
+  // reads are train-only, the apply-model node and the streaming prefix
+  // are runtime-only, and no node is both.
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(2.0))
+                  .AndThen(std::make_shared<MeanCenterer>(),
+                           Doubles({1, 2, 3, 4}));
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  int train_transformers = 0, runtime_transformers = 0;
+  for (const PlannedNode& pn : plan->nodes) {
+    EXPECT_FALSE(pn.train && pn.runtime) << "node " << pn.id;
+    switch (pn.kind) {
+      case NodeKind::kEstimator:
+        EXPECT_TRUE(pn.train);
+        EXPECT_FALSE(pn.runtime);
+        break;
+      case NodeKind::kApplyModel:
+        EXPECT_TRUE(pn.runtime);
+        EXPECT_FALSE(pn.train);
+        break;
+      case NodeKind::kSource:
+        EXPECT_FALSE(pn.runtime) << "bound sources cannot serve requests";
+        break;
+      case NodeKind::kPlaceholder:
+        // The placeholder itself is neither mask: RunApply seeds it with
+        // the request input directly.
+        EXPECT_FALSE(pn.train);
+        EXPECT_FALSE(pn.runtime);
+        break;
+      case NodeKind::kTransformer:
+        if (pn.train) ++train_transformers;
+        if (pn.runtime) ++runtime_transformers;
+        break;
+      default:
+        break;
+    }
+  }
+  // The Scale prefix exists on both sides of the model edge — as the
+  // train-branch replica and as the runtime-path original.
+  EXPECT_GE(train_transformers, 1);
+  EXPECT_GE(runtime_transformers, 1);
+  EXPECT_EQ(plan->NumRuntimeNodes(), 2);  // Scale + apply-model
+}
+
+TEST(RuntimeMaskTest, EntirelyTrainOnlyBranchNeverReachesRuntime) {
+  // A pipeline whose sink IS the training branch product: fitting works,
+  // but every estimator input stays off the runtime mask even when the
+  // branch is deep.
+  auto pipe = PipelineInput<double>()
+                  .AndThen(std::make_shared<Scale>(3.0))
+                  .AndThen(std::make_shared<AddConst>(1.0))
+                  .AndThen(std::make_shared<MeanCenterer>(),
+                           Doubles({2, 4, 6, 8, 10}));
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  for (const PlannedNode& pn : plan->nodes) {
+    if (!pn.train) continue;
+    // Train-only nodes may only feed other train-only nodes or the
+    // estimator — never a runtime node (RunApply would hit a null dep).
+    for (const PlannedNode& other : plan->nodes) {
+      if (!other.runtime) continue;
+      for (int dep : other.inputs) {
+        EXPECT_NE(dep, pn.id)
+            << "runtime node " << other.id << " depends on train-only "
+            << pn.id;
+      }
+    }
+  }
+  // The deep train branch (source + 2 replicated transformers + estimator)
+  // is strictly larger than the runtime path (original prefix + apply).
+  EXPECT_GT(plan->NumTrainNodes(), plan->NumRuntimeNodes());
+}
+
+TEST(ExecContextTest, MakeRequestContextSharesEnvironmentNotLedger) {
+  ExecContext ctx(TestCluster());
+  obs::MetricsRegistry metrics;
+  ctx.set_metrics(&metrics);
+  ctx.ledger()->ChargeSeconds("Fit", 5.0);
+
+  auto request_ctx = ctx.MakeRequestContext();
+  EXPECT_EQ(request_ctx->metrics(), &metrics);
+  EXPECT_EQ(request_ctx->pool(), ctx.pool());
+  EXPECT_EQ(request_ctx->resources().num_nodes, ctx.resources().num_nodes);
+  // Fresh per-run state: the parent's charges do not leak in, and the
+  // request's charges do not leak back.
+  EXPECT_DOUBLE_EQ(request_ctx->ledger()->TotalSeconds(), 0.0);
+  request_ctx->ledger()->ChargeSeconds("Serve", 1.5);
+  EXPECT_DOUBLE_EQ(ctx.ledger()->TotalSeconds(), 5.0);
+}
+
 TEST(ExecContextTest, BeginOperatorScopeDropsStaleActualCost) {
   ExecContext ctx(TestCluster());
   obs::MetricsRegistry metrics;

@@ -258,6 +258,79 @@ TEST(MetricsTest, CounterGaugeHistogramBasics) {
   EXPECT_TRUE(registry.Snapshot().empty());
 }
 
+TEST(MetricsTest, HistogramQuantilesFromLogBuckets) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty -> 0
+
+  h.Record(0.25);
+  // A single observation answers every quantile exactly (clamped to the
+  // observed range).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.25);
+
+  // 1000 uniform latencies in [1ms, 1s): interpolated quantiles must land
+  // within one log-bucket (10^(1/8) ~ 33% relative) of the true value.
+  obs::Histogram u;
+  for (int i = 0; i < 1000; ++i) u.Record(0.001 + 0.999 * (i / 1000.0));
+  const double p50 = u.Quantile(0.5);
+  const double true_p50 = 0.001 + 0.999 * 0.5;
+  EXPECT_GT(p50, true_p50 / 1.4);
+  EXPECT_LT(p50, true_p50 * 1.4);
+  // Quantiles are monotone in q and clamped to the observed extrema.
+  EXPECT_LE(u.Quantile(0.5), u.Quantile(0.99));
+  EXPECT_LE(u.Quantile(0.99), u.Quantile(0.999));
+  EXPECT_GE(u.Quantile(0.0), u.Min());
+  EXPECT_LE(u.Quantile(1.0), u.Max());
+}
+
+TEST(MetricsTest, HistogramBucketBoundsAndEdgeValues) {
+  // Inner bucket bounds are a contiguous geometric ladder.
+  for (int b = 1; b < obs::Histogram::kNumBuckets - 2; ++b) {
+    EXPECT_DOUBLE_EQ(obs::Histogram::BucketUpperBound(b),
+                     obs::Histogram::BucketLowerBound(b + 1));
+    EXPECT_GT(obs::Histogram::BucketUpperBound(b),
+              obs::Histogram::BucketLowerBound(b));
+  }
+  EXPECT_DOUBLE_EQ(obs::Histogram::BucketLowerBound(0), 0.0);
+
+  // Zero, negatives, and sub-1e-9 values land in the underflow bucket but
+  // still count; the quantile falls back to the observed minimum there.
+  obs::Histogram h;
+  h.Record(0.0);
+  h.Record(-3.0);
+  h.Record(1e-12);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Buckets()[0], 3u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), h.Min());
+
+  // Values at/above 1e9 land in the overflow bucket; the quantile reports
+  // the observed maximum instead of infinity.
+  obs::Histogram big;
+  big.Record(1e9);
+  big.Record(5e12);
+  EXPECT_EQ(big.Buckets()[obs::Histogram::kNumBuckets - 1], 2u);
+  EXPECT_DOUBLE_EQ(big.Quantile(0.99), 5e12);
+}
+
+TEST(MetricsTest, SnapshotAndJsonCarryQuantiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("lat");
+  for (int i = 1; i <= 100; ++i) h->Record(i * 0.01);
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].kind, obs::MetricSnapshot::Kind::kHistogram);
+  EXPECT_GT(snapshot[0].p50, 0.0);
+  EXPECT_LE(snapshot[0].p50, snapshot[0].p90);
+  EXPECT_LE(snapshot[0].p90, snapshot[0].p99);
+  EXPECT_LE(snapshot[0].p99, snapshot[0].p999);
+  EXPECT_LE(snapshot[0].p999, snapshot[0].max);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
 TEST(MetricsTest, ConcurrentUpdatesFromThreadPoolAreExact) {
   obs::MetricsRegistry registry;
   // Look up once, update from many workers (the documented hot-path use).

@@ -4,11 +4,14 @@
 // materialization ledger), the per-resource occupancy timeline of the run,
 // and the cost-model calibration (estimated vs observed residuals).
 //
-// Usage: explain [--json] [--strict] [--fault-rate=R] [--fault-seed=S]
-//                [workload...]
+// Usage: explain [--json] [--strict] [--runtime-only] [--fault-rate=R]
+//                [--fault-seed=S] [workload...]
 //   --json       machine-readable output (one JSON object per workload)
 //   --strict     exit nonzero when any workload produces an empty decision
 //                log or a non-finite calibration residual (the CI gate)
+//   --runtime-only  also print the apply-masked (servable) plan view of the
+//                fitted pipeline — what a PipelineServer would execute per
+//                request after train-only nodes are stripped
 //   --fault-rate=R  replay each fit under an injected fault schedule: task
 //                failures at rate R per attempt (executor losses at R/4,
 //                stragglers at R/2); fault recoveries then appear in the
@@ -46,6 +49,7 @@ bool TakeValue(const char* arg, const char* prefix, std::string* out) {
 int Run(int argc, char** argv) {
   bool json = false;
   bool strict = false;
+  bool runtime_only = false;
   double fault_rate = 0.0;
   uint64_t fault_seed = 42;
   std::string value;
@@ -55,14 +59,16 @@ int Run(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--runtime-only") == 0) {
+      runtime_only = true;
     } else if (TakeValue(argv[i], "--fault-rate=", &value)) {
       fault_rate = std::strtod(value.c_str(), nullptr);
     } else if (TakeValue(argv[i], "--fault-seed=", &value)) {
       fault_seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
-                   "usage: explain [--json] [--strict] [--fault-rate=R] "
-                   "[--fault-seed=S] [workload...]\n");
+                   "usage: explain [--json] [--strict] [--runtime-only] "
+                   "[--fault-rate=R] [--fault-seed=S] [workload...]\n");
       return 2;
     } else {
       wanted.emplace_back(argv[i]);
@@ -131,15 +137,24 @@ int Run(int argc, char** argv) {
     if (json) {
       std::printf(
           "%s{\"workload\":\"%s\",\"decision_log\":%s,"
-          "\"timeline\":%s,\"calibration\":%s}",
+          "\"timeline\":%s,\"calibration\":%s",
           first ? "" : ",\n", target.name.c_str(), log.ToJson().c_str(),
           timeline.ToJson().c_str(), calibration.ToJson().c_str());
+      if (runtime_only) {
+        std::printf(",\"servable_plan\":%s",
+                    fitted->plan().ToJson(true).c_str());
+      }
+      std::printf("}");
     } else {
       std::printf("=== %s ===\n%s\n--- resource timeline ---\n%s\n"
                   "--- calibration ---\n%s\n",
                   target.name.c_str(), log.ToString().c_str(),
                   timeline.ToString().c_str(),
                   calibration.ToString().c_str());
+      if (runtime_only) {
+        std::printf("--- servable plan (runtime mask) ---\n%s\n",
+                    fitted->plan().ToString(true).c_str());
+      }
     }
     first = false;
   }

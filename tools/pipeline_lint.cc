@@ -1,7 +1,9 @@
 // pipeline_lint: run every shipped workload pipeline through the static
-// plan validator (src/analysis), twice per workload — first on the logical
-// graph as submitted, then on the compiled PhysicalPlan IR (post-CSE graph
-// plus the materialization plan), so a pass that breaks an invariant is
+// plan validator (src/analysis), three times per workload — first on the
+// logical graph as submitted, then on the compiled PhysicalPlan IR
+// (post-CSE graph plus the materialization plan), and finally on the
+// servable (apply-masked) view of the compiled plan, so a pass that breaks
+// an invariant — including one that would only abort at serve time — is
 // caught here as well as at fit time. Exit status is 1 when any pipeline
 // has errors; with --strict, warnings fail too.
 //
@@ -71,6 +73,11 @@ int Run(int argc, char** argv) {
       report.Merge(compiled_validator.ValidatePlan(plan->planning_problem,
                                                    plan->cache_set));
     }
+
+    // Stage 3: the servable view — every shipped workload must strip to a
+    // runtime path a PipelineServer could host (no train-only terminals,
+    // no unbound sources inside the runtime mask).
+    report.Merge(analysis::ValidateServablePlan(*plan));
 
     const bool failed = !report.ok() || (strict && report.warnings() > 0);
     if (failed) ++failures;

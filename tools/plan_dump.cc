@@ -3,11 +3,15 @@
 // cache set, extrapolated costs, execution masks) as the executor will see
 // it, without running the full-scale training pass.
 //
-// Usage: plan_dump [--json] [--none|--pipe-only] [workload...]
-//   --json       machine-readable output (one JSON object per workload)
-//   --none       compile under OptimizationConfig::None()
-//   --pipe-only  compile under OptimizationConfig::PipeOnly()
-//   workload     subset to dump (default: all six shipped workloads)
+// Usage: plan_dump [--json] [--none|--pipe-only] [--runtime-only]
+//                  [workload...]
+//   --json          machine-readable output (one JSON object per workload)
+//   --none          compile under OptimizationConfig::None()
+//   --pipe-only     compile under OptimizationConfig::PipeOnly()
+//   --runtime-only  print the apply-masked (servable) plan view: only the
+//                   nodes PlanRunner::RunApply executes per request, with
+//                   train-only nodes stripped
+//   workload        subset to dump (default: all six shipped workloads)
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +28,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bool json = false;
+  bool runtime_only = false;
   OptimizationConfig config = OptimizationConfig::Full();
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
@@ -33,10 +38,12 @@ int Run(int argc, char** argv) {
       config = OptimizationConfig::None();
     } else if (std::strcmp(argv[i], "--pipe-only") == 0) {
       config = OptimizationConfig::PipeOnly();
+    } else if (std::strcmp(argv[i], "--runtime-only") == 0) {
+      runtime_only = true;
     } else if (argv[i][0] == '-') {
-      std::fprintf(
-          stderr,
-          "usage: plan_dump [--json] [--none|--pipe-only] [workload...]\n");
+      std::fprintf(stderr,
+                   "usage: plan_dump [--json] [--none|--pipe-only] "
+                   "[--runtime-only] [workload...]\n");
       return 2;
     } else {
       wanted.emplace_back(argv[i]);
@@ -60,10 +67,10 @@ int Run(int argc, char** argv) {
         executor.Compile(*target.graph, target.placeholder, target.sink);
     if (json) {
       std::printf("%s{\"workload\":\"%s\",\"plan\":%s}", first ? "" : ",\n",
-                  target.name.c_str(), plan->ToJson().c_str());
+                  target.name.c_str(), plan->ToJson(runtime_only).c_str());
     } else {
       std::printf("=== %s ===\n%s\n", target.name.c_str(),
-                  plan->ToString().c_str());
+                  plan->ToString(runtime_only).c_str());
     }
     first = false;
   }
