@@ -123,6 +123,59 @@ ServeReport RunConfig(const ServingFixture& fixture, double rate_per_tenant,
   return report;
 }
 
+/// Outcome of racing the two admission predictors over the same batches.
+struct PriorResult {
+  double static_prior_seconds = 0.0;    // per-record seed from the plan
+  double observed_seconds_per_record = 0.0;  // calibrated ground truth
+  int steady_static = -1;               // first batch within 10% (seeded)
+  int steady_cold = -1;                 // first batch within 10% (cold start)
+};
+
+/// Replays identical micro-batches through two ServablePipelines wrapping
+/// the same fitted pipeline — one seeded from the static dataflow
+/// annotations, one starting from the zero-cost cold start — and records
+/// when each admission predictor first lands within 10% of the observed
+/// per-batch cost. The cold start must mispredict batch 1 (it predicts a
+/// zero variable cost); the seeded predictor can be right immediately.
+PriorResult MeasureAdmissionPrior(
+    const std::shared_ptr<FittedPipelineUntyped>& fitted,
+    const std::shared_ptr<serve::RequestCodec>& codec, size_t batch_size,
+    size_t num_batches) {
+  ServablePipeline seeded(fitted, /*validate=*/true,
+                          /*use_static_prior=*/true);
+  ServablePipeline cold(fitted, /*validate=*/true,
+                        /*use_static_prior=*/false);
+  KS_CHECK(seeded.has_static_prior())
+      << "fitted plan lost its dataflow annotations";
+  PriorResult result;
+  result.static_prior_seconds = seeded.per_record_seconds();
+
+  ExecContext env(Cluster());
+  env.set_tracer(nullptr);
+  env.set_metrics(nullptr);
+  env.set_profile_store(nullptr);
+  env.set_timeline(nullptr);
+  size_t next_payload = 0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    std::vector<size_t> payloads;
+    payloads.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      payloads.push_back(next_payload++ % codec->NumPayloads());
+    }
+    const AnyDataset batch = codec->MakeBatch(payloads);
+    for (ServablePipeline* pipe : {&seeded, &cold}) {
+      auto ctx = env.MakeRequestContext();
+      double observed = 0.0;
+      pipe->Apply(batch, ctx.get(), &observed);
+      pipe->ObserveBatch(batch_size, observed);
+    }
+  }
+  result.observed_seconds_per_record = cold.per_record_seconds();
+  result.steady_static = seeded.steady_state_batch();
+  result.steady_cold = cold.steady_state_batch();
+  return result;
+}
+
 int Run(int argc, char** argv) {
   bench::ObsSession session("serving", argc, argv);
   bool smoke = false;
@@ -188,6 +241,41 @@ int Run(int argc, char** argv) {
                   ? saturated_throughput[1] / saturated_throughput[0]
                   : 0.0);
 
+  // Admission-predictor race: how many batches until the per-record cost
+  // estimate is within 10% of observed, statically seeded vs cold start.
+  const PriorResult amazon_prior =
+      MeasureAdmissionPrior(fixture.amazon, fixture.amazon_codec, 16, 8);
+  const PriorResult youtube_prior =
+      MeasureAdmissionPrior(fixture.youtube, fixture.youtube_codec, 16, 8);
+  std::printf(
+      "[serving] admission prior steady state (batch within 10%%): "
+      "amazon static=%d cold=%d (prior %.3gs/rec vs %.3gs/rec observed), "
+      "youtube static=%d cold=%d (prior %.3gs/rec vs %.3gs/rec observed)\n",
+      amazon_prior.steady_static, amazon_prior.steady_cold,
+      amazon_prior.static_prior_seconds,
+      amazon_prior.observed_seconds_per_record, youtube_prior.steady_static,
+      youtube_prior.steady_cold, youtube_prior.static_prior_seconds,
+      youtube_prior.observed_seconds_per_record);
+  results_json += "],\"admission_prior\":[";
+  const struct {
+    const char* name;
+    const PriorResult* prior;
+  } priors[] = {{"amazon", &amazon_prior}, {"youtube", &youtube_prior}};
+  bool first_prior = true;
+  for (const auto& entry : priors) {
+    char prior_buf[256];
+    std::snprintf(prior_buf, sizeof(prior_buf),
+                  "%s{\"tenant\":\"%s\",\"static_prior_seconds_per_record\":"
+                  "%g,\"observed_seconds_per_record\":%g,"
+                  "\"steady_state_batch_static\":%d,"
+                  "\"steady_state_batch_cold\":%d}",
+                  first_prior ? "" : ",", entry.name,
+                  entry.prior->static_prior_seconds,
+                  entry.prior->observed_seconds_per_record,
+                  entry.prior->steady_static, entry.prior->steady_cold);
+    results_json += prior_buf;
+    first_prior = false;
+  }
   results_json += "],\"determinism\":";
   results_json += deterministic ? "\"pass\"" : "\"FAIL\"";
   results_json += ",\"saturated_throughput_batch1_rps\":";
@@ -209,6 +297,20 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "[serving] FAIL: micro-batching did not raise "
                          "sustained throughput at saturation\n");
     return 1;
+  }
+  for (const auto& entry : priors) {
+    const bool earlier =
+        entry.prior->steady_static > 0 && entry.prior->steady_cold > 0 &&
+        entry.prior->steady_static < entry.prior->steady_cold;
+    if (!earlier) {
+      std::fprintf(stderr,
+                   "[serving] FAIL: %s statically seeded admission prior did "
+                   "not reach steady state before the cold start "
+                   "(static=%d cold=%d)\n",
+                   entry.name, entry.prior->steady_static,
+                   entry.prior->steady_cold);
+      return 1;
+    }
   }
   return 0;
 }

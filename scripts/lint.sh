@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo-convention linter (no external dependencies: bash + awk + grep).
 #
-# Checks, over src/ tests/ bench/ examples/ tools/:
+# Checks, over src/ (every subsystem, including the later-added src/serve/
+# and src/sim/ trees) plus tests/ bench/ examples/ tools/:
 #   1. Header guards match the file path: src/core/executor.h must use
 #      KEYSTONE_CORE_EXECUTOR_H_ (the src/ prefix is dropped; other roots
 #      keep theirs, e.g. KEYSTONE_TESTS_TEST_OPERATORS_H_).
@@ -22,8 +23,26 @@ complain() {
   fail=1
 }
 
-mapfile -t headers < <(find src tests bench tools examples -name '*.h' | sort)
-mapfile -t sources < <(find src tests bench tools examples \
+# Every subsystem the linter must see. Listing the src/ subtrees explicitly
+# (instead of bare `find src`) makes a rename or split fail loudly here
+# rather than silently dropping a directory out of lint coverage.
+roots=(src/analysis src/baselines src/common src/core src/data src/linalg
+       src/obs src/ops src/optimizer src/serve src/sim src/solvers
+       src/tuning src/workloads tests bench tools examples)
+for root in "${roots[@]}"; do
+  [[ -d "$root" ]] || { echo "lint: missing expected directory $root"; exit 1; }
+done
+for dir in src/*/; do
+  covered=0
+  for root in "${roots[@]}"; do
+    [[ "${dir%/}" == "$root" ]] && covered=1
+  done
+  [[ "$covered" == 1 ]] || {
+    echo "lint: ${dir%/} is not in the lint root list — add it"; exit 1; }
+done
+
+mapfile -t headers < <(find "${roots[@]}" -name '*.h' | sort)
+mapfile -t sources < <(find "${roots[@]}" \
   -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort)
 
 # --- 1. Header guards -------------------------------------------------------

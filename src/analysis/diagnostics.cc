@@ -1,6 +1,9 @@
 #include "src/analysis/diagnostics.h"
 
+#include <algorithm>
+#include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -25,16 +28,41 @@ std::string Diagnostic::ToString() const {
   os << SeverityName(severity) << " [" << rule << "]";
   if (node >= 0) os << " node " << node;
   os << ": " << message;
+  if (!fixit.empty()) os << "; fixit: " << fixit;
   return os.str();
+}
+
+bool IsValidRuleId(const std::string& rule) {
+  int segments = 1;
+  bool segment_empty = true;
+  for (char c : rule) {
+    if (c == '.') {
+      if (segment_empty) return false;
+      ++segments;
+      segment_empty = true;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+    segment_empty = false;
+  }
+  return segments >= 2 && !segment_empty;
 }
 
 void ValidationReport::Add(Severity severity, std::string rule, int node,
                            std::string message) {
+  Add(severity, std::move(rule), node, std::move(message), std::string());
+}
+
+void ValidationReport::Add(Severity severity, std::string rule, int node,
+                           std::string message, std::string fixit) {
   Diagnostic diag;
   diag.severity = severity;
   diag.rule = std::move(rule);
   diag.node = node;
   diag.message = std::move(message);
+  diag.fixit = std::move(fixit);
   diagnostics_.push_back(std::move(diag));
 }
 
@@ -42,6 +70,29 @@ void ValidationReport::Merge(ValidationReport other) {
   for (auto& diag : other.diagnostics_) {
     diagnostics_.push_back(std::move(diag));
   }
+}
+
+void ValidationReport::SortBySeverity() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+}
+
+int ValidationReport::Deduplicate() {
+  std::set<std::tuple<int, std::string, int, std::string>> seen;
+  std::vector<Diagnostic> kept;
+  kept.reserve(diagnostics_.size());
+  for (Diagnostic& diag : diagnostics_) {
+    auto key = std::make_tuple(static_cast<int>(diag.severity), diag.rule,
+                               diag.node, diag.message);
+    if (seen.insert(std::move(key)).second) kept.push_back(std::move(diag));
+  }
+  const int removed =
+      static_cast<int>(diagnostics_.size()) - static_cast<int>(kept.size());
+  diagnostics_ = std::move(kept);
+  return removed;
 }
 
 int ValidationReport::CountOf(Severity severity) const {
@@ -71,6 +122,58 @@ std::string ValidationReport::ToString() const {
     os << "\n  " << diag.ToString();
   }
   return os.str();
+}
+
+SuppressionBaseline SuppressionBaseline::Parse(const std::string& text) {
+  SuppressionBaseline baseline;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string scope;
+    std::string rule;
+    if (fields >> scope >> rule) baseline.Add(scope, rule);
+  }
+  return baseline;
+}
+
+void SuppressionBaseline::Add(const std::string& scope,
+                              const std::string& rule) {
+  entries_.emplace_back(scope, rule);
+}
+
+bool SuppressionBaseline::IsSuppressed(const std::string& scope,
+                                       const std::string& rule) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == scope && entry.second == rule) return true;
+  }
+  return false;
+}
+
+ValidationReport SuppressionBaseline::Filter(
+    const std::string& scope, const ValidationReport& report) const {
+  ValidationReport out;
+  for (const Diagnostic& diag : report.diagnostics()) {
+    if (!IsSuppressed(scope, diag.rule)) {
+      out.Add(diag.severity, diag.rule, diag.node, diag.message, diag.fixit);
+    }
+  }
+  return out;
+}
+
+std::string SuppressionBaseline::Serialize() const {
+  std::set<std::string> lines;
+  for (const auto& entry : entries_) {
+    lines.insert(entry.first + " " + entry.second);
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
 }
 
 void RecordDiagnostics(const ValidationReport& report,

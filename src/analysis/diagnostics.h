@@ -1,7 +1,9 @@
 #ifndef KEYSTONE_ANALYSIS_DIAGNOSTICS_H_
 #define KEYSTONE_ANALYSIS_DIAGNOSTICS_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace keystone {
@@ -35,9 +37,16 @@ struct Diagnostic {
   /// Offending node id, or -1 for whole-plan findings.
   int node = -1;
   std::string message;
+  /// Machine-applicable repair hint ("insert Reshape(vector[8]->vector[4])
+  /// before node 5"); empty when the engine has no suggestion.
+  std::string fixit;
 
   std::string ToString() const;
 };
+
+/// True when `rule` is a well-formed stable rule id: two or more lowercase
+/// dot-separated segments of [a-z0-9_-], e.g. "shape.dim_mismatch".
+bool IsValidRuleId(const std::string& rule);
 
 /// The result of validating one plan: every diagnostic, in rule-evaluation
 /// order, plus aggregate views.
@@ -45,7 +54,18 @@ class ValidationReport {
  public:
   void Add(Severity severity, std::string rule, int node,
            std::string message);
+  void Add(Severity severity, std::string rule, int node, std::string message,
+           std::string fixit);
   void Merge(ValidationReport other);
+
+  /// Stable sort: errors first, then warnings, then infos; rule-evaluation
+  /// order preserved within a severity band.
+  void SortBySeverity();
+
+  /// Removes exact duplicates (severity, rule, node, message) keeping the
+  /// first occurrence — the pre-opt and post-pass validator runs re-derive
+  /// the same findings on an unchanged plan. Returns the number removed.
+  int Deduplicate();
 
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   int CountOf(Severity severity) const;
@@ -72,6 +92,30 @@ class ValidationReport {
 /// `analysis.validations` plus `analysis.diagnostics.{error,warning,info}`.
 void RecordDiagnostics(const ValidationReport& report,
                        obs::MetricsRegistry* metrics);
+
+/// A checked-in grandfathering list for `pipeline_lint --strict`: each entry
+/// suppresses one (scope, rule) pair, where scope is the workload name the
+/// lint run uses. New violations fail CI; baselined ones don't. The text
+/// format is line-oriented — `scope<space>rule`, '#' comments, blank lines
+/// ignored — and Serialize/Parse round-trip exactly.
+class SuppressionBaseline {
+ public:
+  static SuppressionBaseline Parse(const std::string& text);
+
+  void Add(const std::string& scope, const std::string& rule);
+  bool IsSuppressed(const std::string& scope, const std::string& rule) const;
+  size_t size() const { return entries_.size(); }
+
+  /// The report minus every diagnostic suppressed under `scope`.
+  ValidationReport Filter(const std::string& scope,
+                          const ValidationReport& report) const;
+
+  /// Canonical text form: sorted, deduplicated, one entry per line.
+  std::string Serialize() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;  // (scope, rule)
+};
 
 }  // namespace analysis
 }  // namespace keystone

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/dataflow.h"
+
 namespace keystone {
 namespace analysis {
 
@@ -432,12 +434,57 @@ ValidationReport ValidateServablePlan(
                      "' which is train-only and unavailable at serve time");
     }
 
-    if (pn.kind == NodeKind::kApplyModel && models != nullptr &&
-        models->find(pn.model_input) == models->end()) {
-      report.Add(Severity::kError, rules::kServeModelMissing, pn.id,
-                 "apply-model node '" + pn.name +
-                     "' has no fitted model for estimator node " +
-                     std::to_string(pn.model_input));
+    if (pn.kind == NodeKind::kApplyModel && models != nullptr) {
+      const auto it = models->find(pn.model_input);
+      if (it == models->end()) {
+        report.Add(Severity::kError, rules::kServeModelMissing, pn.id,
+                   "apply-model node '" + pn.name +
+                       "' has no fitted model for estimator node " +
+                       std::to_string(pn.model_input));
+      } else if (it->second != nullptr && pn.dataflow_annotated &&
+                 !pn.inputs.empty()) {
+        // With the plan annotated by the dataflow pass, check the request
+        // stream's inferred shape against what the *fitted* model demands
+        // (fitted models know their exact input width — e.g. a linear map
+        // knows its weight matrix — which the estimator's static declaration
+        // may not).
+        const PlannedNode& in_node = plan.nodes[pn.inputs[0]];
+        if (in_node.dataflow_annotated) {
+          const ValueShape required = it->second->InputShapeRequirement();
+          const ValueShape incoming = in_node.inferred_shape;
+          if (incoming.Meet(required).IsBottom() && !incoming.IsBottom() &&
+              !required.IsBottom()) {
+            report.Add(Severity::kError, rules::kShapeModelInput,
+                       pn.id,
+                       "request stream shape " + incoming.ToString() +
+                           " disagrees with the fitted model's required " +
+                           required.ToString() + " at '" + pn.name + "'",
+                       "insert Reshape(" + incoming.ToString() + "->" +
+                           required.ToString() + ") before node " +
+                           std::to_string(pn.id));
+          }
+        }
+      }
+    }
+
+    // Effect placement on the serving path, from the plan's dataflow
+    // annotations: stateful or train-only nodes would replay differently
+    // (or not at all) per request.
+    if (pn.dataflow_annotated && pn.kind != NodeKind::kEstimator) {
+      if (pn.effect == EffectClass::kStateful) {
+        report.Add(Severity::kError,
+                   rules::kEffectStatefulOnServingPath, pn.id,
+                   "stateful node '" + pn.name + "' on the serving path",
+                   "mark node '" + pn.name +
+                       "' train-only or replace it with a pure equivalent");
+      } else if (pn.effect == EffectClass::kTrainOnly) {
+        report.Add(Severity::kError,
+                   rules::kEffectTrainOnlyOnServingPath, pn.id,
+                   "train-only node '" + pn.name + "' on the serving path",
+                   "move '" + pn.name +
+                       "' off the runtime path (fit it as an estimator "
+                       "whose model serves instead)");
+      }
     }
   }
   return report;

@@ -1,0 +1,78 @@
+#ifndef KEYSTONE_ANALYSIS_SHAPE_INFERENCE_H_
+#define KEYSTONE_ANALYSIS_SHAPE_INFERENCE_H_
+
+// Forward abstract interpretation over the PhysicalPlan IR. One pass in
+// topological (node-id) order propagates, per node:
+//   - a type/shape lattice value (ValueShape: scalar / vector[d] /
+//     matrix[r x c] / tokens / labels[k] / ..., with Top = unknown and
+//     Bottom = conflicting requirements),
+//   - a record-count interval (CardinalityInterval), refined from the
+//     lowering's static cardinality flow,
+//   - an effect class (pure / seeded-deterministic / stateful / train-only),
+//   - a statically derived per-record output size in bytes.
+// Every physical operator contributes a transfer function
+// (TransformerBase::TransferShape / EstimatorBase::ModelOutputShape and
+// friends, src/core/operator.h); sources seed the pass from their bound
+// dataset's element shape. The runtime placeholder — whose input is only
+// bound at serving time — is mirrored from its training twins: runtime
+// copies share operator instances with the train path
+// (PipelineGraph::CopyWithSubstitution), so the shape flowing into a train
+// twin is exactly the shape the placeholder must produce.
+//
+// Conflicts discovered during propagation (a Meet hitting Bottom, an empty
+// cardinality intersection) are emitted as shape.* / card.* diagnostics
+// with machine-applicable fix-it hints; plan-level rules (memory bounds,
+// effect placement) live in src/analysis/dataflow.h.
+
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/core/dataflow_lattice.h"
+#include "src/core/physical_plan.h"
+
+namespace keystone {
+namespace analysis {
+
+/// Everything the abstract interpreter derived for one plan node.
+struct NodeFacts {
+  /// Per-record output shape. For estimator nodes: the record shape the
+  /// fitted model will produce (the shape flowing out of apply-model).
+  ValueShape shape;
+  /// Effective shape of the primary data input after meeting the operator's
+  /// declared requirement (Top for sources/placeholders). Apply-model
+  /// checks its stream against the estimator node's value of this.
+  ValueShape input_shape;
+  /// Record-count interval of the node's output ([0,0] for estimators,
+  /// whose output is a model, not a dataset).
+  CardinalityInterval cardinality;
+  EffectClass effect = EffectClass::kPure;
+  /// Statically derived output bytes per record; < 0 when the shape does
+  /// not determine it and no input estimate was inheritable.
+  double bytes_per_record = -1.0;
+  /// The interpreter visited this node (it is on the train or runtime path,
+  /// or is a dead residue whose inputs were available).
+  bool visited = false;
+};
+
+/// The result of one interpretation pass: per-node facts (indexed by plan
+/// node id) plus the diagnostics discovered *during* propagation
+/// (shape.dim_mismatch, shape.model_input, card.contradiction). Plan-level
+/// rules are layered on top by CheckDataflow (src/analysis/dataflow.h).
+struct DataflowResult {
+  std::vector<NodeFacts> facts;
+  ValidationReport report;
+
+  const NodeFacts& at(int id) const { return facts[static_cast<size_t>(id)]; }
+};
+
+/// Runs the forward pass over `plan`. Read-only; deterministic; safe on any
+/// structurally valid plan (run the PlanValidator first — the interpreter
+/// assumes in-range, forward-pointing edges). Diagnostics are only emitted
+/// for nodes on the train or runtime path; dead CSE residue is interpreted
+/// silently.
+DataflowResult InferDataflow(const PhysicalPlan& plan);
+
+}  // namespace analysis
+}  // namespace keystone
+
+#endif  // KEYSTONE_ANALYSIS_SHAPE_INFERENCE_H_

@@ -1,0 +1,338 @@
+#ifndef KEYSTONE_CORE_DATAFLOW_LATTICE_H_
+#define KEYSTONE_CORE_DATAFLOW_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace keystone {
+
+/// The type/shape abstract domain for the static dataflow analysis
+/// (src/analysis/shape_inference.*). A ValueShape describes the per-record
+/// value flowing along a plan edge: its kind plus up to three dimension
+/// slots whose meaning depends on the kind. kTop means "unknown / any",
+/// kBottom means "conflicting requirements" — the lattice is
+///
+///            kTop
+///   scalar text tokens labels[k] vector[d] sparse[d] matrix[r x c] ...
+///            kBottom
+///
+/// with unknown dimensions (kUnknownDim) above known ones within a kind.
+enum class ShapeKind {
+  kTop = 0,      // unknown: no information yet
+  kScalar,       // a single number (double/int record)
+  kText,         // a raw string record
+  kTokens,       // a variable-length token sequence
+  kLabels,       // a class id drawn from k classes; d0 = k
+  kVector,       // dense vector; d0 = dim
+  kSparseVector, // sparse vector; d0 = feature-space dim
+  kMatrix,       // per-record descriptor matrix; d0 = rows, d1 = cols
+  kVectorSeq,    // gathered branch outputs; d0 = count, d1 = total dim
+  kImage,        // d0 = width, d1 = height, d2 = channels
+  kBottom,       // conflict: incompatible shapes met on one edge
+};
+
+inline const char* ShapeKindName(ShapeKind kind) {
+  switch (kind) {
+    case ShapeKind::kTop: return "top";
+    case ShapeKind::kScalar: return "scalar";
+    case ShapeKind::kText: return "text";
+    case ShapeKind::kTokens: return "tokens";
+    case ShapeKind::kLabels: return "labels";
+    case ShapeKind::kVector: return "vector";
+    case ShapeKind::kSparseVector: return "sparse";
+    case ShapeKind::kMatrix: return "matrix";
+    case ShapeKind::kVectorSeq: return "vecseq";
+    case ShapeKind::kImage: return "image";
+    case ShapeKind::kBottom: return "bottom";
+  }
+  return "top";
+}
+
+struct ValueShape {
+  static constexpr int64_t kUnknownDim = -1;
+
+  ShapeKind kind = ShapeKind::kTop;
+  int64_t d0 = kUnknownDim;
+  int64_t d1 = kUnknownDim;
+  int64_t d2 = kUnknownDim;
+
+  static ValueShape Top() { return ValueShape{}; }
+  static ValueShape Bottom() { return ValueShape{ShapeKind::kBottom}; }
+  static ValueShape Scalar() { return ValueShape{ShapeKind::kScalar}; }
+  static ValueShape Text() { return ValueShape{ShapeKind::kText}; }
+  static ValueShape Tokens() { return ValueShape{ShapeKind::kTokens}; }
+  static ValueShape Labels(int64_t k = kUnknownDim) {
+    return ValueShape{ShapeKind::kLabels, k};
+  }
+  static ValueShape Vector(int64_t dim = kUnknownDim) {
+    return ValueShape{ShapeKind::kVector, dim};
+  }
+  static ValueShape Sparse(int64_t dim = kUnknownDim) {
+    return ValueShape{ShapeKind::kSparseVector, dim};
+  }
+  static ValueShape MatrixOf(int64_t rows = kUnknownDim,
+                             int64_t cols = kUnknownDim) {
+    return ValueShape{ShapeKind::kMatrix, rows, cols};
+  }
+  static ValueShape VectorSeq(int64_t count = kUnknownDim,
+                              int64_t total_dim = kUnknownDim) {
+    return ValueShape{ShapeKind::kVectorSeq, count, total_dim};
+  }
+  static ValueShape ImageOf(int64_t width = kUnknownDim,
+                            int64_t height = kUnknownDim,
+                            int64_t channels = kUnknownDim) {
+    return ValueShape{ShapeKind::kImage, width, height, channels};
+  }
+
+  bool IsTop() const { return kind == ShapeKind::kTop; }
+  bool IsBottom() const { return kind == ShapeKind::kBottom; }
+
+  /// True when the kind is known and every dimension that determines the
+  /// per-record width is known. Matrix rows and image width/height may vary
+  /// record to record, so only descriptor width / channel count gate
+  /// concreteness for those kinds.
+  bool IsConcrete() const {
+    switch (kind) {
+      case ShapeKind::kTop:
+      case ShapeKind::kBottom:
+        return false;
+      case ShapeKind::kScalar:
+      case ShapeKind::kText:
+      case ShapeKind::kTokens:
+        return true;
+      case ShapeKind::kLabels:
+      case ShapeKind::kVector:
+      case ShapeKind::kSparseVector:
+        return d0 != kUnknownDim;
+      case ShapeKind::kMatrix:
+        return d1 != kUnknownDim;
+      case ShapeKind::kVectorSeq:
+        return d0 != kUnknownDim && d1 != kUnknownDim;
+      case ShapeKind::kImage:
+        return d2 != kUnknownDim;
+    }
+    return false;
+  }
+
+  /// Statically derived serialized size of one record in bytes, or a
+  /// negative value when the shape does not determine it (text, tokens,
+  /// sparse vectors, matrices with unknown row counts).
+  double BytesPerRecord() const {
+    constexpr double kWord = 8.0;
+    switch (kind) {
+      case ShapeKind::kScalar:
+      case ShapeKind::kLabels:
+        return kWord;
+      case ShapeKind::kVector:
+        return d0 == kUnknownDim ? -1.0 : kWord * static_cast<double>(d0);
+      case ShapeKind::kVectorSeq:
+        return d1 == kUnknownDim ? -1.0 : kWord * static_cast<double>(d1);
+      case ShapeKind::kMatrix:
+        return (d0 == kUnknownDim || d1 == kUnknownDim)
+                   ? -1.0
+                   : kWord * static_cast<double>(d0) *
+                         static_cast<double>(d1);
+      case ShapeKind::kImage:
+        return (d0 == kUnknownDim || d1 == kUnknownDim || d2 == kUnknownDim)
+                   ? -1.0
+                   : kWord * static_cast<double>(d0) *
+                         static_cast<double>(d1) * static_cast<double>(d2);
+      default:
+        return -1.0;
+    }
+  }
+
+  /// Greatest lower bound: refines two constraints on the same edge.
+  /// Top is the identity, Bottom absorbs, different kinds conflict, and
+  /// within a kind each dimension unifies (known beats unknown; two
+  /// different known dimensions are a conflict).
+  ValueShape Meet(const ValueShape& other) const {
+    if (IsTop()) return other;
+    if (other.IsTop()) return *this;
+    if (IsBottom() || other.IsBottom()) return Bottom();
+    if (kind != other.kind) return Bottom();
+    ValueShape out = *this;
+    if (!MeetDim(d0, other.d0, &out.d0) || !MeetDim(d1, other.d1, &out.d1) ||
+        !MeetDim(d2, other.d2, &out.d2)) {
+      return Bottom();
+    }
+    return out;
+  }
+
+  /// Least upper bound: generalizes shapes arriving from different paths.
+  ValueShape Join(const ValueShape& other) const {
+    if (IsBottom()) return other;
+    if (other.IsBottom()) return *this;
+    if (IsTop() || other.IsTop()) return Top();
+    if (kind != other.kind) return Top();
+    ValueShape out = *this;
+    out.d0 = d0 == other.d0 ? d0 : kUnknownDim;
+    out.d1 = d1 == other.d1 ? d1 : kUnknownDim;
+    out.d2 = d2 == other.d2 ? d2 : kUnknownDim;
+    return out;
+  }
+
+  bool operator==(const ValueShape& other) const {
+    return kind == other.kind && d0 == other.d0 && d1 == other.d1 &&
+           d2 == other.d2;
+  }
+  bool operator!=(const ValueShape& other) const { return !(*this == other); }
+
+  /// Compact human-readable form: "vector[256]", "matrix[?x64]",
+  /// "image[32x32x3]", "top", "bottom".
+  std::string ToString() const {
+    const std::string name = ShapeKindName(kind);
+    switch (kind) {
+      case ShapeKind::kLabels:
+      case ShapeKind::kVector:
+      case ShapeKind::kSparseVector:
+        return name + "[" + DimStr(d0) + "]";
+      case ShapeKind::kMatrix:
+      case ShapeKind::kVectorSeq:
+        return name + "[" + DimStr(d0) + "x" + DimStr(d1) + "]";
+      case ShapeKind::kImage:
+        return name + "[" + DimStr(d0) + "x" + DimStr(d1) + "x" +
+               DimStr(d2) + "]";
+      default:
+        return name;
+    }
+  }
+
+ private:
+  static bool MeetDim(int64_t a, int64_t b, int64_t* out) {
+    if (a == kUnknownDim) {
+      *out = b;
+      return true;
+    }
+    if (b == kUnknownDim || a == b) {
+      *out = a;
+      return true;
+    }
+    return false;
+  }
+
+  static std::string DimStr(int64_t d) {
+    return d == kUnknownDim ? "?" : std::to_string(d);
+  }
+};
+
+/// Record-count abstraction: a closed interval [lo, hi] with hi = kUnbounded
+/// meaning "no upper bound". Empty intervals (hi < lo) witness cardinality
+/// contradictions — e.g. a supervised solver whose feature and label inputs
+/// carry different exact counts.
+struct CardinalityInterval {
+  static constexpr int64_t kUnbounded = -1;
+
+  int64_t lo = 0;
+  int64_t hi = kUnbounded;
+
+  static CardinalityInterval Any() { return CardinalityInterval{}; }
+  static CardinalityInterval Exact(int64_t n) {
+    return CardinalityInterval{n, n};
+  }
+
+  bool IsEmpty() const { return hi != kUnbounded && hi < lo; }
+  bool IsExact() const { return hi != kUnbounded && hi == lo; }
+
+  CardinalityInterval Intersect(const CardinalityInterval& other) const {
+    CardinalityInterval out;
+    out.lo = lo > other.lo ? lo : other.lo;
+    if (hi == kUnbounded) {
+      out.hi = other.hi;
+    } else if (other.hi == kUnbounded) {
+      out.hi = hi;
+    } else {
+      out.hi = hi < other.hi ? hi : other.hi;
+    }
+    return out;
+  }
+
+  bool operator==(const CardinalityInterval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  std::string ToString() const {
+    if (IsEmpty()) return "[empty]";
+    std::string out = "[" + std::to_string(lo) + ",";
+    out += hi == kUnbounded ? "inf)" : std::to_string(hi) + "]";
+    return out;
+  }
+};
+
+/// Effect class of a plan node, ordered from most to least freely movable.
+/// Pure and seeded-deterministic transformers are fusion and
+/// branch-parallelism candidates; stateful nodes must not run on
+/// branch-parallel or serving paths; train-only nodes never run at serving
+/// time at all (estimators, sampling transformers).
+enum class EffectClass {
+  kPure = 0,
+  kSeededDeterministic,
+  kStateful,
+  kTrainOnly,
+};
+
+inline const char* EffectClassName(EffectClass effect) {
+  switch (effect) {
+    case EffectClass::kPure: return "pure";
+    case EffectClass::kSeededDeterministic: return "seeded";
+    case EffectClass::kStateful: return "stateful";
+    case EffectClass::kTrainOnly: return "train-only";
+  }
+  return "pure";
+}
+
+/// Compile-time record shape for a C++ element type; the typed
+/// Transformer/Estimator templates use this as their default transfer
+/// function so every operator gets kind-level checking for free.
+/// Specializations for linalg types live in src/data/element_traits.h and
+/// for Image in src/ops/image.h, next to the types themselves.
+template <typename T>
+struct StaticShapeOf {
+  static ValueShape Get() { return ValueShape::Top(); }
+};
+
+template <>
+struct StaticShapeOf<double> {
+  static ValueShape Get() { return ValueShape::Scalar(); }
+};
+
+template <>
+struct StaticShapeOf<int> {
+  static ValueShape Get() { return ValueShape::Scalar(); }
+};
+
+template <>
+struct StaticShapeOf<std::string> {
+  static ValueShape Get() { return ValueShape::Text(); }
+};
+
+template <>
+struct StaticShapeOf<std::vector<std::string>> {
+  static ValueShape Get() { return ValueShape::Tokens(); }
+};
+
+template <>
+struct StaticShapeOf<std::vector<double>> {
+  static ValueShape Get() { return ValueShape::Vector(); }
+};
+
+template <>
+struct StaticShapeOf<std::vector<int>> {
+  static ValueShape Get() { return ValueShape::Labels(); }
+};
+
+template <>
+struct StaticShapeOf<std::vector<std::vector<double>>> {
+  static ValueShape Get() { return ValueShape::VectorSeq(); }
+};
+
+template <typename A, typename B>
+struct StaticShapeOf<std::pair<A, B>> {
+  static ValueShape Get() { return StaticShapeOf<A>::Get(); }
+};
+
+}  // namespace keystone
+
+#endif  // KEYSTONE_CORE_DATAFLOW_LATTICE_H_

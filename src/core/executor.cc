@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/analysis/dataflow.h"
 #include "src/analysis/plan_validator.h"
 #include "src/common/check.h"
 #include "src/common/string_util.h"
@@ -99,11 +100,31 @@ std::shared_ptr<PhysicalPlan> PipelineExecutor::Compile(
   auto graph = std::make_shared<PipelineGraph>(original);
   auto plan = std::make_shared<PhysicalPlan>(LowerToPhysical(
       std::move(graph), placeholder, sink, config_, context_.resources()));
+
+  // --- Static dataflow inference over the freshly lowered IR: shape /
+  // cardinality / effect facts plus the shape.* / card.* / effect.* rules,
+  // before any pass rewrites the plan.
+  if (config_.validate_plans) {
+    const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+    const analysis::ValidationReport dreport =
+        analysis::CheckDataflow(*plan, flow);
+    analysis::RecordDiagnostics(dreport, context_.metrics());
+    KS_CHECK(dreport.ok()) << "pipeline plan failed validation:\n"
+                           << dreport.ToString();
+  }
+
   PassManager manager;
   RegisterStandardPasses(&manager);
   PassContext pctx;
   pctx.ctx = &context_;
   manager.Run(plan.get(), &pctx);
+
+  // --- Final inference over the optimized plan: annotate every node with
+  // its inferred facts (surfaced by plan_dump/explain and consumed by the
+  // serving admission prior) and log the fusibility report.
+  const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+  analysis::AnnotatePlan(plan.get(), flow);
+  analysis::RecordFusibility(*plan, flow);
   return plan;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/dataflow_lattice.h"
 #include "src/core/exec_context.h"
 #include "src/data/dist_dataset.h"
 #include "src/sim/cost_profile.h"
@@ -45,6 +46,34 @@ class TransformerBase {
   /// Number of passes the operator makes over its input (paper's Iterative
   /// trait weight; 1 for ordinary transformers).
   virtual int Weight() const { return 1; }
+
+  // --- Static dataflow metadata (consumed by src/analysis) -----------------
+
+  /// Shape this operator requires of each input record; Top = anything.
+  /// The inference engine meets the incoming shape with this requirement
+  /// and reports a shape.dim_mismatch diagnostic when the meet is Bottom.
+  virtual ValueShape InputShapeRequirement() const {
+    return ValueShape::Top();
+  }
+
+  /// Transfer function: output record shape given the input record shape.
+  /// The engine has already met `in` with InputShapeRequirement(), so
+  /// implementations may assume the kind matches their requirement.
+  virtual ValueShape TransferShape(const ValueShape& in) const {
+    (void)in;
+    return ValueShape::Top();
+  }
+
+  /// Multi-input transfer function (gather-style operators).
+  virtual ValueShape TransferShapeMulti(
+      const std::vector<ValueShape>& ins) const {
+    return ins.size() == 1 ? TransferShape(ins[0]) : ValueShape::Top();
+  }
+
+  /// Effect class for the purity/fusibility analysis. Pure by default;
+  /// operators that draw from a fixed seed declare kSeededDeterministic,
+  /// and anything with hidden mutable state declares kStateful.
+  virtual EffectClass Effect() const { return EffectClass::kPure; }
 };
 
 /// Typed per-record transformer. Implementations override Apply (record at
@@ -57,6 +86,16 @@ class Transformer : public TransformerBase {
 
   /// Applies the operator to a single data item.
   virtual B Apply(const A& input) const = 0;
+
+  /// Kind-level defaults from the static record types; operators whose
+  /// output dimensions depend on configuration refine these further.
+  ValueShape InputShapeRequirement() const override {
+    return StaticShapeOf<A>::Get();
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return StaticShapeOf<B>::Get();
+  }
 
   AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
                       ExecContext* ctx) const override {
@@ -106,6 +145,29 @@ class EstimatorBase {
 
   /// True when the estimator consumes a label dataset.
   virtual bool IsSupervised() const { return false; }
+
+  // --- Static dataflow metadata (consumed by src/analysis) -----------------
+
+  /// Shape required of the training-data records; Top = anything.
+  virtual ValueShape InputShapeRequirement() const {
+    return ValueShape::Top();
+  }
+
+  /// Shape required of the label records (supervised estimators only).
+  virtual ValueShape LabelShapeRequirement() const {
+    return ValueShape::Top();
+  }
+
+  /// Record shape the fitted model will produce given the shape of the
+  /// training data it was fit on (e.g. PCA: matrix[r x d] -> matrix[r x k]).
+  virtual ValueShape ModelOutputShape(const ValueShape& data_in) const {
+    (void)data_in;
+    return ValueShape::Top();
+  }
+
+  /// Effect class of the fitting step; seeded estimators (k-means, GMM,
+  /// randomized projections) declare kSeededDeterministic.
+  virtual EffectClass Effect() const { return EffectClass::kPure; }
 };
 
 /// Typed unsupervised estimator over records of type A producing a
@@ -118,6 +180,14 @@ class Estimator : public EstimatorBase {
 
   virtual std::shared_ptr<Transformer<A, B>> Fit(const DistDataset<A>& data,
                                                  ExecContext* ctx) const = 0;
+
+  ValueShape InputShapeRequirement() const override {
+    return StaticShapeOf<A>::Get();
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return StaticShapeOf<B>::Get();
+  }
 
   std::shared_ptr<TransformerBase> FitAny(const AnyDataset& data,
                                           const AnyDataset& labels,
@@ -139,6 +209,17 @@ class LabelEstimator : public EstimatorBase {
   virtual std::shared_ptr<Transformer<A, B>> Fit(const DistDataset<A>& data,
                                                  const DistDataset<L>& labels,
                                                  ExecContext* ctx) const = 0;
+
+  ValueShape InputShapeRequirement() const override {
+    return StaticShapeOf<A>::Get();
+  }
+  ValueShape LabelShapeRequirement() const override {
+    return StaticShapeOf<L>::Get();
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return StaticShapeOf<B>::Get();
+  }
 
   std::shared_ptr<TransformerBase> FitAny(const AnyDataset& data,
                                           const AnyDataset& labels,
@@ -184,6 +265,18 @@ class OptimizableTransformer : public TransformerBase {
     return options_[0]->EstimateCost(in, workers);
   }
 
+  ValueShape InputShapeRequirement() const override {
+    return options_[0]->InputShapeRequirement();
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return options_[0]->TransferShape(in);
+  }
+  ValueShape TransferShapeMulti(
+      const std::vector<ValueShape>& ins) const override {
+    return options_[0]->TransferShapeMulti(ins);
+  }
+  EffectClass Effect() const override { return options_[0]->Effect(); }
+
  private:
   std::string name_;
   std::vector<std::shared_ptr<TransformerBase>> options_;
@@ -221,6 +314,17 @@ class OptimizableEstimator : public EstimatorBase {
   int Weight() const override { return options_[0]->Weight(); }
 
   bool IsSupervised() const override { return options_[0]->IsSupervised(); }
+
+  ValueShape InputShapeRequirement() const override {
+    return options_[0]->InputShapeRequirement();
+  }
+  ValueShape LabelShapeRequirement() const override {
+    return options_[0]->LabelShapeRequirement();
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    return options_[0]->ModelOutputShape(data_in);
+  }
+  EffectClass Effect() const override { return options_[0]->Effect(); }
 
  private:
   std::string name_;

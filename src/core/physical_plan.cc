@@ -215,6 +215,14 @@ std::string PhysicalPlan::ToString(bool runtime_only) const {
          << pn.profile.records_large << ", "
          << HumanBytes(pn.profile.bytes_per_record) << "/rec";
     }
+    if (pn.dataflow_annotated) {
+      os << "\n      dataflow: shape=" << pn.inferred_shape.ToString()
+         << " card=" << pn.cardinality.ToString()
+         << " effect=" << EffectClassName(pn.effect);
+      if (pn.inferred_bytes_per_record >= 0) {
+        os << " " << HumanBytes(pn.inferred_bytes_per_record) << "/rec";
+      }
+    }
     os << "\n";
   }
   if (!runtime_only) {
@@ -272,6 +280,13 @@ std::string PhysicalPlan::ToJson(bool runtime_only) const {
        << pn.input_records << ",\"full_records\":" << pn.full_records
        << ",\"weight\":" << pn.weight
        << ",\"cached\":" << (pn.cached ? "true" : "false")
+       << ",\"dataflow\":{\"annotated\":"
+       << (pn.dataflow_annotated ? "true" : "false") << ",\"shape\":\""
+       << pn.inferred_shape.ToString() << "\",\"shape_kind\":\""
+       << ShapeKindName(pn.inferred_shape.kind) << "\",\"cardinality\":\""
+       << pn.cardinality.ToString() << "\",\"effect\":\""
+       << EffectClassName(pn.effect) << "\",\"bytes_per_record\":"
+       << JsonNumber(pn.inferred_bytes_per_record) << "}"
        << ",\"est_seconds\":" << JsonNumber(pn.est_seconds)
        << ",\"est_output_bytes\":" << JsonNumber(pn.est_output_bytes)
        << ",\"profile\":{\"seconds_small\":"

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/dataflow_lattice.h"
 #include "src/core/pipeline_graph.h"
 #include "src/data/data_stats.h"
 #include "src/obs/decision_log.h"
@@ -164,6 +165,19 @@ struct PlannedNode {
   double est_seconds = 0.0;
   double est_output_bytes = 0.0;
   ProfileEntry profile;
+
+  /// Static dataflow facts (filled by analysis::AnnotatePlan after the
+  /// optimizer passes run; dataflow_annotated gates their validity).
+  bool dataflow_annotated = false;
+  /// Inferred per-record output shape. For estimator nodes this is the
+  /// record shape the *fitted model* will produce.
+  ValueShape inferred_shape;
+  /// Inferred record-count interval of the node's output.
+  CardinalityInterval cardinality;
+  /// Effect class (estimator nodes are train-only by construction).
+  EffectClass effect = EffectClass::kPure;
+  /// Statically derived output bytes per record; < 0 when unknown.
+  double inferred_bytes_per_record = -1.0;
 };
 
 /// The explicit physical plan: a lowered copy of the logical PipelineGraph

@@ -42,6 +42,31 @@ class GatherTransformer : public TransformerBase {
     }
     return std::make_shared<DistDataset<std::vector<B>>>(std::move(out));
   }
+
+  /// Branches must agree in kind; the gathered record is a sequence whose
+  /// total flattened dimension is the sum of the branch dimensions.
+  ValueShape TransferShapeMulti(
+      const std::vector<ValueShape>& ins) const override {
+    if (ins.empty()) return ValueShape::Top();
+    int64_t total = 0;
+    bool known = true;
+    for (const ValueShape& in : ins) {
+      if (in.IsBottom()) return ValueShape::Bottom();
+      int64_t dim = ValueShape::kUnknownDim;
+      switch (in.kind) {
+        case ShapeKind::kScalar: dim = 1; break;
+        case ShapeKind::kVector: dim = in.d0; break;
+        default: break;
+      }
+      if (dim == ValueShape::kUnknownDim) {
+        known = false;
+      } else {
+        total += dim;
+      }
+    }
+    return ValueShape::VectorSeq(static_cast<int64_t>(ins.size()),
+                                 known ? total : ValueShape::kUnknownDim);
+  }
 };
 
 /// Flattens gathered branch outputs (vectors of dense vectors) into one
@@ -60,6 +85,12 @@ class ConcatFeatures : public Transformer<std::vector<std::vector<double>>,
     out.reserve(total);
     for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
     return out;
+  }
+
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::Vector(in.kind == ShapeKind::kVectorSeq
+                                  ? in.d1
+                                  : ValueShape::kUnknownDim);
   }
 };
 

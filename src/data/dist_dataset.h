@@ -33,6 +33,10 @@ class DatasetBase {
   virtual std::shared_ptr<DatasetBase> SamplePrefix(size_t max_records)
       const = 0;
 
+  /// Static per-record shape for the dataflow analysis; Top when the
+  /// element type gives no information.
+  virtual ValueShape ElementShape() const { return ValueShape::Top(); }
+
   /// Virtual record-count multiplier. Benchmarks reproduce paper-scale
   /// experiments by holding a laptop-scale dataset whose *statistics*
   /// describe the full-size workload: kernels execute on the real records,
@@ -118,6 +122,13 @@ class DistDataset : public DatasetBase {
     stats.num_records =
         static_cast<size_t>(real_records * virtual_scale_);
     return stats;
+  }
+
+  ValueShape ElementShape() const override {
+    for (const auto& part : partitions_) {
+      if (!part.empty()) return ShapeOfElement(part.front());
+    }
+    return StaticShapeOf<T>::Get();
   }
 
   std::shared_ptr<DatasetBase> SamplePrefix(size_t max_records) const override {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/dataflow_lattice.h"
 #include "src/linalg/matrix.h"
 #include "src/linalg/sparse.h"
 
@@ -90,6 +91,43 @@ double ElementNnz(const std::pair<A, B>& p) {
   return ElementNnz(p.first);
 }
 
+// --- Static record shape (dataflow analysis) --------------------------------
+
+inline ValueShape ShapeOfElement(double) { return ValueShape::Scalar(); }
+inline ValueShape ShapeOfElement(int) { return ValueShape::Scalar(); }
+inline ValueShape ShapeOfElement(const std::string&) {
+  return ValueShape::Text();
+}
+inline ValueShape ShapeOfElement(const std::vector<double>& v) {
+  return ValueShape::Vector(static_cast<int64_t>(v.size()));
+}
+inline ValueShape ShapeOfElement(const std::vector<std::string>&) {
+  return ValueShape::Tokens();
+}
+inline ValueShape ShapeOfElement(const SparseVector& v) {
+  return ValueShape::Sparse(static_cast<int64_t>(v.dim));
+}
+/// Descriptor width is a per-dataset invariant; row counts vary per record.
+inline ValueShape ShapeOfElement(const Matrix& m) {
+  return ValueShape::MatrixOf(ValueShape::kUnknownDim,
+                              static_cast<int64_t>(m.cols()));
+}
+
+template <typename A, typename B>
+ValueShape ShapeOfElement(const std::pair<A, B>& p) {
+  return ShapeOfElement(p.first);
+}
+
+template <>
+struct StaticShapeOf<SparseVector> {
+  static ValueShape Get() { return ValueShape::Sparse(); }
+};
+
+template <>
+struct StaticShapeOf<Matrix> {
+  static ValueShape Get() { return ValueShape::MatrixOf(); }
+};
+
 // --- Generic nested containers (e.g. gathered branch outputs) ---------------
 
 template <typename T>
@@ -111,6 +149,12 @@ double ElementNnz(const std::vector<T>& v) {
   double total = 0.0;
   for (const auto& item : v) total += ElementNnz(item);
   return total;
+}
+
+template <typename T>
+ValueShape ShapeOfElement(const std::vector<T>& v) {
+  return ValueShape::VectorSeq(static_cast<int64_t>(v.size()),
+                               static_cast<int64_t>(ElementDim(v)));
 }
 
 }  // namespace keystone

@@ -46,6 +46,11 @@ void OptimizerDecisionLog::RecordRecovery(RecoveryDecision decision) {
   recoveries_.push_back(std::move(decision));
 }
 
+void OptimizerDecisionLog::RecordFusionCandidate(FusionCandidate candidate) {
+  MutexLock lock(&mu_);
+  fusion_.push_back(std::move(candidate));
+}
+
 std::vector<SelectionDecision> OptimizerDecisionLog::Selections() const {
   MutexLock lock(&mu_);
   return selections_;
@@ -72,6 +77,11 @@ std::vector<RecoveryDecision> OptimizerDecisionLog::Recoveries() const {
   return recoveries_;
 }
 
+std::vector<FusionCandidate> OptimizerDecisionLog::FusionCandidates() const {
+  MutexLock lock(&mu_);
+  return fusion_;
+}
+
 bool OptimizerDecisionLog::Empty() const {
   MutexLock lock(&mu_);
   return selections_.empty() && cse_groups_.empty() && ledger_.empty() &&
@@ -85,6 +95,7 @@ void OptimizerDecisionLog::Clear() {
   ledger_.clear();
   summary_ = MaterializationSummary();
   recoveries_.clear();
+  fusion_.clear();
 }
 
 std::string OptimizerDecisionLog::ToString() const {
@@ -152,6 +163,19 @@ std::string OptimizerDecisionLog::ToString() const {
           << ", wasted " << HumanSeconds(r.wasted_seconds) << ", backoff "
           << HumanSeconds(r.backoff_seconds) << ", recovery "
           << HumanSeconds(r.recovery_seconds) << "\n";
+    }
+  }
+  // Rendered only when the dataflow analysis found chains, so reports from
+  // unanalyzed plans keep their exact prior shape.
+  if (!fusion_.empty()) {
+    out << "  fusibility report (" << fusion_.size() << " chains):\n";
+    for (const auto& f : fusion_) {
+      out << "    " << f.path << " chain";
+      for (size_t i = 0; i < f.nodes.size(); ++i) {
+        out << (i == 0 ? " " : " -> ") << f.nodes[i];
+        if (i < f.ops.size()) out << " [" << f.ops[i] << "]";
+      }
+      out << ": " << f.input_shape << " -> " << f.output_shape << "\n";
     }
   }
   return out.str();
@@ -244,6 +268,27 @@ std::string OptimizerDecisionLog::ToJson() const {
           << ",\"backoff_seconds\":" << JsonNumber(r.backoff_seconds)
           << ",\"recovery_seconds\":" << JsonNumber(r.recovery_seconds)
           << "}";
+    }
+    out << "]";
+  }
+  // Analyzed plans only: unanalyzed plans keep the pre-analysis schema.
+  if (!fusion_.empty()) {
+    out << ",\"fusion\":[";
+    for (size_t i = 0; i < fusion_.size(); ++i) {
+      const auto& f = fusion_[i];
+      if (i) out << ",";
+      out << "{\"path\":\"" << JsonEscape(f.path) << "\",\"nodes\":[";
+      for (size_t j = 0; j < f.nodes.size(); ++j) {
+        if (j) out << ",";
+        out << f.nodes[j];
+      }
+      out << "],\"ops\":[";
+      for (size_t j = 0; j < f.ops.size(); ++j) {
+        if (j) out << ",";
+        out << "\"" << JsonEscape(f.ops[j]) << "\"";
+      }
+      out << "],\"input_shape\":\"" << JsonEscape(f.input_shape)
+          << "\",\"output_shape\":\"" << JsonEscape(f.output_shape) << "\"}";
     }
     out << "]";
   }

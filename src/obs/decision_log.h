@@ -86,6 +86,18 @@ struct RecoveryDecision {
   double recovery_seconds = 0;  // input re-acquisition / straggler time
 };
 
+/// One statically detected fusion candidate: a maximal chain of pure /
+/// seeded-deterministic single-consumer row-wise operators with compatible
+/// inferred shapes (src/analysis/dataflow.h). Recorded for provenance; no
+/// pass rewrites the plan from it yet.
+struct FusionCandidate {
+  std::vector<int> nodes;          // plan node ids, upstream first
+  std::vector<std::string> ops;    // operator names, aligned with `nodes`
+  std::string path;                // "train" or "runtime"
+  std::string input_shape;         // lattice shape entering the chain
+  std::string output_shape;        // lattice shape leaving the chain
+};
+
 /// End-of-pass materialization summary.
 struct MaterializationSummary {
   bool recorded = false;
@@ -105,14 +117,18 @@ class OptimizerDecisionLog {
   void RecordMaterializationStep(MaterializationStep step);
   void RecordMaterializationSummary(MaterializationSummary summary);
   void RecordRecovery(RecoveryDecision decision);
+  void RecordFusionCandidate(FusionCandidate candidate);
 
   std::vector<SelectionDecision> Selections() const;
   std::vector<CseMergeGroup> CseGroups() const;
   std::vector<MaterializationStep> MaterializationLedger() const;
   MaterializationSummary Summary() const;
   std::vector<RecoveryDecision> Recoveries() const;
+  std::vector<FusionCandidate> FusionCandidates() const;
 
   /// True when no pass recorded anything (the CI --strict failure mode).
+  /// Fusion candidates are analysis output, not optimizer decisions, and do
+  /// not count.
   bool Empty() const;
 
   void Clear();
@@ -130,6 +146,7 @@ class OptimizerDecisionLog {
   std::vector<MaterializationStep> ledger_ GUARDED_BY(mu_);
   MaterializationSummary summary_ GUARDED_BY(mu_);
   std::vector<RecoveryDecision> recoveries_ GUARDED_BY(mu_);
+  std::vector<FusionCandidate> fusion_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -86,6 +86,11 @@ class StandardScalerModel : public Transformer<std::vector<double>,
     return out;
   }
 
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::Vector(static_cast<int64_t>(mean_.size()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override { return in; }
+
  private:
   std::vector<double> mean_;
   std::vector<double> inv_std_;

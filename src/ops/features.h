@@ -23,6 +23,18 @@ class CosineRandomFeatures : public Transformer<std::vector<double>,
   std::vector<double> Apply(const std::vector<double>& x) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::Vector(static_cast<int64_t>(input_dim()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Vector(static_cast<int64_t>(output_dim()));
+  }
+  EffectClass Effect() const override {
+    return EffectClass::kSeededDeterministic;
+  }
+
+  size_t input_dim() const { return w_.cols(); }
   size_t output_dim() const { return w_.rows(); }
 
  private:
@@ -36,6 +48,7 @@ class L2Normalizer : public Transformer<std::vector<double>,
  public:
   std::string Name() const override { return "Normalize"; }
   std::vector<double> Apply(const std::vector<double>& x) const override;
+  ValueShape TransferShape(const ValueShape& in) const override { return in; }
 };
 
 /// Signed power ("root") normalization x -> sign(x) |x|^alpha, part of the
@@ -46,6 +59,7 @@ class SignedPowerNormalizer : public Transformer<std::vector<double>,
   explicit SignedPowerNormalizer(double alpha = 0.5) : alpha_(alpha) {}
   std::string Name() const override { return "PowerNorm"; }
   std::vector<double> Apply(const std::vector<double>& x) const override;
+  ValueShape TransferShape(const ValueShape& in) const override { return in; }
 
  private:
   double alpha_;
@@ -61,6 +75,11 @@ class StandardScaler : public Estimator<std::vector<double>,
   std::shared_ptr<Transformer<std::vector<double>, std::vector<double>>> Fit(
       const DistDataset<std::vector<double>>& data,
       ExecContext* ctx) const override;
+
+  /// Standardization preserves the feature dimension.
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    return data_in;
+  }
 };
 
 /// One-hot label encoding: class id -> k-dimensional indicator.
@@ -69,6 +88,10 @@ class OneHotEncoder : public Transformer<int, std::vector<double>> {
   explicit OneHotEncoder(int num_classes) : num_classes_(num_classes) {}
   std::string Name() const override { return "OneHot"; }
   std::vector<double> Apply(const int& label) const override;
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Vector(num_classes_);
+  }
 
  private:
   int num_classes_;
@@ -79,6 +102,10 @@ class ArgMaxClassifier : public Transformer<std::vector<double>, int> {
  public:
   std::string Name() const override { return "MaxClassifier"; }
   int Apply(const std::vector<double>& scores) const override;
+  /// Score dimension = number of classes the emitted id is drawn from.
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::Labels(in.d0);
+  }
 };
 
 /// Emits the k highest-scoring class ids, best first (the paper's "Top 5
@@ -89,6 +116,9 @@ class TopKClassifier : public Transformer<std::vector<double>,
   explicit TopKClassifier(int k) : k_(k) {}
   std::string Name() const override { return "TopKClassifier"; }
   std::vector<int> Apply(const std::vector<double>& scores) const override;
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::Labels(in.d0);
+  }
 
  private:
   int k_;

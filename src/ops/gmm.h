@@ -39,6 +39,16 @@ class GmmFisherEstimator : public Estimator<Matrix, std::vector<double>> {
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   int Weight() const override { return em_iterations_; }
 
+  /// Fisher encoding of K components over d-dim descriptors: K*(2d+1).
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    if (data_in.d1 == ValueShape::kUnknownDim) return ValueShape::Vector();
+    return ValueShape::Vector(static_cast<int64_t>(components_) *
+                              (2 * data_in.d1 + 1));
+  }
+  EffectClass Effect() const override {
+    return EffectClass::kSeededDeterministic;
+  }
+
  private:
   size_t components_;
   int em_iterations_;
@@ -53,6 +63,15 @@ class FisherVectorModel : public Transformer<Matrix, std::vector<double>> {
   std::string Name() const override { return "FisherVector"; }
   std::vector<double> Apply(const Matrix& descriptors) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim,
+                                static_cast<int64_t>(params_.dim()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Vector(static_cast<int64_t>(output_dim()));
+  }
 
   const GmmParams& params() const { return params_; }
   size_t output_dim() const {

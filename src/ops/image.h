@@ -2,9 +2,11 @@
 #define KEYSTONE_OPS_IMAGE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/core/dataflow_lattice.h"
 #include "src/linalg/matrix.h"
 
 namespace keystone {
@@ -57,6 +59,16 @@ inline size_t ElementDim(const Image& img) { return img.NumPixels(); }
 inline double ElementNnz(const Image& img) {
   return static_cast<double>(img.NumPixels());
 }
+inline ValueShape ShapeOfElement(const Image& img) {
+  return ValueShape::ImageOf(static_cast<int64_t>(img.width),
+                             static_cast<int64_t>(img.height),
+                             static_cast<int64_t>(img.channels));
+}
+
+template <>
+struct StaticShapeOf<Image> {
+  static ValueShape Get() { return ValueShape::ImageOf(); }
+};
 
 }  // namespace keystone
 

@@ -16,6 +16,9 @@ class GrayScaler : public Transformer<Image, Image> {
   std::string Name() const override { return "GrayScaler"; }
   Image Apply(const Image& img) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::ImageOf(in.d0, in.d1, 1);
+  }
 };
 
 /// Extracts all (stride-spaced) patch_size x patch_size patches and flattens
@@ -29,6 +32,15 @@ class PatchExtractor : public Transformer<Image, Matrix> {
   std::string Name() const override { return "PatchExtractor"; }
   Matrix Apply(const Image& img) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  /// One row per patch; width = flattened patch (needs channel count).
+  ValueShape TransferShape(const ValueShape& in) const override {
+    const int64_t cols =
+        in.d2 == ValueShape::kUnknownDim
+            ? ValueShape::kUnknownDim
+            : static_cast<int64_t>(patch_dim(static_cast<size_t>(in.d2)));
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim, cols);
+  }
 
   size_t patch_dim(size_t channels) const {
     return patch_size_ * patch_size_ * channels;
@@ -52,6 +64,12 @@ class DenseSift : public Transformer<Image, Matrix> {
   Matrix Apply(const Image& img) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim,
+                                static_cast<int64_t>(descriptor_dim()));
+  }
+
   size_t descriptor_dim() const { return 4 * bins_; }
 
  private:
@@ -68,6 +86,13 @@ class LocalColorStats : public Transformer<Image, Matrix> {
   std::string Name() const override { return "LCS"; }
   Matrix Apply(const Image& img) const override;
 
+  /// Per-cell mean and standard deviation of each channel.
+  ValueShape TransferShape(const ValueShape& in) const override {
+    const int64_t cols =
+        in.d2 == ValueShape::kUnknownDim ? ValueShape::kUnknownDim : 2 * in.d2;
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim, cols);
+  }
+
  private:
   size_t cell_size_;
 };
@@ -79,6 +104,9 @@ class DescriptorSampler : public Transformer<Matrix, Matrix> {
   explicit DescriptorSampler(size_t stride) : stride_(stride) {}
   std::string Name() const override { return "ColumnSampler"; }
   Matrix Apply(const Matrix& descriptors) const override;
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim, in.d1);
+  }
 
  private:
   size_t stride_;
@@ -92,6 +120,11 @@ class SymmetricRectifier : public Transformer<std::vector<double>,
   explicit SymmetricRectifier(double alpha = 0.0) : alpha_(alpha) {}
   std::string Name() const override { return "SymmetricRectifier"; }
   std::vector<double> Apply(const std::vector<double>& x) const override;
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::Vector(
+        in.d0 == ValueShape::kUnknownDim ? ValueShape::kUnknownDim
+                                         : 2 * in.d0);
+  }
 
  private:
   double alpha_;
@@ -104,6 +137,12 @@ class Pooler : public Transformer<Matrix, std::vector<double>> {
   explicit Pooler(size_t grid) : grid_(grid) {}
   std::string Name() const override { return "Pooler"; }
   std::vector<double> Apply(const Matrix& features) const override;
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::Vector(
+        in.d1 == ValueShape::kUnknownDim
+            ? ValueShape::kUnknownDim
+            : static_cast<int64_t>(grid_ * grid_) * in.d1);
+  }
 
  private:
   size_t grid_;
@@ -120,6 +159,11 @@ class ZcaWhitener : public Estimator<Matrix, Matrix> {
   std::shared_ptr<Transformer<Matrix, Matrix>> Fit(
       const DistDataset<Matrix>& data, ExecContext* ctx) const override;
 
+  /// Whitening rotates rows in place: the shape is preserved.
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    return data_in;
+  }
+
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
  private:
@@ -133,6 +177,11 @@ class ZcaModel : public Transformer<Matrix, Matrix> {
       : mean_(std::move(mean)), rotation_(std::move(rotation)) {}
   std::string Name() const override { return "ZCA.Model"; }
   Matrix Apply(const Matrix& rows) const override;
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim,
+                                static_cast<int64_t>(rotation_.cols()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override { return in; }
   const Matrix& rotation() const { return rotation_; }
 
  private:

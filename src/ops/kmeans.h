@@ -27,6 +27,14 @@ class KMeansEstimator : public Estimator<Matrix, Matrix> {
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   int Weight() const override { return iterations_; }
 
+  /// One activation row per patch row, K soft assignments wide.
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    return ValueShape::MatrixOf(data_in.d0, static_cast<int64_t>(k_));
+  }
+  EffectClass Effect() const override {
+    return EffectClass::kSeededDeterministic;
+  }
+
  private:
   size_t k_;
   int iterations_;
@@ -41,6 +49,14 @@ class KMeansModel : public Transformer<Matrix, Matrix> {
   std::string Name() const override { return "KMeans.Model"; }
   Matrix Apply(const Matrix& patches) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim,
+                                static_cast<int64_t>(centers_.cols()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::MatrixOf(in.d0, static_cast<int64_t>(centers_.rows()));
+  }
 
   const Matrix& centers() const { return centers_; }
 

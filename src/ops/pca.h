@@ -22,6 +22,17 @@ class PcaModel : public Transformer<Matrix, Matrix> {
   Matrix Apply(const Matrix& rows) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
+  /// Input rows must match the fitted descriptor dimension d; the output
+  /// keeps the row count and projects each row to k components.
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::MatrixOf(ValueShape::kUnknownDim,
+                                static_cast<int64_t>(components_.rows()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    return ValueShape::MatrixOf(in.d0,
+                                static_cast<int64_t>(components_.cols()));
+  }
+
   /// d x k projection matrix (the paper's P).
   const Matrix& components() const { return components_; }
 
@@ -49,6 +60,13 @@ class PcaEstimator : public Estimator<Matrix, Matrix> {
 
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
+
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    return ValueShape::MatrixOf(data_in.d0, static_cast<int64_t>(k_));
+  }
+  EffectClass Effect() const override {
+    return EffectClass::kSeededDeterministic;
+  }
 
   PcaAlgorithm algorithm() const { return algorithm_; }
   PcaPlacement placement() const { return placement_; }

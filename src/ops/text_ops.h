@@ -60,6 +60,11 @@ class HashingTermFrequency : public Transformer<TokenSeq, SparseVector> {
   std::string Name() const override { return "HashingTF"; }
   SparseVector Apply(const TokenSeq& tokens) const override;
 
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Sparse(static_cast<int64_t>(dim_));
+  }
+
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
  private:
@@ -75,6 +80,11 @@ class VocabularyModel : public Transformer<TokenSeq, SparseVector> {
 
   std::string Name() const override { return "CommonSparseFeatures.Model"; }
   SparseVector Apply(const TokenSeq& tokens) const override;
+
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Sparse(static_cast<int64_t>(dim_));
+  }
 
   size_t vocabulary_size() const { return index_.size(); }
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
@@ -97,6 +107,13 @@ class CommonSparseFeatures : public Estimator<TokenSeq, SparseVector> {
 
   std::shared_ptr<Transformer<TokenSeq, SparseVector>> Fit(
       const DistDataset<TokenSeq>& data, ExecContext* ctx) const override;
+
+  /// The fitted VocabularyModel always emits vectors in a max_features-wide
+  /// feature space (Fit passes max_features_ as the model dim).
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Sparse(static_cast<int64_t>(max_features_));
+  }
 
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/dataflow.h"
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/plan_validator.h"
 #include "src/common/check.h"
@@ -34,6 +35,11 @@ void ValidateAfterPass(const PhysicalPlan& plan, const char* pass_name,
     vreport.Merge(
         validator.ValidatePlan(plan.planning_problem, plan.cache_set));
   }
+  // Re-run the dataflow rules over the rewritten plan: a pass must not
+  // introduce shape conflicts or misplace effects any more than it may
+  // break the structural invariants above.
+  vreport.Merge(
+      analysis::CheckDataflow(plan, analysis::InferDataflow(plan)));
   analysis::RecordDiagnostics(vreport, ctx->metrics());
   KS_CHECK(vreport.ok()) << "plan failed validation after pass '" << pass_name
                          << "':\n"

@@ -26,9 +26,17 @@ namespace serve {
 class ServablePipeline {
  public:
   /// Wraps a fitted pipeline. With `validate` (the default), aborts unless
-  /// ValidateServablePlan passes against the plan and model map.
+  /// ValidateServablePlan passes against the plan and model map. With
+  /// `use_static_prior` (the default), the per-record cost estimate is
+  /// seeded from the plan's static dataflow annotations
+  /// (analysis::StaticServingSecondsPerRecord) instead of starting at zero,
+  /// so admission control predicts real service times from the very first
+  /// batch; observations then refine the prior by EWMA as before. Plans
+  /// without annotations silently fall back to the observe-first cold
+  /// start.
   explicit ServablePipeline(std::shared_ptr<FittedPipelineUntyped> fitted,
-                            bool validate = true);
+                            bool validate = true,
+                            bool use_static_prior = true);
 
   /// Runs the runtime path over one micro-batch on `request_ctx` (a
   /// per-request ExecContext from ExecContext::MakeRequestContext, whose
@@ -60,13 +68,35 @@ class ServablePipeline {
   double per_record_seconds() const { return per_record_seconds_; }
   const FittedPipelineUntyped& fitted() const { return *fitted_; }
 
+  /// The per-record estimate was seeded from static dataflow analysis.
+  bool has_static_prior() const { return static_prior_; }
+  /// Batches folded into the calibration so far.
+  size_t batches_observed() const { return batches_observed_; }
+  /// Relative prediction error of the most recent batch, measured *before*
+  /// folding it in (|predicted - observed| / observed); negative until the
+  /// first observation.
+  double last_relative_error() const { return last_relative_error_; }
+  /// 1-based index of the first batch whose pre-update prediction error was
+  /// within 10% of the observed cost — when the admission predictor reached
+  /// steady state. Negative while it hasn't. A statically seeded prior
+  /// reaches this earlier than the zero-cost cold start, which must always
+  /// mispredict its first batch.
+  int steady_state_batch() const { return steady_state_batch_; }
+
  private:
+  /// Pre-update relative error below this counts as steady state.
+  static constexpr double kSteadyStateRelError = 0.10;
+
   std::shared_ptr<FittedPipelineUntyped> fitted_;
   double fixed_overhead_seconds_ = 0.0;
   // Calibrated per-record variable cost; mutated only from the server's
   // serial event loop (ObserveBatch), never from kernel threads.
   double per_record_seconds_ = 0.0;
   bool calibrated_ = false;
+  bool static_prior_ = false;
+  size_t batches_observed_ = 0;
+  double last_relative_error_ = -1.0;
+  int steady_state_batch_ = -1;
 };
 
 }  // namespace serve

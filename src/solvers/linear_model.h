@@ -25,6 +25,14 @@ class LinearMapModel : public Transformer<std::vector<double>,
 
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::Vector(static_cast<int64_t>(weights_.rows()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Vector(static_cast<int64_t>(weights_.cols()));
+  }
+
   const Matrix& weights() const { return weights_; }
   const std::vector<double>& intercept() const { return intercept_; }
 
@@ -44,6 +52,14 @@ class SparseLinearMapModel : public Transformer<SparseVector,
   std::vector<double> Apply(const SparseVector& x) const override;
 
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
+
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::Sparse(static_cast<int64_t>(weights_.rows()));
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Vector(static_cast<int64_t>(weights_.cols()));
+  }
 
   const Matrix& weights() const { return weights_; }
 

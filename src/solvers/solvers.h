@@ -46,6 +46,14 @@ class LocalExactSolver : public LabelEstimator<DenseVec, DenseVec, DenseVec> {
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
 
+  ValueShape LabelShapeRequirement() const override {
+    return ValueShape::Vector(config_.num_classes);
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Vector(config_.num_classes);
+  }
+
  private:
   LinearSolverConfig config_;
 };
@@ -68,6 +76,14 @@ class DistributedExactSolver
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
 
+  ValueShape LabelShapeRequirement() const override {
+    return ValueShape::Vector(config_.num_classes);
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Vector(config_.num_classes);
+  }
+
  private:
   LinearSolverConfig config_;
 };
@@ -87,6 +103,14 @@ class DenseLbfgsSolver : public LabelEstimator<DenseVec, DenseVec, DenseVec> {
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
   int Weight() const override { return config_.lbfgs_iterations; }
+
+  ValueShape LabelShapeRequirement() const override {
+    return ValueShape::Vector(config_.num_classes);
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Vector(config_.num_classes);
+  }
 
  private:
   LinearSolverConfig config_;
@@ -109,6 +133,14 @@ class DenseBlockSolver : public LabelEstimator<DenseVec, DenseVec, DenseVec> {
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
   int Weight() const override { return config_.block_epochs; }
+
+  ValueShape LabelShapeRequirement() const override {
+    return ValueShape::Vector(config_.num_classes);
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Vector(config_.num_classes);
+  }
 
  private:
   LinearSolverConfig config_;
@@ -135,6 +167,14 @@ class SparseLbfgsSolver
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
   int Weight() const override { return config_.lbfgs_iterations; }
 
+  ValueShape LabelShapeRequirement() const override {
+    return ValueShape::Vector(config_.num_classes);
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Vector(config_.num_classes);
+  }
+
  private:
   LinearSolverConfig config_;
 };
@@ -159,6 +199,14 @@ class SparseExactSolver
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
 
+  ValueShape LabelShapeRequirement() const override {
+    return ValueShape::Vector(config_.num_classes);
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Vector(config_.num_classes);
+  }
+
  private:
   LinearSolverConfig config_;
 };
@@ -181,6 +229,14 @@ class SparseBlockSolver
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
   double ScratchMemoryBytes(const DataStats& in, int workers) const override;
   int Weight() const override { return config_.block_epochs; }
+
+  ValueShape LabelShapeRequirement() const override {
+    return ValueShape::Vector(config_.num_classes);
+  }
+  ValueShape ModelOutputShape(const ValueShape& data_in) const override {
+    (void)data_in;
+    return ValueShape::Vector(config_.num_classes);
+  }
 
  private:
   LinearSolverConfig config_;

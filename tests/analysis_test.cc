@@ -4,8 +4,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/analysis/dataflow.h"
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/plan_validator.h"
+#include "src/analysis/shape_inference.h"
 #include "src/core/executor.h"
 #include "src/core/pipeline.h"
 #include "src/core/pipeline_graph.h"
@@ -363,6 +365,182 @@ TEST(DiagnosticsTest, RecordDiagnosticsCountsIntoRegistry) {
             1.0);
 }
 
+TEST(DiagnosticsTest, SortBySeverityOrdersErrorsFirstStably) {
+  ValidationReport report;
+  report.Add(Severity::kInfo, "rule.info-a", 1, "first info");
+  report.Add(Severity::kWarning, "rule.warn", 2, "warn");
+  report.Add(Severity::kError, "rule.err", 3, "err");
+  report.Add(Severity::kInfo, "rule.info-b", 4, "second info");
+  report.SortBySeverity();
+  const auto& diags = report.diagnostics();
+  ASSERT_EQ(diags.size(), 4u);
+  EXPECT_EQ(diags[0].rule, "rule.err");
+  EXPECT_EQ(diags[1].rule, "rule.warn");
+  // Stable within a severity band: evaluation order preserved.
+  EXPECT_EQ(diags[2].rule, "rule.info-a");
+  EXPECT_EQ(diags[3].rule, "rule.info-b");
+}
+
+TEST(DiagnosticsTest, DeduplicateRemovesExactRepeats) {
+  ValidationReport report;
+  report.Add(Severity::kError, "rule.a", 1, "boom");
+  report.Add(Severity::kError, "rule.a", 1, "boom");       // exact repeat
+  report.Add(Severity::kError, "rule.a", 2, "boom");       // different node
+  report.Add(Severity::kWarning, "rule.a", 1, "boom");     // diff severity
+  EXPECT_EQ(report.Deduplicate(), 1);
+  EXPECT_EQ(static_cast<int>(report.diagnostics().size()), 3);
+}
+
+TEST(DiagnosticsTest, RuleIdFormat) {
+  // Stable ids: two or more lowercase dot-separated [a-z0-9_-] segments.
+  EXPECT_TRUE(analysis::IsValidRuleId("shape.dim_mismatch"));
+  EXPECT_TRUE(analysis::IsValidRuleId("arity.transformer"));
+  EXPECT_TRUE(analysis::IsValidRuleId("effect.stateful_on_serving_path"));
+  EXPECT_TRUE(analysis::IsValidRuleId("optimizer.missed-cse"));
+  EXPECT_TRUE(analysis::IsValidRuleId("a.b.c0"));
+  EXPECT_FALSE(analysis::IsValidRuleId(""));
+  EXPECT_FALSE(analysis::IsValidRuleId("shape"));
+  EXPECT_FALSE(analysis::IsValidRuleId("shape."));
+  EXPECT_FALSE(analysis::IsValidRuleId(".dim"));
+  EXPECT_FALSE(analysis::IsValidRuleId("shape..dim"));
+  EXPECT_FALSE(analysis::IsValidRuleId("Shape.dim"));
+  EXPECT_FALSE(analysis::IsValidRuleId("shape.DIM"));
+  EXPECT_FALSE(analysis::IsValidRuleId("shape dim"));
+
+  // The dataflow rule catalogue itself must stay well-formed.
+  for (const char* rule :
+       {analysis::rules::kShapeDimMismatch, analysis::rules::kShapeModelInput,
+        analysis::rules::kShapeUnknown, analysis::rules::kCardContradiction,
+        analysis::rules::kMemoryFootprint,
+        analysis::rules::kEffectStatefulOnParallelPath,
+        analysis::rules::kEffectStatefulOnServingPath,
+        analysis::rules::kEffectTrainOnlyOnServingPath}) {
+    EXPECT_TRUE(analysis::IsValidRuleId(rule)) << rule;
+  }
+}
+
+TEST(DiagnosticsTest, FixitHintRendersAfterMessage) {
+  ValidationReport report;
+  report.Add(Severity::kError, "shape.dim_mismatch", 3,
+             "input vector[8] does not satisfy vector[4]",
+             "insert Reshape(vector[8]->vector[4]) before node 3");
+  ASSERT_EQ(report.diagnostics().size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].ToString(),
+            "error [shape.dim_mismatch] node 3: input vector[8] does not "
+            "satisfy vector[4]; fixit: insert Reshape(vector[8]->vector[4]) "
+            "before node 3");
+  // Without a hint, no fixit suffix is rendered.
+  ValidationReport plain;
+  plain.Add(Severity::kWarning, "rule.b", -1, "suspicious");
+  EXPECT_EQ(plain.diagnostics()[0].ToString(),
+            "warning [rule.b]: suspicious");
+}
+
+TEST(DiagnosticsTest, SuppressionBaselineRoundTrip) {
+  const std::string text =
+      "# grandfathered violations\n"
+      "\n"
+      "voc memory.footprint\n"
+      "amazon shape.dim_mismatch\n";
+  const analysis::SuppressionBaseline baseline =
+      analysis::SuppressionBaseline::Parse(text);
+  EXPECT_EQ(baseline.size(), 2u);
+  EXPECT_TRUE(baseline.IsSuppressed("amazon", "shape.dim_mismatch"));
+  EXPECT_TRUE(baseline.IsSuppressed("voc", "memory.footprint"));
+  EXPECT_FALSE(baseline.IsSuppressed("timit", "shape.dim_mismatch"));
+  EXPECT_FALSE(baseline.IsSuppressed("amazon", "memory.footprint"));
+
+  // Serialize -> Parse is the identity on the canonical form.
+  const std::string canonical = baseline.Serialize();
+  EXPECT_EQ(analysis::SuppressionBaseline::Parse(canonical).Serialize(),
+            canonical);
+
+  // Filter drops suppressed diagnostics for the matching scope only.
+  ValidationReport report;
+  report.Add(Severity::kError, "shape.dim_mismatch", 3, "boom");
+  report.Add(Severity::kError, "card.contradiction", 4, "boom");
+  const ValidationReport amazon = baseline.Filter("amazon", report);
+  EXPECT_FALSE(amazon.HasRule("shape.dim_mismatch"));
+  EXPECT_TRUE(amazon.HasRule("card.contradiction"));
+  const ValidationReport timit = baseline.Filter("timit", report);
+  EXPECT_TRUE(timit.HasRule("shape.dim_mismatch"));
+  EXPECT_TRUE(timit.HasRule("card.contradiction"));
+}
+
+// --- Dataflow inference ----------------------------------------------------
+
+std::shared_ptr<PhysicalPlan> CompileUnchecked(const PipelineGraph& graph,
+                                               int placeholder, int sink) {
+  OptimizationConfig config = OptimizationConfig::Full();
+  config.validate_plans = false;  // deliberately ill-shaped plans compile
+  PipelineExecutor executor(ClusterResourceDescriptor::R3_4xlarge(2), config);
+  return executor.Compile(graph, placeholder, sink);
+}
+
+TEST(DataflowTest, DimMismatchProducesFixit) {
+  PipelineGraph graph;
+  const int ph = graph.AddPlaceholder("Input");
+  const int a = graph.AddTransformer(
+      std::make_shared<testing_ops::FixedDimMap>(8, 4), ph);
+  const int b = graph.AddTransformer(
+      std::make_shared<testing_ops::FixedDimMap>(6, 2), a);
+  const auto plan = CompileUnchecked(graph, ph, b);
+  const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+  const ValidationReport report = analysis::CheckDataflow(*plan, flow);
+  ASSERT_TRUE(report.HasRule(analysis::rules::kShapeDimMismatch))
+      << report.ToString();
+  const Diagnostic* diag =
+      report.FindRule(analysis::rules::kShapeDimMismatch);
+  EXPECT_EQ(diag->severity, Severity::kError);
+  EXPECT_NE(diag->fixit.find("Reshape(vector[4]->vector[6])"),
+            std::string::npos)
+      << diag->ToString();
+  // The placeholder mirrors its consumer's declared requirement.
+  EXPECT_EQ(flow.at(ph).shape.ToString(), "vector[8]");
+}
+
+TEST(DataflowTest, StatefulOnParallelAndServingPathsIsReported) {
+  PipelineGraph graph;
+  const int ph = graph.AddPlaceholder("Input");
+  const int stateful = graph.AddTransformer(
+      std::make_shared<testing_ops::StatefulCounter>(), ph);
+  const int pure = graph.AddTransformer(std::make_shared<Scale>(2.0), ph);
+  const int gather = graph.AddGather(
+      std::make_shared<GatherTransformer<double>>(), {stateful, pure});
+  const auto plan = CompileUnchecked(graph, ph, gather);
+  const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+  const ValidationReport report = analysis::CheckDataflow(*plan, flow);
+  ASSERT_TRUE(
+      report.HasRule(analysis::rules::kEffectStatefulOnParallelPath))
+      << report.ToString();
+  const Diagnostic* parallel =
+      report.FindRule(analysis::rules::kEffectStatefulOnParallelPath);
+  EXPECT_EQ(parallel->severity, Severity::kError);
+  EXPECT_EQ(parallel->node, stateful);
+  EXPECT_FALSE(parallel->fixit.empty());
+  // The same node sits on the serving path, so that rule fires too — and
+  // only for the stateful branch, never the pure one.
+  ASSERT_TRUE(report.HasRule(analysis::rules::kEffectStatefulOnServingPath));
+  for (const Diagnostic& diag : report.diagnostics()) {
+    EXPECT_NE(diag.node, pure) << diag.ToString();
+  }
+}
+
+TEST(DataflowTest, CleanChainInfersConcreteShapesAndPureEffects) {
+  PipelineGraph graph;
+  const int ph = graph.AddPlaceholder("Input");
+  const int a = graph.AddTransformer(
+      std::make_shared<testing_ops::FixedDimMap>(8, 4), ph);
+  const int b = graph.AddTransformer(
+      std::make_shared<testing_ops::FixedDimMap>(4, 2), a);
+  const auto plan = CompileUnchecked(graph, ph, b);
+  const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+  EXPECT_TRUE(analysis::CheckDataflow(*plan, flow).ok());
+  EXPECT_EQ(flow.at(a).shape.ToString(), "vector[4]");
+  EXPECT_EQ(flow.at(b).shape.ToString(), "vector[2]");
+  EXPECT_EQ(flow.at(b).effect, EffectClass::kPure);
+}
+
 // --- Executor integration --------------------------------------------------
 
 TEST(ExecutorValidationTest, FitRejectsIllFormedPlan) {
@@ -389,10 +567,10 @@ TEST(ExecutorValidationTest, FitRecordsValidationMetrics) {
   const double after = obs::MetricsRegistry::Global()
                            .GetCounter("analysis.validations")
                            ->Value();
-  // Pre-lowering validation of the submitted graph plus one validation
-  // after each of the three optimizer passes (cse, profile-select,
-  // materialization).
-  EXPECT_EQ(after - before, 4.0);
+  // Pre-lowering validation of the submitted graph, the post-lowering
+  // dataflow check, plus one validation after each of the three optimizer
+  // passes (cse, profile-select, materialization).
+  EXPECT_EQ(after - before, 5.0);
 }
 
 TEST(ExecutorValidationTest, ValidationCanBeDisabled) {

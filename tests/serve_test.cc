@@ -170,7 +170,10 @@ TEST(ServablePipelineTest, FixedOverheadIsPerRuntimeNode) {
 }
 
 TEST(ServablePipelineTest, CalibrationConvergesToObservedRate) {
-  ServablePipeline servable(FitAffine(1.0, 0.0));
+  // Static prior off: the observe-first cold start (snap, then EWMA).
+  ServablePipeline servable(FitAffine(1.0, 0.0), /*validate=*/true,
+                            /*use_static_prior=*/false);
+  EXPECT_FALSE(servable.has_static_prior());
   EXPECT_DOUBLE_EQ(servable.per_record_seconds(), 0.0);
   servable.ObserveBatch(10, 1.0);  // 0.1 s/record
   EXPECT_DOUBLE_EQ(servable.per_record_seconds(), 0.1);
@@ -179,6 +182,44 @@ TEST(ServablePipelineTest, CalibrationConvergesToObservedRate) {
   EXPECT_DOUBLE_EQ(
       servable.PredictBatchSeconds(5),
       servable.FixedBatchOverheadSeconds() + 5 * 0.2);
+}
+
+TEST(ServablePipelineTest, StaticPriorSeedsAdmissionPredictor) {
+  // The default path: the per-record estimate is seeded from the plan's
+  // dataflow annotations before the first batch is ever observed, and
+  // observations refine it by EWMA instead of snapping over it.
+  ServablePipeline servable(FitAffine(1.0, 0.0));
+  EXPECT_TRUE(servable.has_static_prior());
+  EXPECT_GT(servable.per_record_seconds(), 0.0);
+  const double prior = servable.per_record_seconds();
+  servable.ObserveBatch(10, 1.0);  // 0.1 s/record observed
+  EXPECT_DOUBLE_EQ(servable.per_record_seconds(), 0.5 * prior + 0.5 * 0.1);
+}
+
+TEST(ServablePipelineTest, StaticPriorReachesSteadyStateEarlier) {
+  auto fitted = FitAffine(1.0, 0.0);
+  ServablePipeline cold(fitted, /*validate=*/true,
+                        /*use_static_prior=*/false);
+  ServablePipeline seeded(fitted);
+  ASSERT_TRUE(seeded.has_static_prior());
+  // Feed both predictors the same steady workload: batches of 8 records
+  // costing exactly what the seeded prior predicts per record.
+  const double per_record = seeded.per_record_seconds();
+  int cold_steady = -1;
+  int seeded_steady = -1;
+  for (int batch = 0; batch < 8; ++batch) {
+    cold.ObserveBatch(8, 8 * per_record);
+    seeded.ObserveBatch(8, 8 * per_record);
+    if (cold_steady < 0) cold_steady = cold.steady_state_batch();
+    if (seeded_steady < 0) seeded_steady = seeded.steady_state_batch();
+  }
+  ASSERT_GT(seeded_steady, 0);
+  ASSERT_GT(cold_steady, 0);
+  // The zero-cost cold start must mispredict its first batch; the static
+  // prior predicts it exactly.
+  EXPECT_EQ(seeded_steady, 1);
+  EXPECT_LT(seeded_steady, cold_steady);
+  EXPECT_GE(seeded.last_relative_error(), 0.0);
 }
 
 TEST(ServablePipelineTest, ValidationRejectsMissingModels) {

@@ -1,8 +1,10 @@
 #ifndef KEYSTONE_TESTS_TEST_OPERATORS_H_
 #define KEYSTONE_TESTS_TEST_OPERATORS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/operator.h"
 
@@ -91,6 +93,45 @@ class OffsetEstimator : public LabelEstimator<double, double, double> {
     };
     return std::make_shared<AddConst>(mean(labels) - mean(data));
   }
+};
+
+/// Dense map with declared fixed input/output dimensions, for the dataflow
+/// shape-inference tests: requires vector[in_dim], emits vector[out_dim].
+class FixedDimMap
+    : public Transformer<std::vector<double>, std::vector<double>> {
+ public:
+  FixedDimMap(int64_t in_dim, int64_t out_dim)
+      : in_dim_(in_dim), out_dim_(out_dim) {}
+  std::string Name() const override { return "FixedDimMap"; }
+
+  std::vector<double> Apply(const std::vector<double>& x) const override {
+    return std::vector<double>(static_cast<size_t>(out_dim_),
+                               x.empty() ? 0.0 : x[0]);
+  }
+
+  ValueShape InputShapeRequirement() const override {
+    return ValueShape::Vector(in_dim_);
+  }
+  ValueShape TransferShape(const ValueShape& in) const override {
+    (void)in;
+    return ValueShape::Vector(out_dim_);
+  }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+};
+
+/// A transformer that mutates internal state across records — the effect
+/// class the branch-parallel and serving-path rules must flag.
+class StatefulCounter : public Transformer<double, double> {
+ public:
+  std::string Name() const override { return "StatefulCounter"; }
+  double Apply(const double& x) const override { return x + (seen_++); }
+  EffectClass Effect() const override { return EffectClass::kStateful; }
+
+ private:
+  mutable double seen_ = 0.0;
 };
 
 }  // namespace testing_ops

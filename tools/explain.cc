@@ -8,7 +8,9 @@
 //                [--fault-seed=S] [workload...]
 //   --json       machine-readable output (one JSON object per workload)
 //   --strict     exit nonzero when any workload produces an empty decision
-//                log or a non-finite calibration residual (the CI gate)
+//                log, a non-finite calibration residual, or a live plan
+//                node without a concrete statically inferred shape — no ⊤
+//                on shipped workloads (the CI gate)
 //   --runtime-only  also print the apply-masked (servable) plan view of the
 //                fitted pipeline — what a PipelineServer would execute per
 //                request after train-only nodes are stripped
@@ -26,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/string_util.h"
 #include "src/core/executor.h"
 #include "src/obs/calibration.h"
 #include "src/obs/metrics.h"
@@ -120,6 +123,41 @@ int Run(int argc, char** argv) {
     const obs::CalibrationReport calibration =
         obs::BuildCalibrationFromSpans(tracer.Spans(), resources);
 
+    // Statically inferred dataflow facts for every live plan node,
+    // surfaced alongside the decision log. Under --strict, a live node
+    // whose inferred shape is still ⊤ (or collapsed to ⊥) fails the gate:
+    // shipped workloads must infer concrete shapes end-to-end.
+    const PhysicalPlan& plan = fitted->plan();
+    int unshaped = 0;
+    std::string dataflow_json = "[";
+    bool first_node = true;
+    for (const PlannedNode& pn : plan.nodes) {
+      if (!pn.train && !pn.runtime) continue;
+      const bool concrete = pn.dataflow_annotated &&
+                            !pn.inferred_shape.IsTop() &&
+                            !pn.inferred_shape.IsBottom();
+      if (!concrete) {
+        ++unshaped;
+        if (strict) {
+          std::fprintf(stderr,
+                       "explain: %s: node %d '%s' has no concrete inferred "
+                       "shape (%s)\n",
+                       target.name.c_str(), pn.id, pn.name.c_str(),
+                       pn.dataflow_annotated
+                           ? pn.inferred_shape.ToString().c_str()
+                           : "unannotated");
+        }
+      }
+      dataflow_json +=
+          (first_node ? std::string() : std::string(",")) + "{\"node\":" +
+          std::to_string(pn.id) + ",\"name\":\"" + JsonEscape(pn.name) +
+          "\",\"shape\":\"" + JsonEscape(pn.inferred_shape.ToString()) +
+          "\",\"cardinality\":\"" + JsonEscape(pn.cardinality.ToString()) +
+          "\",\"effect\":\"" + EffectClassName(pn.effect) + "\"}";
+      first_node = false;
+    }
+    dataflow_json += "]";
+
     if (strict) {
       if (log.Empty()) {
         std::fprintf(stderr, "explain: %s: empty decision log\n",
@@ -132,14 +170,16 @@ int Run(int argc, char** argv) {
                      target.name.c_str());
         ++strict_failures;
       }
+      strict_failures += unshaped;
     }
 
     if (json) {
       std::printf(
           "%s{\"workload\":\"%s\",\"decision_log\":%s,"
-          "\"timeline\":%s,\"calibration\":%s",
+          "\"timeline\":%s,\"calibration\":%s,\"dataflow\":%s",
           first ? "" : ",\n", target.name.c_str(), log.ToJson().c_str(),
-          timeline.ToJson().c_str(), calibration.ToJson().c_str());
+          timeline.ToJson().c_str(), calibration.ToJson().c_str(),
+          dataflow_json.c_str());
       if (runtime_only) {
         std::printf(",\"servable_plan\":%s",
                     fitted->plan().ToJson(true).c_str());
@@ -147,10 +187,17 @@ int Run(int argc, char** argv) {
       std::printf("}");
     } else {
       std::printf("=== %s ===\n%s\n--- resource timeline ---\n%s\n"
-                  "--- calibration ---\n%s\n",
+                  "--- calibration ---\n%s\n--- inferred dataflow ---\n",
                   target.name.c_str(), log.ToString().c_str(),
                   timeline.ToString().c_str(),
                   calibration.ToString().c_str());
+      for (const PlannedNode& pn : plan.nodes) {
+        if (!pn.train && !pn.runtime) continue;
+        std::printf("  node %d %-24s shape=%s card=%s effect=%s\n", pn.id,
+                    pn.name.c_str(), pn.inferred_shape.ToString().c_str(),
+                    pn.cardinality.ToString().c_str(),
+                    EffectClassName(pn.effect));
+      }
       if (runtime_only) {
         std::printf("--- servable plan (runtime mask) ---\n%s\n",
                     fitted->plan().ToString(true).c_str());
