@@ -92,14 +92,21 @@ ServingFixture BuildFixture(bool smoke) {
 
 /// One serving configuration: both tenants at `rate_per_tenant`, batching
 /// capped at `max_batch`. Returns the report (and the response stream when
-/// `stream_out` is set, for the determinism check).
+/// `stream_out` is set, for the determinism check). `style` selects how each
+/// request batch executes — fused chunked streaming (the default) or the
+/// unfused whole-dataset path — and is inherited by every request context
+/// the server mints.
 ServeReport RunConfig(const ServingFixture& fixture, double rate_per_tenant,
                       size_t max_batch, size_t requests_per_tenant,
-                      size_t num_threads, std::string* stream_out) {
+                      size_t num_threads, std::string* stream_out,
+                      ExecStyle style = ExecStyle::kChunked) {
   ServerConfig config;
   config.server_slots = 4;
   config.num_threads = num_threads;
   PipelineServer server(Cluster(), config);
+  ExecOptions exec_opts;
+  exec_opts.style = style;
+  server.context()->set_exec_options(exec_opts);
   ServeOptions options;
   options.max_batch_size = max_batch;
   options.max_batch_delay_seconds = 0.05;
@@ -241,6 +248,34 @@ int Run(int argc, char** argv) {
                   ? saturated_throughput[1] / saturated_throughput[0]
                   : 0.0);
 
+  // Fused vs unfused per-request execution at the saturating batched
+  // configuration: response streams must stay byte-identical across styles
+  // and the fused p99 must be no worse than the unfused one.
+  std::string stream_fused, stream_unfused;
+  const ServeReport fused_report =
+      RunConfig(fixture, rates.back(), 16, requests, 0, &stream_fused,
+                ExecStyle::kChunked);
+  const ServeReport unfused_report =
+      RunConfig(fixture, rates.back(), 16, requests, 0, &stream_unfused,
+                ExecStyle::kWholeDataset);
+  double fused_p99 = 0.0, unfused_p99 = 0.0;
+  for (const auto& tenant : fused_report.tenants) {
+    if (tenant.p99_latency_seconds > fused_p99) {
+      fused_p99 = tenant.p99_latency_seconds;
+    }
+  }
+  for (const auto& tenant : unfused_report.tenants) {
+    if (tenant.p99_latency_seconds > unfused_p99) {
+      unfused_p99 = tenant.p99_latency_seconds;
+    }
+  }
+  const bool fusion_identical = stream_fused == stream_unfused;
+  const bool fusion_p99_ok = fused_p99 <= unfused_p99;
+  std::printf("[serving] fused vs unfused request execution: p99 %.4fs vs "
+              "%.4fs, streams %s\n",
+              fused_p99, unfused_p99,
+              fusion_identical ? "byte-identical" : "MISMATCH");
+
   // Admission-predictor race: how many batches until the per-record cost
   // estimate is within 10% of observed, statically seeded vs cold start.
   const PriorResult amazon_prior =
@@ -276,7 +311,18 @@ int Run(int argc, char** argv) {
     results_json += prior_buf;
     first_prior = false;
   }
-  results_json += "],\"determinism\":";
+  results_json += "],\"fusion\":{\"fused_p99_seconds\":";
+  {
+    char fusion_buf[64];
+    std::snprintf(fusion_buf, sizeof(fusion_buf), "%g", fused_p99);
+    results_json += fusion_buf;
+    results_json += ",\"unfused_p99_seconds\":";
+    std::snprintf(fusion_buf, sizeof(fusion_buf), "%g", unfused_p99);
+    results_json += fusion_buf;
+  }
+  results_json += ",\"identical\":";
+  results_json += fusion_identical ? "true" : "false";
+  results_json += "},\"determinism\":";
   results_json += deterministic ? "\"pass\"" : "\"FAIL\"";
   results_json += ",\"saturated_throughput_batch1_rps\":";
   char buf[64];
@@ -291,6 +337,14 @@ int Run(int argc, char** argv) {
   if (!deterministic) {
     std::fprintf(stderr, "[serving] FAIL: responses differ across thread "
                          "counts\n");
+    return 1;
+  }
+  if (!fusion_identical || !fusion_p99_ok) {
+    std::fprintf(stderr,
+                 "[serving] FAIL: fused request execution %s (p99 fused "
+                 "%.4fs vs unfused %.4fs)\n",
+                 fusion_identical ? "regressed p99" : "changed responses",
+                 fused_p99, unfused_p99);
     return 1;
   }
   if (saturated_throughput[1] <= saturated_throughput[0]) {

@@ -2,8 +2,10 @@
 # CI entry point: repo lint, tier-1 verification with warnings-as-errors,
 # the pipeline_lint static-analysis pass, the explain observability pass
 # (decision provenance + calibration over every shipped workload), the
-# serving smoke gate (determinism + batching-throughput checks), then a
-# sanitizer matrix running the full test suite under each sanitizer.
+# serving smoke gate (determinism + batching-throughput checks), the fusion
+# smoke gate (fused-chunked vs whole-dataset byte-identity + modeled memory
+# reduction), then a sanitizer matrix running the full suite under each
+# sanitizer.
 #
 #   scripts/ci.sh                  # lint + tier-1 + ASan, UBSan, TSan legs
 #   scripts/ci.sh --no-sanitizers  # lint + tier-1 only (alias: --no-asan)
@@ -40,14 +42,24 @@ echo "=== static analysis: pipeline_lint over shipped workloads ==="
 # violations fail, grandfathered ones don't.
 ./build/tools/pipeline_lint --strict --baseline=scripts/analysis_baseline.txt
 
-echo "=== static analysis: clang-tidy (non-blocking) ==="
-# Reports bugprone-/performance-/concurrency- findings against the exported
-# compile_commands.json. Advisory only: findings are printed for review but
-# never fail CI (|| true), so the blocking gates stay deterministic across
-# toolchain versions.
+echo "=== static analysis: clang-tidy ==="
+# performance-* findings block (the chunked executor's hot loops live or die
+# on avoided copies); bugprone-/concurrency- findings stay advisory (|| true)
+# so the blocking gates remain deterministic across toolchain versions.
 if command -v clang-tidy > /dev/null 2>&1 && command -v python3 > /dev/null; then
   if command -v run-clang-tidy > /dev/null 2>&1; then
-    run-clang-tidy -quiet -p build 'src/.*\.cc$' 2> /dev/null | \
+    echo "--- blocking: performance-* ---"
+    perf_findings=$(run-clang-tidy -quiet -p build \
+      -checks='-*,performance-*' 'src/.*\.cc$' 2> /dev/null | \
+      grep -E "warning:|error:" | sort -u || true)
+    if [[ -n "$perf_findings" ]]; then
+      echo "$perf_findings"
+      echo "clang-tidy performance-* findings above are blocking" >&2
+      exit 1
+    fi
+    echo "--- advisory: bugprone-/concurrency- ---"
+    run-clang-tidy -quiet -p build \
+      -checks='-*,bugprone-*,concurrency-*' 'src/.*\.cc$' 2> /dev/null | \
       grep -E "warning:|error:" | sort -u || true
   else
     git diff --name-only HEAD~1 2>/dev/null | grep -E '^src/.*\.cc$' | \
@@ -76,6 +88,12 @@ echo "=== serving: bench_serving smoke gate ==="
 # sustains strictly higher throughput than per-request dispatch at
 # saturation.
 (cd build/bench && ./bench_serving --smoke --no-bench-json > /dev/null)
+
+echo "=== fusion: bench_fusion smoke gate ==="
+# Fits one text and one image workload per execution style; exits nonzero
+# unless both plan fused regions, stay byte-identical to the unfused
+# whole-dataset path, and shrink the modeled peak intermediate footprint.
+(cd build/bench && ./bench_fusion --smoke --no-bench-json > /dev/null)
 
 if [[ "$RUN_SANITIZED" == 1 ]]; then
   for sanitizer in $SANITIZERS; do

@@ -209,6 +209,109 @@ std::vector<FusibleChain> FusibleChains(const PhysicalPlan& plan,
   return out;
 }
 
+ValidationReport ValidateFusedRegions(const PhysicalPlan& plan,
+                                      const DataflowResult& flow) {
+  ValidationReport report;
+  const int n = static_cast<int>(plan.nodes.size());
+  const bool have_facts = static_cast<int>(flow.facts.size()) == n;
+  // Live-consumer lists, to prove interior outputs never escape the region.
+  std::vector<std::vector<int>> succ(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    const PlannedNode& pn = plan.nodes[static_cast<size_t>(id)];
+    if (!IsLive(pn)) continue;
+    for (int in : pn.inputs) succ[static_cast<size_t>(in)].push_back(id);
+  }
+  for (const FusedRegion& region : plan.fused_regions) {
+    if (region.nodes.size() < 2) {
+      report.Add(Severity::kError, rules::kFusionStructure,
+                 region.nodes.empty() ? -1 : region.nodes.front(),
+                 "fused region r" + std::to_string(region.id) +
+                     " has fewer than two members",
+                 "drop the region (single nodes need no fusion)");
+      continue;
+    }
+    for (size_t i = 0; i < region.nodes.size(); ++i) {
+      const int id = region.nodes[i];
+      if (id < 0 || id >= n) {
+        report.Add(Severity::kError, rules::kFusionStructure, id,
+                   "fused region r" + std::to_string(region.id) +
+                       " references a node outside the plan",
+                   "rebuild the region from live plan nodes");
+        continue;
+      }
+      const PlannedNode& pn = plan.nodes[static_cast<size_t>(id)];
+      if (!IsLive(pn) ||
+          (pn.kind != NodeKind::kTransformer &&
+           pn.kind != NodeKind::kApplyModel) ||
+          pn.inputs.size() != 1) {
+        report.Add(Severity::kError, rules::kFusionStructure, id,
+                   "fused member '" + pn.name +
+                       "' is not a live single-input row-wise node",
+                   "remove '" + pn.name + "' from region r" +
+                       std::to_string(region.id));
+        continue;
+      }
+      if (i > 0 && pn.inputs[0] != region.nodes[i - 1]) {
+        report.Add(Severity::kError, rules::kFusionStructure, id,
+                   "fused member '" + pn.name +
+                       "' does not consume its region predecessor",
+                   "split region r" + std::to_string(region.id) +
+                       " at the broken edge");
+      }
+      if (pn.runtime != region.runtime || (i > 0 && pn.runtime !=
+          plan.nodes[static_cast<size_t>(region.nodes[0])].runtime)) {
+        report.Add(Severity::kError, rules::kFusionMask, id,
+                   "fused member '" + pn.name +
+                       "' straddles the train/runtime masks of region r" +
+                       std::to_string(region.id),
+                   "fuse train and runtime copies separately");
+      }
+      if (have_facts) {
+        const NodeFacts& f = flow.at(id);
+        if (f.effect != EffectClass::kPure &&
+            f.effect != EffectClass::kSeededDeterministic) {
+          report.Add(Severity::kError, rules::kFusionEffect, id,
+                     "fused member '" + pn.name + "' has effect class " +
+                         EffectClassName(f.effect),
+                     "only pure or seeded-deterministic operators may fuse");
+        }
+        if (f.shape.IsTop() || f.shape.IsBottom()) {
+          report.Add(Severity::kError, rules::kFusionShape, id,
+                     "fused member '" + pn.name +
+                         "' has no concrete inferred shape",
+                     "declare a transfer function so fusion can prove "
+                     "shape agreement");
+        }
+      }
+      const bool interior = i + 1 < region.nodes.size();
+      if (interior) {
+        for (int s : succ[static_cast<size_t>(id)]) {
+          if (s != region.nodes[i + 1]) {
+            report.Add(Severity::kError, rules::kFusionStructure, id,
+                       "interior fused member '" + pn.name +
+                           "' has a consumer outside region r" +
+                           std::to_string(region.id),
+                       "end the region at '" + pn.name +
+                           "' so its output materializes");
+            break;
+          }
+        }
+        if (id < static_cast<int>(plan.cache_set.size()) &&
+            plan.cache_set[static_cast<size_t>(id)]) {
+          report.Add(Severity::kError, rules::kFusionCachedInterior, id,
+                     "interior fused member '" + pn.name +
+                         "' is in the cache set but its output is never "
+                         "materialized",
+                     "split region r" + std::to_string(region.id) +
+                         " after '" + pn.name + "' or drop it from the "
+                         "cache set");
+        }
+      }
+    }
+  }
+  return report;
+}
+
 void RecordFusibility(const PhysicalPlan& plan, const DataflowResult& flow) {
   if (plan.decision_log == nullptr) return;
   for (const FusibleChain& chain : FusibleChains(plan, flow)) {

@@ -36,6 +36,12 @@ inline constexpr char kEffectStatefulOnServingPath[] =
     "effect.stateful_on_serving_path";
 inline constexpr char kEffectTrainOnlyOnServingPath[] =
     "effect.train_only_on_serving_path";
+// --- Fused-region well-formedness rules ---------------------------------
+inline constexpr char kFusionStructure[] = "fusion.structure";
+inline constexpr char kFusionEffect[] = "fusion.effect";
+inline constexpr char kFusionShape[] = "fusion.shape";
+inline constexpr char kFusionMask[] = "fusion.mask";
+inline constexpr char kFusionCachedInterior[] = "fusion.cached_interior";
 }  // namespace rules
 
 /// Runs the plan-level dataflow rules over an inference result and returns
@@ -65,6 +71,22 @@ struct FusibleChain {
 
 std::vector<FusibleChain> FusibleChains(const PhysicalPlan& plan,
                                         const DataflowResult& flow);
+
+/// Well-formedness check over the plan's fused regions (FusionPass output),
+/// the fusion.* rules:
+///  - fusion.structure (error): a region with fewer than two members, a
+///    member that is not a live single-input transformer/apply-model node,
+///    a non-head member that does not consume its predecessor, or an
+///    interior member with a consumer outside the region;
+///  - fusion.effect (error): a member that is neither pure nor
+///    seeded-deterministic;
+///  - fusion.shape (error): a member without a concrete inferred shape;
+///  - fusion.mask (error): members straddling the train/runtime masks or
+///    disagreeing with the region's recorded mask;
+///  - fusion.cached_interior (error): an interior member in the cache set
+///    (its output would never be materialized to reuse).
+ValidationReport ValidateFusedRegions(const PhysicalPlan& plan,
+                                      const DataflowResult& flow);
 
 /// Records every fusible chain into the plan's optimizer decision log
 /// (obs::FusionCandidate entries). No-op when the plan has no log.

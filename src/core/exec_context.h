@@ -23,6 +23,28 @@ namespace faults {
 class FaultPlan;
 }  // namespace faults
 
+/// How the PlanRunner evaluates fused regions of the physical plan.
+enum class ExecStyle {
+  /// Materialize every node's full output (the pre-fusion behavior; fused
+  /// regions are planned but executed node-at-a-time).
+  kWholeDataset,
+  /// Stream cache-resident chunks of max_batch_size records through each
+  /// fused region, materializing only the region tail.
+  kChunked,
+};
+
+/// Execution-style knobs, part of the shared environment: a PipelineExecutor
+/// or PipelineServer sets them once and every run (and every serving
+/// request context minted via MakeRequestContext) inherits them. Chunked
+/// and whole-dataset execution are byte-identical in every observable
+/// effect — the knob trades peak intermediate memory against chunk-loop
+/// overhead, never results.
+struct ExecOptions {
+  /// Records per chunk when streaming a fused region (chunked style).
+  size_t max_batch_size = 1024;
+  ExecStyle style = ExecStyle::kChunked;
+};
+
 /// Everything an operator needs at execution time: the cluster description,
 /// the virtual-time ledger, and a worker pool for real (in-process) compute.
 /// Operators run their real kernels on the pool and report the cost profile
@@ -75,6 +97,12 @@ class ExecContext {
   obs::ResourceTimeline* timeline() const { return timeline_; }
   void set_timeline(obs::ResourceTimeline* timeline) { timeline_ = timeline; }
 
+  /// Execution-style knobs (chunked vs whole-dataset, chunk size).
+  const ExecOptions& exec_options() const { return exec_options_; }
+  void set_exec_options(const ExecOptions& options) {
+    exec_options_ = options;
+  }
+
   /// A fresh context sharing this one's environment (resources, pool,
   /// observability sinks) with clean per-run state: a zeroed ledger, no
   /// fault plan, no pending actual-cost reports. The serving request path
@@ -86,6 +114,7 @@ class ExecContext {
     ctx->set_metrics(metrics_);
     ctx->profile_store_ = profile_store_;
     ctx->timeline_ = timeline_;
+    ctx->exec_options_ = exec_options_;
     return ctx;
   }
 
@@ -149,6 +178,7 @@ class ExecContext {
   obs::MetricsRegistry* metrics_;
   obs::ProfileStore* profile_store_;
   obs::ResourceTimeline* timeline_;
+  ExecOptions exec_options_;
   const faults::FaultPlan* fault_plan_ = nullptr;
   /// Leaf lock (lowest rank): held only for map access, never across a call
   /// into metrics/trace/ledger.

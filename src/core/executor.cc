@@ -121,10 +121,10 @@ std::shared_ptr<PhysicalPlan> PipelineExecutor::Compile(
 
   // --- Final inference over the optimized plan: annotate every node with
   // its inferred facts (surfaced by plan_dump/explain and consumed by the
-  // serving admission prior) and log the fusibility report.
+  // serving admission prior). The fusibility report itself is logged by the
+  // FusionPass, which consumes the chains.
   const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
   analysis::AnnotatePlan(plan.get(), flow);
-  analysis::RecordFusibility(*plan, flow);
   return plan;
 }
 

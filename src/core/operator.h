@@ -26,6 +26,22 @@ class TransformerBase {
   virtual AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
                               ExecContext* ctx) const = 0;
 
+  /// Whether ApplyChunk is implemented. Row-wise Transformer<A, B>
+  /// subclasses get it for free; operators with a bespoke ApplyAny (gather,
+  /// whole-dataset kernels) stay on the whole-dataset path, and the
+  /// FusionPass refuses to put them inside a fused region.
+  virtual bool SupportsChunkedApply() const { return false; }
+
+  /// Batched apply over one cache-resident chunk, producing the output
+  /// chunk. Must agree record-for-record with ApplyAny; only called when
+  /// SupportsChunkedApply().
+  virtual AnyChunk ApplyChunk(const AnyChunk& in, ExecContext* ctx) const {
+    (void)in;
+    (void)ctx;
+    KS_CHECK(false) << Name() << " does not support chunked apply";
+    return nullptr;
+  }
+
   /// CostModel: estimated critical-path cost of processing a dataset with
   /// statistics `in` on `workers` cluster nodes (paper Figure 3). The
   /// default charges one memory scan of the input.
@@ -108,6 +124,17 @@ class Transformer : public TransformerBase {
       for (const auto& rec : part) out[p].push_back(Apply(rec));
     });
     return std::make_shared<DistDataset<B>>(std::move(out));
+  }
+
+  bool SupportsChunkedApply() const override { return true; }
+
+  AnyChunk ApplyChunk(const AnyChunk& in, ExecContext* ctx) const override {
+    (void)ctx;
+    const auto typed = Chunk<A>::Cast(in);
+    std::vector<B> out;
+    out.reserve(typed->records().size());
+    for (const A& rec : typed->records()) out.push_back(Apply(rec));
+    return std::make_shared<Chunk<B>>(std::move(out));
   }
 };
 
@@ -259,6 +286,13 @@ class OptimizableTransformer : public TransformerBase {
   AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
                       ExecContext* ctx) const override {
     return options_[0]->ApplyAny(inputs, ctx);
+  }
+
+  bool SupportsChunkedApply() const override {
+    return options_[0]->SupportsChunkedApply();
+  }
+  AnyChunk ApplyChunk(const AnyChunk& in, ExecContext* ctx) const override {
+    return options_[0]->ApplyChunk(in, ctx);
   }
 
   CostProfile EstimateCost(const DataStats& in, int workers) const override {

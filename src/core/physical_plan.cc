@@ -116,6 +116,7 @@ OptimizationConfig OptimizationConfig::None() {
   cfg.operator_selection = false;
   cfg.common_subexpression = false;
   cfg.cache_policy = CachePolicy::kNone;
+  cfg.operator_fusion = false;
   return cfg;
 }
 
@@ -194,6 +195,7 @@ std::string PhysicalPlan::ToString(bool runtime_only) const {
     if (pn.train) os << " train";
     if (pn.runtime) os << " runtime";
     if (pn.cached) os << " cached";
+    if (pn.fused_region >= 0) os << " fused=r" << pn.fused_region;
     os << "\n      fp=\"" << pn.fingerprint << "\" inputs=[";
     for (size_t i = 0; i < pn.inputs.size(); ++i) {
       if (i > 0) os << ",";
@@ -224,6 +226,24 @@ std::string PhysicalPlan::ToString(bool runtime_only) const {
       }
     }
     os << "\n";
+  }
+  // Fused regions visible in this view: every region in the full view, the
+  // runtime (servable) ones in the runtime view. Members above are listed
+  // once with their `fused=r<k>` tag, not re-expanded as independent nodes.
+  bool any_region = false;
+  for (const FusedRegion& region : fused_regions) {
+    if (runtime_only && !region.runtime) continue;
+    if (!any_region) os << "  fused regions:\n";
+    any_region = true;
+    os << "    r" << region.id << ": [";
+    for (size_t i = 0; i < region.nodes.size(); ++i) {
+      if (i > 0) os << " -> ";
+      os << region.nodes[i];
+    }
+    os << "] " << (region.runtime ? "runtime" : "train") << " fp=\""
+       << region.fingerprint << "\" saves "
+       << HumanSeconds(region.est_saved_seconds) << " / "
+       << HumanBytes(region.est_saved_bytes) << "\n";
   }
   if (!runtime_only) {
     if (!terminals.empty()) {
@@ -279,8 +299,9 @@ std::string PhysicalPlan::ToJson(bool runtime_only) const {
        << JsonEscape(pn.fingerprint) << "\",\"input_records\":"
        << pn.input_records << ",\"full_records\":" << pn.full_records
        << ",\"weight\":" << pn.weight
-       << ",\"cached\":" << (pn.cached ? "true" : "false")
-       << ",\"dataflow\":{\"annotated\":"
+       << ",\"cached\":" << (pn.cached ? "true" : "false");
+    if (pn.fused_region >= 0) os << ",\"fused_region\":" << pn.fused_region;
+    os << ",\"dataflow\":{\"annotated\":"
        << (pn.dataflow_annotated ? "true" : "false") << ",\"shape\":\""
        << pn.inferred_shape.ToString() << "\",\"shape_kind\":\""
        << ShapeKindName(pn.inferred_shape.kind) << "\",\"cardinality\":\""
@@ -298,6 +319,22 @@ std::string PhysicalPlan::ToJson(bool runtime_only) const {
        << ",\"full_records\":" << pn.profile.full_records << "}}";
   }
   os << "]";
+  bool any_region = false;
+  for (const FusedRegion& region : fused_regions) {
+    if (runtime_only && !region.runtime) continue;
+    os << (any_region ? "," : ",\"fused_regions\":[");
+    any_region = true;
+    os << "{\"id\":" << region.id << ",\"nodes\":[";
+    for (size_t i = 0; i < region.nodes.size(); ++i) {
+      if (i > 0) os << ",";
+      os << region.nodes[i];
+    }
+    os << "],\"runtime\":" << (region.runtime ? "true" : "false")
+       << ",\"fingerprint\":\"" << JsonEscape(region.fingerprint)
+       << "\",\"est_saved_seconds\":" << JsonNumber(region.est_saved_seconds)
+       << ",\"est_saved_bytes\":" << JsonNumber(region.est_saved_bytes) << "}";
+  }
+  if (any_region) os << "]";
   if (!runtime_only && decision_log != nullptr && !decision_log->Empty()) {
     os << ",\"decision_log\":" << decision_log->ToJson();
   }
@@ -338,6 +375,9 @@ void RelowerPlan(PhysicalPlan* plan) {
 
   plan->nodes.assign(n, PlannedNode());
   plan->cache_set.assign(n, false);
+  // Fusion decisions are tied to node identity; a graph rewrite invalidates
+  // them (the FusionPass runs last, after any relowering pass).
+  plan->fused_regions.clear();
   // Static full-scale cardinality flow, in (topological) id order:
   // sources emit their bound record count, record-wise operators preserve
   // their input's count, estimators emit a model (0 records), and the

@@ -81,6 +81,13 @@ struct OptimizationConfig {
   /// time: this is the optimizer's prior, not the simulation.
   double expected_fault_rate = 0.0;
 
+  /// Fuse eligible producer→consumer chains into fused regions that the
+  /// runner streams chunk-at-a-time without materializing intermediates
+  /// (the SystemML-style operator-fusion pass). Results are byte-identical
+  /// with or without fusion; the flag trades peak intermediate memory
+  /// against chunk-loop overhead.
+  bool operator_fusion = true;
+
   /// Unoptimized execution (None in Figure 9).
   static OptimizationConfig None();
 
@@ -178,6 +185,30 @@ struct PlannedNode {
   EffectClass effect = EffectClass::kPure;
   /// Statically derived output bytes per record; < 0 when unknown.
   double inferred_bytes_per_record = -1.0;
+
+  /// Index into PhysicalPlan::fused_regions when the FusionPass placed this
+  /// node inside a fused region; -1 when unfused.
+  int fused_region = -1;
+};
+
+/// A producer→consumer chain the FusionPass fused: the runner streams
+/// chunks through the member operators back-to-back, materializing only the
+/// tail's output. Members are consecutive pipeline stages (nodes[i+1]
+/// consumes exactly nodes[i]); interior outputs never exist as datasets.
+struct FusedRegion {
+  int id = -1;
+  /// Member node ids, producer first. Size >= 2; nodes.front() is the
+  /// region head (reads the external input), nodes.back() the tail (the
+  /// only member whose output is materialized).
+  std::vector<int> nodes;
+  /// True when the region lies on the apply-masked (serving) path.
+  bool runtime = false;
+  /// Joined member fingerprints: the region's stable structural identity.
+  std::string fingerprint;
+  /// Cost-model estimate of the avoided intermediate traffic: virtual
+  /// seconds and bytes of materialization the fusion saves per execution.
+  double est_saved_seconds = 0.0;
+  double est_saved_bytes = 0.0;
 };
 
 /// The explicit physical plan: a lowered copy of the logical PipelineGraph
@@ -193,6 +224,9 @@ struct PhysicalPlan {
 
   /// One entry per graph node, indexed by node id.
   std::vector<PlannedNode> nodes;
+  /// Fused regions chosen by the FusionPass (empty until it runs; member
+  /// nodes carry their region index in PlannedNode::fused_region).
+  std::vector<FusedRegion> fused_regions;
   /// Materialization set chosen by the cache-selection pass.
   std::vector<bool> cache_set;
   /// Train nodes demanded directly (no live train successor).

@@ -29,6 +29,35 @@ void ValidateFaultPlan(const PhysicalPlan& plan, ExecContext* ctx) {
                         << report.ToString();
 }
 
+/// Bit-exact replay of DistDataset::ComputeStats over per-record stat
+/// triples buffered in partition-major record order — the same left-fold
+/// over the same doubles the materialized intermediate would have produced,
+/// so fused execution reports identical statistics without the dataset.
+DataStats ReplayStats(const std::vector<std::vector<ElementStat>>& parts,
+                      double scale) {
+  DataStats stats;
+  size_t real_records = 0;
+  for (const auto& part : parts) real_records += part.size();
+  stats.num_records = real_records;
+  if (real_records == 0) return stats;
+  double bytes = 0.0;
+  double nnz = 0.0;
+  size_t dim = 0;
+  for (const auto& part : parts) {
+    for (const ElementStat& s : part) {
+      bytes += s.bytes;
+      nnz += s.nnz;
+      dim = std::max(dim, s.dim);
+    }
+  }
+  stats.dim = dim;
+  stats.bytes_per_record = bytes / real_records;
+  stats.avg_nnz = nnz / real_records;
+  stats.sparsity = dim > 0 ? stats.avg_nnz / static_cast<double>(dim) : 1.0;
+  stats.num_records = static_cast<size_t>(real_records * scale);
+  return stats;
+}
+
 obs::TracePhase PhaseFor(ExecMode mode) {
   switch (mode) {
     case ExecMode::kProfileSmall:
@@ -49,7 +78,15 @@ PlanRunner::PlanRunner(PhysicalPlan* plan, ExecContext* ctx)
     : plan_(plan), ctx_(ctx) {}
 
 void PlanRunner::ExecuteNode(int id) {
+  // Region members already executed by a fused streaming pass.
+  if (outcomes_[id].executed) return;
   const PlannedNode& pn = plan_->nodes[id];
+  if (pn.fused_region >= 0 && !InProfileMode()) {
+    const FusedRegion& region = plan_->fused_regions[pn.fused_region];
+    // Only the head dispatches the region; on fallback every member runs
+    // through the normal whole-dataset body below.
+    if (region.nodes.front() == id && TryExecuteFusedRegion(region)) return;
+  }
   const GraphNode& node = plan_->graph->node(id);
   const auto& resources = ctx_->resources();
   const bool profile = InProfileMode();
@@ -233,6 +270,158 @@ void PlanRunner::ExecuteNode(int id) {
     }
     KS_CHECK(cost_report.ok()) << cost_report.ToString();
   }
+}
+
+bool PlanRunner::TryExecuteFusedRegion(const FusedRegion& region) {
+  if (InProfileMode()) return false;
+  if (ctx_->exec_options().style != ExecStyle::kChunked) return false;
+  const auto& resources = ctx_->resources();
+  const int head = region.nodes.front();
+  const int tail = region.nodes.back();
+  const PlannedNode& head_pn = plan_->nodes[head];
+  const AnyDataset input = outputs_[head_pn.inputs[0]];
+  if (input == nullptr || !input->SupportsChunking() ||
+      input->NumPartitions() == 0) {
+    return false;
+  }
+
+  // Resolve every member's operator up front; a single member without
+  // chunked apply makes the whole region fall back (the FusionPass already
+  // rejects such chains, but fitted models are only known at run time).
+  const size_t k = region.nodes.size();
+  std::vector<std::shared_ptr<TransformerBase>> ops;
+  ops.reserve(k);
+  for (int id : region.nodes) {
+    const PlannedNode& pn = plan_->nodes[id];
+    std::shared_ptr<TransformerBase> op;
+    if (pn.kind == NodeKind::kApplyModel) {
+      if (mode_ == ExecMode::kApply) {
+        auto it = apply_models_->find(pn.model_input);
+        if (it == apply_models_->end()) return false;
+        op = it->second;
+      } else {
+        op = models_[pn.model_input];
+      }
+    } else {
+      op = pn.physical_transformer;
+    }
+    if (op == nullptr || !op->SupportsChunkedApply()) return false;
+    ops.push_back(std::move(op));
+  }
+
+  const double scale = input->virtual_scale();
+  const size_t num_parts = input->NumPartitions();
+  const size_t batch = std::max<size_t>(1, ctx_->exec_options().max_batch_size);
+
+  // Stream chunks through the whole chain, one task per partition — the
+  // same parallel grain as unfused ApplyAny. Interior records never exist
+  // as a dataset: only their ElementStat triples are buffered (for the
+  // stats replay) while the tail's chunks are kept for reassembly.
+  std::vector<std::vector<std::vector<ElementStat>>> interior_stats(
+      k - 1, std::vector<std::vector<ElementStat>>(num_parts));
+  std::vector<std::vector<AnyChunk>> tail_chunks(num_parts);
+  std::vector<double> part_peak(num_parts, 0.0);
+  ctx_->BeginOperatorScope();
+  Timer timer;
+  ctx_->pool()->ParallelFor(num_parts, [&](size_t p) {
+    const size_t psize = input->PartitionSize(p);
+    size_t begin = 0;
+    bool first = true;
+    while (first || begin < psize) {
+      first = false;
+      const size_t count = std::min(batch, psize - begin);
+      AnyChunk chunk = input->ChunkOf(p, begin, count);
+      // Resident bytes counts the interior stages only — exactly the
+      // intermediates the unfused style would materialize as datasets —
+      // reusing the stat triples buffered for the replay.
+      double resident = 0.0;
+      for (size_t m = 0; m < k; ++m) {
+        chunk = ops[m]->ApplyChunk(chunk, ctx_);
+        if (m + 1 < k) {
+          std::vector<ElementStat>& stats = interior_stats[m][p];
+          for (size_t i = 0; i < chunk->size(); ++i) {
+            stats.push_back(chunk->StatOf(i));
+            resident += stats.back().bytes;
+          }
+        }
+      }
+      tail_chunks[p].push_back(std::move(chunk));
+      part_peak[p] = std::max(part_peak[p], resident);
+      begin += count;
+      if (count == 0) break;  // empty partition: one typed empty chunk
+    }
+  });
+  const double wall = timer.ElapsedSeconds();
+  // ApplyChunk implementations do not report actual costs; drop any stray
+  // report so it cannot leak into the next node scheduled on this thread.
+  ctx_->TakeActualCost();
+
+  // Reassemble the tail output serially, preserving the partition layout.
+  std::unique_ptr<ChunkCollectorBase> collector;
+  for (size_t p = 0; p < num_parts; ++p) {
+    for (const AnyChunk& chunk : tail_chunks[p]) {
+      if (collector == nullptr) {
+        collector = chunk->MakeCollector();
+        collector->Resize(num_parts);
+      }
+      collector->Append(p, chunk);
+    }
+  }
+  KS_CHECK(collector != nullptr);  // every partition emits >= 1 chunk
+  outputs_[tail] = collector->Finish();
+  outputs_[tail]->set_virtual_scale(scale);
+
+  // Fill each member's outcome exactly as unfused execution would have:
+  // predictions from the (replayed) input stats, no observed costs, the
+  // head's input stats computed from the materialized upstream dataset and
+  // the tail's from the materialized output.
+  DataStats in_stats = input->ComputeStats();
+  NodeOutcome& head_out = outcomes_[head];
+  head_out.fused_members = static_cast<int>(k);
+  head_out.fused_chunk_peak_bytes = 0.0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    head_out.fused_chunk_peak_bytes =
+        std::max(head_out.fused_chunk_peak_bytes, part_peak[p]);
+  }
+  for (size_t m = 0; m < k; ++m) {
+    const int id = region.nodes[m];
+    const PlannedNode& pn = plan_->nodes[id];
+    NodeOutcome& out = outcomes_[id];
+    out.executed = true;
+    obs::TraceSpan& span = out.span;
+    span.node_id = id;
+    span.name = pn.name;
+    span.kind = NodeKindName(pn.kind);
+    span.phase = PhaseFor(mode_);
+    out.op_name = ops[m]->Name();
+    if (pn.kind == NodeKind::kApplyModel) {
+      span.physical = out.op_name;
+    } else {
+      span.physical =
+          mode_ == ExecMode::kApply ? out.op_name : pn.physical_name;
+    }
+    span.predicted = ops[m]->EstimateCost(in_stats, resources.num_nodes);
+    span.wall_seconds = m == 0 ? wall : 0.0;
+    span.observed = std::nullopt;
+    span.used_observed = false;
+    out.in_stats = in_stats;
+    out.record_observation = scale <= 1.0;
+    out.charge_cost = span.predicted;
+    out.seconds = resources.SecondsFor(out.charge_cost);
+    DataStats out_stats;
+    if (m + 1 < k) {
+      out_stats = ReplayStats(interior_stats[m], scale);
+      head_out.fused_bytes_avoided += out_stats.TotalBytes();
+    } else {
+      out_stats = outputs_[tail]->ComputeStats();
+    }
+    out.out_stats = out_stats;
+    span.partitions = num_parts;
+    span.records_in = in_stats.num_records;
+    out.sample_records = out_stats.num_records;
+    in_stats = out_stats;
+  }
+  return true;
 }
 
 double PlanRunner::RecomputeChainSeconds(int id, bool respect_cache) const {
@@ -419,6 +608,14 @@ void PlanRunner::FlushOutcome(int id) {
     ctx_->metrics()->Increment(std::string("exec.spans.") +
                                obs::TracePhaseName(out.span.phase));
     ctx_->metrics()->Observe("exec.wall_seconds", out.span.wall_seconds);
+    if (out.fused_members > 0) {
+      ctx_->metrics()->Increment("exec.fused.regions");
+      ctx_->metrics()->Increment("exec.fused.members", out.fused_members);
+      ctx_->metrics()->Increment("exec.fused.intermediate_bytes_avoided",
+                                 out.fused_bytes_avoided);
+      ctx_->metrics()->Observe("exec.fused.chunk_resident_bytes",
+                               out.fused_chunk_peak_bytes);
+    }
   }
   const obs::TracePhase phase = out.span.phase;
   if (ctx_->tracer() != nullptr) ctx_->tracer()->Record(std::move(out.span));
@@ -458,6 +655,27 @@ void PlanRunner::RunParallel(const std::vector<int>& exec_ids) {
       if (in_set[dep]) {
         ++indegree[id];
         succ[dep].push_back(id);
+      }
+    }
+  }
+  // A fused region executes wholesale at its head's schedule slot, so the
+  // head additionally waits on every non-head member's region-external
+  // dependencies (in practice: fitted models). In-region deps are already
+  // ordered by the chain itself and would only create cycles here.
+  for (int id : exec_ids) {
+    const PlannedNode& pn = plan_->nodes[id];
+    if (pn.fused_region < 0) continue;
+    const FusedRegion& region = plan_->fused_regions[pn.fused_region];
+    if (region.nodes.front() != id) continue;
+    std::vector<bool> in_region(n, false);
+    for (int member : region.nodes) in_region[member] = true;
+    for (int member : region.nodes) {
+      if (member == id) continue;
+      for (int dep : plan_->graph->Dependencies(member)) {
+        if (in_set[dep] && !in_region[dep]) {
+          ++indegree[id];
+          succ[dep].push_back(id);
+        }
       }
     }
   }

@@ -89,6 +89,12 @@ class PlanRunner {
     /// per-resource split. Sources have none — they occupy disk directly.
     CostProfile charge_cost;
     size_t sample_records = 0;  // profile modes: records that flowed
+    /// Fused-region accounting, set on the region head's outcome only and
+    /// emitted as exec.fused.* metrics during the id-ordered flush (so the
+    /// emission order is identical for every schedule).
+    int fused_members = 0;
+    double fused_bytes_avoided = 0.0;    // interior outputs never materialized
+    double fused_chunk_peak_bytes = 0.0; // max resident bytes across chunks
     /// Fault-injection replay of this execution (empty without a plan).
     /// Computed during the serial, id-ordered flush so the draws and the
     /// lineage costs they price are identical for every schedule.
@@ -97,6 +103,16 @@ class PlanRunner {
 
   void ExecuteNode(int id);
   void FlushOutcome(int id);
+
+  /// Streams cache-resident chunks of the region head's input through every
+  /// member's ApplyChunk, materializing only the tail output
+  /// (ExecStyle::kChunked). Fills each member's NodeOutcome so the flushed
+  /// effects are byte-identical to unfused whole-dataset execution. Returns
+  /// false — leaving all outcomes untouched — when the region cannot stream
+  /// (whole-dataset style, unchunkable input, or an operator without
+  /// chunked apply), in which case the caller executes members node by
+  /// node.
+  bool TryExecuteFusedRegion(const FusedRegion& region);
 
   /// Virtual seconds to re-produce node `id`'s output during recovery:
   /// a cache read when the output is materialized and `respect_cache`

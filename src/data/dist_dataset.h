@@ -12,6 +12,52 @@
 
 namespace keystone {
 
+class DatasetBase;
+using AnyDataset = std::shared_ptr<DatasetBase>;
+
+/// Per-record statistics triple, extracted while a record is chunk-resident
+/// so fused execution can replay ComputeStats' accumulation order without
+/// keeping the records themselves alive.
+struct ElementStat {
+  double bytes = 0.0;
+  double nnz = 0.0;
+  size_t dim = 0;
+};
+
+class ChunkCollectorBase;
+
+/// A cache-resident slice of one partition: the unit of work of the chunked
+/// execution style. Chunks are typed underneath (Chunk<T>) and type-erased
+/// here so the PlanRunner can stream them through a fused operator chain
+/// without knowing the intermediate element types.
+class ChunkBase {
+ public:
+  virtual ~ChunkBase() = default;
+
+  virtual size_t size() const = 0;
+  virtual std::type_index ElementType() const = 0;
+
+  /// The stats triple of record `i`, in chunk order.
+  virtual ElementStat StatOf(size_t i) const = 0;
+
+  /// A collector that reassembles chunks of this element type into a
+  /// DistDataset (used to materialize a fused region's tail output).
+  virtual std::unique_ptr<ChunkCollectorBase> MakeCollector() const = 0;
+};
+
+using AnyChunk = std::shared_ptr<ChunkBase>;
+
+/// Reassembles per-partition chunk streams into a partitioned dataset.
+class ChunkCollectorBase {
+ public:
+  virtual ~ChunkCollectorBase() = default;
+
+  virtual void Resize(size_t num_partitions) = 0;
+  /// Appends `chunk`'s records to partition `p` (in stream order).
+  virtual void Append(size_t p, const AnyChunk& chunk) = 0;
+  virtual AnyDataset Finish() = 0;
+};
+
 /// Type-erased handle to a partitioned dataset. The pipeline DAG and the
 /// optimizer work with DatasetBase; typed operators downcast via
 /// DistDataset<T>::Cast, checked with the element type index.
@@ -37,6 +83,27 @@ class DatasetBase {
   /// element type gives no information.
   virtual ValueShape ElementShape() const { return ValueShape::Top(); }
 
+  /// Whether ChunkOf can slice this dataset (DistDataset: yes; opaque
+  /// dataset adapters default to no, which makes the runner fall back to
+  /// whole-dataset execution).
+  virtual bool SupportsChunking() const { return false; }
+
+  /// Records in partition `p` (chunking datasets only; 0 otherwise).
+  virtual size_t PartitionSize(size_t p) const {
+    (void)p;
+    return 0;
+  }
+
+  /// A chunk holding `count` records of partition `p` starting at `begin`
+  /// (`count == 0` yields an empty, still correctly typed chunk — the type
+  /// witness for empty partitions). Null when unsupported.
+  virtual AnyChunk ChunkOf(size_t p, size_t begin, size_t count) const {
+    (void)p;
+    (void)begin;
+    (void)count;
+    return nullptr;
+  }
+
   /// Virtual record-count multiplier. Benchmarks reproduce paper-scale
   /// experiments by holding a laptop-scale dataset whose *statistics*
   /// describe the full-size workload: kernels execute on the real records,
@@ -48,7 +115,39 @@ class DatasetBase {
   double virtual_scale_ = 1.0;
 };
 
-using AnyDataset = std::shared_ptr<DatasetBase>;
+/// Typed chunk: an owned, contiguous run of records.
+template <typename T>
+class Chunk : public ChunkBase {
+ public:
+  Chunk() = default;
+  explicit Chunk(std::vector<T> records) : records_(std::move(records)) {}
+
+  size_t size() const override { return records_.size(); }
+
+  std::type_index ElementType() const override {
+    return std::type_index(typeid(T));
+  }
+
+  ElementStat StatOf(size_t i) const override {
+    const T& rec = records_[i];
+    return ElementStat{ElementBytes(rec), ElementNnz(rec), ElementDim(rec)};
+  }
+
+  std::unique_ptr<ChunkCollectorBase> MakeCollector() const override;
+
+  /// Downcasts a type-erased chunk, checking the element type.
+  static std::shared_ptr<const Chunk<T>> Cast(const AnyChunk& base) {
+    KS_CHECK(base != nullptr);
+    KS_CHECK(base->ElementType() == std::type_index(typeid(T)))
+        << "chunk element type mismatch";
+    return std::static_pointer_cast<const Chunk<T>>(base);
+  }
+
+  const std::vector<T>& records() const { return records_; }
+
+ private:
+  std::vector<T> records_;
+};
 
 /// A partitioned, typed, immutable collection — the simulator's stand-in for
 /// an RDD. Partitions model the unit of distributed parallelism: the
@@ -146,6 +245,21 @@ class DistDataset : public DatasetBase {
     return Partitioned(std::move(sampled), parts);
   }
 
+  bool SupportsChunking() const override { return true; }
+
+  size_t PartitionSize(size_t p) const override {
+    KS_CHECK_LT(p, partitions_.size());
+    return partitions_[p].size();
+  }
+
+  AnyChunk ChunkOf(size_t p, size_t begin, size_t count) const override {
+    KS_CHECK_LT(p, partitions_.size());
+    const std::vector<T>& part = partitions_[p];
+    KS_CHECK(begin + count <= part.size());
+    std::vector<T> records(part.begin() + begin, part.begin() + begin + count);
+    return std::make_shared<Chunk<T>>(std::move(records));
+  }
+
   const std::vector<std::vector<T>>& partitions() const { return partitions_; }
   const std::vector<T>& partition(size_t p) const { return partitions_[p]; }
 
@@ -174,6 +288,35 @@ class DistDataset : public DatasetBase {
  private:
   std::vector<std::vector<T>> partitions_;
 };
+
+/// Typed collector: accumulates chunk records per partition, then hands the
+/// partitions to a DistDataset<T> without further copies.
+template <typename T>
+class ChunkCollector : public ChunkCollectorBase {
+ public:
+  void Resize(size_t num_partitions) override {
+    partitions_.resize(num_partitions);
+  }
+
+  void Append(size_t p, const AnyChunk& chunk) override {
+    KS_CHECK_LT(p, partitions_.size());
+    const auto typed = Chunk<T>::Cast(chunk);
+    partitions_[p].insert(partitions_[p].end(), typed->records().begin(),
+                          typed->records().end());
+  }
+
+  AnyDataset Finish() override {
+    return std::make_shared<DistDataset<T>>(std::move(partitions_));
+  }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+};
+
+template <typename T>
+std::unique_ptr<ChunkCollectorBase> Chunk<T>::MakeCollector() const {
+  return std::make_unique<ChunkCollector<T>>();
+}
 
 /// Convenience: wraps records into a dataset with one partition per `chunk`
 /// records, at least one partition.

@@ -51,6 +51,11 @@ void OptimizerDecisionLog::RecordFusionCandidate(FusionCandidate candidate) {
   fusion_.push_back(std::move(candidate));
 }
 
+void OptimizerDecisionLog::RecordFusionDecision(FusionDecision decision) {
+  MutexLock lock(&mu_);
+  fusion_decisions_.push_back(std::move(decision));
+}
+
 std::vector<SelectionDecision> OptimizerDecisionLog::Selections() const {
   MutexLock lock(&mu_);
   return selections_;
@@ -82,6 +87,11 @@ std::vector<FusionCandidate> OptimizerDecisionLog::FusionCandidates() const {
   return fusion_;
 }
 
+std::vector<FusionDecision> OptimizerDecisionLog::FusionDecisions() const {
+  MutexLock lock(&mu_);
+  return fusion_decisions_;
+}
+
 bool OptimizerDecisionLog::Empty() const {
   MutexLock lock(&mu_);
   return selections_.empty() && cse_groups_.empty() && ledger_.empty() &&
@@ -96,6 +106,7 @@ void OptimizerDecisionLog::Clear() {
   summary_ = MaterializationSummary();
   recoveries_.clear();
   fusion_.clear();
+  fusion_decisions_.clear();
 }
 
 std::string OptimizerDecisionLog::ToString() const {
@@ -176,6 +187,26 @@ std::string OptimizerDecisionLog::ToString() const {
         if (i < f.ops.size()) out << " [" << f.ops[i] << "]";
       }
       out << ": " << f.input_shape << " -> " << f.output_shape << "\n";
+    }
+  }
+  // Rendered only when the FusionPass judged candidates, so pre-fusion
+  // reports keep their exact prior shape.
+  if (!fusion_decisions_.empty()) {
+    out << "  fusion decisions (" << fusion_decisions_.size() << "):\n";
+    for (const auto& d : fusion_decisions_) {
+      out << "    candidate " << d.candidate_index << " [";
+      for (size_t i = 0; i < d.nodes.size(); ++i) {
+        if (i > 0) out << " -> ";
+        out << d.nodes[i];
+      }
+      out << "]: ";
+      if (d.accepted) {
+        out << "fused as r" << d.region_id << ", saves "
+            << HumanSeconds(d.est_saved_seconds) << " / "
+            << HumanBytes(d.est_saved_bytes) << "\n";
+      } else {
+        out << "rejected (" << d.reason << ")\n";
+      }
     }
   }
   return out.str();
@@ -289,6 +320,26 @@ std::string OptimizerDecisionLog::ToJson() const {
       }
       out << "],\"input_shape\":\"" << JsonEscape(f.input_shape)
           << "\",\"output_shape\":\"" << JsonEscape(f.output_shape) << "\"}";
+    }
+    out << "]";
+  }
+  // FusionPass runs only: pre-fusion JSON keeps the prior schema.
+  if (!fusion_decisions_.empty()) {
+    out << ",\"fusion_decisions\":[";
+    for (size_t i = 0; i < fusion_decisions_.size(); ++i) {
+      const auto& d = fusion_decisions_[i];
+      if (i) out << ",";
+      out << "{\"candidate\":" << d.candidate_index << ",\"nodes\":[";
+      for (size_t j = 0; j < d.nodes.size(); ++j) {
+        if (j) out << ",";
+        out << d.nodes[j];
+      }
+      out << "],\"accepted\":" << (d.accepted ? "true" : "false")
+          << ",\"region\":" << d.region_id << ",\"fingerprint\":\""
+          << JsonEscape(d.fingerprint) << "\",\"est_saved_seconds\":"
+          << JsonNumber(d.est_saved_seconds) << ",\"est_saved_bytes\":"
+          << JsonNumber(d.est_saved_bytes) << ",\"reason\":\""
+          << JsonEscape(d.reason) << "\"}";
     }
     out << "]";
   }

@@ -88,14 +88,31 @@ struct RecoveryDecision {
 
 /// One statically detected fusion candidate: a maximal chain of pure /
 /// seeded-deterministic single-consumer row-wise operators with compatible
-/// inferred shapes (src/analysis/dataflow.h). Recorded for provenance; no
-/// pass rewrites the plan from it yet.
+/// inferred shapes (src/analysis/dataflow.h). The FusionPass consumes these
+/// and records a FusionDecision per candidate (or candidate segment).
 struct FusionCandidate {
   std::vector<int> nodes;          // plan node ids, upstream first
   std::vector<std::string> ops;    // operator names, aligned with `nodes`
   std::string path;                // "train" or "runtime"
   std::string input_shape;         // lattice shape entering the chain
   std::string output_shape;        // lattice shape leaving the chain
+};
+
+/// The FusionPass's verdict on one candidate (or on one segment of a
+/// candidate it had to split at a cached or non-chunkable member): either an
+/// accepted fused region with its cost-model savings, or a rejection with
+/// the legality/costing reason. `explain --strict` cross-checks that every
+/// fused region traces back to a candidate and every rejection carries a
+/// reason.
+struct FusionDecision {
+  int candidate_index = -1;        // index into FusionCandidates()
+  std::vector<int> nodes;          // the segment judged, upstream first
+  bool accepted = false;
+  int region_id = -1;              // PhysicalPlan::fused_regions index
+  std::string fingerprint;         // fused fingerprint (accepted only)
+  double est_saved_seconds = 0;    // modeled avoided materialization time
+  double est_saved_bytes = 0;      // modeled avoided intermediate bytes
+  std::string reason;              // non-empty iff rejected
 };
 
 /// End-of-pass materialization summary.
@@ -118,6 +135,7 @@ class OptimizerDecisionLog {
   void RecordMaterializationSummary(MaterializationSummary summary);
   void RecordRecovery(RecoveryDecision decision);
   void RecordFusionCandidate(FusionCandidate candidate);
+  void RecordFusionDecision(FusionDecision decision);
 
   std::vector<SelectionDecision> Selections() const;
   std::vector<CseMergeGroup> CseGroups() const;
@@ -125,10 +143,11 @@ class OptimizerDecisionLog {
   MaterializationSummary Summary() const;
   std::vector<RecoveryDecision> Recoveries() const;
   std::vector<FusionCandidate> FusionCandidates() const;
+  std::vector<FusionDecision> FusionDecisions() const;
 
   /// True when no pass recorded anything (the CI --strict failure mode).
-  /// Fusion candidates are analysis output, not optimizer decisions, and do
-  /// not count.
+  /// Fusion candidates/decisions follow from static analysis even on
+  /// otherwise-unoptimized plans and do not count.
   bool Empty() const;
 
   void Clear();
@@ -147,6 +166,7 @@ class OptimizerDecisionLog {
   MaterializationSummary summary_ GUARDED_BY(mu_);
   std::vector<RecoveryDecision> recoveries_ GUARDED_BY(mu_);
   std::vector<FusionCandidate> fusion_ GUARDED_BY(mu_);
+  std::vector<FusionDecision> fusion_decisions_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -37,9 +37,11 @@ void ValidateAfterPass(const PhysicalPlan& plan, const char* pass_name,
   }
   // Re-run the dataflow rules over the rewritten plan: a pass must not
   // introduce shape conflicts or misplace effects any more than it may
-  // break the structural invariants above.
-  vreport.Merge(
-      analysis::CheckDataflow(plan, analysis::InferDataflow(plan)));
+  // break the structural invariants above. Fused regions (empty until the
+  // fusion pass runs) are held to the fusion.* well-formedness rules.
+  const analysis::DataflowResult flow = analysis::InferDataflow(plan);
+  vreport.Merge(analysis::CheckDataflow(plan, flow));
+  vreport.Merge(analysis::ValidateFusedRegions(plan, flow));
   analysis::RecordDiagnostics(vreport, ctx->metrics());
   KS_CHECK(vreport.ok()) << "plan failed validation after pass '" << pass_name
                          << "':\n"
@@ -296,10 +298,167 @@ void MaterializationPass::Run(PhysicalPlan* plan, PassContext* pctx) {
   }
 }
 
+namespace {
+
+/// Full-scale output bytes of a fused-chain member, the intermediate the
+/// fusion avoids materializing. Train members use the profile-extrapolated
+/// estimate, falling back to the statically inferred per-record size;
+/// runtime members (full_records == 0 until a request arrives) are priced
+/// per record. Negative when no model covers the node.
+double IntermediateBytes(const PlannedNode& pn, bool runtime) {
+  if (runtime) return pn.inferred_bytes_per_record;
+  if (pn.est_output_bytes > 0.0) return pn.est_output_bytes;
+  if (pn.inferred_bytes_per_record >= 0.0 && pn.full_records > 0) {
+    return pn.inferred_bytes_per_record *
+           static_cast<double>(pn.full_records);
+  }
+  return -1.0;
+}
+
+/// Judges one candidate segment: accepts it as a fused region when the cost
+/// model credits it with avoided materialization time, records the
+/// FusionDecision either way. `reason` carries the split cause for
+/// segments too short to fuse.
+void JudgeSegment(PhysicalPlan* plan, int candidate_index,
+                  const std::vector<int>& segment, bool runtime,
+                  const std::string& reason) {
+  if (segment.empty()) return;
+  obs::FusionDecision decision;
+  decision.candidate_index = candidate_index;
+  decision.nodes = segment;
+  if (segment.size() < 2) {
+    decision.reason = reason.empty()
+                          ? "segment too short to fuse"
+                          : reason + "; remaining segment too short";
+    if (plan->decision_log != nullptr) {
+      plan->decision_log->RecordFusionDecision(std::move(decision));
+    }
+    return;
+  }
+  // Avoided intermediate traffic: every interior edge skips one
+  // materialization, modeled as a cluster-parallel memory write plus the
+  // consumer's read back (the SystemML fusion credit). The cluster
+  // descriptor has a single memory-bandwidth figure, so write and read
+  // price identically.
+  double saved_bytes = 0.0;
+  double saved_seconds = 0.0;
+  bool unknown = false;
+  for (size_t i = 0; i + 1 < segment.size(); ++i) {
+    const PlannedNode& pn =
+        plan->nodes[static_cast<size_t>(segment[i])];
+    const double bytes = IntermediateBytes(pn, runtime);
+    if (bytes < 0.0) {
+      unknown = true;
+      break;
+    }
+    saved_bytes += bytes;
+    saved_seconds +=
+        2.0 * plan->resources.MemoryReadSeconds(
+                  bytes / std::max(1, plan->resources.num_nodes));
+  }
+  if (unknown) {
+    decision.reason = "no modeled intermediate size";
+  } else if (saved_seconds <= 0.0) {
+    decision.reason = "no modeled benefit";
+  } else {
+    FusedRegion region;
+    region.id = static_cast<int>(plan->fused_regions.size());
+    region.nodes = segment;
+    region.runtime = runtime;
+    for (size_t i = 0; i < segment.size(); ++i) {
+      if (i > 0) region.fingerprint += "+";
+      region.fingerprint +=
+          plan->nodes[static_cast<size_t>(segment[i])].fingerprint;
+      plan->nodes[static_cast<size_t>(segment[i])].fused_region = region.id;
+    }
+    region.est_saved_seconds = saved_seconds;
+    region.est_saved_bytes = saved_bytes;
+    decision.accepted = true;
+    decision.region_id = region.id;
+    decision.fingerprint = region.fingerprint;
+    decision.est_saved_seconds = saved_seconds;
+    decision.est_saved_bytes = saved_bytes;
+    plan->fused_regions.push_back(std::move(region));
+  }
+  if (plan->decision_log != nullptr) {
+    plan->decision_log->RecordFusionDecision(std::move(decision));
+  }
+}
+
+}  // namespace
+
+void FusionPass::Run(PhysicalPlan* plan, PassContext* pctx) {
+  ExecContext* ctx = pctx->ctx;
+  const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+  // Provenance first: the fusibility report lands in the decision log even
+  // when fusion itself is off, mirroring the pre-pass behaviour.
+  analysis::RecordFusibility(*plan, flow);
+  if (!plan->config.operator_fusion) return;
+
+  // Costing reads the statically inferred per-record sizes off the nodes;
+  // annotate now (the executor re-annotates after the passes, with the
+  // same facts — the fusion pass never changes the dataflow).
+  analysis::AnnotatePlan(plan, flow);
+  const std::vector<analysis::FusibleChain> chains =
+      analysis::FusibleChains(*plan, flow);
+  int regions = 0;
+  for (size_t c = 0; c < chains.size(); ++c) {
+    const analysis::FusibleChain& chain = chains[c];
+    const int candidate = static_cast<int>(c);
+    std::vector<int> segment;
+    std::string pending_reason;
+    for (int id : chain.nodes) {
+      const PlannedNode& pn = plan->nodes[static_cast<size_t>(id)];
+      // A transformer that cannot apply chunk-at-a-time can never sit in a
+      // streamed region. (Apply-model members are judged optimistically:
+      // whether the *fitted* model supports chunks is only known at run
+      // time, where the runner falls back to node-at-a-time execution.)
+      if (pn.kind == NodeKind::kTransformer &&
+          pn.physical_transformer != nullptr &&
+          !pn.physical_transformer->SupportsChunkedApply()) {
+        JudgeSegment(plan, candidate, segment, chain.runtime,
+                     pending_reason);
+        segment.clear();
+        JudgeSegment(plan, candidate, {id}, chain.runtime,
+                     "operator lacks chunked apply");
+        pending_reason.clear();
+        continue;
+      }
+      // A fused region executes entirely at its head's schedule position;
+      // on the train path a member's model must already be fitted there.
+      // (On the runtime path every model is resolved before apply starts.)
+      if (!chain.runtime && pn.kind == NodeKind::kApplyModel &&
+          !segment.empty() && pn.model_input >= segment.front()) {
+        JudgeSegment(plan, candidate, segment, chain.runtime,
+                     pending_reason);
+        segment.clear();
+        pending_reason = "model fitted after region head";
+      }
+      segment.push_back(id);
+      // A cached member may end a region (its output materializes anyway)
+      // but can never be an interior: the runner would have nothing to put
+      // in the cache.
+      if (id < static_cast<int>(plan->cache_set.size()) &&
+          plan->cache_set[static_cast<size_t>(id)]) {
+        JudgeSegment(plan, candidate, segment, chain.runtime,
+                     pending_reason);
+        segment.clear();
+        pending_reason = "cached interior";
+      }
+    }
+    JudgeSegment(plan, candidate, segment, chain.runtime, pending_reason);
+  }
+  regions = static_cast<int>(plan->fused_regions.size());
+  if (ctx->metrics() != nullptr && regions > 0) {
+    ctx->metrics()->Increment("fusion.regions", regions);
+  }
+}
+
 void RegisterStandardPasses(PassManager* manager) {
   manager->AddPass(std::make_unique<CsePass>());
   manager->AddPass(std::make_unique<ProfileAndSelectPass>());
   manager->AddPass(std::make_unique<MaterializationPass>());
+  manager->AddPass(std::make_unique<FusionPass>());
 }
 
 }  // namespace keystone

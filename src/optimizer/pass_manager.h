@@ -78,8 +78,24 @@ class MaterializationPass : public PlanPass {
   void Run(PhysicalPlan* plan, PassContext* pctx) override;
 };
 
+/// Operator fusion (the SystemML-style codegen pass, Boehm et al. 2018):
+/// re-runs the dataflow inference, records the fusible chains as
+/// FusionCandidates, then — under OptimizationConfig::operator_fusion —
+/// turns each candidate into fused regions the runner streams chunk-wise,
+/// splitting at cached interiors, non-chunkable operators, and train-path
+/// apply-model members whose model is not yet fitted at the region head.
+/// Every candidate (segment) gets a FusionDecision: an accepted region with
+/// its cost-modeled savings (avoided intermediate materialization priced as
+/// a memory write + read per interior edge) or a rejection with the reason.
+/// Runs last; it never rewrites the graph, only annotates the plan.
+class FusionPass : public PlanPass {
+ public:
+  const char* name() const override { return "fusion"; }
+  void Run(PhysicalPlan* plan, PassContext* pctx) override;
+};
+
 /// Registers the standard compilation sequence: CSE, profile + operator
-/// selection, materialization planning.
+/// selection, materialization planning, operator fusion.
 void RegisterStandardPasses(PassManager* manager);
 
 }  // namespace keystone

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/dataflow.h"
+#include "src/core/executor.h"
+#include "src/core/physical_plan.h"
+#include "src/core/pipeline.h"
+#include "src/data/dist_dataset.h"
+#include "src/obs/decision_log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/resource_timeline.h"
+#include "src/obs/trace.h"
+#include "src/workloads/datasets.h"
+#include "src/workloads/pipelines.h"
+#include "tests/test_operators.h"
+#include "tools/shipped_workloads.h"
+
+namespace keystone {
+namespace {
+
+using testing_ops::AddConst;
+using testing_ops::MeanCenterer;
+using testing_ops::Scale;
+
+std::shared_ptr<DistDataset<double>> Doubles(std::vector<double> values,
+                                             size_t parts = 2) {
+  return DistDataset<double>::Partitioned(std::move(values), parts);
+}
+
+ClusterResourceDescriptor TestCluster() {
+  return ClusterResourceDescriptor::R3_4xlarge(4);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk interface: slicing, edge cases, reassembly.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkTest, ChunkOfSlicesPartitions) {
+  auto data = Doubles({1, 2, 3, 4, 5, 6, 7}, 2);  // parts of 4 and 3
+  ASSERT_TRUE(data->SupportsChunking());
+  EXPECT_EQ(data->PartitionSize(0), 4u);
+  EXPECT_EQ(data->PartitionSize(1), 3u);
+  const AnyChunk chunk = data->ChunkOf(0, 1, 2);
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(chunk->size(), 2u);
+  const auto typed = Chunk<double>::Cast(chunk);
+  EXPECT_EQ(typed->records(), (std::vector<double>{2, 3}));
+}
+
+TEST(ChunkTest, EmptyChunkIsTyped) {
+  auto data = Doubles({1, 2}, 1);
+  const AnyChunk empty = data->ChunkOf(0, 0, 0);
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_EQ(empty->ElementType(), data->ElementType());
+  // The empty chunk still mints a working collector (the type witness for
+  // fully empty partitions).
+  auto collector = empty->MakeCollector();
+  collector->Resize(2);
+  collector->Append(1, empty);
+  const AnyDataset out = collector->Finish();
+  EXPECT_EQ(out->NumRecords(), 0u);
+  EXPECT_EQ(out->NumPartitions(), 2u);
+  EXPECT_EQ(out->ElementType(), data->ElementType());
+}
+
+TEST(ChunkTest, CollectorReassemblesNonDivisibleChunks) {
+  auto data = Doubles({1, 2, 3, 4, 5, 6, 7}, 2);
+  auto collector = data->ChunkOf(0, 0, 0)->MakeCollector();
+  collector->Resize(data->NumPartitions());
+  // Stream batch-size-3 chunks: partition 0 splits 3+1, partition 1 as 3.
+  for (size_t p = 0; p < data->NumPartitions(); ++p) {
+    const size_t psize = data->PartitionSize(p);
+    for (size_t begin = 0; begin < psize; begin += 3) {
+      collector->Append(p, data->ChunkOf(p, begin, std::min<size_t>(3, psize - begin)));
+    }
+  }
+  const auto out = DistDataset<double>::Cast(collector->Finish());
+  EXPECT_EQ(out->partitions(), data->partitions());
+}
+
+TEST(ChunkTest, ApplyChunkMatchesApply) {
+  Scale times3(3.0);
+  ASSERT_TRUE(times3.SupportsChunkedApply());
+  auto data = Doubles({1, 2, 3}, 1);
+  ExecContext ctx(TestCluster());
+  const AnyChunk out = times3.ApplyChunk(data->ChunkOf(0, 0, 3), &ctx);
+  EXPECT_EQ(Chunk<double>::Cast(out)->records(),
+            (std::vector<double>{3, 6, 9}));
+  // Stats triples come straight from the element traits.
+  const ElementStat stat = out->StatOf(1);
+  EXPECT_EQ(stat.bytes, sizeof(double));
+  EXPECT_EQ(stat.dim, 1u);
+}
+
+TEST(ChunkTest, GatherDoesNotSupportChunkedApply) {
+  GatherTransformer<double> gather;
+  EXPECT_FALSE(gather.SupportsChunkedApply());
+}
+
+// ---------------------------------------------------------------------------
+// ExecOptions plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(ExecOptionsTest, RequestContextInheritsExecOptions) {
+  ExecContext ctx(TestCluster());
+  EXPECT_EQ(ctx.exec_options().style, ExecStyle::kChunked);
+  ExecOptions opts;
+  opts.max_batch_size = 7;
+  opts.style = ExecStyle::kWholeDataset;
+  ctx.set_exec_options(opts);
+  const auto request = ctx.MakeRequestContext();
+  EXPECT_EQ(request->exec_options().max_batch_size, 7u);
+  EXPECT_EQ(request->exec_options().style, ExecStyle::kWholeDataset);
+}
+
+// ---------------------------------------------------------------------------
+// FusionPass: regions, decisions, config gate.
+// ---------------------------------------------------------------------------
+
+/// source -> Scale -> AddConst -> Scale -> centerer-model chain: one long
+/// pure train chain plus its runtime mirror behind the placeholder.
+Pipeline<double, double> ChainPipeline() {
+  auto train = Doubles({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  return PipelineInput<double>()
+      .AndThen(std::make_shared<Scale>(2.0))
+      .AndThen(std::make_shared<AddConst>(1.0))
+      .AndThen(std::make_shared<Scale>(0.5))
+      .AndThen(std::make_shared<MeanCenterer>(), train);
+}
+
+TEST(FusionPassTest, BuildsRegionsAndLogsDecisions) {
+  auto pipe = ChainPipeline();
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  ASSERT_NE(plan, nullptr);
+  ASSERT_FALSE(plan->fused_regions.empty());
+  for (const FusedRegion& region : plan->fused_regions) {
+    EXPECT_GE(region.nodes.size(), 2u);
+    EXPECT_FALSE(region.fingerprint.empty());
+    EXPECT_GT(region.est_saved_bytes, 0.0);
+    for (int id : region.nodes) {
+      EXPECT_EQ(plan->nodes[id].fused_region, region.id);
+    }
+  }
+  // Every accepted decision maps to a region; every region to a decision.
+  const auto decisions = plan->decision_log->FusionDecisions();
+  ASSERT_FALSE(decisions.empty());
+  int accepted = 0;
+  for (const obs::FusionDecision& d : decisions) {
+    EXPECT_GE(d.candidate_index, 0);
+    if (d.accepted) {
+      ++accepted;
+      ASSERT_GE(d.region_id, 0);
+      EXPECT_EQ(plan->fused_regions[d.region_id].nodes, d.nodes);
+    } else {
+      EXPECT_FALSE(d.reason.empty());
+    }
+  }
+  EXPECT_EQ(accepted, static_cast<int>(plan->fused_regions.size()));
+  // Renderings surface the regions in both views.
+  EXPECT_NE(plan->ToString().find("fused regions:"), std::string::npos);
+  EXPECT_NE(plan->ToJson().find("\"fused_regions\""), std::string::npos);
+}
+
+TEST(FusionPassTest, DisabledConfigPlansNoRegions) {
+  auto pipe = ChainPipeline();
+  OptimizationConfig config = OptimizationConfig::Full();
+  config.operator_fusion = false;
+  PipelineExecutor executor(TestCluster(), config);
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  EXPECT_TRUE(plan->fused_regions.empty());
+  for (const PlannedNode& pn : plan->nodes) {
+    EXPECT_EQ(pn.fused_region, -1);
+  }
+  // Fusibility candidates are still recorded (static analysis), but the
+  // gated pass judges none of them.
+  EXPECT_FALSE(plan->decision_log->FusionCandidates().empty());
+  EXPECT_TRUE(plan->decision_log->FusionDecisions().empty());
+}
+
+// ---------------------------------------------------------------------------
+// ValidateFusedRegions: the fusion.* rules.
+// ---------------------------------------------------------------------------
+
+TEST(FusionValidationTest, WellFormedPlanPasses) {
+  auto pipe = ChainPipeline();
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+  EXPECT_TRUE(analysis::ValidateFusedRegions(*plan, flow).ok());
+}
+
+TEST(FusionValidationTest, CatchesCorruptedRegions) {
+  auto pipe = ChainPipeline();
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto plan = executor.Compile(*pipe.graph(), pipe.source(), pipe.sink());
+  ASSERT_FALSE(plan->fused_regions.empty());
+  const analysis::DataflowResult flow = analysis::InferDataflow(*plan);
+
+  {
+    PhysicalPlan corrupt = *plan;
+    corrupt.fused_regions[0].nodes.resize(1);  // singleton region
+    const auto report = analysis::ValidateFusedRegions(corrupt, flow);
+    EXPECT_TRUE(report.HasRule(analysis::rules::kFusionStructure));
+  }
+  {
+    PhysicalPlan corrupt = *plan;
+    FusedRegion& region = corrupt.fused_regions[0];
+    region.runtime = !region.runtime;  // disagree with the members' mask
+    const auto report = analysis::ValidateFusedRegions(corrupt, flow);
+    EXPECT_TRUE(report.HasRule(analysis::rules::kFusionMask));
+  }
+  {
+    PhysicalPlan corrupt = *plan;
+    const int interior = corrupt.fused_regions[0].nodes.front();
+    corrupt.cache_set[interior] = true;  // cached interior member
+    const auto report = analysis::ValidateFusedRegions(corrupt, flow);
+    EXPECT_TRUE(report.HasRule(analysis::rules::kFusionCachedInterior));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused chunked execution == unfused whole-dataset execution, byte for byte.
+// ---------------------------------------------------------------------------
+
+struct RunObservation {
+  std::vector<double> one_output;
+  std::vector<double> batch_output;
+  double fit_ledger_seconds = 0.0;
+  double apply_ledger_seconds = 0.0;
+  std::string report_text;
+  std::vector<std::string> span_names;
+  std::string timeline_json;
+  double fused_regions_metric = 0.0;
+};
+
+RunObservation RunChain(const OptimizationConfig& config,
+                        const ExecOptions& opts) {
+  auto pipe = ChainPipeline();
+  PipelineExecutor executor(TestCluster(), config);
+  obs::TraceRecorder recorder;
+  obs::ResourceTimeline timeline;
+  obs::MetricsRegistry metrics;
+  executor.context()->set_tracer(&recorder);
+  executor.context()->set_timeline(&timeline);
+  executor.context()->set_metrics(&metrics);
+  executor.context()->set_exec_options(opts);
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+  RunObservation obs;
+  obs.fit_ledger_seconds = executor.context()->ledger()->TotalSeconds();
+  obs.one_output = {fitted.ApplyOne(2.0, executor.context())};
+  obs.batch_output =
+      fitted.Apply(Doubles({-3, 0.25, 11, 4, 5}, 3), executor.context())
+          ->Collect();
+  obs.apply_ledger_seconds =
+      executor.context()->ledger()->TotalSeconds() - obs.fit_ledger_seconds;
+  obs.report_text = report.ToString();
+  for (const auto& span : recorder.Spans()) obs.span_names.push_back(span.name);
+  obs.timeline_json = timeline.ToJson();
+  obs.fused_regions_metric = metrics.GetCounter("exec.fused.regions")->Value();
+  return obs;
+}
+
+void ExpectIdentical(const RunObservation& a, const RunObservation& b) {
+  EXPECT_EQ(a.one_output, b.one_output);
+  EXPECT_EQ(a.batch_output, b.batch_output);
+  EXPECT_EQ(a.fit_ledger_seconds, b.fit_ledger_seconds);
+  EXPECT_EQ(a.apply_ledger_seconds, b.apply_ledger_seconds);
+  EXPECT_EQ(a.report_text, b.report_text);
+  EXPECT_EQ(a.span_names, b.span_names);
+  EXPECT_EQ(a.timeline_json, b.timeline_json);
+}
+
+TEST(FusedExecutionTest, ChunkedMatchesWholeDataset) {
+  ExecOptions whole;
+  whole.style = ExecStyle::kWholeDataset;
+  const RunObservation unfused = RunChain(OptimizationConfig::Full(), whole);
+  EXPECT_EQ(unfused.fused_regions_metric, 0.0);
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{1u << 20}}) {
+    ExecOptions chunked;
+    chunked.style = ExecStyle::kChunked;
+    chunked.max_batch_size = batch;  // non-divisible, tiny, > dataset
+    const RunObservation fused = RunChain(OptimizationConfig::Full(), chunked);
+    EXPECT_GT(fused.fused_regions_metric, 0.0) << "batch " << batch;
+    ExpectIdentical(unfused, fused);
+  }
+}
+
+TEST(FusedExecutionTest, ChunkedMatchesWholeDatasetSerially) {
+  OptimizationConfig serial = OptimizationConfig::Full();
+  serial.parallel_branches = false;
+  ExecOptions whole;
+  whole.style = ExecStyle::kWholeDataset;
+  ExecOptions chunked;
+  chunked.max_batch_size = 3;
+  ExpectIdentical(RunChain(serial, whole), RunChain(serial, chunked));
+  // ... and the serial fused run matches the parallel fused run.
+  ExpectIdentical(RunChain(serial, chunked),
+                  RunChain(OptimizationConfig::Full(), chunked));
+}
+
+TEST(FusedExecutionTest, EmptyDatasetStreamsToEmptyOutput) {
+  auto pipe = ChainPipeline();
+  PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+  auto fitted = executor.Fit(pipe);
+  auto empty = std::make_shared<DistDataset<double>>(
+      std::vector<std::vector<double>>{{}, {}});
+  const auto out = fitted.Apply(empty, executor.context());
+  EXPECT_EQ(out->NumRecords(), 0u);
+  EXPECT_EQ(out->NumPartitions(), 2u);
+}
+
+TEST(FusedExecutionTest, ShippedWorkloadsByteIdentical) {
+  for (const tools::ShippedWorkload& target : tools::ShippedWorkloads()) {
+    std::string reports[2];
+    std::string timelines[2];
+    std::vector<std::string> spans[2];
+    double ledgers[2] = {0, 0};
+    for (int style = 0; style < 2; ++style) {
+      obs::TraceRecorder recorder;
+      obs::ResourceTimeline timeline;
+      PipelineExecutor executor(TestCluster(), OptimizationConfig::Full());
+      executor.context()->set_tracer(&recorder);
+      executor.context()->set_timeline(&timeline);
+      ExecOptions opts;
+      opts.style = style == 0 ? ExecStyle::kWholeDataset : ExecStyle::kChunked;
+      opts.max_batch_size = 5;  // non-divisible on the 32-record corpora
+      executor.context()->set_exec_options(opts);
+      PipelineReport report;
+      executor.FitGraph(*target.graph, target.placeholder, target.sink,
+                        &report);
+      reports[style] = report.ToString();
+      timelines[style] = timeline.ToJson();
+      for (const auto& span : recorder.Spans()) {
+        spans[style].push_back(span.name);
+      }
+      ledgers[style] = executor.context()->ledger()->TotalSeconds();
+    }
+    EXPECT_EQ(reports[0], reports[1]) << target.name;
+    EXPECT_EQ(timelines[0], timelines[1]) << target.name;
+    EXPECT_EQ(spans[0], spans[1]) << target.name;
+    EXPECT_EQ(ledgers[0], ledgers[1]) << target.name;
+  }
+}
+
+}  // namespace
+}  // namespace keystone

@@ -171,6 +171,54 @@ int Run(int argc, char** argv) {
         ++strict_failures;
       }
       strict_failures += unshaped;
+
+      // Fusion provenance: every fused region must trace back to a
+      // recorded fusibility candidate (its members a contiguous run of the
+      // candidate's chain), every candidate must have been judged, and
+      // every rejection must carry a reason.
+      const auto candidates = log.FusionCandidates();
+      const auto decisions = log.FusionDecisions();
+      for (const FusedRegion& region : plan.fused_regions) {
+        bool covered = false;
+        for (const obs::FusionCandidate& cand : candidates) {
+          for (size_t at = 0;
+               !covered && at + region.nodes.size() <= cand.nodes.size();
+               ++at) {
+            covered = std::equal(region.nodes.begin(), region.nodes.end(),
+                                 cand.nodes.begin() + at);
+          }
+          if (covered) break;
+        }
+        if (!covered) {
+          std::fprintf(stderr,
+                       "explain: %s: fused region r%d matches no recorded "
+                       "fusibility candidate\n",
+                       target.name.c_str(), region.id);
+          ++strict_failures;
+        }
+      }
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        bool judged = false;
+        for (const obs::FusionDecision& d : decisions) {
+          if (d.candidate_index == static_cast<int>(i)) judged = true;
+        }
+        if (!judged) {
+          std::fprintf(stderr,
+                       "explain: %s: fusibility candidate %zu was never "
+                       "judged by the fusion pass\n",
+                       target.name.c_str(), i);
+          ++strict_failures;
+        }
+      }
+      for (const obs::FusionDecision& d : decisions) {
+        if (!d.accepted && d.reason.empty()) {
+          std::fprintf(stderr,
+                       "explain: %s: rejected fusion candidate %d has no "
+                       "logged reason\n",
+                       target.name.c_str(), d.candidate_index);
+          ++strict_failures;
+        }
+      }
     }
 
     if (json) {
