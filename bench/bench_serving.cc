@@ -15,6 +15,7 @@
 // Usage: bench_serving [--smoke] [ObsSession flags]
 //   --smoke   smaller corpora and request counts (CI-sized, ~seconds)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -23,7 +24,10 @@
 
 #include "bench/bench_util.h"
 #include "src/common/check.h"
+#include "src/common/timer.h"
 #include "src/core/executor.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
 #include "src/serve/load_generator.h"
 #include "src/serve/pipeline_server.h"
 #include "src/serve/request.h"
@@ -67,8 +71,12 @@ ServingFixture BuildFixture(bool smoke) {
     LinearSolverConfig solver;
     solver.num_classes = 2;
     solver.lbfgs_iterations = smoke ? 5 : 20;
-    auto pipe =
-        workloads::BuildAmazonPipeline(corpus, smoke ? 1000 : 4000, solver);
+    // Smoke keeps half the full hash-feature width: per-request kernel work
+    // is what the telemetry overhead fraction is measured against, so serving
+    // must do realistic per-doc compute even when the corpus is small — but
+    // fit cost grows super-linearly with width, and 2000 keeps the whole
+    // smoke gate in CI-sized seconds.
+    auto pipe = workloads::BuildAmazonPipeline(corpus, smoke ? 2000 : 4000, solver);
     PipelineExecutor executor(Cluster(), OptimizationConfig::Full());
     fixture.amazon = executor.Fit(pipe).impl_ptr();
     fixture.amazon_codec =
@@ -77,7 +85,7 @@ ServingFixture BuildFixture(bool smoke) {
   }
   {
     workloads::DenseCorpus corpus = workloads::DenseClasses(
-        smoke ? 600 : 2500, smoke ? 120 : 250, 64, 8, 7.0, 83);
+        smoke ? 600 : 2500, smoke ? 120 : 250, 256, 8, 7.0, 83);
     LinearSolverConfig solver;
     solver.num_classes = 8;
     auto pipe = workloads::BuildYoutubePipeline(corpus, solver);
@@ -128,6 +136,125 @@ ServeReport RunConfig(const ServingFixture& fixture, double rate_per_tenant,
   ServeReport report = server.Run(&load);
   if (stream_out != nullptr) *stream_out = report.ResponseStream();
   return report;
+}
+
+/// One serving run with a telemetry hub attached: the snapshot stream, the
+/// response stream, per-request span count (from a run-local recorder, so
+/// the sampling gate sees only this run's spans), and the hub's measured
+/// overhead as a fraction of the run's wall time.
+struct TelemetryLeg {
+  std::string telemetry;
+  std::string responses;
+  ServeReport report;
+  size_t request_spans = 0;
+  double wall_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  double overhead_fraction = 0.0;
+};
+
+/// Runs the saturating batched configuration with a TelemetryHub listening
+/// on the server's virtual clock. `jsonl_path` (optional) additionally
+/// streams the snapshots to disk through the async exporter.
+TelemetryLeg RunTelemetryLeg(const ServingFixture& fixture, double rate,
+                             size_t requests, size_t num_threads,
+                             double sample_rate,
+                             const std::string& jsonl_path) {
+  ServerConfig config;
+  config.server_slots = 4;
+  config.num_threads = num_threads;
+  PipelineServer server(Cluster(), config);
+  ServeOptions options;
+  options.max_batch_size = 16;
+  options.max_batch_delay_seconds = 0.05;
+  options.queue_depth = 64;
+  options.slo_seconds = 4.0;
+  options.trace_sample_rate = sample_rate;
+  options.trace_sample_seed = 2024;
+  options.budget_shedding = true;
+  options.slo_budget.window_seconds = 0.25;
+  const int amazon = server.AddTenant(
+      "amazon", ServablePipeline(fixture.amazon), fixture.amazon_codec,
+      options);
+  const int youtube = server.AddTenant(
+      "youtube", ServablePipeline(fixture.youtube), fixture.youtube_codec,
+      options);
+
+  obs::TelemetryOptions topt;
+  topt.window_seconds = 0.5;
+  obs::TelemetryHub hub(topt);
+  if (!jsonl_path.empty() && !hub.AttachJsonlWriter(jsonl_path)) {
+    std::fprintf(stderr, "[serving] FAILED to open telemetry out %s\n",
+                 jsonl_path.c_str());
+  }
+  server.set_telemetry(&hub);
+  obs::TraceRecorder recorder;
+  server.context()->set_tracer(&recorder);
+
+  OpenLoopSource amazon_load(amazon, rate, requests,
+                             fixture.amazon_codec->NumPayloads(), 2024);
+  OpenLoopSource youtube_load(youtube, rate, requests,
+                              fixture.youtube_codec->NumPayloads(), 4048);
+  MergedSource load({&amazon_load, &youtube_load});
+  TelemetryLeg leg;
+  Timer wall;
+  leg.report = server.Run(&load);
+  leg.wall_seconds = wall.ElapsedSeconds();
+  hub.Flush();
+  leg.telemetry = hub.SnapshotJsonl();
+  leg.responses = leg.report.ResponseStream();
+  for (const obs::TraceSpan& span : recorder.Spans()) {
+    if (span.kind == "request") ++leg.request_spans;
+  }
+  leg.overhead_seconds = hub.OverheadWallSeconds();
+  leg.overhead_fraction = leg.wall_seconds > 0.0
+                              ? leg.overhead_seconds / leg.wall_seconds
+                              : 0.0;
+  hub.PublishOverhead(&obs::MetricsRegistry::Global(), leg.wall_seconds);
+  server.set_telemetry(nullptr);
+  server.context()->set_tracer(nullptr);
+  return leg;
+}
+
+/// Overload leg: one tenant, one server slot; a long healthy background
+/// phase banks error budget, then a sustained over-capacity burst drives
+/// SLO violations. The gate demands burn-rate shedding engage while budget
+/// remains (first_shed_budget_remaining > 0).
+ServeReport RunOverloadLeg(const ServingFixture& fixture, bool smoke) {
+  ServerConfig config;
+  config.server_slots = 1;
+  config.num_threads = 0;
+  PipelineServer server(Cluster(), config);
+  ServeOptions options;
+  options.max_batch_size = 4;
+  options.max_batch_delay_seconds = 0.02;
+  options.queue_depth = 256;
+  // Healthy (unqueued) latency is ~0.65s, so 1.5s passes the background
+  // phase cleanly while queued burst traffic violates within a second or
+  // two — the budget only burns when the overload actually starts.
+  options.slo_seconds = 1.5;
+  options.cost_admission = false;  // let the error budget do the shedding
+  options.budget_shedding = true;
+  options.slo_budget.target_attainment = 0.9;
+  options.slo_budget.window_seconds = 0.5;
+  options.slo_budget.min_requests = 16;
+  const int id = server.AddTenant("amazon", ServablePipeline(fixture.amazon),
+                                  fixture.amazon_codec, options);
+  // Single-slot capacity at batch 4 is ~3 rps (service is dominated by the
+  // per-batch fixed overhead). Background at ~0.5x banks budget for well
+  // past the slow-burn lookback; the burst holds a sustained ~4x capacity
+  // so violation feedback arrives while arrivals continue — an
+  // instantaneous many-x spike would fill the queue before the first
+  // violating completion and the burn signal would only fire after the
+  // budget was long gone.
+  const size_t burst_requests = smoke ? 600 : 1500;
+  OpenLoopSource background(id, 1.5, smoke ? 120 : 200,
+                            fixture.amazon_codec->NumPayloads(), 3);
+  OpenLoopSource burst(id, 12.0, burst_requests,
+                       fixture.amazon_codec->NumPayloads(), 4,
+                       /*start_seconds=*/smoke ? 81.0 : 135.0,
+                       /*first_id=*/1000000);
+  MergedSource load({&background, &burst});
+  return server.Run(&load);
 }
 
 /// Outcome of racing the two admission predictors over the same batches.
@@ -276,6 +403,83 @@ int Run(int argc, char** argv) {
               fused_p99, unfused_p99,
               fusion_identical ? "byte-identical" : "MISMATCH");
 
+  // Telemetry: the windowed snapshot stream must be byte-identical across
+  // kernel-pool sizes (the hub ticks off the serial event loop's virtual
+  // clock), head sampling at 0.1 must cut request spans >= 10x while the
+  // exact latency accounting is untouched, and the hub's self-measured
+  // overhead must stay under 2% of serving wall time. The overhead legs
+  // serve a longer request stream than the sweep so the wall-time
+  // denominator is large enough for a stable fraction.
+  const size_t tel_requests = requests * 2;
+  const TelemetryLeg tel_1 =
+      RunTelemetryLeg(fixture, rates.back(), tel_requests, 1, 1.0,
+                      session.telemetry_path());
+  const TelemetryLeg tel_2 =
+      RunTelemetryLeg(fixture, rates.back(), tel_requests, 2, 1.0, "");
+  const TelemetryLeg tel_8 =
+      RunTelemetryLeg(fixture, rates.back(), tel_requests, 8, 1.0, "");
+  const bool telemetry_identical = !tel_1.telemetry.empty() &&
+                                   tel_1.telemetry == tel_2.telemetry &&
+                                   tel_1.telemetry == tel_8.telemetry &&
+                                   tel_1.responses == tel_2.responses &&
+                                   tel_1.responses == tel_8.responses;
+  std::printf("\n[serving] telemetry streams (1/2/8 kernel threads): %s "
+              "(%zu snapshot windows)\n",
+              telemetry_identical ? "byte-identical" : "MISMATCH",
+              static_cast<size_t>(
+                  std::count(tel_1.telemetry.begin(), tel_1.telemetry.end(),
+                             '\n')));
+  if (!session.telemetry_path().empty()) {
+    std::printf("[obs] wrote telemetry snapshots to %s\n",
+                session.telemetry_path().c_str());
+  }
+
+  const TelemetryLeg tel_sampled =
+      RunTelemetryLeg(fixture, rates.back(), tel_requests, 0, 0.1, "");
+  const double span_ratio =
+      tel_sampled.request_spans > 0
+          ? static_cast<double>(tel_1.request_spans) /
+                static_cast<double>(tel_sampled.request_spans)
+          : static_cast<double>(tel_1.request_spans);
+  bool sampling_p99_exact = tel_sampled.responses == tel_1.responses;
+  for (size_t t = 0; t < tel_1.report.tenants.size(); ++t) {
+    if (tel_1.report.tenants[t].p99_latency_seconds !=
+        tel_sampled.report.tenants[t].p99_latency_seconds) {
+      sampling_p99_exact = false;
+    }
+  }
+  std::printf("[serving] trace sampling at 0.1: request spans %zu -> %zu "
+              "(%.1fx reduction), latency accounting %s\n",
+              tel_1.request_spans, tel_sampled.request_spans, span_ratio,
+              sampling_p99_exact ? "exact" : "PERTURBED");
+
+  // Aggregate across the pool-size legs: total hub seconds over total
+  // serving wall. Each leg's wall is only a few ms, so a per-leg max would
+  // gate on scheduler noise rather than on the hub's cost.
+  const double overhead_fraction =
+      (tel_1.overhead_seconds + tel_2.overhead_seconds +
+       tel_8.overhead_seconds) /
+      (tel_1.wall_seconds + tel_2.wall_seconds + tel_8.wall_seconds);
+  std::printf("[serving] telemetry overhead: %.3f%% of serving wall time "
+              "(legs %.3f%% / %.3f%% / %.3f%%, gate < 2%%)\n",
+              overhead_fraction * 100.0, tel_1.overhead_fraction * 100.0,
+              tel_2.overhead_fraction * 100.0,
+              tel_8.overhead_fraction * 100.0);
+
+  const ServeReport overload = RunOverloadLeg(fixture, smoke);
+  const auto& overload_tenant = overload.tenants[0];
+  std::printf("\n--- overload leg (1 slot, budget shedding) ---\n%s",
+              overload.ToString().c_str());
+  const bool shed_before_exhaustion =
+      overload_tenant.rejected_error_budget > 0 &&
+      overload_tenant.first_shed_budget_remaining > 0.0;
+  std::printf("[serving] overload leg: %zu shed by error budget, first shed "
+              "at %.1f%% budget remaining (%s)\n",
+              overload_tenant.rejected_error_budget,
+              overload_tenant.first_shed_budget_remaining * 100.0,
+              shed_before_exhaustion ? "before exhaustion"
+                                     : "GATE NOT MET");
+
   // Admission-predictor race: how many batches until the per-record cost
   // estimate is within 10% of observed, statically seeded vs cold start.
   const PriorResult amazon_prior =
@@ -331,6 +535,24 @@ int Run(int argc, char** argv) {
   results_json += ",\"saturated_throughput_batch16_rps\":";
   std::snprintf(buf, sizeof(buf), "%g", saturated_throughput[1]);
   results_json += buf;
+  {
+    char tel_buf[512];
+    std::snprintf(
+        tel_buf, sizeof(tel_buf),
+        ",\"telemetry\":{\"identical_across_pools\":%s,"
+        "\"snapshot_windows\":%zu,\"request_spans_full\":%zu,"
+        "\"request_spans_sampled\":%zu,\"span_reduction\":%g,"
+        "\"sampling_p99_exact\":%s,\"overhead_fraction\":%g,"
+        "\"overload_shed\":%zu,\"first_shed_budget_remaining\":%g}",
+        telemetry_identical ? "true" : "false",
+        static_cast<size_t>(std::count(tel_1.telemetry.begin(),
+                                       tel_1.telemetry.end(), '\n')),
+        tel_1.request_spans, tel_sampled.request_spans, span_ratio,
+        sampling_p99_exact ? "true" : "false", overhead_fraction,
+        overload_tenant.rejected_error_budget,
+        overload_tenant.first_shed_budget_remaining);
+    results_json += tel_buf;
+  }
   results_json += "}";
   session.AddJsonField("serving", results_json);
 
@@ -365,6 +587,34 @@ int Run(int argc, char** argv) {
                    entry.prior->steady_cold);
       return 1;
     }
+  }
+  if (!telemetry_identical) {
+    std::fprintf(stderr, "[serving] FAIL: telemetry snapshot streams differ "
+                         "across kernel-pool sizes\n");
+    return 1;
+  }
+  if (span_ratio < 10.0 || !sampling_p99_exact) {
+    std::fprintf(stderr,
+                 "[serving] FAIL: trace sampling gate (reduction %.1fx, "
+                 "p99 %s)\n",
+                 span_ratio, sampling_p99_exact ? "exact" : "perturbed");
+    return 1;
+  }
+  if (!shed_before_exhaustion) {
+    std::fprintf(stderr,
+                 "[serving] FAIL: error-budget shedding did not engage "
+                 "before exhaustion (shed=%zu, first shed at %.3f budget "
+                 "remaining)\n",
+                 overload_tenant.rejected_error_budget,
+                 overload_tenant.first_shed_budget_remaining);
+    return 1;
+  }
+  if (overhead_fraction >= 0.02) {
+    std::fprintf(stderr,
+                 "[serving] FAIL: telemetry overhead %.3f%% of serving wall "
+                 "time (gate < 2%%)\n",
+                 overhead_fraction * 100.0);
+    return 1;
   }
   return 0;
 }

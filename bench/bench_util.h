@@ -23,6 +23,9 @@ namespace bench {
 ///   --metrics-out=PATH    dump the metrics registry as JSON on exit
 ///   --profile-store=PATH  load observed-cost history before the run and
 ///                         save the updated store after it
+///   --telemetry-out=PATH  stream windowed telemetry snapshots (JSONL) to
+///                         PATH — benches that host a TelemetryHub attach
+///                         the path via telemetry_path()
 ///   --plan-report         print the human-readable span report on exit
 ///   --no-bench-json       skip the BENCH_<name>.json result file
 /// Every ExecContext feeds the process-global recorder/registry/store by
@@ -46,6 +49,7 @@ class ObsSession {
       if (TakeValue(arg, "--trace-out=", &trace_path_)) continue;
       if (TakeValue(arg, "--metrics-out=", &metrics_path_)) continue;
       if (TakeValue(arg, "--profile-store=", &profile_path_)) continue;
+      if (TakeValue(arg, "--telemetry-out=", &telemetry_path_)) continue;
       if (arg == "--no-bench-json") bench_json_ = false;
       if (arg == "--plan-report") plan_report_ = true;
     }
@@ -70,6 +74,11 @@ class ObsSession {
   void AddJsonField(const std::string& key, std::string json_value) {
     extra_fields_.emplace_back(key, std::move(json_value));
   }
+
+  /// Destination for the JSONL telemetry snapshot stream ("" = not
+  /// requested). The session only parses the flag; the bench owns the
+  /// TelemetryHub and calls AttachJsonlWriter(telemetry_path()) itself.
+  const std::string& telemetry_path() const { return telemetry_path_; }
 
   ~ObsSession() {
     auto& tracer = obs::TraceRecorder::Global();
@@ -162,6 +171,7 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::string profile_path_;
+  std::string telemetry_path_;
   bool plan_report_ = false;
   bool bench_json_ = true;
 };

@@ -9,6 +9,8 @@
 #
 #   scripts/ci.sh                  # lint + tier-1 + ASan, UBSan, TSan legs
 #   scripts/ci.sh --no-sanitizers  # lint + tier-1 only (alias: --no-asan)
+#   scripts/ci.sh --smoke          # lint + build + serving/telemetry perf
+#                                  # gate only (fast perf-trajectory check)
 #   KEYSTONE_SANITIZE=thread scripts/ci.sh            # custom legs
 #   KEYSTONE_SANITIZE="address undefined" scripts/ci.sh
 #
@@ -21,12 +23,47 @@ cd "$(dirname "$0")/.."
 
 SANITIZERS="${KEYSTONE_SANITIZE:-address undefined thread}"
 RUN_SANITIZED=1
+SMOKE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --no-sanitizers|--no-asan) RUN_SANITIZED=0 ;;
+    --smoke) SMOKE_ONLY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Serving smoke gate: serves two tenants across an arrival-rate sweep with
+# the telemetry exporter attached; exits nonzero unless responses AND the
+# telemetry JSONL stream are byte-identical across kernel-pool sizes,
+# micro-batching beats per-request dispatch at saturation, error-budget
+# shedding engages before the budget exhausts, and the hub's self-measured
+# overhead stays under its gate. The emitted stream is then structurally
+# validated by telemetry_report --strict, and BENCH_serving.json is diffed
+# against the checked-in baseline so wall-time regressions >10% fail here
+# instead of accumulating silently (widen via KEYSTONE_BENCH_TOLERANCE on
+# noisy machines; regenerate the baseline when the workload itself
+# changes).
+serving_telemetry_gate() {
+  echo "=== serving: bench_serving smoke gate (+ telemetry stream) ==="
+  (cd build/bench && ./bench_serving --smoke --telemetry-out=telemetry_smoke.jsonl > /dev/null)
+  echo "=== telemetry: telemetry_report --strict over the smoke stream ==="
+  ./build/tools/telemetry_report --strict build/bench/telemetry_smoke.jsonl > /dev/null
+  echo "=== perf trajectory: BENCH_serving.json vs checked-in baseline ==="
+  python3 scripts/bench_compare.py \
+    scripts/bench_baselines/BENCH_serving_smoke.json \
+    build/bench/BENCH_serving.json
+}
+
+if [[ "$SMOKE_ONLY" == 1 ]]; then
+  echo "=== lint: repo conventions ==="
+  scripts/lint.sh
+  echo "=== build (warnings-as-errors) ==="
+  cmake -B build -S . -DKEYSTONE_WERROR=ON
+  cmake --build build -j"$(nproc)"
+  serving_telemetry_gate
+  echo "CI SMOKE OK"
+  exit 0
+fi
 
 echo "=== lint: repo conventions ==="
 scripts/lint.sh
@@ -82,12 +119,7 @@ echo "=== fault injection: explain over a faulted run ==="
 # in the decision log and the calibration must stay finite under retries.
 ./build/tools/explain --strict --fault-rate=0.3 --fault-seed=7 > /dev/null
 
-echo "=== serving: bench_serving smoke gate ==="
-# Serves two tenants across an arrival-rate sweep; exits nonzero unless
-# responses are byte-identical across kernel-pool sizes AND micro-batching
-# sustains strictly higher throughput than per-request dispatch at
-# saturation.
-(cd build/bench && ./bench_serving --smoke --no-bench-json > /dev/null)
+serving_telemetry_gate
 
 echo "=== fusion: bench_fusion smoke gate ==="
 # Fits one text and one image workload per execution style; exits nonzero
@@ -108,8 +140,9 @@ if [[ "$RUN_SANITIZED" == 1 ]]; then
       # runner = the PlanRunner branch scheduler; faults = the fault-replay
       # suite, whose ledger/metrics/trace fan-out runs inside that scheduler;
       # serve = the PipelineServer request path, which runs kernels on its
-      # own pool while the event loop publishes obs state.
-      (cd "build-${sanitizer}" && ctest -L 'runner|faults|serve' --output-on-failure)
+      # own pool while the event loop publishes obs state; telemetry = the
+      # hub + async JSONL writer thread handoff.
+      (cd "build-${sanitizer}" && ctest -L 'runner|faults|serve|telemetry' --output-on-failure)
     else
       (cd "build-${sanitizer}" && ctest --output-on-failure -j"$(nproc)")
     fi

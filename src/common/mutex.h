@@ -1,6 +1,7 @@
 #ifndef KEYSTONE_COMMON_MUTEX_H_
 #define KEYSTONE_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -23,6 +24,8 @@ enum LockRank : int {
   kLockRankTrace = 30,         // obs::TraceRecorder::mu_
   kLockRankDecisionLog = 32,   // obs::OptimizerDecisionLog::mu_
   kLockRankTimeline = 34,      // obs::ResourceTimeline::mu_
+  kLockRankTelemetry = 36,     // obs::TelemetryHub::mu_
+  kLockRankTelemetryWriter = 38,  // obs::TelemetryJsonlWriter::mu_
   kLockRankThreadPool = 40,    // ThreadPool::mu_
   kLockRankMetricsShard = 50,  // obs::MetricsRegistry stripes (leaf locks)
 };
@@ -97,6 +100,12 @@ class SCOPED_CAPABILITY MutexLock {
 class CondVar {
  public:
   void Wait(Mutex* mu) REQUIRES(mu) { cv_.wait(*mu); }
+  /// Waits until notified or `seconds` elapse; either way the mutex is
+  /// re-held on return. Lets pollers drain producer queues on a deadline
+  /// so producers can enqueue without paying a futex wake per item.
+  void WaitFor(Mutex* mu, double seconds) REQUIRES(mu) {
+    cv_.wait_for(*mu, std::chrono::duration<double>(seconds));
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -255,7 +255,9 @@ struct CardinalityInterval {
 
   std::string ToString() const {
     if (IsEmpty()) return "[empty]";
-    std::string out = "[" + std::to_string(lo) + ",";
+    std::string out = "[";
+    out += std::to_string(lo);
+    out += ',';
     out += hi == kUnbounded ? "inf)" : std::to_string(hi) + "]";
     return out;
   }

@@ -12,6 +12,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profile_store.h"
 #include "src/obs/resource_timeline.h"
+#include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/sim/cost_profile.h"
 #include "src/sim/resources.h"
@@ -97,6 +98,13 @@ class ExecContext {
   obs::ResourceTimeline* timeline() const { return timeline_; }
   void set_timeline(obs::ResourceTimeline* timeline) { timeline_ = timeline; }
 
+  /// Optional windowed time-series sink (null by default — telemetry is
+  /// opt-in, unlike the always-on sinks above). When set, PlanRunner
+  /// streams per-node observations into it and ticks it along the
+  /// ledger's virtual-time axis as node outcomes flush.
+  obs::TelemetryHub* telemetry() const { return telemetry_; }
+  void set_telemetry(obs::TelemetryHub* telemetry) { telemetry_ = telemetry; }
+
   /// Execution-style knobs (chunked vs whole-dataset, chunk size).
   const ExecOptions& exec_options() const { return exec_options_; }
   void set_exec_options(const ExecOptions& options) {
@@ -114,6 +122,7 @@ class ExecContext {
     ctx->set_metrics(metrics_);
     ctx->profile_store_ = profile_store_;
     ctx->timeline_ = timeline_;
+    ctx->telemetry_ = telemetry_;
     ctx->exec_options_ = exec_options_;
     return ctx;
   }
@@ -178,6 +187,7 @@ class ExecContext {
   obs::MetricsRegistry* metrics_;
   obs::ProfileStore* profile_store_;
   obs::ResourceTimeline* timeline_;
+  obs::TelemetryHub* telemetry_ = nullptr;
   ExecOptions exec_options_;
   const faults::FaultPlan* fault_plan_ = nullptr;
   /// Leaf lock (lowest rank): held only for map access, never across a call

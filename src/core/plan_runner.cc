@@ -617,6 +617,19 @@ void PlanRunner::FlushOutcome(int id) {
                                out.fused_chunk_peak_bytes);
     }
   }
+  if (ctx_->telemetry() != nullptr) {
+    // Windowed series mirror the cumulative metrics above. This runs in
+    // the serial id-ordered flush, so the series land in the same order
+    // for every schedule — the telemetry stream inherits the runner's
+    // byte-identity guarantee.
+    obs::TelemetryHub* telemetry = ctx_->telemetry();
+    telemetry->Count(std::string("exec.nodes.") +
+                     obs::TracePhaseName(out.span.phase));
+    telemetry->Observe("exec.node_seconds", out.span.virtual_seconds);
+    if (out.fault.overhead_seconds > 0.0) {
+      telemetry->Count("exec.recovery_seconds", out.fault.overhead_seconds);
+    }
+  }
   const obs::TracePhase phase = out.span.phase;
   if (ctx_->tracer() != nullptr) ctx_->tracer()->Record(std::move(out.span));
 
@@ -758,6 +771,11 @@ RunResult PlanRunner::Run(ExecMode mode, const SelectHook& select) {
     RunSerial(exec_ids);
   }
   for (int id : exec_ids) FlushOutcome(id);
+  if (ctx_->telemetry() != nullptr) {
+    // The ledger total is the run's virtual clock: ticking here closes
+    // every window this pass's charges crossed.
+    ctx_->telemetry()->Tick(ctx_->ledger()->TotalSeconds());
+  }
 
   RunResult result;
   result.node_seconds.assign(n, 0.0);
@@ -798,6 +816,9 @@ AnyDataset PlanRunner::RunApply(
     RunSerial(exec_ids);
   }
   for (int id : exec_ids) FlushOutcome(id);
+  if (ctx_->telemetry() != nullptr) {
+    ctx_->telemetry()->Tick(ctx_->ledger()->TotalSeconds());
+  }
 
   KS_CHECK(outputs_[plan_->sink] != nullptr);
   return outputs_[plan_->sink];

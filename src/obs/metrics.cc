@@ -68,39 +68,89 @@ void Histogram::Record(double value) {
   buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
-double Histogram::Quantile(double q) const {
+namespace internal {
+
+double QuantileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets,
+    double observed_min, double observed_max, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  const auto buckets = Buckets();
   uint64_t total = 0;
-  for (uint64_t b : buckets) total += b;
+  int first = -1, last = -1;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    total += buckets[i];
+    if (first < 0) first = i;
+    last = i;
+  }
   if (total == 0) return 0.0;
 
   // The observation with (1-based) rank ceil(q * total), found by walking
   // the cumulative tallies; rank 0 degenerates to the minimum.
   const double target = q * static_cast<double>(total);
   uint64_t cumulative = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
+  for (int i = first; i <= last; ++i) {
     if (buckets[i] == 0) continue;
     cumulative += buckets[i];
     if (static_cast<double>(cumulative) < target) continue;
     double value;
     if (i == 0) {
-      value = Min();
-    } else if (i == kNumBuckets - 1) {
-      value = Max();
+      value = observed_min;
+    } else if (i == Histogram::kNumBuckets - 1) {
+      value = observed_max;
     } else {
-      // Geometric interpolation inside the covering log bucket.
-      const double lo = BucketLowerBound(i);
-      const double hi = BucketUpperBound(i);
+      // Geometric interpolation inside the covering log bucket. In the
+      // first/last occupied bucket the bucket bounds overstate the actual
+      // value range (the extrema sit somewhere inside the bucket), so the
+      // interpolation anchors there — otherwise p999 with one sample in
+      // the tail bucket extrapolates toward the bucket's upper bound, a
+      // value never observed.
+      double lo = Histogram::BucketLowerBound(i);
+      double hi = Histogram::BucketUpperBound(i);
+      if (i == first) lo = std::max(lo, observed_min);
+      if (i == last) hi = std::min(hi, observed_max);
+      if (hi < lo) hi = lo;
       const uint64_t before = cumulative - buckets[i];
       const double fraction =
           (target - static_cast<double>(before)) /
           static_cast<double>(buckets[i]);
-      value = lo * std::pow(hi / lo, std::clamp(fraction, 0.0, 1.0));
+      value = lo <= 0.0
+                  ? lo
+                  : lo * std::pow(hi / lo, std::clamp(fraction, 0.0, 1.0));
     }
-    return std::clamp(value, Min(), Max());
+    return std::clamp(value, observed_min, observed_max);
   }
-  return Max();
+  return observed_max;
+}
+
+}  // namespace internal
+
+double Histogram::Quantile(double q) const {
+  return internal::QuantileFromBuckets(Buckets(), Min(), Max(), q);
+}
+
+void HistogramBuckets::Record(double value) {
+  buckets[Histogram::BucketFor(value)] += 1;
+  count += 1;
+  sum += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void HistogramBuckets::Merge(const HistogramBuckets& other) {
+  if (other.count == 0) return;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void HistogramBuckets::Reset() { *this = HistogramBuckets(); }
+
+double HistogramBuckets::Quantile(double q) const {
+  return internal::QuantileFromBuckets(buckets, Min(), Max(), q);
 }
 
 double Histogram::Min() const {

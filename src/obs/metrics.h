@@ -86,9 +86,11 @@ class Histogram {
   static double BucketLowerBound(int bucket);
   static double BucketUpperBound(int bucket);
 
- private:
+  /// Index of the bucket covering `value` (shared with HistogramBuckets,
+  /// which reuses this geometry for mergeable window tallies).
   static int BucketFor(double value);
 
+ private:
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   // Extrema start at the opposite infinity so the first Record() wins the
@@ -97,6 +99,51 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
 };
+
+/// Plain (non-atomic) bucket tallies sharing Histogram's log-bucket
+/// geometry. Unlike Histogram this is a value type built for *merging*:
+/// the telemetry layer keeps one per time window and computes sliding
+/// quantiles by summing the bucket arrays of adjacent windows, which is
+/// exact (bucket tallies are additive) where merging interpolated
+/// quantiles would not be. Not thread-safe; windowed recording happens on
+/// the serial event loop.
+struct HistogramBuckets {
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  void Record(double value);
+  void Merge(const HistogramBuckets& other);
+  void Reset();
+
+  bool Empty() const { return count == 0; }
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Observed extrema (0 when empty, matching Histogram's convention).
+  double Min() const { return count == 0 ? 0.0 : min_; }
+  double Max() const { return count == 0 ? 0.0 : max_; }
+
+  /// Interpolated quantile over the tallies; same semantics as
+  /// Histogram::Quantile. Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+namespace internal {
+/// Shared quantile walk used by Histogram and HistogramBuckets: geometric
+/// interpolation inside the covering log bucket, with the interpolation
+/// anchored at the observed extrema in the first/last occupied bucket.
+/// Without the anchoring, a single sample in the last occupied bucket made
+/// p999 extrapolate toward the bucket's upper bound — a value that was
+/// never observed.
+double QuantileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets,
+    double observed_min, double observed_max, double q);
+}  // namespace internal
 
 /// One metric's exported state.
 struct MetricSnapshot {

@@ -1,0 +1,100 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace keystone {
+namespace obs {
+
+SloErrorBudget::SloErrorBudget(SloBudgetOptions options)
+    : options_(options) {
+  KS_CHECK_GT(options_.window_seconds, 0.0);
+  KS_CHECK(options_.target_attainment > 0.0 &&
+           options_.target_attainment < 1.0)
+      << "target_attainment must be in (0, 1); got "
+      << options_.target_attainment;
+  KS_CHECK_GT(options_.fast_windows, 0u);
+  KS_CHECK_GE(options_.slow_windows, options_.fast_windows);
+}
+
+void SloErrorBudget::AdvanceTo(double now_seconds) {
+  // Close every window boundary `now_seconds` has crossed. The open
+  // window `i` covers [i*W, (i+1)*W).
+  while (now_seconds >=
+         static_cast<double>(open_index_ + 1) * options_.window_seconds) {
+    closed_.push_back(open_);
+    open_ = WindowCounts();
+    ++open_index_;
+    // The open window occupies one slot of the slow lookback, so only
+    // slow_windows - 1 closed windows ever matter.
+    while (closed_.size() + 1 > options_.slow_windows) {
+      closed_.pop_front();
+    }
+  }
+}
+
+void SloErrorBudget::Reset() {
+  closed_.clear();
+  open_ = WindowCounts();
+  open_index_ = 0;
+  total_requests_ = 0;
+  total_violations_ = 0;
+  total_shed_ = 0;
+}
+
+void SloErrorBudget::RecordOutcome(bool slo_met) {
+  open_.requests += 1;
+  total_requests_ += 1;
+  if (!slo_met) {
+    open_.violations += 1;
+    total_violations_ += 1;
+  }
+}
+
+void SloErrorBudget::RecordShed() { total_shed_ += 1; }
+
+double SloErrorBudget::ErrorBudgetFraction() const {
+  return 1.0 - options_.target_attainment;
+}
+
+double SloErrorBudget::BudgetRemainingFraction() const {
+  if (total_requests_ == 0) return 1.0;
+  const double allowed =
+      ErrorBudgetFraction() * static_cast<double>(total_requests_);
+  return 1.0 - static_cast<double>(total_violations_) / allowed;
+}
+
+double SloErrorBudget::BurnOver(size_t windows) const {
+  KS_CHECK_GT(windows, 0u);
+  uint64_t requests = open_.requests;
+  uint64_t violations = open_.violations;
+  const size_t closed_needed = windows - 1;  // open window fills one slot
+  const size_t take = std::min(closed_needed, closed_.size());
+  for (size_t i = 0; i < take; ++i) {
+    const WindowCounts& w = closed_[closed_.size() - 1 - i];
+    requests += w.requests;
+    violations += w.violations;
+  }
+  if (requests == 0) return 0.0;
+  const double violation_fraction =
+      static_cast<double>(violations) / static_cast<double>(requests);
+  return violation_fraction / ErrorBudgetFraction();
+}
+
+double SloErrorBudget::FastBurnRate() const {
+  return BurnOver(options_.fast_windows);
+}
+
+double SloErrorBudget::SlowBurnRate() const {
+  return BurnOver(options_.slow_windows);
+}
+
+bool SloErrorBudget::ShouldShed() const {
+  if (total_requests_ < options_.min_requests) return false;
+  return FastBurnRate() > options_.shed_burn_rate &&
+         SlowBurnRate() > options_.shed_burn_rate;
+}
+
+}  // namespace obs
+}  // namespace keystone

@@ -1,0 +1,107 @@
+#ifndef KEYSTONE_OBS_SLO_H_
+#define KEYSTONE_OBS_SLO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace keystone {
+namespace obs {
+
+/// Error-budget policy for one tenant's latency SLO (the SRE formulation:
+/// a target attainment of 0.99 grants a 1% error budget; burn rate is the
+/// observed violation fraction divided by that budget, so burn 1.0 spends
+/// the budget exactly at the attainment boundary and burn 2.0 spends it
+/// twice as fast).
+struct SloBudgetOptions {
+  /// Fraction of completed requests that must meet the latency SLO.
+  double target_attainment = 0.99;
+  /// Width of one burn-rate accounting window in virtual seconds.
+  double window_seconds = 1.0;
+  /// Short lookback (windows, including the open one) for the fast burn
+  /// signal — catches sudden regressions.
+  size_t fast_windows = 2;
+  /// Long lookback for the slow burn signal — filters one-window blips.
+  size_t slow_windows = 8;
+  /// Shed load while both burn rates exceed this multiple of budget-
+  /// neutral burn.
+  double shed_burn_rate = 2.0;
+  /// Minimum completed requests before shedding can engage (avoids
+  /// tripping on the first unlucky request of a run).
+  uint64_t min_requests = 8;
+};
+
+/// Per-tenant SLO error-budget and burn-rate tracker over virtual-time
+/// windows. Driven by the serving event loop: AdvanceTo follows the
+/// virtual clock, RecordOutcome follows request completions — both on the
+/// serial loop, so (like BoundedRequestQueue) this is deliberately not
+/// thread-safe and its outputs are deterministic across kernel-pool
+/// sizes.
+class SloErrorBudget {
+ public:
+  explicit SloErrorBudget(SloBudgetOptions options = SloBudgetOptions());
+
+  /// Rotates accounting windows up to virtual time `now_seconds`
+  /// (monotone within an epoch; stale times are ignored).
+  void AdvanceTo(double now_seconds);
+
+  /// Starts a new epoch (run): windows, totals, and the clock rewind.
+  void Reset();
+
+  /// Accounts one completed request against the open window.
+  void RecordOutcome(bool slo_met);
+
+  /// Accounts one request shed by admission control (tracked separately:
+  /// shed requests consume no budget — that is the point of shedding).
+  void RecordShed();
+
+  /// The granted budget: 1 - target_attainment.
+  double ErrorBudgetFraction() const;
+
+  /// Fraction of the epoch's error budget still unspent: 1 means no
+  /// violations, 0 exactly spent, negative overspent. 1 when nothing has
+  /// completed yet.
+  double BudgetRemainingFraction() const;
+
+  /// Burn rates over the fast/slow lookbacks (1.0 = budget-neutral).
+  double FastBurnRate() const;
+  double SlowBurnRate() const;
+
+  /// True while admission control should shed this tenant's arrivals:
+  /// both burn signals exceed shed_burn_rate and enough requests have
+  /// completed for the signal to mean anything. Requiring the slow signal
+  /// too keeps one bad window from shedding; requiring the fast one lets
+  /// the tenant back in as soon as recent windows recover.
+  bool ShouldShed() const;
+
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t total_violations() const { return total_violations_; }
+  uint64_t total_shed() const { return total_shed_; }
+  size_t windows_closed() const { return closed_.size(); }
+  const SloBudgetOptions& options() const { return options_; }
+
+ private:
+  struct WindowCounts {
+    uint64_t requests = 0;
+    uint64_t violations = 0;
+  };
+
+  /// Violation fraction over the trailing `windows` windows (open window
+  /// included), divided by the error budget.
+  double BurnOver(size_t windows) const;
+
+  SloBudgetOptions options_;
+  /// Closed windows, oldest first, capped at slow_windows - 1 (the open
+  /// window supplies the last lookback slot).
+  std::deque<WindowCounts> closed_;
+  WindowCounts open_;
+  uint64_t open_index_ = 0;
+  uint64_t total_requests_ = 0;
+  uint64_t total_violations_ = 0;
+  uint64_t total_shed_ = 0;
+};
+
+}  // namespace obs
+}  // namespace keystone
+
+#endif  // KEYSTONE_OBS_SLO_H_

@@ -11,16 +11,18 @@ namespace serve {
 
 OpenLoopSource::OpenLoopSource(int tenant, double rate_per_second,
                                size_t num_requests, size_t num_payloads,
-                               uint64_t seed) {
+                               uint64_t seed, double start_seconds,
+                               uint64_t first_id) {
   KS_CHECK_GT(num_payloads, 0u);
+  KS_CHECK_GE(start_seconds, 0.0);
   PoissonArrivals arrivals(rate_per_second, seed);
   Rng payload_rng(seed ^ 0x9e3779b97f4a7c15ULL);
   requests_.reserve(num_requests);
   for (size_t i = 0; i < num_requests; ++i) {
     ServeRequest request;
     request.tenant = tenant;
-    request.id = i;
-    request.arrival_seconds = arrivals.Next();
+    request.id = first_id + i;
+    request.arrival_seconds = start_seconds + arrivals.Next();
     request.payload = payload_rng.NextIndex(num_payloads);
     requests_.push_back(request);
   }

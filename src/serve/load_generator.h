@@ -40,10 +40,15 @@ class RequestSource {
 /// Open-loop (partly-offered-load) traffic: a seeded Poisson process of
 /// `num_requests` arrivals at `rate_per_second`, payloads drawn uniformly.
 /// Arrivals ignore responses — exactly the regime where shedding matters.
+/// `start_seconds` shifts the whole process right and `first_id` offsets
+/// the request ids: overload legs use both to stage a late burst on top of
+/// steady background traffic for the *same* tenant (two sources, disjoint
+/// id ranges, merged by arrival time).
 class OpenLoopSource : public RequestSource {
  public:
   OpenLoopSource(int tenant, double rate_per_second, size_t num_requests,
-                 size_t num_payloads, uint64_t seed);
+                 size_t num_payloads, uint64_t seed,
+                 double start_seconds = 0.0, uint64_t first_id = 0);
 
   bool Peek(ServeRequest* out) const override;
   void Pop() override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <thread>
 
 #include "src/common/check.h"
@@ -64,14 +65,31 @@ std::string ServeReport::ToString() const {
   for (const TenantReport& t : tenants) {
     std::snprintf(
         buf, sizeof(buf),
-        "  %-10s offered=%zu accepted=%zu shed(queue=%zu cost=%zu) "
-        "done=%zu slo=%.1f%% batch=%.2f tput=%.2f rps "
+        "  %-10s offered=%zu accepted=%zu shed(queue=%zu cost=%zu "
+        "budget=%zu) done=%zu slo=%.1f%% batch=%.2f tput=%.2f rps "
         "p50=%.4fs p99=%.4fs p999=%.4fs\n",
         t.name.c_str(), t.offered, t.accepted, t.rejected_queue_full,
-        t.rejected_predicted_cost, t.completed, 100.0 * t.SloAttainment(),
-        t.MeanBatchSize(), t.ThroughputRps(makespan_seconds),
-        t.p50_latency_seconds, t.p99_latency_seconds, t.p999_latency_seconds);
+        t.rejected_predicted_cost, t.rejected_error_budget, t.completed,
+        100.0 * t.SloAttainment(), t.MeanBatchSize(),
+        t.ThroughputRps(makespan_seconds), t.p50_latency_seconds,
+        t.p99_latency_seconds, t.p999_latency_seconds);
     out += buf;
+    if (t.options.budget_shedding) {
+      std::snprintf(buf, sizeof(buf),
+                    "             budget remaining=%.1f%% burn(fast=%.2f "
+                    "slow=%.2f) first shed at %.1f%% remaining\n",
+                    100.0 * t.budget_remaining_fraction, t.final_fast_burn,
+                    t.final_slow_burn,
+                    100.0 * t.first_shed_budget_remaining);
+      out += buf;
+    }
+    if (t.trace_sampled + t.trace_dropped > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "             trace sampled=%zu dropped=%zu (rate=%.3g)\n",
+                    t.trace_sampled, t.trace_dropped,
+                    t.options.trace_sample_rate);
+      out += buf;
+    }
   }
   return out;
 }
@@ -95,12 +113,23 @@ std::string ServeReport::ToJson() const {
     std::snprintf(
         nbuf, sizeof(nbuf),
         ",\"offered\":%zu,\"accepted\":%zu,\"rejected_queue_full\":%zu,"
-        "\"rejected_predicted_cost\":%zu,\"completed\":%zu,\"slo_met\":%zu,"
-        "\"batches\":%zu,\"queue_high_water\":%zu",
+        "\"rejected_predicted_cost\":%zu,\"rejected_error_budget\":%zu,"
+        "\"completed\":%zu,\"slo_met\":%zu,"
+        "\"batches\":%zu,\"queue_high_water\":%zu,"
+        "\"trace_sampled\":%zu,\"trace_dropped\":%zu",
         t.offered, t.accepted, t.rejected_queue_full,
-        t.rejected_predicted_cost, t.completed, t.slo_met, t.batches,
-        t.queue_high_water);
+        t.rejected_predicted_cost, t.rejected_error_budget, t.completed,
+        t.slo_met, t.batches, t.queue_high_water, t.trace_sampled,
+        t.trace_dropped);
     out += nbuf;
+    out += ",\"budget_remaining_fraction\":";
+    AppendF(&out, "%.9g", t.budget_remaining_fraction);
+    out += ",\"first_shed_budget_remaining\":";
+    AppendF(&out, "%.9g", t.first_shed_budget_remaining);
+    out += ",\"final_fast_burn\":";
+    AppendF(&out, "%.9g", t.final_fast_burn);
+    out += ",\"final_slow_burn\":";
+    AppendF(&out, "%.9g", t.final_slow_burn);
     out += ",\"mean_batch_size\":";
     AppendF(&out, "%.6g", t.MeanBatchSize());
     out += ",\"throughput_rps\":";
@@ -142,9 +171,8 @@ int PipelineServer::AddTenant(std::string name, ServablePipeline pipeline,
   KS_CHECK_GT(options.queue_depth, 0u);
   KS_CHECK(options.max_batch_delay_seconds >= 0.0);
   KS_CHECK(options.slo_seconds > 0.0);
-  Tenant tenant{std::move(name),        std::move(pipeline),
-                std::move(codec),       options,
-                BoundedRequestQueue(options.queue_depth)};
+  Tenant tenant(std::move(name), std::move(pipeline), std::move(codec),
+                options);
   if (ctx_.metrics() != nullptr) {
     obs::MetricsRegistry* m = ctx_.metrics();
     const std::string prefix = "serve." + tenant.name + ".";
@@ -153,12 +181,66 @@ int PipelineServer::AddTenant(std::string name, ServablePipeline pipeline,
     tenant.rejected_queue_full = m->GetCounter(prefix + "rejected.queue_full");
     tenant.rejected_predicted_cost =
         m->GetCounter(prefix + "rejected.predicted_cost");
+    tenant.rejected_error_budget =
+        m->GetCounter(prefix + "rejected.error_budget");
     tenant.slo_met = m->GetCounter(prefix + "slo.met");
     tenant.slo_violated = m->GetCounter(prefix + "slo.violated");
+    tenant.trace_sampled = m->GetCounter("serve.trace.sampled");
+    tenant.trace_dropped = m->GetCounter("serve.trace.dropped");
     tenant.latency = m->GetHistogram(prefix + "latency_seconds");
   }
+  tenant.sampler =
+      obs::TraceSampler(options.trace_sample_rate, options.trace_sample_seed);
+  if (options.budget_shedding) {
+    tenant.budget = std::make_unique<obs::SloErrorBudget>(options.slo_budget);
+  }
+  // Telemetry series names, built once so the per-request hot path does no
+  // string concatenation.
+  const std::string tel = "serve." + tenant.name + ".";
+  tenant.tel_offered = tel + "offered";
+  tenant.tel_accepted = tel + "accepted";
+  tenant.tel_rejected = tel + "rejected";
+  tenant.tel_completed = tel + "completed";
+  tenant.tel_latency = tel + "latency_seconds";
+  tenant.tel_violations = tel + "slo_violations";
+  const std::string slo = "slo." + tenant.name + ".";
+  tenant.tel_budget_remaining = slo + "budget_remaining";
+  tenant.tel_burn_fast = slo + "burn_fast";
+  tenant.tel_burn_slow = slo + "burn_slow";
+  tenant.tel_shed = slo + "shed";
   tenants_.push_back(std::move(tenant));
   return static_cast<int>(tenants_.size()) - 1;
+}
+
+void PipelineServer::set_telemetry(obs::TelemetryHub* telemetry) {
+  if (telemetry_ != nullptr) clock_.RemoveListener(telemetry_);
+  telemetry_ = telemetry;
+  if (telemetry_ != nullptr) clock_.AddListener(telemetry_);
+}
+
+void PipelineServer::ResolveTelemetrySeries() {
+  if (telemetry_ == nullptr || telemetry_resolved_ == telemetry_) return;
+  using Kind = obs::TelemetrySeriesKind;
+  for (Tenant& t : tenants_) {
+    t.id_offered = telemetry_->RegisterSeries(t.tel_offered, Kind::kCounter);
+    t.id_accepted = telemetry_->RegisterSeries(t.tel_accepted, Kind::kCounter);
+    t.id_rejected = telemetry_->RegisterSeries(t.tel_rejected, Kind::kCounter);
+    t.id_completed =
+        telemetry_->RegisterSeries(t.tel_completed, Kind::kCounter);
+    t.id_latency = telemetry_->RegisterSeries(t.tel_latency, Kind::kHistogram);
+    t.id_violations =
+        telemetry_->RegisterSeries(t.tel_violations, Kind::kCounter);
+    t.id_budget_remaining =
+        telemetry_->RegisterSeries(t.tel_budget_remaining, Kind::kGauge);
+    t.id_burn_fast = telemetry_->RegisterSeries(t.tel_burn_fast, Kind::kGauge);
+    t.id_burn_slow = telemetry_->RegisterSeries(t.tel_burn_slow, Kind::kGauge);
+    t.id_shed = telemetry_->RegisterSeries(t.tel_shed, Kind::kCounter);
+  }
+  id_trace_sampled_ =
+      telemetry_->RegisterSeries("serve.trace.sampled", Kind::kCounter);
+  id_trace_dropped_ =
+      telemetry_->RegisterSeries("serve.trace.dropped", Kind::kCounter);
+  telemetry_resolved_ = telemetry_;
 }
 
 ServeReport PipelineServer::Run(RequestSource* source) {
@@ -178,7 +260,20 @@ ServeReport PipelineServer::Run(RequestSource* source) {
   for (size_t i = 0; i < tenants_.size(); ++i) {
     tallies_[i].name = tenants_[i].name;
     tallies_[i].options = tenants_[i].options;
+    if (tenants_[i].budget != nullptr) tenants_[i].budget->Reset();
+    // New run = new telemetry epoch: the first completion must publish the
+    // SLO gauges again regardless of their last-epoch values.
+    tenants_[i].tel_budget_published =
+        std::numeric_limits<double>::quiet_NaN();
+    tenants_[i].tel_burn_fast_published =
+        std::numeric_limits<double>::quiet_NaN();
+    tenants_[i].tel_burn_slow_published =
+        std::numeric_limits<double>::quiet_NaN();
   }
+  // Rewind the virtual clock; an attached telemetry hub hears this as a
+  // new epoch (a no-op on a freshly constructed server).
+  clock_.Reset();
+  ResolveTelemetrySeries();
 
   ServeReport report;
   report.server_slots = config_.server_slots;
@@ -198,7 +293,7 @@ ServeReport PipelineServer::Run(RequestSource* source) {
     if (take_event) {
       Event event = events_.top();
       events_.pop();
-      now_ = std::max(now_, event.time);
+      AdvanceClock(event.time);
       if (event.kind == EventKind::kCompletion) {
         HandleCompletion(event, source, &report);
       }
@@ -207,7 +302,7 @@ ServeReport PipelineServer::Run(RequestSource* source) {
       TryDispatch();
     } else {
       source->Pop();
-      now_ = std::max(now_, arrival.arrival_seconds);
+      AdvanceClock(arrival.arrival_seconds);
       HandleArrival(arrival, source, &report);
     }
   }
@@ -217,6 +312,12 @@ ServeReport PipelineServer::Run(RequestSource* source) {
   for (size_t i = 0; i < tenants_.size(); ++i) {
     TenantReport& t = tallies_[i];
     t.queue_high_water = tenants_[i].queue.high_water();
+    if (tenants_[i].budget != nullptr) {
+      const obs::SloErrorBudget& budget = *tenants_[i].budget;
+      t.budget_remaining_fraction = budget.BudgetRemainingFraction();
+      t.final_fast_burn = budget.FastBurnRate();
+      t.final_slow_burn = budget.SlowBurnRate();
+    }
     std::vector<double>& lat = latencies_[i];
     std::sort(lat.begin(), lat.end());
     if (!lat.empty()) {
@@ -230,7 +331,20 @@ ServeReport PipelineServer::Run(RequestSource* source) {
     }
     report.tenants.push_back(t);
   }
+  // One Run == one telemetry epoch: rewinding the clock makes the hub
+  // emit the final partial window and seal the epoch, so the stream for
+  // this run is complete (and exported) before Run returns.
+  clock_.Reset();
   return report;
+}
+
+void PipelineServer::AdvanceClock(double time_seconds) {
+  if (time_seconds <= now_) return;
+  now_ = time_seconds;
+  clock_.AdvanceTo(now_);
+  for (Tenant& tenant : tenants_) {
+    if (tenant.budget != nullptr) tenant.budget->AdvanceTo(now_);
+  }
 }
 
 void PipelineServer::HandleArrival(const ServeRequest& request,
@@ -243,9 +357,24 @@ void PipelineServer::HandleArrival(const ServeRequest& request,
   TenantReport& tally = tallies_[static_cast<size_t>(request.tenant)];
   ++tally.offered;
   if (tenant.offered != nullptr) tenant.offered->Increment();
+  if (telemetry_ != nullptr) telemetry_->CountId(tenant.id_offered);
 
   if (tenant.queue.size() >= tenant.queue.depth()) {
     Reject(request, RejectReason::kQueueFull, source, report);
+    return;
+  }
+  // Error-budget shedding: when the tenant is burning its SLO budget too
+  // fast on both lookbacks, shed *now* — before the queue and cost checks
+  // admit work that would land as further violations. Shedding while
+  // budget remains is the point: the tenant recovers instead of breaching.
+  if (tenant.budget != nullptr && tenant.budget->ShouldShed()) {
+    tenant.budget->RecordShed();
+    if (tally.first_shed_budget_remaining < 0.0) {
+      tally.first_shed_budget_remaining =
+          tenant.budget->BudgetRemainingFraction();
+    }
+    if (telemetry_ != nullptr) telemetry_->CountId(tenant.id_shed);
+    Reject(request, RejectReason::kErrorBudget, source, report);
     return;
   }
   if (tenant.options.cost_admission) {
@@ -273,6 +402,7 @@ void PipelineServer::HandleArrival(const ServeRequest& request,
   KS_CHECK(tenant.queue.TryPush(request));
   ++tally.accepted;
   if (tenant.accepted != nullptr) tenant.accepted->Increment();
+  if (telemetry_ != nullptr) telemetry_->CountId(tenant.id_accepted);
   TryDispatch();
   // If the new request ended up at the head of a still-pending queue, wake
   // the dispatcher again at its batch-delay deadline. Older heads already
@@ -346,6 +476,7 @@ void PipelineServer::FormBatch(int tenant_id, int slot) {
   request_ctx->set_metrics(nullptr);
   request_ctx->set_profile_store(nullptr);
   request_ctx->set_timeline(nullptr);
+  request_ctx->set_telemetry(nullptr);
   Timer timer;
   double variable_seconds = 0.0;
   const AnyDataset out = tenant.pipeline.Apply(
@@ -405,6 +536,15 @@ void PipelineServer::HandleCompletion(const Event& event,
     ctx_.tracer()->Record(std::move(span));
   }
 
+  // Completion-side counters and budget gauges are batched: every request
+  // in the batch completes at the same virtual instant, and no telemetry
+  // window can close mid-batch (ticks fire between events on the serial
+  // loop), so one per-batch delta lands in exactly the same window as N
+  // per-request increments would — byte-identical stream, N-1 fewer hub
+  // calls. Per-request latency samples still feed the histogram directly.
+  size_t tel_violations = 0;
+  size_t tel_sampled = 0;
+  size_t tel_dropped = 0;
   for (size_t i = 0; i < batch.requests.size(); ++i) {
     const ServeRequest& request = batch.requests[i];
     ServeResponse response;
@@ -434,16 +574,73 @@ void PipelineServer::HandleCompletion(const Event& event,
     if (tenant.latency != nullptr) {
       tenant.latency->Record(response.latency_seconds);
     }
+    // Every completion feeds the error budget and the windowed series —
+    // sampling below only thins trace spans, never accounting, so p99 and
+    // burn rates stay exact at any sampling rate.
+    if (tenant.budget != nullptr) {
+      tenant.budget->RecordOutcome(response.slo_met);
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->ObserveId(tenant.id_latency, response.latency_seconds);
+      if (!response.slo_met) ++tel_violations;
+    }
     if (tenant.options.emit_request_spans && ctx_.tracer() != nullptr) {
-      obs::TraceSpan span;
-      span.name = "serve." + tenant.name;
-      span.kind = "request";
-      span.phase = obs::TracePhase::kServe;
-      span.records_in = 1;
-      span.virtual_seconds = response.latency_seconds;
-      ctx_.tracer()->Record(std::move(span));
+      // Deterministic head sampling: keep or drop this request's span as
+      // a pure function of (seed, tenant, id) — the same set regardless
+      // of batching, schedule, or pool size.
+      if (tenant.sampler.Sample(tenant.name, request.id)) {
+        ++tally.trace_sampled;
+        ++tel_sampled;
+        if (tenant.trace_sampled != nullptr) tenant.trace_sampled->Increment();
+        obs::TraceSpan span;
+        span.name = "serve." + tenant.name;
+        span.kind = "request";
+        span.phase = obs::TracePhase::kServe;
+        span.records_in = 1;
+        span.virtual_seconds = response.latency_seconds;
+        ctx_.tracer()->Record(std::move(span));
+      } else {
+        ++tally.trace_dropped;
+        ++tel_dropped;
+        if (tenant.trace_dropped != nullptr) tenant.trace_dropped->Increment();
+      }
     }
     EmitResponse(std::move(response), source, report);
+  }
+  if (telemetry_ != nullptr && !batch.requests.empty()) {
+    telemetry_->CountId(tenant.id_completed,
+                      static_cast<double>(batch.requests.size()));
+    if (tel_violations > 0) {
+      telemetry_->CountId(tenant.id_violations,
+                        static_cast<double>(tel_violations));
+    }
+    if (tel_sampled > 0) {
+      telemetry_->CountId(id_trace_sampled_,
+                        static_cast<double>(tel_sampled));
+    }
+    if (tel_dropped > 0) {
+      telemetry_->CountId(id_trace_dropped_,
+                        static_cast<double>(tel_dropped));
+    }
+    if (tenant.budget != nullptr) {
+      // Skip sets whose value is unchanged since the last publish (NaN
+      // compares unequal, so the first publish always goes through).
+      const double remaining = tenant.budget->BudgetRemainingFraction();
+      if (remaining != tenant.tel_budget_published) {
+        telemetry_->SetGaugeId(tenant.id_budget_remaining, remaining);
+        tenant.tel_budget_published = remaining;
+      }
+      const double fast = tenant.budget->FastBurnRate();
+      if (fast != tenant.tel_burn_fast_published) {
+        telemetry_->SetGaugeId(tenant.id_burn_fast, fast);
+        tenant.tel_burn_fast_published = fast;
+      }
+      const double slow = tenant.budget->SlowBurnRate();
+      if (slow != tenant.tel_burn_slow_published) {
+        telemetry_->SetGaugeId(tenant.id_burn_slow, slow);
+        tenant.tel_burn_slow_published = slow;
+      }
+    }
   }
 }
 
@@ -451,17 +648,28 @@ void PipelineServer::Reject(const ServeRequest& request, RejectReason reason,
                             RequestSource* source, ServeReport* report) {
   Tenant& tenant = tenants_[static_cast<size_t>(request.tenant)];
   TenantReport& tally = tallies_[static_cast<size_t>(request.tenant)];
-  if (reason == RejectReason::kQueueFull) {
-    ++tally.rejected_queue_full;
-    if (tenant.rejected_queue_full != nullptr) {
-      tenant.rejected_queue_full->Increment();
-    }
-  } else {
-    ++tally.rejected_predicted_cost;
-    if (tenant.rejected_predicted_cost != nullptr) {
-      tenant.rejected_predicted_cost->Increment();
-    }
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      ++tally.rejected_queue_full;
+      if (tenant.rejected_queue_full != nullptr) {
+        tenant.rejected_queue_full->Increment();
+      }
+      break;
+    case RejectReason::kErrorBudget:
+      ++tally.rejected_error_budget;
+      if (tenant.rejected_error_budget != nullptr) {
+        tenant.rejected_error_budget->Increment();
+      }
+      break;
+    case RejectReason::kNone:
+    case RejectReason::kPredictedCost:
+      ++tally.rejected_predicted_cost;
+      if (tenant.rejected_predicted_cost != nullptr) {
+        tenant.rejected_predicted_cost->Increment();
+      }
+      break;
   }
+  if (telemetry_ != nullptr) telemetry_->CountId(tenant.id_rejected);
   ServeResponse response;
   response.tenant = request.tenant;
   response.id = request.id;

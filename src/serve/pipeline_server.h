@@ -10,12 +10,15 @@
 #include <vector>
 
 #include "src/core/exec_context.h"
+#include "src/obs/slo.h"
+#include "src/obs/telemetry.h"
 #include "src/serve/load_generator.h"
 #include "src/serve/request.h"
 #include "src/serve/request_queue.h"
 #include "src/serve/servable_pipeline.h"
 #include "src/serve/serve_options.h"
 #include "src/sim/resources.h"
+#include "src/sim/virtual_time.h"
 
 namespace keystone {
 namespace serve {
@@ -43,8 +46,23 @@ struct TenantReport {
   size_t accepted = 0;
   size_t rejected_queue_full = 0;
   size_t rejected_predicted_cost = 0;
+  size_t rejected_error_budget = 0;
   size_t completed = 0;
   size_t slo_met = 0;
+
+  // Trace head-sampling accounting (only requests whose tenant emits
+  // request spans are counted; sampled + dropped == completed then).
+  size_t trace_sampled = 0;
+  size_t trace_dropped = 0;
+
+  // SLO error-budget state at end of run (budget_shedding tenants only;
+  // the defaults mean "budget untouched, never shed").
+  double budget_remaining_fraction = 1.0;
+  double final_fast_burn = 0.0;
+  double final_slow_burn = 0.0;
+  /// Budget remaining at the instant shedding first engaged; -1 when it
+  /// never did. Positive proves shedding fired *before* exhaustion.
+  double first_shed_budget_remaining = -1.0;
 
   size_t batches = 0;
   size_t batched_records = 0;
@@ -139,10 +157,26 @@ class PipelineServer {
   /// charges, and its sinks receive the serving spans and metrics.
   ExecContext* context() { return &ctx_; }
 
+  /// Attaches a windowed telemetry hub (borrowed; nullptr detaches). The
+  /// hub becomes a listener of the event loop's virtual clock: every event
+  /// the loop processes ticks it, so windows close at deterministic
+  /// virtual instants and the snapshot stream is byte-identical across
+  /// kernel-pool sizes. Each Run() is one telemetry epoch.
+  void set_telemetry(obs::TelemetryHub* telemetry);
+  obs::TelemetryHub* telemetry() const { return telemetry_; }
+
   size_t num_tenants() const { return tenants_.size(); }
 
  private:
   struct Tenant {
+    Tenant(std::string name_in, ServablePipeline pipeline_in,
+           std::shared_ptr<RequestCodec> codec_in, ServeOptions options_in)
+        : name(std::move(name_in)),
+          pipeline(std::move(pipeline_in)),
+          codec(std::move(codec_in)),
+          options(options_in),
+          queue(options.queue_depth) {}
+
     std::string name;
     ServablePipeline pipeline;
     std::shared_ptr<RequestCodec> codec;
@@ -157,7 +191,33 @@ class PipelineServer {
     obs::Counter* rejected_predicted_cost = nullptr;
     obs::Counter* slo_met = nullptr;
     obs::Counter* slo_violated = nullptr;
+    obs::Counter* rejected_error_budget = nullptr;
+    obs::Counter* trace_sampled = nullptr;
+    obs::Counter* trace_dropped = nullptr;
     obs::Histogram* latency = nullptr;
+    /// Deterministic head sampler for this tenant's request spans.
+    obs::TraceSampler sampler;
+    /// Error-budget tracker; null unless options.budget_shedding.
+    std::unique_ptr<obs::SloErrorBudget> budget;
+    // Pre-built telemetry series names (one concatenation per tenant at
+    // registration, zero per request).
+    std::string tel_offered, tel_accepted, tel_rejected, tel_completed;
+    std::string tel_latency, tel_violations;
+    std::string tel_budget_remaining, tel_burn_fast, tel_burn_slow, tel_shed;
+    // Pre-resolved hub series ids (registered once per Run; the hot path
+    // records through ids, never by-name map lookups). Valid only while
+    // tel_resolved matches the attached hub.
+    obs::TelemetryHub::SeriesId id_offered = 0, id_accepted = 0,
+                               id_rejected = 0, id_completed = 0;
+    obs::TelemetryHub::SeriesId id_latency = 0, id_violations = 0;
+    obs::TelemetryHub::SeriesId id_budget_remaining = 0, id_burn_fast = 0,
+                               id_burn_slow = 0, id_shed = 0;
+    // Last values published to the SLO gauges this epoch (NaN = none yet).
+    // Identical re-sets are skipped: a gauge re-exports its latest value in
+    // every window anyway, so the skip leaves the snapshot stream
+    // byte-identical while healthy steady states publish ~nothing.
+    double tel_budget_published = 0.0, tel_burn_fast_published = 0.0,
+           tel_burn_slow_published = 0.0;
   };
 
   /// A dispatched micro-batch whose kernels already ran; rides the event
@@ -194,6 +254,13 @@ class PipelineServer {
     }
   };
 
+  /// Moves virtual time forward: updates now_, ticks the clock (and the
+  /// attached telemetry hub with it), and rotates every tenant's
+  /// error-budget windows. All virtual-time motion funnels through here.
+  void AdvanceClock(double time_seconds);
+  /// Registers every tenant's telemetry series with the attached hub and
+  /// caches the stable ids the hot paths record through.
+  void ResolveTelemetrySeries();
   void HandleArrival(const ServeRequest& request, RequestSource* source,
                      ServeReport* report);
   void HandleCompletion(const Event& event, RequestSource* source,
@@ -220,6 +287,15 @@ class PipelineServer {
   std::unique_ptr<ThreadPool> pool_;
   ExecContext ctx_;
   std::vector<Tenant> tenants_;
+  /// The event loop's deterministic tick source (mirrors now_).
+  VirtualClock clock_;
+  obs::TelemetryHub* telemetry_ = nullptr;
+  /// Hub the cached series ids were resolved against (ids are only
+  /// meaningful for the hub that issued them).
+  obs::TelemetryHub* telemetry_resolved_ = nullptr;
+  /// Process-wide trace-sampling accounting series on the attached hub.
+  obs::TelemetryHub::SeriesId id_trace_sampled_ = 0;
+  obs::TelemetryHub::SeriesId id_trace_dropped_ = 0;
 
   // --- Per-run event-loop state (reset by Run) ---------------------------
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;

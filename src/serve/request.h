@@ -34,6 +34,7 @@ enum class RejectReason {
   kNone,
   kQueueFull,       // bounded queue at depth
   kPredictedCost,   // predicted latency exceeded the admission budget
+  kErrorBudget,     // tenant burning its SLO error budget too fast
 };
 
 inline const char* RejectReasonName(RejectReason reason) {
@@ -44,6 +45,8 @@ inline const char* RejectReasonName(RejectReason reason) {
       return "queue-full";
     case RejectReason::kPredictedCost:
       return "predicted-cost";
+    case RejectReason::kErrorBudget:
+      return "error-budget";
   }
   return "?";
 }

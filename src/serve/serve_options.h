@@ -2,6 +2,9 @@
 #define KEYSTONE_SERVE_SERVE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "src/obs/slo.h"
 
 namespace keystone {
 namespace serve {
@@ -44,6 +47,27 @@ struct ServeOptions {
   /// the per-batch span. Spans are buffered per batch and flushed from the
   /// serial completion path, so the request path itself stays lock-free.
   bool emit_request_spans = true;
+
+  /// Head-sampling rate for the per-request spans: each request's span is
+  /// kept with this probability, decided by a deterministic seeded draw
+  /// over (seed, tenant, request id) — see obs::TraceSampler. 1.0 keeps
+  /// every span (the pre-sampling behavior), 0.0 none. Latency accounting
+  /// is unaffected: tallies and quantiles always cover every request.
+  double trace_sample_rate = 1.0;
+
+  /// Seed for the sampling draw. Same seed => same sampled request set,
+  /// regardless of batching, schedule, or kernel-pool size.
+  uint64_t trace_sample_seed = 0;
+
+  /// Shed arrivals (RejectReason::kErrorBudget) while the tenant's SLO
+  /// error budget is burning faster than slo_budget.shed_burn_rate on
+  /// both the fast and slow lookbacks — load-shedding *before* the budget
+  /// exhausts rather than after the SLO is already breached.
+  bool budget_shedding = false;
+
+  /// Error-budget policy evaluated when budget_shedding is on (also
+  /// published as slo.* telemetry series whenever a hub is attached).
+  obs::SloBudgetOptions slo_budget;
 };
 
 }  // namespace serve

@@ -1,0 +1,501 @@
+// telemetry_report: offline consumer for the JSONL snapshot stream the
+// TelemetryHub exports (bench --telemetry-out=FILE or
+// TelemetryHub::AttachJsonlWriter). Renders a per-series text dashboard —
+// windows seen, totals, rates, and sliding quantiles — or a JSON summary,
+// and doubles as a CI gate: --strict validates the stream's structural
+// invariants (monotone (epoch, window) keys, window bounds, quantile
+// ordering, non-negative counter deltas, sliding merges covering at least
+// the window they include, error budgets bounded by 1).
+//
+// The stream format is a closed world (the hub emits a fixed schema), so
+// the parser below is a deliberately small recursive-descent JSON reader —
+// no external dependency, same spirit as the hand-rolled emitters.
+//
+// Exit status: 0 = ok, 1 = --strict violation, 2 = usage/parse error.
+//
+// Usage: telemetry_report [--json] [--strict] [--series=PREFIX] FILE
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace keystone {
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf)));
+}
+
+std::string Quoted(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+// --- Minimal JSON value + parser -------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  // Insertion-ordered object members (duplicate keys keep the last).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& kv : members) {
+      if (kv.first == key) return &kv.second;
+    }
+    return nullptr;
+  }
+  double Number(const std::string& key, double fallback = 0.0) const {
+    const JsonValue* v = Find(key);
+    return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+  }
+  std::string String(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return (v != nullptr && v->kind == Kind::kString) ? v->str : std::string();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (Literal("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (Literal("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (Literal("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+  bool ParseNumber(JsonValue* out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<size_t>(end - begin);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // The hub's escaper only emits \u00XX for control bytes; decode
+          // the BMP code point as a raw byte when it fits, '?' otherwise.
+          if (pos_ + 4 > text_.size()) return false;
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* hex_end = nullptr;
+          const long code = std::strtol(hex.c_str(), &hex_end, 16);
+          if (hex_end != hex.c_str() + 4) return false;
+          out->push_back(code >= 0 && code < 256 ? static_cast<char>(code)
+                                                 : '?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      SkipSpace();
+      if (!ParseValue(&item)) return false;
+      out->items.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- Stream model ----------------------------------------------------------
+
+struct SeriesRollup {
+  std::string kind;
+  size_t windows = 0;
+  // Counters.
+  double total = 0.0;       // last seen epoch-cumulative total
+  double max_rate = 0.0;
+  // Gauges.
+  double last_value = 0.0;
+  double min_value = 0.0, max_value = 0.0;
+  // Histograms.
+  double count = 0.0;       // summed per-window counts
+  double last_sliding_p50 = 0.0;
+  double last_sliding_p99 = 0.0;
+  double max_p99 = 0.0;
+};
+
+struct StreamSummary {
+  size_t lines = 0;
+  size_t epochs = 0;
+  double first_start = 0.0;
+  double last_end = 0.0;
+  std::map<std::string, SeriesRollup> series;  // sorted for stable output
+  std::vector<std::string> violations;
+};
+
+void Violation(StreamSummary* summary, size_t line_no, const std::string& what) {
+  summary->violations.push_back("line " + std::to_string(line_no) + ": " +
+                                what);
+}
+
+/// Folds one parsed snapshot line into the summary, checking the stream
+/// invariants the hub guarantees by construction.
+void FoldLine(const JsonValue& line, size_t line_no, double eps,
+              std::pair<double, double>* prev_key, StreamSummary* summary) {
+  const double epoch = line.Number("epoch", -1.0);
+  const double window = line.Number("window", -1.0);
+  const double start = line.Number("start", -1.0);
+  const double end = line.Number("end", -1.0);
+  if (epoch < 0 || window < 0) {
+    Violation(summary, line_no, "missing epoch/window key");
+  }
+  const std::pair<double, double> key(epoch, window);
+  if (summary->lines > 0 && !(*prev_key < key)) {
+    Violation(summary, line_no, "(epoch, window) not strictly increasing");
+  }
+  *prev_key = key;
+  if (!(end > start)) {
+    Violation(summary, line_no, "window end does not exceed start");
+  }
+  if (summary->lines == 0) summary->first_start = start;
+  summary->last_end = end;
+  summary->epochs = std::max(summary->epochs, static_cast<size_t>(epoch) + 1);
+  ++summary->lines;
+
+  const JsonValue* series = line.Find("series");
+  if (series == nullptr || series->kind != JsonValue::Kind::kArray) {
+    Violation(summary, line_no, "missing series array");
+    return;
+  }
+  for (const JsonValue& s : series->items) {
+    const std::string name = s.String("name");
+    const std::string kind = s.String("kind");
+    SeriesRollup& roll = summary->series[name];
+    roll.kind = kind;
+    ++roll.windows;
+    if (kind == "counter") {
+      const double delta = s.Number("delta");
+      if (delta < 0.0) {
+        Violation(summary, line_no, name + ": negative counter delta");
+      }
+      if (s.Number("total") + eps < roll.total) {
+        Violation(summary, line_no, name + ": counter total decreased");
+      }
+      roll.total = s.Number("total");
+      roll.max_rate = std::max(roll.max_rate, s.Number("rate"));
+    } else if (kind == "gauge") {
+      const double value = s.Number("value");
+      if (roll.windows == 1) {
+        roll.min_value = roll.max_value = value;
+      } else {
+        roll.min_value = std::min(roll.min_value, value);
+        roll.max_value = std::max(roll.max_value, value);
+      }
+      roll.last_value = value;
+      // Error budgets are fractions of the granted budget: never above 1
+      // (they can go negative — that is what overspending means).
+      if (name.rfind("slo.", 0) == 0 &&
+          name.find("budget_remaining") != std::string::npos &&
+          value > 1.0 + eps) {
+        Violation(summary, line_no, name + ": budget_remaining above 1");
+      }
+    } else if (kind == "histogram") {
+      const double p50 = s.Number("p50"), p90 = s.Number("p90");
+      const double p99 = s.Number("p99"), p999 = s.Number("p999");
+      if (p50 > p90 + eps || p90 > p99 + eps || p99 > p999 + eps) {
+        Violation(summary, line_no, name + ": window quantiles out of order");
+      }
+      const double sp50 = s.Number("sliding_p50");
+      const double sp99 = s.Number("sliding_p99");
+      const double sp999 = s.Number("sliding_p999");
+      if (sp50 > sp99 + eps || sp99 > sp999 + eps) {
+        Violation(summary, line_no, name + ": sliding quantiles out of order");
+      }
+      const double count = s.Number("count");
+      if (s.Number("sliding_count") + eps < count) {
+        Violation(summary, line_no,
+                  name + ": sliding_count below window count");
+      }
+      const double min = s.Number("min"), max = s.Number("max");
+      if (min > max + eps || p50 < min - eps || p999 > max + eps) {
+        Violation(summary, line_no, name + ": quantiles escape [min, max]");
+      }
+      roll.count += count;
+      roll.last_sliding_p50 = sp50;
+      roll.last_sliding_p99 = sp99;
+      roll.max_p99 = std::max(roll.max_p99, p99);
+    } else {
+      Violation(summary, line_no, name + ": unknown series kind '" + kind +
+                                      "'");
+    }
+  }
+}
+
+// --- Rendering -------------------------------------------------------------
+
+std::string TextReport(const StreamSummary& summary) {
+  std::string out;
+  AppendF(&out, "telemetry: %zu windows, %zu epochs, virtual span [%.4g, %.4g)s\n",
+          summary.lines, summary.epochs, summary.first_start,
+          summary.last_end);
+  AppendF(&out, "%-36s %-9s %8s %12s %12s %12s\n", "series", "kind", "windows",
+          "total/last", "max rate/p99", "sliding p99");
+  for (const auto& [name, roll] : summary.series) {
+    if (roll.kind == "counter") {
+      AppendF(&out, "%-36s %-9s %8zu %12.6g %12.6g %12s\n", name.c_str(),
+              "counter", roll.windows, roll.total, roll.max_rate, "-");
+    } else if (roll.kind == "gauge") {
+      AppendF(&out, "%-36s %-9s %8zu %12.6g %12s %12s\n", name.c_str(),
+              "gauge", roll.windows, roll.last_value, "-", "-");
+    } else {
+      AppendF(&out, "%-36s %-9s %8zu %12.6g %12.6g %12.6g\n", name.c_str(),
+              "histogram", roll.windows, roll.count, roll.max_p99,
+              roll.last_sliding_p99);
+    }
+  }
+  return out;
+}
+
+std::string JsonReport(const StreamSummary& summary) {
+  std::string out = "{";
+  AppendF(&out, "\"windows\":%zu,\"epochs\":%zu,\"first_start\":%s",
+          summary.lines, summary.epochs,
+          JsonNumber(summary.first_start).c_str());
+  AppendF(&out, ",\"last_end\":%s,\"violations\":%zu,\"series\":[",
+          JsonNumber(summary.last_end).c_str(), summary.violations.size());
+  bool first = true;
+  for (const auto& [name, roll] : summary.series) {
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out, "{\"name\":%s,\"kind\":%s,\"windows\":%zu",
+            Quoted(name).c_str(), Quoted(roll.kind).c_str(), roll.windows);
+    if (roll.kind == "counter") {
+      AppendF(&out, ",\"total\":%s,\"max_rate\":%s",
+              JsonNumber(roll.total).c_str(), JsonNumber(roll.max_rate).c_str());
+    } else if (roll.kind == "gauge") {
+      AppendF(&out, ",\"last\":%s,\"min\":%s,\"max\":%s",
+              JsonNumber(roll.last_value).c_str(),
+              JsonNumber(roll.min_value).c_str(),
+              JsonNumber(roll.max_value).c_str());
+    } else {
+      AppendF(&out, ",\"count\":%s,\"max_p99\":%s,\"sliding_p99\":%s",
+              JsonNumber(roll.count).c_str(), JsonNumber(roll.max_p99).c_str(),
+              JsonNumber(roll.last_sliding_p99).c_str());
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  std::string prefix;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strncmp(argv[i], "--series=", 9) == 0) {
+      prefix = argv[i] + 9;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: telemetry_report [--json] [--strict] "
+                   "[--series=PREFIX] FILE\n");
+      return 2;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "telemetry_report: multiple input files\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "telemetry_report: no input file\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "telemetry_report: cannot read %s\n", path.c_str());
+    return 2;
+  }
+
+  StreamSummary summary;
+  std::pair<double, double> prev_key(-1.0, -1.0);
+  std::string line;
+  size_t line_no = 0;
+  const double eps = 1e-9;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue value;
+    JsonParser parser(line);
+    if (!parser.Parse(&value) || value.kind != JsonValue::Kind::kObject) {
+      std::fprintf(stderr, "telemetry_report: %s:%zu: malformed JSON line\n",
+                   path.c_str(), line_no);
+      return 2;
+    }
+    FoldLine(value, line_no, eps, &prev_key, &summary);
+  }
+
+  if (!prefix.empty()) {
+    for (auto it = summary.series.begin(); it != summary.series.end();) {
+      if (it->first.rfind(prefix, 0) != 0) {
+        it = summary.series.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::printf("%s\n", json ? JsonReport(summary).c_str()
+                           : TextReport(summary).c_str());
+  if (!summary.violations.empty()) {
+    for (const std::string& v : summary.violations) {
+      std::fprintf(stderr, "telemetry_report: violation: %s\n", v.c_str());
+    }
+    if (strict) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main(int argc, char** argv) { return keystone::Run(argc, argv); }
