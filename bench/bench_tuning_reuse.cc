@@ -1,0 +1,287 @@
+// Cross-run reuse experiment: a hyperparameter grid search over a
+// TIMIT-style random-feature pipeline, cold (every variant recomputes its
+// featurization from the raw frames) vs warm (all variants share one
+// ArtifactCatalog, so the first variant publishes the gathered
+// RandomFeatures -> Concat prefix and the remaining nineteen load it back
+// instead of recomputing — the Helix-style reuse of Xin et al. 2018 on
+// KeystoneML plans). The featurization prefix is pure (seeded-deterministic
+// transformers only), which is what makes its lineage fingerprints
+// catalog-publishable; the per-variant solver is the only node that
+// changes. The bench reports per variant:
+//   - cold and warm cost (optimize wall seconds + total virtual train
+//     seconds, the ledger's load/featurize/solve/recovery sum),
+//   - nodes served from the catalog and nodes pruned above them,
+//   - a byte-identity check: the fitted pipeline's outputs over the test
+//     split must match across cold and warm exactly, or the bench aborts.
+//
+// In --smoke mode the bench doubles as the CI gate: it fails unless the
+// warm sweep's cumulative makespan beats the cold sweep by >= 2x, every
+// warm variant after the first reuses catalog entries, and outputs stay
+// byte-identical.
+//
+// Usage: bench_tuning_reuse [--smoke] [ObsSession flags]
+//   --smoke   smaller corpus and fewer solver iterations (CI-sized)
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cache/artifact_catalog.h"
+#include "src/common/check.h"
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
+#include "src/core/executor.h"
+#include "src/obs/metrics.h"
+#include "src/ops/features.h"
+#include "src/sim/resources.h"
+#include "src/solvers/solvers.h"
+#include "src/workloads/datasets.h"
+
+namespace keystone {
+namespace {
+
+ClusterResourceDescriptor Cluster() {
+  return ClusterResourceDescriptor::R3_4xlarge(4);
+}
+
+struct VariantResult {
+  double l2_reg = 0.0;
+  int lbfgs_iterations = 0;
+  double cold_seconds = 0.0;  // optimize wall + virtual train seconds
+  double warm_seconds = 0.0;
+  int reused_nodes = 0;       // nodes the warm fit served from the catalog
+  int pruned_nodes = 0;       // nodes skipped above the reused frontier
+};
+
+/// FNV-1a over the raw double bits of every output record, so cold and
+/// warm runs can be compared for bit-identity without holding both outputs
+/// alive.
+std::string DigestOutputs(
+    const std::shared_ptr<const DistDataset<std::vector<double>>>& out) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  size_t records = 0;
+  for (const auto& part : out->partitions()) {
+    for (const auto& rec : part) {
+      ++records;
+      for (double d : rec) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+      }
+    }
+  }
+  return std::to_string(records) + ":" + std::to_string(h);
+}
+
+struct FitOutcome {
+  double seconds = 0.0;  // optimize wall + total virtual train seconds
+  int reused_nodes = 0;
+  int pruned_nodes = 0;
+  std::string output_digest;
+};
+
+/// The tuning workload: every variant shares the pure featurization prefix
+/// `blocks` x RandomFeatures -> Gather -> Concat (identical seeds across
+/// variants, so its lineage fingerprints match run to run) and differs only
+/// in the solver hyperparameters.
+Pipeline<std::vector<double>, std::vector<double>> BuildVariant(
+    const workloads::DenseCorpus& corpus, size_t blocks, size_t block_dim,
+    const LinearSolverConfig& solver) {
+  const size_t input_dim = corpus.train->partitions().front().front().size();
+  auto input = PipelineInput<std::vector<double>>("Frame");
+  std::vector<Pipeline<std::vector<double>, std::vector<double>>> branches;
+  branches.reserve(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    branches.push_back(input.AndThen(std::make_shared<CosineRandomFeatures>(
+        input_dim, block_dim, 0.02, 41 + 101 * b)));
+  }
+  return Pipeline<std::vector<double>, std::vector<double>>::Gather(branches)
+      .AndThen(std::make_shared<ConcatFeatures>())
+      .AndThenLogicalEstimator<std::vector<double>>(
+          MakeDenseLinearSolver(solver), corpus.train, corpus.train_labels);
+}
+
+/// Fits one grid variant and applies the result to the test split.
+/// `catalog` null = the cold configuration (no cross-run state at all).
+FitOutcome FitVariant(const workloads::DenseCorpus& corpus, size_t blocks,
+                      size_t block_dim, const LinearSolverConfig& solver,
+                      cache::ArtifactCatalog* catalog) {
+  PipelineExecutor executor(Cluster(), OptimizationConfig::Full());
+  obs::MetricsRegistry metrics;
+  executor.context()->set_metrics(&metrics);
+  executor.context()->set_artifact_catalog(catalog);
+
+  auto pipe = BuildVariant(corpus, blocks, block_dim, solver);
+  PipelineReport report;
+  auto fitted = executor.Fit(pipe, &report);
+
+  FitOutcome outcome;
+  outcome.seconds = report.optimize_seconds + report.total_train_seconds;
+  for (const auto& pn : fitted.impl().plan().nodes) {
+    if (pn.reused) ++outcome.reused_nodes;
+    if (pn.reuse_pruned) ++outcome.pruned_nodes;
+  }
+  outcome.output_digest =
+      DigestOutputs(fitted.Apply(corpus.test, executor.context()));
+  return outcome;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+int Run(int argc, char** argv) {
+  bench::ObsSession session("tuning_reuse", argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::Banner("Cross-run reuse under grid search (random-feature pipeline)",
+                "20-variant solver grid, cold vs shared-catalog warm sweep");
+
+  // Wide raw frames, narrow random-feature blocks: featurization flops per
+  // record (2 * 512 * 128) dominate the solver's per-record work, which is
+  // what makes the shared prefix worth caching. The corpus carries a
+  // virtual scale (paper §4.1: laptop-scale records standing in for a
+  // cluster-scale dataset) so the simulator charges load + featurization at
+  // two-million-record scale while the kernels execute on the real records.
+  workloads::DenseCorpus corpus = workloads::DenseClasses(
+      smoke ? 400 : 2000, smoke ? 150 : 600, 512, 4, 1.5, 91);
+  const double virtual_scale = smoke ? 5000.0 : 1000.0;
+  corpus.train->set_virtual_scale(virtual_scale);
+  corpus.train_labels->set_virtual_scale(virtual_scale);
+  const size_t blocks = 4;
+  const size_t block_dim = 32;
+
+  // The paper-style tuning grid: regularization x solver iterations. All
+  // twenty variants share the featurization prefix byte-for-byte; only the
+  // solver node differs, which is exactly the shape Helix exploits.
+  const double l2_grid[] = {1e-6, 1e-4, 1e-2, 1.0};
+  const int iter_grid[] = {3, 5, 8, 12, 16};
+
+  // One catalog shared by every warm variant, spilling to disk next to the
+  // bench so the run also exercises the persistent tier end to end.
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "keystone_tuning_reuse")
+          .string();
+  std::filesystem::remove_all(root);
+  cache::CatalogConfig catalog_config;
+  catalog_config.root = root;
+  cache::ArtifactCatalog catalog(catalog_config);
+
+  std::vector<VariantResult> variants;
+  double cold_total = 0.0;
+  double warm_total = 0.0;
+  bool identical = true;
+  std::printf("%-22s %12s %12s %8s %7s %7s\n", "variant", "cold(s)",
+              "warm(s)", "speedup", "reused", "pruned");
+  for (double l2 : l2_grid) {
+    for (int iters : iter_grid) {
+      LinearSolverConfig solver;
+      solver.num_classes = corpus.num_classes;
+      solver.l2_reg = l2;
+      solver.lbfgs_iterations = iters;
+
+      const FitOutcome cold =
+          FitVariant(corpus, blocks, block_dim, solver, nullptr);
+      const FitOutcome warm =
+          FitVariant(corpus, blocks, block_dim, solver, &catalog);
+      if (warm.output_digest != cold.output_digest) identical = false;
+
+      VariantResult v;
+      v.l2_reg = l2;
+      v.lbfgs_iterations = iters;
+      v.cold_seconds = cold.seconds;
+      v.warm_seconds = warm.seconds;
+      v.reused_nodes = warm.reused_nodes;
+      v.pruned_nodes = warm.pruned_nodes;
+      variants.push_back(v);
+      cold_total += cold.seconds;
+      warm_total += warm.seconds;
+
+      char label[64];
+      std::snprintf(label, sizeof(label), "l2=%g iters=%d", l2, iters);
+      std::printf("%-22s %12.2f %12.2f %7.2fx %7d %7d\n", label,
+                  cold.seconds, warm.seconds,
+                  cold.seconds / std::max(warm.seconds, 1e-12),
+                  warm.reused_nodes, warm.pruned_nodes);
+    }
+  }
+  KS_CHECK(identical)
+      << "cold and warm fits produced different outputs for some variant";
+  KS_CHECK(catalog.SaveManifest()) << "manifest save failed under " << root;
+
+  const double speedup = cold_total / std::max(warm_total, 1e-12);
+  const cache::CatalogStats stats = catalog.Stats();
+  std::printf(
+      "cumulative makespan: cold %.2fs -> warm %.2fs (%.2fx)  "
+      "catalog: %zu entries, %llu puts, %s resident\n",
+      cold_total, warm_total, speedup, catalog.NumEntries(),
+      static_cast<unsigned long long>(stats.puts),
+      HumanBytes(catalog.MemoryBytes()).c_str());
+
+  // The CI gate: the warm sweep must at least halve the cumulative
+  // makespan, and every variant after the catalog-populating first one
+  // must actually serve nodes from the catalog.
+  bool gate_ok = speedup >= 2.0;
+  for (size_t i = 1; i < variants.size(); ++i) {
+    if (variants[i].reused_nodes <= 0) gate_ok = false;
+  }
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "bench_tuning_reuse: reuse gate failed (speedup %.2fx, "
+                 "first non-reusing variant %zd)\n",
+                 speedup, [&variants] {
+                   for (size_t i = 1; i < variants.size(); ++i) {
+                     if (variants[i].reused_nodes <= 0) {
+                       return static_cast<ptrdiff_t>(i);
+                     }
+                   }
+                   return static_cast<ptrdiff_t>(-1);
+                 }());
+  }
+
+  std::string json = "{\"cold_total_seconds\":" + Num(cold_total) +
+                     ",\"warm_total_seconds\":" + Num(warm_total) +
+                     ",\"speedup\":" + Num(speedup) +
+                     ",\"identical\":" + (identical ? "true" : "false") +
+                     ",\"catalog_entries\":" +
+                     std::to_string(catalog.NumEntries()) +
+                     ",\"catalog_puts\":" + std::to_string(stats.puts) +
+                     ",\"variants\":[";
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const VariantResult& v = variants[i];
+    json += (i == 0 ? "" : ",");
+    json += "{\"l2_reg\":" + Num(v.l2_reg) +
+            ",\"lbfgs_iterations\":" + std::to_string(v.lbfgs_iterations) +
+            ",\"cold_seconds\":" + Num(v.cold_seconds) +
+            ",\"warm_seconds\":" + Num(v.warm_seconds) +
+            ",\"reused_nodes\":" + std::to_string(v.reused_nodes) +
+            ",\"pruned_nodes\":" + std::to_string(v.pruned_nodes) + "}";
+  }
+  json += "]}";
+  session.AddJsonField("tuning_reuse", json);
+
+  if (smoke && !gate_ok) return 1;
+  std::printf("tuning_reuse: identity and >=2x reuse gates %s\n",
+              gate_ok ? "passed" : "FAILED");
+  return 0;
+}
+
+}  // namespace
+}  // namespace keystone
+
+int main(int argc, char** argv) { return keystone::Run(argc, argv); }

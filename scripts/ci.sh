@@ -2,10 +2,11 @@
 # CI entry point: repo lint, tier-1 verification with warnings-as-errors,
 # the pipeline_lint static-analysis pass, the explain observability pass
 # (decision provenance + calibration over every shipped workload), the
-# serving smoke gate (determinism + batching-throughput checks), the fusion
-# smoke gate (fused-chunked vs whole-dataset byte-identity + modeled memory
-# reduction), then a sanitizer matrix running the full suite under each
-# sanitizer.
+# serving smoke gate (determinism + batching-throughput checks), the
+# cross-run reuse smoke gate (warm-catalog grid search byte-identity +
+# >= 2x cumulative-makespan win), the fusion smoke gate (fused-chunked vs
+# whole-dataset byte-identity + modeled memory reduction), then a sanitizer
+# matrix running the full suite under each sanitizer.
 #
 #   scripts/ci.sh                  # lint + tier-1 + ASan, UBSan, TSan legs
 #   scripts/ci.sh --no-sanitizers  # lint + tier-1 only (alias: --no-asan)
@@ -54,6 +55,21 @@ serving_telemetry_gate() {
     build/bench/BENCH_serving.json
 }
 
+# Cross-run reuse gate: runs the 20-variant grid-search sweep cold vs warm
+# against one shared ArtifactCatalog; the bench itself exits nonzero unless
+# outputs stay byte-identical, every warm variant after the first serves
+# nodes from the catalog, and the warm sweep's cumulative makespan beats the
+# cold sweep by >= 2x. The emitted JSON is then diffed against the
+# checked-in baseline like the serving gate.
+tuning_reuse_gate() {
+  echo "=== reuse: bench_tuning_reuse smoke gate ==="
+  (cd build/bench && ./bench_tuning_reuse --smoke > /dev/null)
+  echo "=== perf trajectory: BENCH_tuning_reuse.json vs checked-in baseline ==="
+  python3 scripts/bench_compare.py \
+    scripts/bench_baselines/BENCH_tuning_reuse_smoke.json \
+    build/bench/BENCH_tuning_reuse.json
+}
+
 if [[ "$SMOKE_ONLY" == 1 ]]; then
   echo "=== lint: repo conventions ==="
   scripts/lint.sh
@@ -61,6 +77,7 @@ if [[ "$SMOKE_ONLY" == 1 ]]; then
   cmake -B build -S . -DKEYSTONE_WERROR=ON
   cmake --build build -j"$(nproc)"
   serving_telemetry_gate
+  tuning_reuse_gate
   echo "CI SMOKE OK"
   exit 0
 fi
@@ -121,6 +138,8 @@ echo "=== fault injection: explain over a faulted run ==="
 
 serving_telemetry_gate
 
+tuning_reuse_gate
+
 echo "=== fusion: bench_fusion smoke gate ==="
 # Fits one text and one image workload per execution style; exits nonzero
 # unless both plan fused regions, stay byte-identical to the unfused
@@ -141,8 +160,10 @@ if [[ "$RUN_SANITIZED" == 1 ]]; then
       # suite, whose ledger/metrics/trace fan-out runs inside that scheduler;
       # serve = the PipelineServer request path, which runs kernels on its
       # own pool while the event loop publishes obs state; telemetry = the
-      # hub + async JSONL writer thread handoff.
-      (cd "build-${sanitizer}" && ctest -L 'runner|faults|serve|telemetry' --output-on-failure)
+      # hub + async JSONL writer thread handoff; catalog = the artifact
+      # catalog, whose tiered store is read concurrently by branch-parallel
+      # plan runs.
+      (cd "build-${sanitizer}" && ctest -L 'runner|faults|serve|telemetry|catalog' --output-on-failure)
     else
       (cd "build-${sanitizer}" && ctest --output-on-failure -j"$(nproc)")
     fi

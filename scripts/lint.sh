@@ -26,9 +26,9 @@ complain() {
 # Every subsystem the linter must see. Listing the src/ subtrees explicitly
 # (instead of bare `find src`) makes a rename or split fail loudly here
 # rather than silently dropping a directory out of lint coverage.
-roots=(src/analysis src/baselines src/common src/core src/data src/linalg
-       src/obs src/ops src/optimizer src/serve src/sim src/solvers
-       src/tuning src/workloads tests bench tools examples)
+roots=(src/analysis src/baselines src/cache src/common src/core src/data
+       src/linalg src/obs src/ops src/optimizer src/serve src/sim
+       src/solvers src/tuning src/workloads tests bench tools examples)
 for root in "${roots[@]}"; do
   [[ -d "$root" ]] || { echo "lint: missing expected directory $root"; exit 1; }
 done

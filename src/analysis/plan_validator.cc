@@ -490,5 +490,58 @@ ValidationReport ValidateServablePlan(
   return report;
 }
 
+ValidationReport ValidateReuseMarkers(const PhysicalPlan& plan) {
+  ValidationReport report;
+  for (const PlannedNode& pn : plan.nodes) {
+    if (!pn.reused && !pn.reuse_pruned) continue;
+    // Only train transformer/gather outputs can come from the catalog;
+    // pruned nodes can be of any kind (a reused node's source chain is
+    // pruned along with its transformers) but must still be on the train
+    // path — pruning a runtime-only node would be meaningless.
+    const bool data_node =
+        pn.kind == NodeKind::kTransformer || pn.kind == NodeKind::kGather;
+    if (!pn.train || (pn.reused && !data_node)) {
+      report.Add(Severity::kError, rules::kReusePrunedDemand, pn.id,
+                 std::string(pn.reused ? "reused" : "reuse-pruned") +
+                     " marker on '" + pn.name + "' (" +
+                     NodeKindName(pn.kind) +
+                     "): only train transformer/gather outputs can come "
+                     "from the artifact catalog");
+    }
+    if (pn.reused && pn.reuse_fingerprint != pn.lineage_fingerprint) {
+      report.Add(Severity::kError, rules::kReuseFingerprintMismatch, pn.id,
+                 "reused node '" + pn.name + "' reads catalog entry \"" +
+                     pn.reuse_fingerprint +
+                     "\" but its lineage fingerprint is \"" +
+                     pn.lineage_fingerprint + "\"");
+    }
+    if (pn.reused && pn.reuse_pruned) {
+      report.Add(Severity::kError, rules::kReusePrunedDemand, pn.id,
+                 "node '" + pn.name +
+                     "' is both reused and reuse-pruned: a pruned node "
+                     "must not execute, a reused one must");
+    }
+  }
+  // Pruning is only sound below a reused node: every executing train node
+  // must still have all of its train inputs available.
+  const int n = static_cast<int>(plan.nodes.size());
+  for (const PlannedNode& pn : plan.nodes) {
+    if (!pn.train || pn.reuse_pruned || pn.reused) continue;
+    auto check_dep = [&](int dep) {
+      if (dep < 0 || dep >= n) return;
+      const PlannedNode& in_node = plan.nodes[dep];
+      if (in_node.train && in_node.reuse_pruned) {
+        report.Add(Severity::kError, rules::kReusePrunedDemand, pn.id,
+                   "executing train node '" + pn.name +
+                       "' consumes reuse-pruned input '" + in_node.name +
+                       "' which the fit pass will never produce");
+      }
+    };
+    for (int dep : pn.inputs) check_dep(dep);
+    check_dep(pn.model_input);
+  }
+  return report;
+}
+
 }  // namespace analysis
 }  // namespace keystone

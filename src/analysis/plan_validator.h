@@ -59,6 +59,13 @@ inline constexpr char kServeUnboundSource[] = "serve.unbound-source";
 inline constexpr char kServeEstimatorOnRuntimePath[] =
     "serve.estimator-on-runtime-path";
 inline constexpr char kServeModelMissing[] = "serve.model-missing";
+// --- Cross-run reuse rules (ReusePass markers / ArtifactCatalog) --------
+inline constexpr char kReuseMissingEntry[] = "reuse.missing-entry";
+inline constexpr char kReuseFingerprintMismatch[] =
+    "reuse.fingerprint-mismatch";
+inline constexpr char kReuseStaleGeneration[] = "reuse.stale-generation";
+inline constexpr char kReuseBudgetOverflow[] = "reuse.budget-overflow";
+inline constexpr char kReusePrunedDemand[] = "reuse.pruned-demand";
 }  // namespace rules
 
 /// What the validator knows about the plan beyond the bare graph.
@@ -146,6 +153,18 @@ ValidationReport ValidateFaultConfig(
 ValidationReport ValidateServablePlan(
     const PhysicalPlan& plan,
     const std::map<int, std::shared_ptr<TransformerBase>>* models = nullptr);
+
+/// Validates the cross-run reuse markers the ReusePass left on a plan —
+/// the plan-only half of the reuse.* rules (the catalog cross-check lives
+/// in cache::ValidateReuse, next to the catalog):
+///  - only train transformer/gather nodes may carry reused/reuse_pruned
+///    (estimators, sources, and placeholders never come from the catalog);
+///  - a reused node's recorded catalog key must equal its lineage
+///    fingerprint (reuse.fingerprint-mismatch);
+///  - no executing train node may consume a reuse-pruned input — pruning
+///    is only sound below a reused node (reuse.pruned-demand).
+/// Trivially clean for plans compiled without a catalog.
+ValidationReport ValidateReuseMarkers(const PhysicalPlan& plan);
 
 }  // namespace analysis
 }  // namespace keystone

@@ -21,6 +21,7 @@ enum LockRank : int {
                                // never held across another acquisition)
   kLockRankLedger = 10,        // VirtualTimeLedger::mu_
   kLockRankProfileStore = 20,  // obs::ProfileStore::mu_
+  kLockRankArtifactCatalog = 25,  // cache::ArtifactCatalog::mu_
   kLockRankTrace = 30,         // obs::TraceRecorder::mu_
   kLockRankDecisionLog = 32,   // obs::OptimizerDecisionLog::mu_
   kLockRankTimeline = 34,      // obs::ResourceTimeline::mu_

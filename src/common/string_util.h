@@ -1,6 +1,7 @@
 #ifndef KEYSTONE_COMMON_STRING_UTIL_H_
 #define KEYSTONE_COMMON_STRING_UTIL_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,27 @@ std::string JsonEscape(std::string_view s);
 /// Renders a double as a JSON number. JSON has no NaN/Infinity literals,
 /// so non-finite values degrade to 0 rather than corrupting the document.
 std::string JsonNumber(double v);
+
+/// Renders a double exactly (%.17g: the value round-trips), for operator
+/// parameter signatures where two distinct values must never share a
+/// rendering the way they can under %.6g.
+std::string ParamNumber(double v);
+
+/// Escapes a token for embedding in a whitespace-separated text format
+/// (profile store, artifact-catalog manifest): '%', space, tab, and newline
+/// become %XX hex escapes. Inverse of UnescapeToken.
+std::string EscapeToken(std::string_view in);
+
+/// Reverses EscapeToken. Returns nullopt when an escape is malformed
+/// (truncated "%" / "%x" at end of input, or non-hex digits) so loaders of
+/// corrupt or truncated files can fail gracefully instead of throwing.
+std::optional<std::string> UnescapeToken(std::string_view in);
+
+/// Writes `contents` to `path` atomically: the bytes land in a temp file
+/// next to the target which is then renamed over it, so readers either see
+/// the old complete file or the new complete file — never a torn write.
+/// Returns false on any I/O failure (the temp file is cleaned up).
+bool WriteFileAtomic(const std::string& path, std::string_view contents);
 
 }  // namespace keystone
 

@@ -24,6 +24,10 @@ namespace faults {
 class FaultPlan;
 }  // namespace faults
 
+namespace cache {
+class ArtifactCatalog;
+}  // namespace cache
+
 /// How the PlanRunner evaluates fused regions of the physical plan.
 enum class ExecStyle {
   /// Materialize every node's full output (the pre-fusion behavior; fused
@@ -111,6 +115,16 @@ class ExecContext {
     exec_options_ = options;
   }
 
+  /// Optional cross-run artifact catalog (src/cache). Null by default —
+  /// cross-run reuse is opt-in. When set (and the plan's
+  /// OptimizationConfig::cross_run_reuse is on), the ReusePass rewrites
+  /// fingerprint-matching nodes into catalog reads and the fit pass
+  /// publishes eligible intermediates back into it. Borrowed, not owned.
+  cache::ArtifactCatalog* artifact_catalog() const { return catalog_; }
+  void set_artifact_catalog(cache::ArtifactCatalog* catalog) {
+    catalog_ = catalog;
+  }
+
   /// A fresh context sharing this one's environment (resources, pool,
   /// observability sinks) with clean per-run state: a zeroed ledger, no
   /// fault plan, no pending actual-cost reports. The serving request path
@@ -124,6 +138,7 @@ class ExecContext {
     ctx->timeline_ = timeline_;
     ctx->telemetry_ = telemetry_;
     ctx->exec_options_ = exec_options_;
+    ctx->catalog_ = catalog_;
     return ctx;
   }
 
@@ -189,6 +204,7 @@ class ExecContext {
   obs::ResourceTimeline* timeline_;
   obs::TelemetryHub* telemetry_ = nullptr;
   ExecOptions exec_options_;
+  cache::ArtifactCatalog* catalog_ = nullptr;
   const faults::FaultPlan* fault_plan_ = nullptr;
   /// Leaf lock (lowest rank): held only for map access, never across a call
   /// into metrics/trace/ledger.

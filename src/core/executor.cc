@@ -6,6 +6,7 @@
 
 #include "src/analysis/dataflow.h"
 #include "src/analysis/plan_validator.h"
+#include "src/cache/artifact_catalog.h"
 #include "src/common/check.h"
 #include "src/common/string_util.h"
 #include "src/core/plan_runner.h"
@@ -135,6 +136,12 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
   if (report == nullptr) report = &local_report;
   *report = PipelineReport();
 
+  // Each fit is one catalog generation: artifacts published below carry it,
+  // and compaction later drops generations that have aged out.
+  if (cache::ArtifactCatalog* catalog = context_.artifact_catalog()) {
+    catalog->BeginGeneration();
+  }
+
   auto plan = Compile(original, placeholder, sink);
   const auto& resources = context_.resources();
   report->cse_eliminated = plan->cse_eliminated;
@@ -152,7 +159,9 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
   std::vector<NodeRuntimeInfo> actual_info(plan->nodes.size());
   report->nodes.clear();
   for (const PlannedNode& pn : plan->nodes) {
-    if (!pn.train) continue;
+    // Reuse-pruned nodes never executed this fit; they stay out of the
+    // report and dead to the actual-runtime model.
+    if (!pn.train || pn.reuse_pruned) continue;
     NodeExecutionRecord record;
     record.id = pn.id;
     record.name = pn.name;
@@ -162,9 +171,13 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
 
     NodeRuntimeInfo& info = actual_info[pn.id];
     info.live = true;
-    info.weight = pn.weight;
+    // A reused node's seconds are one catalog load, paid once regardless of
+    // the node's demand weight.
+    info.weight = pn.reused ? 1 : pn.weight;
     info.always_cached = pn.kind == NodeKind::kEstimator;
-    info.compute_seconds = run.node_seconds[pn.id] / std::max(1, pn.weight);
+    info.compute_seconds =
+        pn.reused ? run.node_seconds[pn.id]
+                  : run.node_seconds[pn.id] / std::max(1, pn.weight);
     info.output_bytes = run.out_stats[pn.id].TotalBytes();
 
     record.compute_seconds = info.compute_seconds;
@@ -193,7 +206,7 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
   report->cache_used_bytes = CacheSetBytes(actual, plan->cache_set);
 
   for (const PlannedNode& pn : plan->nodes) {
-    if (!pn.train) continue;
+    if (!pn.train || pn.reuse_pruned) continue;
     switch (pn.kind) {
       case NodeKind::kSource:
         report->load_seconds += per_node[pn.id];
@@ -231,6 +244,14 @@ std::shared_ptr<FittedPipelineUntyped> PipelineExecutor::FitGraph(
     metrics->Set("pool.tasks_executed",
                  static_cast<double>(pool.tasks_executed));
     metrics->Set("pool.busy_seconds", pool.busy_seconds);
+    if (cache::ArtifactCatalog* catalog = context_.artifact_catalog()) {
+      metrics->Set("catalog.entries",
+                   static_cast<double>(catalog->NumEntries()));
+      metrics->Set("catalog.memory_bytes", catalog->MemoryBytes());
+      const cache::CatalogStats cstats = catalog->Stats();
+      metrics->Set("catalog.evictions", static_cast<double>(cstats.evictions));
+      metrics->Set("catalog.dropped", static_cast<double>(cstats.dropped));
+    }
 
     // Cost-model calibration: predicted-vs-observed residuals over every
     // span this context has traced (gauges — rebuilt each fit, not summed).

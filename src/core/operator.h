@@ -22,6 +22,15 @@ class TransformerBase {
   /// Operator name (diagnostics, DAG rendering, bench output).
   virtual std::string Name() const = 0;
 
+  /// Stable digest of the configuration that changes this operator's
+  /// output: constructor parameters, hyper-parameters, seeds. Folded into
+  /// node fingerprints, so two instances of one operator class with
+  /// different parameters never share a lineage identity — the artifact
+  /// catalog and profile store key on those fingerprints, and conflating
+  /// a Scale(2) with a Scale(3) would serve one branch's cached output to
+  /// the other. Parameterless operators keep the default empty signature.
+  virtual std::string ParamSignature() const { return ""; }
+
   /// Applies the operator to (usually one) input dataset(s).
   virtual AnyDataset ApplyAny(const std::vector<AnyDataset>& inputs,
                               ExecContext* ctx) const = 0;
@@ -145,6 +154,10 @@ class EstimatorBase {
   virtual ~EstimatorBase() = default;
 
   virtual std::string Name() const = 0;
+
+  /// Stable digest of output-changing configuration; see
+  /// TransformerBase::ParamSignature.
+  virtual std::string ParamSignature() const { return ""; }
 
   /// Fits on `data` (and `labels` when the estimator is supervised; null
   /// otherwise), returning the fitted model as a transformer.
@@ -274,6 +287,13 @@ class OptimizableTransformer : public TransformerBase {
 
   std::string Name() const override { return name_; }
 
+  /// A logical operator is parameterized by its physical options' shared
+  /// hyper-parameters; every option carries the same configuration, so the
+  /// default option's signature stands in for the logical node's.
+  std::string ParamSignature() const override {
+    return options_[0]->ParamSignature();
+  }
+
   const std::vector<std::shared_ptr<TransformerBase>>& options() const {
     return options_;
   }
@@ -326,6 +346,11 @@ class OptimizableEstimator : public EstimatorBase {
   }
 
   std::string Name() const override { return name_; }
+
+  /// See OptimizableTransformer::ParamSignature.
+  std::string ParamSignature() const override {
+    return options_[0]->ParamSignature();
+  }
 
   const std::vector<std::shared_ptr<EstimatorBase>>& options() const {
     return options_;

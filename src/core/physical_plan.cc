@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
 #include "src/common/check.h"
 #include "src/common/string_util.h"
@@ -66,6 +68,21 @@ void ResolvePhysical(const GraphNode& node, PlannedNode* pn) {
   }
 }
 
+/// `Name` plus the operator's parameter digest, so two instances of one
+/// operator class configured differently never share a signature. A
+/// Scale(2) and a Scale(3) produce different data; keying the profile
+/// store or the artifact catalog on the bare class name would let one
+/// stand in for the other.
+std::string ParamQualifiedName(const TransformerBase& op) {
+  const std::string params = op.ParamSignature();
+  return params.empty() ? op.Name() : op.Name() + "(" + params + ")";
+}
+
+std::string ParamQualifiedName(const EstimatorBase& op) {
+  const std::string params = op.ParamSignature();
+  return params.empty() ? op.Name() : op.Name() + "(" + params + ")";
+}
+
 /// The rename-stable part of a node's identity: the logical operator's
 /// signature, independent of the user-facing node name.
 std::string OperatorSignature(const PipelineGraph& graph,
@@ -77,13 +94,14 @@ std::string OperatorSignature(const PipelineGraph& graph,
       return "placeholder";
     case NodeKind::kTransformer:
     case NodeKind::kGather:
-      return node.transformer->Name();
+      return ParamQualifiedName(*node.transformer);
     case NodeKind::kEstimator:
-      return node.estimator->Name();
+      return ParamQualifiedName(*node.estimator);
     case NodeKind::kApplyModel: {
       const GraphNode& est = graph.node(node.model_input);
-      return "apply(" +
-             (est.estimator != nullptr ? est.estimator->Name() : est.name) +
+      return "apply(" + (est.estimator != nullptr
+                             ? ParamQualifiedName(*est.estimator)
+                             : est.name) +
              ")";
     }
   }
@@ -92,6 +110,16 @@ std::string OperatorSignature(const PipelineGraph& graph,
 
 // JSON escaping/number rendering come from common/string_util (shared with
 // the obs exporters).
+
+/// FNV-1a over a byte string; folds the transitive-input identities into a
+/// fixed-width suffix so lineage fingerprints stay bounded on deep DAGs.
+uint64_t Fnv1a(uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -117,6 +145,7 @@ OptimizationConfig OptimizationConfig::None() {
   cfg.common_subexpression = false;
   cfg.cache_policy = CachePolicy::kNone;
   cfg.operator_fusion = false;
+  cfg.cross_run_reuse = false;
   return cfg;
 }
 
@@ -196,6 +225,8 @@ std::string PhysicalPlan::ToString(bool runtime_only) const {
     if (pn.runtime) os << " runtime";
     if (pn.cached) os << " cached";
     if (pn.fused_region >= 0) os << " fused=r" << pn.fused_region;
+    if (pn.reused) os << " reused(" << pn.reuse_tier << ")";
+    if (pn.reuse_pruned) os << " reuse-pruned";
     os << "\n      fp=\"" << pn.fingerprint << "\" inputs=[";
     for (size_t i = 0; i < pn.inputs.size(); ++i) {
       if (i > 0) os << ",";
@@ -216,6 +247,12 @@ std::string PhysicalPlan::ToString(bool runtime_only) const {
          << HumanSeconds(pn.profile.seconds_large) << "@"
          << pn.profile.records_large << ", "
          << HumanBytes(pn.profile.bytes_per_record) << "/rec";
+    }
+    if (pn.reused) {
+      os << "\n      reuse: key=\"" << pn.reuse_fingerprint << "\" gen="
+         << pn.reuse_generation << " load="
+         << HumanSeconds(pn.reuse_load_seconds) << " "
+         << HumanBytes(pn.reuse_bytes);
     }
     if (pn.dataflow_annotated) {
       os << "\n      dataflow: shape=" << pn.inferred_shape.ToString()
@@ -296,11 +333,22 @@ std::string PhysicalPlan::ToJson(bool runtime_only) const {
        << ",\"optimizable\":" << (pn.optimizable ? "true" : "false")
        << ",\"chosen_option\":" << pn.chosen_option << ",\"physical\":\""
        << JsonEscape(pn.physical_name) << "\",\"fingerprint\":\""
-       << JsonEscape(pn.fingerprint) << "\",\"input_records\":"
+       << JsonEscape(pn.fingerprint) << "\",\"lineage_fingerprint\":\""
+       << JsonEscape(pn.lineage_fingerprint) << "\",\"input_records\":"
        << pn.input_records << ",\"full_records\":" << pn.full_records
        << ",\"weight\":" << pn.weight
        << ",\"cached\":" << (pn.cached ? "true" : "false");
     if (pn.fused_region >= 0) os << ",\"fused_region\":" << pn.fused_region;
+    // Reuse markers render only when the ReusePass set them, so plans
+    // compiled without a catalog keep their exact prior JSON shape.
+    if (pn.reused) {
+      os << ",\"reused\":true,\"reuse\":{\"fingerprint\":\""
+         << JsonEscape(pn.reuse_fingerprint) << "\",\"generation\":"
+         << pn.reuse_generation << ",\"tier\":\"" << JsonEscape(pn.reuse_tier)
+         << "\",\"load_seconds\":" << JsonNumber(pn.reuse_load_seconds)
+         << ",\"bytes\":" << JsonNumber(pn.reuse_bytes) << "}";
+    }
+    if (pn.reuse_pruned) os << ",\"reuse_pruned\":true";
     os << ",\"dataflow\":{\"annotated\":"
        << (pn.dataflow_annotated ? "true" : "false") << ",\"shape\":\""
        << pn.inferred_shape.ToString() << "\",\"shape_kind\":\""
@@ -423,6 +471,20 @@ void RelowerPlan(PhysicalPlan* plan) {
     fp << NodeKindName(node.kind) << "|" << OperatorSignature(graph, node)
        << "|" << pn.input_records;
     pn.fingerprint = fp.str();
+    // Lineage fingerprint: the local fingerprint plus a hash folding in
+    // every input's lineage identity. Edges are forward (inputs < id), so
+    // inputs' lineage fingerprints are already final in this id-order loop.
+    uint64_t h = Fnv1a(14695981039346656037ULL, pn.fingerprint);
+    for (int in : node.inputs) {
+      h = Fnv1a(h, plan->nodes[in].lineage_fingerprint);
+    }
+    if (node.model_input >= 0) {
+      h = Fnv1a(h, plan->nodes[node.model_input].lineage_fingerprint);
+    }
+    char suffix[24];
+    std::snprintf(suffix, sizeof(suffix), "#%016llx",
+                  static_cast<unsigned long long>(h));  // NOLINT
+    pn.lineage_fingerprint = pn.fingerprint + suffix;
   }
 
   // Train nodes demanded directly: no live train successor consumes them.
@@ -436,6 +498,27 @@ void RelowerPlan(PhysicalPlan* plan) {
     }
     if (!has_train_succ) plan->terminals.push_back(id);
   }
+}
+
+std::vector<bool> PureLineageMask(const PhysicalPlan& plan) {
+  std::vector<bool> pure(plan.nodes.size(), false);
+  for (const PlannedNode& pn : plan.nodes) {  // ids are topological
+    switch (pn.kind) {
+      case NodeKind::kSource:
+        pure[pn.id] = true;
+        break;
+      case NodeKind::kTransformer:
+      case NodeKind::kGather: {
+        bool ok = pn.model_input < 0;
+        for (int in : pn.inputs) ok = ok && pure[in];
+        pure[pn.id] = ok;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return pure;
 }
 
 }  // namespace keystone

@@ -1,6 +1,7 @@
 #ifndef KEYSTONE_CORE_PHYSICAL_PLAN_H_
 #define KEYSTONE_CORE_PHYSICAL_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,6 +89,13 @@ struct OptimizationConfig {
   /// against chunk-loop overhead.
   bool operator_fusion = true;
 
+  /// Reuse materialized intermediates from the context's ArtifactCatalog
+  /// across runs (the Helix-style cross-run reuse pass). A no-op while the
+  /// ExecContext has no catalog attached; with one attached, the ReusePass
+  /// rewrites fingerprint-matching subgraphs into catalog reads and prunes
+  /// the upstream chains they replace.
+  bool cross_run_reuse = true;
+
   /// Unoptimized execution (None in Figure 9).
   static OptimizationConfig None();
 
@@ -159,6 +167,12 @@ struct PlannedNode {
   /// cardinality. ProfileStore entries are keyed by this, so renaming a
   /// node neither misses nor mismatches stored profiles.
   std::string fingerprint;
+  /// Lineage-closed identity: the node fingerprint extended with a hash
+  /// over every transitive input's lineage fingerprint, so two nodes match
+  /// only when their whole upstream subgraphs match. ArtifactCatalog
+  /// entries are keyed by this (cross-run reuse must not conflate nodes
+  /// whose local signatures agree but whose inputs differ).
+  std::string lineage_fingerprint;
   /// Full-scale records flowing into the node (static dataflow estimate).
   size_t input_records = 0;
   /// Full-scale records this node's output holds (0 for estimators, whose
@@ -189,6 +203,23 @@ struct PlannedNode {
   /// Index into PhysicalPlan::fused_regions when the FusionPass placed this
   /// node inside a fused region; -1 when unfused.
   int fused_region = -1;
+
+  /// Cross-run reuse markers (set by the ReusePass when the context has an
+  /// ArtifactCatalog). `reused`: the runner loads this node's output from
+  /// the catalog instead of computing it. `reuse_pruned`: every train
+  /// demand for this node is satisfied through reused descendants, so the
+  /// fit pass skips it entirely. The train/runtime masks are untouched —
+  /// serving still executes the node.
+  bool reused = false;
+  bool reuse_pruned = false;
+  /// Catalog entry metadata backing a `reused` node (for validation and
+  /// the decision log): the matched key, its generation, modeled load
+  /// seconds, payload bytes, and tier ("memory"/"disk") at decision time.
+  std::string reuse_fingerprint;
+  uint64_t reuse_generation = 0;
+  double reuse_load_seconds = 0.0;
+  double reuse_bytes = 0.0;
+  std::string reuse_tier;
 };
 
 /// A producer→consumer chain the FusionPass fused: the runner streams
@@ -284,6 +315,16 @@ PhysicalPlan LowerToPhysical(std::shared_ptr<PipelineGraph> graph,
 /// Chosen options survive (they live on shared operator instances and are
 /// re-applied by id where still present).
 void RelowerPlan(PhysicalPlan* plan);
+
+/// Per-node mask: true when the node's transitive train ancestry (data
+/// inputs plus fitted-model dependencies) consists only of sources,
+/// transformers, and gathers — the kinds whose lineage fingerprint fully
+/// determines their output. Anything downstream of an estimator is
+/// excluded: an estimator's structural name need not encode its full
+/// configuration, so two differently-configured fits could collide on one
+/// lineage fingerprint. Cross-run reuse (ReusePass, catalog publication)
+/// only touches nodes this mask admits.
+std::vector<bool> PureLineageMask(const PhysicalPlan& plan);
 
 }  // namespace keystone
 

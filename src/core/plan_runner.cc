@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/analysis/plan_validator.h"
+#include "src/cache/artifact_catalog.h"
 #include "src/common/check.h"
 #include "src/common/mutex.h"
 #include "src/common/timer.h"
@@ -97,6 +98,43 @@ void PlanRunner::ExecuteNode(int id) {
   span.name = pn.name;
   span.kind = NodeKindName(pn.kind);
   span.phase = PhaseFor(mode_);
+
+  // A node the ReusePass rewrote into a catalog read: fetch the stored
+  // payload instead of computing. Fit mode only — profile passes run before
+  // the ReusePass marks anything, and the runtime path never reuses. The
+  // payload carries its own virtual scale (preserved by the codec), so no
+  // rescaling happens here. Fetch is const on the catalog (no promotion, no
+  // access-order update), keeping parallel-branch execution race-free; the
+  // entry's Touch lands in the id-ordered flush.
+  if (mode_ == ExecMode::kFit && pn.reused) {
+    cache::ArtifactCatalog* catalog = ctx_->artifact_catalog();
+    KS_CHECK(catalog != nullptr)
+        << "node " << pn.name << " marked reused without a catalog";
+    Timer timer;
+    outputs_[id] = catalog->Fetch(pn.reuse_fingerprint);
+    span.wall_seconds = timer.ElapsedSeconds();
+    KS_CHECK(outputs_[id] != nullptr)
+        << "catalog entry vanished for node " << pn.name << " ("
+        << pn.reuse_fingerprint << ")";
+    out.out_stats = outputs_[id]->ComputeStats();
+    const double per_node_bytes =
+        out.out_stats.TotalBytes() / std::max(1, resources.num_nodes);
+    span.physical = "catalog:" + pn.reuse_tier;
+    if (pn.reuse_tier == "memory") {
+      // Priced as a cluster-parallel memory scan of the stored bytes.
+      out.charge_cost = CostProfile(0.0, per_node_bytes, 0.0);
+      out.seconds = resources.SecondsFor(out.charge_cost);
+    } else {
+      // Disk reads are charged directly in disk seconds, like sources
+      // (no CostProfile axis models disk bandwidth).
+      out.seconds = resources.DiskReadSeconds(per_node_bytes);
+    }
+    span.predicted.bytes = per_node_bytes;
+    span.partitions = outputs_[id]->NumPartitions();
+    span.records_in = out.out_stats.num_records;
+    out.sample_records = out.out_stats.num_records;
+    return;
+  }
 
   switch (pn.kind) {
     case NodeKind::kSource: {
@@ -573,8 +611,10 @@ void PlanRunner::FlushOutcome(int id) {
   if (ctx_->timeline() != nullptr) {
     obs::ResourceTimeline* timeline = ctx_->timeline();
     const char* phase = obs::TracePhaseName(out.span.phase);
-    if (pn.kind == NodeKind::kSource) {
-      // Source loads are charged directly in disk seconds (no CostProfile).
+    if (pn.kind == NodeKind::kSource ||
+        (pn.reused && pn.reuse_tier != "memory")) {
+      // Source loads and disk-tier catalog reads are charged directly in
+      // disk seconds (no CostProfile axis models disk bandwidth).
       timeline->RecordDiskSeconds(phase, id, pn.name, out.seconds);
     } else {
       timeline->RecordNodeCost(phase, id, pn.name, out.charge_cost,
@@ -615,6 +655,29 @@ void PlanRunner::FlushOutcome(int id) {
                                  out.fused_bytes_avoided);
       ctx_->metrics()->Observe("exec.fused.chunk_resident_bytes",
                                out.fused_chunk_peak_bytes);
+    }
+  }
+  // Catalog write-through happens here, inside the serial id-ordered flush:
+  // Touch (access-order update) and Put (insert + possible eviction) are
+  // the catalog's only mutations during a fit, so serial and
+  // branch-parallel runs leave byte-identical catalog state.
+  if (mode_ == ExecMode::kFit && ctx_->artifact_catalog() != nullptr) {
+    cache::ArtifactCatalog* catalog = ctx_->artifact_catalog();
+    if (pn.reused) {
+      catalog->Touch(pn.reuse_fingerprint);
+      if (ctx_->metrics() != nullptr) {
+        ctx_->metrics()->Increment(pn.reuse_tier == "memory"
+                                       ? "catalog.hits.memory"
+                                       : "catalog.hits.disk");
+      }
+    } else if (catalog_publish_[id] && outputs_[id] != nullptr) {
+      const bool stored = catalog->Put(
+          pn.lineage_fingerprint, outputs_[id], out.out_stats.TotalBytes(),
+          out.out_stats.num_records,
+          RecomputeChainSeconds(id, /*respect_cache=*/false));
+      if (stored && ctx_->metrics() != nullptr) {
+        ctx_->metrics()->Increment("catalog.puts");
+      }
     }
   }
   if (ctx_->telemetry() != nullptr) {
@@ -754,7 +817,27 @@ RunResult PlanRunner::Run(ExecMode mode, const SelectHook& select) {
 
   std::vector<int> exec_ids;
   for (int id = 0; id < n; ++id) {
-    if (plan_->nodes[id].train) exec_ids.push_back(id);
+    // Nodes pruned by cross-run reuse are fully covered by reused
+    // descendants; the fit pass never runs them (profile passes precede the
+    // ReusePass, so the markers are never set there).
+    if (plan_->nodes[id].train && !plan_->nodes[id].reuse_pruned) {
+      exec_ids.push_back(id);
+    }
+  }
+
+  // Publication set for the catalog write-through: pure-lineage transformer
+  // and gather outputs this fit computes (reused nodes are refreshed via
+  // Touch instead). Decided once here so the id-ordered flush stays cheap.
+  catalog_publish_.assign(n, false);
+  if (mode == ExecMode::kFit && plan_->config.cross_run_reuse &&
+      ctx_->artifact_catalog() != nullptr) {
+    const std::vector<bool> pure = PureLineageMask(*plan_);
+    for (int id : exec_ids) {
+      const PlannedNode& pn = plan_->nodes[id];
+      catalog_publish_[id] =
+          pure[id] && !pn.reused &&
+          (pn.kind == NodeKind::kTransformer || pn.kind == NodeKind::kGather);
+    }
   }
 
   if (mode == ExecMode::kFit && ctx_->timeline() != nullptr) {

@@ -144,6 +144,10 @@ class PlanRunner {
   // visibility is ordered by the scheduler's ready-queue mutex.
   ExecMode mode_ = ExecMode::kFit;
   SelectHook select_;
+  /// Fit mode with an ArtifactCatalog: nodes whose output is published into
+  /// the catalog during the id-ordered flush (pure-lineage transformers and
+  /// gathers the ReusePass did not already rewrite). Empty otherwise.
+  std::vector<bool> catalog_publish_;
   std::vector<AnyDataset> outputs_;
   std::vector<std::shared_ptr<TransformerBase>> models_;
   std::vector<NodeOutcome> outcomes_;

@@ -56,6 +56,11 @@ void OptimizerDecisionLog::RecordFusionDecision(FusionDecision decision) {
   fusion_decisions_.push_back(std::move(decision));
 }
 
+void OptimizerDecisionLog::RecordReuseDecision(ReuseDecision decision) {
+  MutexLock lock(&mu_);
+  reuse_decisions_.push_back(std::move(decision));
+}
+
 std::vector<SelectionDecision> OptimizerDecisionLog::Selections() const {
   MutexLock lock(&mu_);
   return selections_;
@@ -92,6 +97,11 @@ std::vector<FusionDecision> OptimizerDecisionLog::FusionDecisions() const {
   return fusion_decisions_;
 }
 
+std::vector<ReuseDecision> OptimizerDecisionLog::ReuseDecisions() const {
+  MutexLock lock(&mu_);
+  return reuse_decisions_;
+}
+
 bool OptimizerDecisionLog::Empty() const {
   MutexLock lock(&mu_);
   return selections_.empty() && cse_groups_.empty() && ledger_.empty() &&
@@ -107,6 +117,7 @@ void OptimizerDecisionLog::Clear() {
   recoveries_.clear();
   fusion_.clear();
   fusion_decisions_.clear();
+  reuse_decisions_.clear();
 }
 
 std::string OptimizerDecisionLog::ToString() const {
@@ -204,6 +215,26 @@ std::string OptimizerDecisionLog::ToString() const {
         out << "fused as r" << d.region_id << ", saves "
             << HumanSeconds(d.est_saved_seconds) << " / "
             << HumanBytes(d.est_saved_bytes) << "\n";
+      } else {
+        out << "rejected (" << d.reason << ")\n";
+      }
+    }
+  }
+  // Rendered only when the ReusePass judged catalog matches, so reports
+  // from catalog-free compiles keep their exact prior shape.
+  if (!reuse_decisions_.empty()) {
+    out << "  reuse decisions (" << reuse_decisions_.size() << "):\n";
+    for (const auto& d : reuse_decisions_) {
+      out << "    node " << d.node_id << " [" << d.node_name << "] ";
+      if (d.accepted) {
+        out << "reused from " << d.tier << " gen " << d.entry_generation
+            << ": load " << HumanSeconds(d.load_seconds) << " vs recompute "
+            << HumanSeconds(d.recompute_seconds);
+        if (!d.pruned.empty()) {
+          out << ", prunes";
+          for (int id : d.pruned) out << " " << id;
+        }
+        out << "\n";
       } else {
         out << "rejected (" << d.reason << ")\n";
       }
@@ -340,6 +371,30 @@ std::string OptimizerDecisionLog::ToJson() const {
           << JsonNumber(d.est_saved_seconds) << ",\"est_saved_bytes\":"
           << JsonNumber(d.est_saved_bytes) << ",\"reason\":\""
           << JsonEscape(d.reason) << "\"}";
+    }
+    out << "]";
+  }
+  // ReusePass runs only: catalog-free JSON keeps the prior schema.
+  if (!reuse_decisions_.empty()) {
+    out << ",\"reuse_decisions\":[";
+    for (size_t i = 0; i < reuse_decisions_.size(); ++i) {
+      const auto& d = reuse_decisions_[i];
+      if (i) out << ",";
+      out << "{\"node\":" << d.node_id << ",\"name\":\""
+          << JsonEscape(d.node_name) << "\",\"fingerprint\":\""
+          << JsonEscape(d.fingerprint) << "\",\"accepted\":"
+          << (d.accepted ? "true" : "false") << ",\"tier\":\""
+          << JsonEscape(d.tier) << "\",\"entry_bytes\":"
+          << JsonNumber(d.entry_bytes) << ",\"entry_records\":"
+          << d.entry_records << ",\"entry_generation\":" << d.entry_generation
+          << ",\"load_seconds\":" << JsonNumber(d.load_seconds)
+          << ",\"recompute_seconds\":" << JsonNumber(d.recompute_seconds)
+          << ",\"pruned\":[";
+      for (size_t j = 0; j < d.pruned.size(); ++j) {
+        if (j) out << ",";
+        out << d.pruned[j];
+      }
+      out << "],\"reason\":\"" << JsonEscape(d.reason) << "\"}";
     }
     out << "]";
   }

@@ -8,6 +8,8 @@
 // to by plan node id and structural fingerprint only, so this layer stays
 // independent of src/core (same rule as the tracer).
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -115,6 +117,27 @@ struct FusionDecision {
   std::string reason;              // non-empty iff rejected
 };
 
+/// The ReusePass's verdict on one cross-run reuse candidate whose lineage
+/// fingerprint matched an ArtifactCatalog entry: accepted (the node becomes
+/// a catalog read and `pruned` lists the upstream nodes the rewrite made
+/// undemanded) or rejected with the costing reason. Benefit is
+/// `recompute_seconds` (the modeled cost of the node plus its prunable
+/// chain) against `load_seconds` (reading the entry from its tier).
+struct ReuseDecision {
+  int node_id = -1;
+  std::string node_name;
+  std::string fingerprint;  // lineage fingerprint == catalog key
+  bool accepted = false;
+  std::string tier;         // "memory" or "disk" at decision time
+  double entry_bytes = 0;
+  size_t entry_records = 0;
+  uint64_t entry_generation = 0;
+  double load_seconds = 0;
+  double recompute_seconds = 0;
+  std::vector<int> pruned;  // upstream node ids pruned by acceptance
+  std::string reason;       // non-empty iff rejected
+};
+
 /// End-of-pass materialization summary.
 struct MaterializationSummary {
   bool recorded = false;
@@ -136,6 +159,7 @@ class OptimizerDecisionLog {
   void RecordRecovery(RecoveryDecision decision);
   void RecordFusionCandidate(FusionCandidate candidate);
   void RecordFusionDecision(FusionDecision decision);
+  void RecordReuseDecision(ReuseDecision decision);
 
   std::vector<SelectionDecision> Selections() const;
   std::vector<CseMergeGroup> CseGroups() const;
@@ -144,6 +168,7 @@ class OptimizerDecisionLog {
   std::vector<RecoveryDecision> Recoveries() const;
   std::vector<FusionCandidate> FusionCandidates() const;
   std::vector<FusionDecision> FusionDecisions() const;
+  std::vector<ReuseDecision> ReuseDecisions() const;
 
   /// True when no pass recorded anything (the CI --strict failure mode).
   /// Fusion candidates/decisions follow from static analysis even on
@@ -167,6 +192,7 @@ class OptimizerDecisionLog {
   std::vector<RecoveryDecision> recoveries_ GUARDED_BY(mu_);
   std::vector<FusionCandidate> fusion_ GUARDED_BY(mu_);
   std::vector<FusionDecision> fusion_decisions_ GUARDED_BY(mu_);
+  std::vector<ReuseDecision> reuse_decisions_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

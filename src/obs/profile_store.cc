@@ -11,41 +11,12 @@
 namespace keystone {
 namespace obs {
 
-namespace {
-
-/// Keys and operator names are stored in a whitespace-separated text
-/// format, so spaces/percent signs inside names are %-escaped.
-std::string EscapeToken(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    if (c == '%' || c == ' ' || c == '\t' || c == '\n') {
-      char buf[4];
-      std::snprintf(buf, sizeof(buf), "%%%02x",
-                    static_cast<unsigned char>(c));
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-std::string UnescapeToken(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (size_t i = 0; i < in.size(); ++i) {
-    if (in[i] == '%' && i + 2 < in.size()) {
-      out += static_cast<char>(std::stoi(in.substr(i + 1, 2), nullptr, 16));
-      i += 2;
-    } else {
-      out += in[i];
-    }
-  }
-  return out;
-}
-
-}  // namespace
+// Keys and operator names are stored in a whitespace-separated text format,
+// so spaces/percent signs inside names are %-escaped via the shared
+// EscapeToken/UnescapeToken helpers (src/common/string_util), which the
+// artifact-catalog manifest format also uses. UnescapeToken fails softly on
+// malformed escapes, so a corrupt or truncated file makes Load return false
+// instead of throwing out of std::stoi.
 
 int ProfileStore::RecordsBucket(size_t records) {
   if (records == 0) return -1;
@@ -78,15 +49,30 @@ void ProfileStore::RecordObservation(const std::string& op,
 std::optional<CostProfile> ProfileStore::ObservedFor(
     const std::string& op, const DataStats& in) const {
   MutexLock lock(&mu_);
-  // Pool every scale bucket recorded for this operator: the per-record
-  // costs are what transfers across scales.
+  // Pool scale buckets recorded for this operator: the per-record costs are
+  // what transfers across scales. Per-record cost depends strongly on the
+  // feature dimension, though — observations are keyed by op|bucket|dim for
+  // exactly that reason — so prefer cells whose dim matches the query and
+  // fall back to pooling across all dims only when no matching-dim history
+  // exists (e.g. the first run at a new feature width).
   double records = 0.0, count = 0.0;
   CostProfile observed;
+  double pooled_records = 0.0, pooled_count = 0.0;
+  CostProfile pooled_observed;
   for (const auto& [_, obs] : observations_) {
     if (obs.op != op) continue;
+    pooled_records += obs.records_sum;
+    pooled_count += obs.count;
+    pooled_observed += obs.observed_sum;
+    if (obs.dim != in.dim) continue;
     records += obs.records_sum;
     count += obs.count;
     observed += obs.observed_sum;
+  }
+  if (count == 0.0 || records <= 0.0) {
+    records = pooled_records;
+    count = pooled_count;
+    observed = pooled_observed;
   }
   if (count == 0.0 || records <= 0.0) return std::nullopt;
   // Linear terms scale per record; coordination rounds reflect the
@@ -139,8 +125,10 @@ size_t ProfileStore::NumNodeProfiles() const {
 }
 
 bool ProfileStore::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
+  // Serialize to memory first, then land the bytes with an atomic
+  // temp-file-plus-rename: a crash mid-save can no longer leave a truncated
+  // file in place that poisons the next run's Load.
+  std::ostringstream out;
   out << "# keystone profile store v1\n";
   MutexLock lock(&mu_);
   out.precision(17);
@@ -158,7 +146,7 @@ bool ProfileStore::Save(const std::string& path) const {
         << n.bytes_per_record << " " << n.full_records << " "
         << n.chosen_option << "\n";
   }
-  return static_cast<bool>(out);
+  return WriteFileAtomic(path, out.str());
 }
 
 bool ProfileStore::Load(const std::string& path) {
@@ -182,7 +170,9 @@ bool ProfileStore::Load(const std::string& path) {
           o.observed_sum.network >> o.observed_sum.rounds >>
           o.wall_seconds_sum;
       if (!is) return false;
-      o.op = UnescapeToken(op);
+      auto unescaped = UnescapeToken(op);
+      if (!unescaped) return false;  // malformed escape: corrupt file
+      o.op = *unescaped;
       std::ostringstream key;
       key << op << "|" << o.records_bucket << "|" << o.dim;
       observations[key.str()] = o;

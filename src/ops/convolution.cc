@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "src/common/rng.h"
 #include "src/linalg/fft.h"
@@ -103,6 +105,29 @@ Convolver::Convolver(FilterBank bank, ConvolutionStrategy strategy)
 
 std::string Convolver::Name() const {
   return std::string("Convolver.") + ConvolutionStrategyName(strategy_);
+}
+
+std::string Convolver::ParamSignature() const {
+  // FNV-1a over the filter weights' bit patterns: banks drawn from different
+  // seeds get different signatures even at identical geometry.
+  uint64_t hash = 1469598103934665603ull;
+  for (const auto& filter : bank_.filters) {
+    for (double v : filter.data) {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int shift = 0; shift < 64; shift += 8) {
+        hash ^= (bits >> shift) & 0xffu;
+        hash *= 1099511628211ull;
+      }
+    }
+  }
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::to_string(bank_.num_filters()) + "x" +
+         std::to_string(bank_.filter_size) + "x" +
+         std::to_string(bank_.channels) + "," + digest;
 }
 
 Image Convolver::Apply(const Image& img) const {

@@ -46,6 +46,9 @@ class Convolver : public Transformer<Image, Image> {
   Convolver(FilterBank bank, ConvolutionStrategy strategy);
 
   std::string Name() const override;
+  /// Bank geometry plus a content digest of the filter weights: two banks
+  /// with the same shape but different filters are different operators.
+  std::string ParamSignature() const override;
   Image Apply(const Image& img) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 

@@ -12,7 +12,8 @@ namespace keystone {
 
 CosineRandomFeatures::CosineRandomFeatures(size_t input_dim,
                                            size_t output_dim, double gamma,
-                                           uint64_t seed) {
+                                           uint64_t seed)
+    : gamma_(gamma), seed_(seed) {
   Rng rng(seed);
   w_ = Matrix(output_dim, input_dim);
   for (size_t i = 0; i < output_dim; ++i) {

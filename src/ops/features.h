@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/string_util.h"
 #include "src/core/operator.h"
 #include "src/linalg/matrix.h"
 
@@ -20,6 +21,10 @@ class CosineRandomFeatures : public Transformer<std::vector<double>,
                        uint64_t seed);
 
   std::string Name() const override { return "RandomFeatures"; }
+  std::string ParamSignature() const override {
+    return std::to_string(input_dim()) + "x" + std::to_string(output_dim()) +
+           ",g=" + ParamNumber(gamma_) + ",seed=" + std::to_string(seed_);
+  }
   std::vector<double> Apply(const std::vector<double>& x) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
@@ -40,6 +45,8 @@ class CosineRandomFeatures : public Transformer<std::vector<double>,
  private:
   Matrix w_;  // D x d
   std::vector<double> b_;
+  double gamma_;
+  uint64_t seed_;
 };
 
 /// L2 normalization of feature vectors.
@@ -58,6 +65,7 @@ class SignedPowerNormalizer : public Transformer<std::vector<double>,
  public:
   explicit SignedPowerNormalizer(double alpha = 0.5) : alpha_(alpha) {}
   std::string Name() const override { return "PowerNorm"; }
+  std::string ParamSignature() const override { return ParamNumber(alpha_); }
   std::vector<double> Apply(const std::vector<double>& x) const override;
   ValueShape TransferShape(const ValueShape& in) const override { return in; }
 
@@ -87,6 +95,9 @@ class OneHotEncoder : public Transformer<int, std::vector<double>> {
  public:
   explicit OneHotEncoder(int num_classes) : num_classes_(num_classes) {}
   std::string Name() const override { return "OneHot"; }
+  std::string ParamSignature() const override {
+    return std::to_string(num_classes_);
+  }
   std::vector<double> Apply(const int& label) const override;
   ValueShape TransferShape(const ValueShape& in) const override {
     (void)in;
@@ -115,6 +126,7 @@ class TopKClassifier : public Transformer<std::vector<double>,
  public:
   explicit TopKClassifier(int k) : k_(k) {}
   std::string Name() const override { return "TopKClassifier"; }
+  std::string ParamSignature() const override { return std::to_string(k_); }
   std::vector<int> Apply(const std::vector<double>& scores) const override;
   ValueShape TransferShape(const ValueShape& in) const override {
     return ValueShape::Labels(in.d0);

@@ -32,6 +32,11 @@ class GmmFisherEstimator : public Estimator<Matrix, std::vector<double>> {
       : components_(components), em_iterations_(em_iterations), seed_(seed) {}
 
   std::string Name() const override { return "GMM"; }
+  std::string ParamSignature() const override {
+    return "k=" + std::to_string(components_) +
+           ",em=" + std::to_string(em_iterations_) +
+           ",seed=" + std::to_string(seed_);
+  }
 
   std::shared_ptr<Transformer<Matrix, std::vector<double>>> Fit(
       const DistDataset<Matrix>& data, ExecContext* ctx) const override;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/string_util.h"
 #include "src/core/operator.h"
 #include "src/ops/image.h"
 
@@ -30,6 +31,9 @@ class PatchExtractor : public Transformer<Image, Matrix> {
       : patch_size_(patch_size), stride_(stride) {}
 
   std::string Name() const override { return "PatchExtractor"; }
+  std::string ParamSignature() const override {
+    return std::to_string(patch_size_) + "," + std::to_string(stride_);
+  }
   Matrix Apply(const Image& img) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
@@ -61,6 +65,9 @@ class DenseSift : public Transformer<Image, Matrix> {
       : cell_size_(cell_size), bins_(bins) {}
 
   std::string Name() const override { return "SIFT"; }
+  std::string ParamSignature() const override {
+    return std::to_string(cell_size_) + "," + std::to_string(bins_);
+  }
   Matrix Apply(const Image& img) const override;
   CostProfile EstimateCost(const DataStats& in, int workers) const override;
 
@@ -84,6 +91,9 @@ class LocalColorStats : public Transformer<Image, Matrix> {
   explicit LocalColorStats(size_t cell_size) : cell_size_(cell_size) {}
 
   std::string Name() const override { return "LCS"; }
+  std::string ParamSignature() const override {
+    return std::to_string(cell_size_);
+  }
   Matrix Apply(const Image& img) const override;
 
   /// Per-cell mean and standard deviation of each channel.
@@ -103,6 +113,9 @@ class DescriptorSampler : public Transformer<Matrix, Matrix> {
  public:
   explicit DescriptorSampler(size_t stride) : stride_(stride) {}
   std::string Name() const override { return "ColumnSampler"; }
+  std::string ParamSignature() const override {
+    return std::to_string(stride_);
+  }
   Matrix Apply(const Matrix& descriptors) const override;
   ValueShape TransferShape(const ValueShape& in) const override {
     return ValueShape::MatrixOf(ValueShape::kUnknownDim, in.d1);
@@ -119,6 +132,7 @@ class SymmetricRectifier : public Transformer<std::vector<double>,
  public:
   explicit SymmetricRectifier(double alpha = 0.0) : alpha_(alpha) {}
   std::string Name() const override { return "SymmetricRectifier"; }
+  std::string ParamSignature() const override { return ParamNumber(alpha_); }
   std::vector<double> Apply(const std::vector<double>& x) const override;
   ValueShape TransferShape(const ValueShape& in) const override {
     return ValueShape::Vector(
@@ -136,6 +150,7 @@ class Pooler : public Transformer<Matrix, std::vector<double>> {
  public:
   explicit Pooler(size_t grid) : grid_(grid) {}
   std::string Name() const override { return "Pooler"; }
+  std::string ParamSignature() const override { return std::to_string(grid_); }
   std::vector<double> Apply(const Matrix& features) const override;
   ValueShape TransferShape(const ValueShape& in) const override {
     return ValueShape::Vector(
@@ -155,6 +170,7 @@ class ZcaWhitener : public Estimator<Matrix, Matrix> {
  public:
   explicit ZcaWhitener(double epsilon = 0.1) : epsilon_(epsilon) {}
   std::string Name() const override { return "ZCAWhitener"; }
+  std::string ParamSignature() const override { return ParamNumber(epsilon_); }
 
   std::shared_ptr<Transformer<Matrix, Matrix>> Fit(
       const DistDataset<Matrix>& data, ExecContext* ctx) const override;

@@ -20,6 +20,11 @@ class KMeansEstimator : public Estimator<Matrix, Matrix> {
       : k_(k), iterations_(iterations), seed_(seed) {}
 
   std::string Name() const override { return "KMeans"; }
+  std::string ParamSignature() const override {
+    return "k=" + std::to_string(k_) +
+           ",iters=" + std::to_string(iterations_) +
+           ",seed=" + std::to_string(seed_);
+  }
 
   std::shared_ptr<Transformer<Matrix, Matrix>> Fit(
       const DistDataset<Matrix>& data, ExecContext* ctx) const override;

@@ -54,6 +54,11 @@ class PcaEstimator : public Estimator<Matrix, Matrix> {
                uint64_t seed = 17);
 
   std::string Name() const override;
+  /// Algorithm and placement already live in Name(); only k and the seed
+  /// remain to distinguish two variants of one physical operator.
+  std::string ParamSignature() const override {
+    return "k=" + std::to_string(k_) + ",seed=" + std::to_string(seed_);
+  }
 
   std::shared_ptr<Transformer<Matrix, Matrix>> Fit(
       const DistDataset<Matrix>& data, ExecContext* ctx) const override;

@@ -39,6 +39,9 @@ class NGramsFeaturizer : public Transformer<TokenSeq, TokenSeq> {
  public:
   NGramsFeaturizer(int min_n, int max_n) : min_n_(min_n), max_n_(max_n) {}
   std::string Name() const override { return "NGrams"; }
+  std::string ParamSignature() const override {
+    return std::to_string(min_n_) + "-" + std::to_string(max_n_);
+  }
   TokenSeq Apply(const TokenSeq& tokens) const override;
 
  private:
@@ -58,6 +61,10 @@ class HashingTermFrequency : public Transformer<TokenSeq, SparseVector> {
       : dim_(dim), weighting_(weighting) {}
 
   std::string Name() const override { return "HashingTF"; }
+  std::string ParamSignature() const override {
+    return std::to_string(dim_) +
+           (weighting_ == Weighting::kBinary ? ",binary" : ",count");
+  }
   SparseVector Apply(const TokenSeq& tokens) const override;
 
   ValueShape TransferShape(const ValueShape& in) const override {
@@ -104,6 +111,9 @@ class CommonSparseFeatures : public Estimator<TokenSeq, SparseVector> {
       : max_features_(max_features), binary_(binary) {}
 
   std::string Name() const override { return "CommonSparseFeatures"; }
+  std::string ParamSignature() const override {
+    return std::to_string(max_features_) + (binary_ ? ",binary" : ",count");
+  }
 
   std::shared_ptr<Transformer<TokenSeq, SparseVector>> Fit(
       const DistDataset<TokenSeq>& data, ExecContext* ctx) const override;

@@ -8,6 +8,7 @@
 #include "src/analysis/dataflow.h"
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/plan_validator.h"
+#include "src/cache/artifact_catalog.h"
 #include "src/common/check.h"
 #include "src/core/plan_runner.h"
 #include "src/obs/profile_store.h"
@@ -42,6 +43,7 @@ void ValidateAfterPass(const PhysicalPlan& plan, const char* pass_name,
   const analysis::DataflowResult flow = analysis::InferDataflow(plan);
   vreport.Merge(analysis::CheckDataflow(plan, flow));
   vreport.Merge(analysis::ValidateFusedRegions(plan, flow));
+  vreport.Merge(analysis::ValidateReuseMarkers(plan));
   analysis::RecordDiagnostics(vreport, ctx->metrics());
   KS_CHECK(vreport.ok()) << "plan failed validation after pass '" << pass_name
                          << "':\n"
@@ -221,6 +223,167 @@ void ProfileAndSelectPass::Run(PhysicalPlan* plan, PassContext* pctx) {
   }
 }
 
+void ExtrapolateNodeEstimates(PhysicalPlan* plan) {
+  for (PlannedNode& pn : plan->nodes) {
+    if (!pn.train) continue;
+    const ProfileEntry& entry = pn.profile;
+    const double n_full = static_cast<double>(entry.full_records);
+    // Linear extrapolation through the two sampled points (§5.4); when
+    // the dataset is smaller than both sample sizes the points coincide,
+    // so fall back to proportional scaling.
+    double total_seconds;
+    if (entry.records_large > entry.records_small) {
+      const double slope = (entry.seconds_large - entry.seconds_small) /
+                           (entry.records_large - entry.records_small);
+      total_seconds =
+          std::max(0.0, entry.seconds_large +
+                            slope * (n_full - entry.records_large));
+    } else {
+      total_seconds = entry.seconds_large * n_full /
+                      std::max<size_t>(1, entry.records_large);
+    }
+    pn.est_seconds = total_seconds / std::max(1, pn.weight);
+    pn.est_output_bytes = entry.bytes_per_record * n_full;
+  }
+}
+
+namespace {
+
+/// Which train nodes the fit still has to execute, given the current reuse
+/// markers: walk dependencies down from the train terminals and estimator
+/// nodes, stopping below nodes already rewritten into catalog reads.
+std::vector<bool> ComputeDemanded(const PhysicalPlan& plan) {
+  std::vector<bool> demanded(plan.nodes.size(), false);
+  std::vector<int> stack;
+  for (int t : plan.terminals) {
+    if (plan.nodes[t].train) stack.push_back(t);
+  }
+  for (const PlannedNode& pn : plan.nodes) {
+    if (pn.train && pn.kind == NodeKind::kEstimator) stack.push_back(pn.id);
+  }
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (demanded[id]) continue;
+    demanded[id] = true;
+    const PlannedNode& pn = plan.nodes[id];
+    if (pn.reused) continue;  // a catalog read demands nothing upstream
+    for (int in : pn.inputs) {
+      if (plan.nodes[in].train) stack.push_back(in);
+    }
+    if (pn.model_input >= 0 && plan.nodes[pn.model_input].train) {
+      stack.push_back(pn.model_input);
+    }
+  }
+  return demanded;
+}
+
+}  // namespace
+
+void ReusePass::Run(PhysicalPlan* plan, PassContext* pctx) {
+  if (!plan->config.cross_run_reuse) return;
+  ExecContext* ctx = pctx->ctx;
+  cache::ArtifactCatalog* catalog = ctx->artifact_catalog();
+  if (catalog == nullptr) return;
+
+  // Profile-extrapolated full-scale estimates price recompute; without a
+  // profile the stored entry's own recompute figure is the fallback.
+  if (NeedsProfile(plan->config)) ExtrapolateNodeEstimates(plan);
+
+  const ClusterResourceDescriptor& resources = plan->resources;
+  const std::vector<bool> pure = PureLineageMask(*plan);
+  std::vector<bool> demanded = ComputeDemanded(*plan);
+  // Modeled wall-clock of one node at full scale: est_seconds is stored
+  // per execution, the node runs `weight` times per fit.
+  const auto node_seconds = [plan](int id) {
+    const PlannedNode& pn = plan->nodes[id];
+    return pn.est_seconds * std::max(1, pn.weight);
+  };
+
+  int accepted = 0;
+  int rejected = 0;
+  // Descending id = downstream first: reusing the deepest matching node
+  // prunes its whole chain, and its upstream matches then drop out of the
+  // demanded set instead of producing redundant rewrites.
+  for (int id = static_cast<int>(plan->nodes.size()) - 1; id >= 0; --id) {
+    PlannedNode& pn = plan->nodes[id];
+    if (!pn.train || !pure[id] || !demanded[id]) continue;
+    if (pn.kind != NodeKind::kTransformer && pn.kind != NodeKind::kGather) {
+      continue;
+    }
+    const auto entry = catalog->Lookup(pn.lineage_fingerprint);
+    if (!entry.has_value()) continue;
+
+    obs::ReuseDecision decision;
+    decision.node_id = id;
+    decision.node_name = pn.name;
+    decision.fingerprint = pn.lineage_fingerprint;
+    decision.tier = entry->in_memory ? "memory" : "disk";
+    decision.entry_bytes = entry->bytes;
+    decision.entry_records = entry->records;
+    decision.entry_generation = entry->generation;
+
+    if (entry->records != pn.full_records) {
+      // Same lineage but a different cardinality means the catalog was
+      // populated against different source data; never serve it.
+      decision.reason = "cardinality mismatch";
+      ++rejected;
+      if (plan->decision_log != nullptr) {
+        plan->decision_log->RecordReuseDecision(std::move(decision));
+      }
+      continue;
+    }
+
+    // Tentatively accept to see which upstream nodes fall out of demand.
+    pn.reused = true;
+    const std::vector<bool> demanded_after = ComputeDemanded(*plan);
+    std::vector<int> prunable;
+    for (size_t k = 0; k < plan->nodes.size(); ++k) {
+      if (plan->nodes[k].train && demanded[k] && !demanded_after[k]) {
+        prunable.push_back(static_cast<int>(k));
+      }
+    }
+    double recompute = node_seconds(id);
+    for (int k : prunable) recompute += node_seconds(k);
+    if (recompute <= 0.0) recompute = entry->recompute_seconds;
+    const double per_node_bytes =
+        entry->bytes / std::max(1, resources.num_nodes);
+    const double load = entry->in_memory
+                            ? resources.MemoryReadSeconds(per_node_bytes)
+                            : resources.DiskReadSeconds(per_node_bytes);
+    decision.load_seconds = load;
+    decision.recompute_seconds = recompute;
+
+    if (load < recompute) {
+      decision.accepted = true;
+      decision.pruned = prunable;
+      pn.reuse_fingerprint = pn.lineage_fingerprint;
+      pn.reuse_generation = entry->generation;
+      pn.reuse_load_seconds = load;
+      pn.reuse_bytes = entry->bytes;
+      pn.reuse_tier = decision.tier;
+      for (int k : prunable) plan->nodes[k].reuse_pruned = true;
+      demanded = std::move(demanded_after);
+      ++accepted;
+    } else {
+      pn.reused = false;
+      decision.reason = "catalog load costlier than recompute";
+      ++rejected;
+    }
+    if (plan->decision_log != nullptr) {
+      plan->decision_log->RecordReuseDecision(std::move(decision));
+    }
+  }
+  if (ctx->metrics() != nullptr) {
+    if (accepted > 0) {
+      ctx->metrics()->Increment("catalog.reuse.accepted", accepted);
+    }
+    if (rejected > 0) {
+      ctx->metrics()->Increment("catalog.reuse.rejected", rejected);
+    }
+  }
+}
+
 void MaterializationPass::Run(PhysicalPlan* plan, PassContext* pctx) {
   (void)pctx;
   const OptimizationConfig& config = plan->config;
@@ -230,29 +393,7 @@ void MaterializationPass::Run(PhysicalPlan* plan, PassContext* pctx) {
           ? config.cache_budget_bytes
           : config.cache_fraction * resources.ClusterMemoryBytes();
 
-  if (NeedsProfile(config)) {
-    for (PlannedNode& pn : plan->nodes) {
-      if (!pn.train) continue;
-      const ProfileEntry& entry = pn.profile;
-      const double n_full = static_cast<double>(entry.full_records);
-      // Linear extrapolation through the two sampled points (§5.4); when
-      // the dataset is smaller than both sample sizes the points coincide,
-      // so fall back to proportional scaling.
-      double total_seconds;
-      if (entry.records_large > entry.records_small) {
-        const double slope = (entry.seconds_large - entry.seconds_small) /
-                             (entry.records_large - entry.records_small);
-        total_seconds =
-            std::max(0.0, entry.seconds_large +
-                              slope * (n_full - entry.records_large));
-      } else {
-        total_seconds = entry.seconds_large * n_full /
-                        std::max<size_t>(1, entry.records_large);
-      }
-      pn.est_seconds = total_seconds / std::max(1, pn.weight);
-      pn.est_output_bytes = entry.bytes_per_record * n_full;
-    }
-  }
+  if (NeedsProfile(config)) ExtrapolateNodeEstimates(plan);
 
   if (!PlansCache(config)) return;
 
@@ -265,11 +406,14 @@ void MaterializationPass::Run(PhysicalPlan* plan, PassContext* pctx) {
   problem.info.assign(plan->nodes.size(), NodeRuntimeInfo());
   for (const PlannedNode& pn : plan->nodes) {
     NodeRuntimeInfo& info = problem.info[pn.id];
-    info.live = pn.train;
+    // Nodes pruned by cross-run reuse never execute this fit, so they are
+    // dead to the cache planner; a reused node's "compute" is the priced
+    // catalog load, paid once regardless of the node's demand weight.
+    info.live = pn.train && !pn.reuse_pruned;
     if (!info.live) continue;
-    info.weight = pn.weight;
+    info.weight = pn.reused ? 1 : pn.weight;
     info.always_cached = pn.kind == NodeKind::kEstimator;
-    info.compute_seconds = pn.est_seconds;
+    info.compute_seconds = pn.reused ? pn.reuse_load_seconds : pn.est_seconds;
     info.output_bytes = pn.est_output_bytes;
   }
   std::vector<obs::MaterializationStep> ledger;
@@ -409,6 +553,19 @@ void FusionPass::Run(PhysicalPlan* plan, PassContext* pctx) {
     std::string pending_reason;
     for (int id : chain.nodes) {
       const PlannedNode& pn = plan->nodes[static_cast<size_t>(id)];
+      // A member rewritten by cross-run reuse never computes this fit: a
+      // reused node is a catalog read, a pruned node does not run at all.
+      // Neither can sit inside a streamed region.
+      if (pn.reused || pn.reuse_pruned) {
+        JudgeSegment(plan, candidate, segment, chain.runtime,
+                     pending_reason);
+        segment.clear();
+        JudgeSegment(plan, candidate, {id}, chain.runtime,
+                     pn.reused ? "reused from catalog"
+                               : "pruned by cross-run reuse");
+        pending_reason.clear();
+        continue;
+      }
       // A transformer that cannot apply chunk-at-a-time can never sit in a
       // streamed region. (Apply-model members are judged optimistically:
       // whether the *fitted* model supports chunks is only known at run
@@ -457,6 +614,7 @@ void FusionPass::Run(PhysicalPlan* plan, PassContext* pctx) {
 void RegisterStandardPasses(PassManager* manager) {
   manager->AddPass(std::make_unique<CsePass>());
   manager->AddPass(std::make_unique<ProfileAndSelectPass>());
+  manager->AddPass(std::make_unique<ReusePass>());
   manager->AddPass(std::make_unique<MaterializationPass>());
   manager->AddPass(std::make_unique<FusionPass>());
 }

@@ -67,6 +67,22 @@ class ProfileAndSelectPass : public PlanPass {
   void Run(PhysicalPlan* plan, PassContext* pctx) override;
 };
 
+/// Cross-run reuse (the Helix-style rewrite): when the context carries an
+/// ArtifactCatalog and OptimizationConfig::cross_run_reuse is on, matches
+/// train transformer/gather nodes whose lineage fingerprint has a catalog
+/// entry, prices catalog load against recompute (the node plus every
+/// upstream node the rewrite would leave undemanded), and rewrites winners
+/// into catalog reads — marking the node `reused` and the undemanded chain
+/// `reuse_pruned`. Every catalog match gets an accept/reject ReuseDecision
+/// in the plan's decision log. Runs after profiling (so recompute costs are
+/// profile-extrapolated when available) and before materialization (so the
+/// cache planner prices reused nodes as loads and skips pruned ones).
+class ReusePass : public PlanPass {
+ public:
+  const char* name() const override { return "reuse"; }
+  void Run(PhysicalPlan* plan, PassContext* pctx) override;
+};
+
 /// Materialization planning (§4.3): extrapolates the profile to full scale,
 /// builds the MaterializationProblem, and selects the cache set under the
 /// configured policy and memory budget. Always computes the budget; the
@@ -95,8 +111,14 @@ class FusionPass : public PlanPass {
 };
 
 /// Registers the standard compilation sequence: CSE, profile + operator
-/// selection, materialization planning, operator fusion.
+/// selection, cross-run reuse, materialization planning, operator fusion.
 void RegisterStandardPasses(PassManager* manager);
+
+/// Fills every train node's full-scale estimates (est_seconds,
+/// est_output_bytes) by linearly extrapolating its two-point sampling
+/// profile (§5.4). Idempotent; shared by ReusePass (which needs recompute
+/// costs before materialization runs) and MaterializationPass.
+void ExtrapolateNodeEstimates(PhysicalPlan* plan);
 
 }  // namespace keystone
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/string_util.h"
 #include "src/core/operator.h"
 #include "src/linalg/sparse.h"
 #include "src/solvers/linear_model.h"
@@ -26,6 +27,18 @@ struct LinearSolverConfig {
   enum class Loss { kLeastSquares, kLogistic } loss = Loss::kLeastSquares;
 };
 
+/// Signature of everything in the config that changes a fitted model, used
+/// as every solver's ParamSignature so two grid-search variants of one
+/// solver class never share a lineage fingerprint.
+inline std::string SolverParamSignature(const LinearSolverConfig& c) {
+  return "k=" + std::to_string(c.num_classes) + ",l2=" + ParamNumber(c.l2_reg) +
+         ",lbfgs=" + std::to_string(c.lbfgs_iterations) +
+         ",epochs=" + std::to_string(c.block_epochs) +
+         ",block=" + std::to_string(c.block_size) +
+         (c.loss == LinearSolverConfig::Loss::kLogistic ? ",logistic"
+                                                        : ",lsq");
+}
+
 // ---------------------------------------------------------------------------
 // Dense physical solvers (features are std::vector<double>).
 // ---------------------------------------------------------------------------
@@ -38,6 +51,9 @@ class LocalExactSolver : public LabelEstimator<DenseVec, DenseVec, DenseVec> {
       : config_(config) {}
 
   std::string Name() const override { return "LocalExactSolver"; }
+  std::string ParamSignature() const override {
+    return SolverParamSignature(config_);
+  }
 
   std::shared_ptr<Transformer<DenseVec, DenseVec>> Fit(
       const DistDataset<DenseVec>& data, const DistDataset<DenseVec>& labels,
@@ -68,6 +84,9 @@ class DistributedExactSolver
       : config_(config) {}
 
   std::string Name() const override { return "DistributedExactSolver"; }
+  std::string ParamSignature() const override {
+    return SolverParamSignature(config_);
+  }
 
   std::shared_ptr<Transformer<DenseVec, DenseVec>> Fit(
       const DistDataset<DenseVec>& data, const DistDataset<DenseVec>& labels,
@@ -95,6 +114,9 @@ class DenseLbfgsSolver : public LabelEstimator<DenseVec, DenseVec, DenseVec> {
       : config_(config) {}
 
   std::string Name() const override { return "DenseLbfgsSolver"; }
+  std::string ParamSignature() const override {
+    return SolverParamSignature(config_);
+  }
 
   std::shared_ptr<Transformer<DenseVec, DenseVec>> Fit(
       const DistDataset<DenseVec>& data, const DistDataset<DenseVec>& labels,
@@ -125,6 +147,9 @@ class DenseBlockSolver : public LabelEstimator<DenseVec, DenseVec, DenseVec> {
       : config_(config) {}
 
   std::string Name() const override { return "DenseBlockSolver"; }
+  std::string ParamSignature() const override {
+    return SolverParamSignature(config_);
+  }
 
   std::shared_ptr<Transformer<DenseVec, DenseVec>> Fit(
       const DistDataset<DenseVec>& data, const DistDataset<DenseVec>& labels,
@@ -158,6 +183,9 @@ class SparseLbfgsSolver
       : config_(config) {}
 
   std::string Name() const override { return "SparseLbfgsSolver"; }
+  std::string ParamSignature() const override {
+    return SolverParamSignature(config_);
+  }
 
   std::shared_ptr<Transformer<SparseVector, DenseVec>> Fit(
       const DistDataset<SparseVector>& data,
@@ -191,6 +219,9 @@ class SparseExactSolver
       : config_(config) {}
 
   std::string Name() const override { return "SparseExactSolver"; }
+  std::string ParamSignature() const override {
+    return SolverParamSignature(config_);
+  }
 
   std::shared_ptr<Transformer<SparseVector, DenseVec>> Fit(
       const DistDataset<SparseVector>& data,
@@ -221,6 +252,9 @@ class SparseBlockSolver
       : config_(config) {}
 
   std::string Name() const override { return "SparseBlockSolver"; }
+  std::string ParamSignature() const override {
+    return SolverParamSignature(config_);
+  }
 
   std::shared_ptr<Transformer<SparseVector, DenseVec>> Fit(
       const DistDataset<SparseVector>& data,

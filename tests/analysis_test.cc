@@ -568,9 +568,9 @@ TEST(ExecutorValidationTest, FitRecordsValidationMetrics) {
                            .GetCounter("analysis.validations")
                            ->Value();
   // Pre-lowering validation of the submitted graph, the post-lowering
-  // dataflow check, plus one validation after each of the four optimizer
-  // passes (cse, profile-select, materialization, fusion).
-  EXPECT_EQ(after - before, 6.0);
+  // dataflow check, plus one validation after each of the five optimizer
+  // passes (cse, profile-select, reuse, materialization, fusion).
+  EXPECT_EQ(after - before, 7.0);
 }
 
 TEST(ExecutorValidationTest, ValidationCanBeDisabled) {

@@ -2,7 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/common/mutex.h"
@@ -131,6 +135,55 @@ TEST(StringUtilTest, HumanBytes) {
   EXPECT_EQ(HumanBytes(512), "512.00 B");
   EXPECT_EQ(HumanBytes(2048), "2.00 KB");
   EXPECT_EQ(HumanBytes(3.0 * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(StringUtilTest, EscapeTokenRoundTrips) {
+  // The characters the whitespace-separated store formats must escape:
+  // the escape character itself, spaces, tabs, newlines — alone, repeated,
+  // and mixed with ordinary text.
+  const std::vector<std::string> cases = {
+      "",        "plain",      "%",          "%%",         "a b",
+      " lead",   "trail ",     "tab\there",  "nl\nhere",   "%20",
+      "100% of tokens", "a %x b", "% % %",   "mixed %\t\n done"};
+  for (const std::string& original : cases) {
+    const std::string escaped = EscapeToken(original);
+    // Escaped form is a single whitespace-free token.
+    EXPECT_EQ(escaped.find(' '), std::string::npos) << original;
+    EXPECT_EQ(escaped.find('\t'), std::string::npos) << original;
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << original;
+    const auto back = UnescapeToken(escaped);
+    ASSERT_TRUE(back.has_value()) << original;
+    EXPECT_EQ(*back, original);
+  }
+}
+
+TEST(StringUtilTest, UnescapeTokenRejectsMalformedEscapes) {
+  // Truncated escapes at end of input (the std::stoi crash shape: "%" and
+  // "%x" used to throw out of UnescapeToken) and non-hex digits all report
+  // corruption as nullopt instead of throwing.
+  EXPECT_FALSE(UnescapeToken("%").has_value());
+  EXPECT_FALSE(UnescapeToken("%x").has_value());
+  EXPECT_FALSE(UnescapeToken("token%").has_value());
+  EXPECT_FALSE(UnescapeToken("token%2").has_value());
+  EXPECT_FALSE(UnescapeToken("%zz").has_value());
+  EXPECT_FALSE(UnescapeToken("%2g").has_value());
+  // Well-formed escapes still decode.
+  EXPECT_EQ(UnescapeToken("%25").value(), "%");
+  EXPECT_EQ(UnescapeToken("a%20b").value(), "a b");
+}
+
+TEST(StringUtilTest, WriteFileAtomicReplacesWholeFile) {
+  const std::string path = ::testing::TempDir() + "/atomic_write.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first version"));
+  ASSERT_TRUE(WriteFileAtomic(path, "second"));
+  std::ifstream in(path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "second");
+  // The temp file never outlives a successful write.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
 }
 
 TEST(ThreadPoolTest, RunsAllTasks) {

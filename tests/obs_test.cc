@@ -431,6 +431,74 @@ TEST(ProfileStoreTest, LoadRejectsCorruptFiles) {
   EXPECT_FALSE(store.Load(path));  // missing file
 }
 
+TEST(ProfileStoreTest, LoadRejectsTruncatedAndUnknownRecords) {
+  // Every malformed shape a torn write or version skew can produce must
+  // come back as `false` — never an exception, never a partial load.
+  const std::string path = ::testing::TempDir() + "/bad_store.txt";
+  const auto write_and_load = [&](const char* contents) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fputs(contents, f);
+    std::fclose(f);
+    obs::ProfileStore store;
+    const bool ok = store.Load(path);
+    // A rejected file must not leave partial records behind.
+    if (!ok) {
+      EXPECT_EQ(store.NumObservations(), 0u);
+      EXPECT_EQ(store.NumNodeProfiles(), 0u);
+    }
+    return ok;
+  };
+  // A truncated obs record (kill mid-write dropped trailing fields).
+  EXPECT_FALSE(write_and_load("obs solver 3 64 1\n"));
+  // A truncated node record.
+  EXPECT_FALSE(write_and_load("node key@512 1.5\n"));
+  // An unknown record tag (a future format version).
+  EXPECT_FALSE(write_and_load("blob solver 1 2 3 4 5 6 7 8 9 10 11 12 13\n"));
+  // A malformed key escape: "%" with no hex digits used to throw from
+  // std::stoi inside UnescapeToken; it must now just fail the load.
+  EXPECT_FALSE(write_and_load(
+      "obs solver% 3 64 1 100 1 1 1 1 1 1 1 1 0.5\n"));
+  EXPECT_FALSE(write_and_load(
+      "obs solver%x 3 64 1 100 1 1 1 1 1 1 1 1 0.5\n"));
+  // Comments and blank lines alone are a valid (empty) store.
+  EXPECT_TRUE(write_and_load("# keystone profile store v1\n\n"));
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStoreTest, ObservedForPrefersMatchingDimension) {
+  // Two histories for one operator at different feature dimensions with
+  // wildly different per-record costs: a query at dim 8 must rescale from
+  // the dim-8 cell only, not the pooled average, and a query at an unseen
+  // dim falls back to pooling across all recorded cells.
+  obs::ProfileStore store;
+  DataStats narrow;
+  narrow.num_records = 100;
+  narrow.dim = 8;
+  store.RecordObservation("featurize", narrow, CostProfile(),
+                          CostProfile(1e6, 0, 0, 0), 0.0);
+  DataStats wide;
+  wide.num_records = 100;
+  wide.dim = 4096;
+  store.RecordObservation("featurize", wide, CostProfile(),
+                          CostProfile(1e9, 0, 0, 0), 0.0);
+
+  const auto at_narrow = store.ObservedFor("featurize", narrow);
+  ASSERT_TRUE(at_narrow.has_value());
+  EXPECT_DOUBLE_EQ(at_narrow->flops, 1e6);
+
+  const auto at_wide = store.ObservedFor("featurize", wide);
+  ASSERT_TRUE(at_wide.has_value());
+  EXPECT_DOUBLE_EQ(at_wide->flops, 1e9);
+
+  DataStats unseen;
+  unseen.num_records = 200;  // records pool to 200, so costs double
+  unseen.dim = 64;
+  const auto pooled = store.ObservedFor("featurize", unseen);
+  ASSERT_TRUE(pooled.has_value());
+  EXPECT_DOUBLE_EQ(pooled->flops, 1e6 + 1e9);
+}
+
 TEST(OptimizerHistoryTest, ObservedHistoryCorrectsSelection) {
   // Model says "fast" wins; observed history says it is catastrophically
   // slower than modeled, flipping the choice.

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/string_util.h"
 #include "src/core/operator.h"
 
 namespace keystone {
@@ -16,6 +17,7 @@ class AddConst : public Transformer<double, double> {
  public:
   explicit AddConst(double c) : c_(c) {}
   std::string Name() const override { return "AddConst"; }
+  std::string ParamSignature() const override { return ParamNumber(c_); }
   double Apply(const double& x) const override { return x + c_; }
 
  private:
@@ -27,6 +29,7 @@ class Scale : public Transformer<double, double> {
  public:
   explicit Scale(double c) : c_(c) {}
   std::string Name() const override { return "Scale"; }
+  std::string ParamSignature() const override { return ParamNumber(c_); }
   double Apply(const double& x) const override { return x * c_; }
 
  private:
@@ -38,6 +41,7 @@ class SubtractValue : public Transformer<double, double> {
  public:
   explicit SubtractValue(double v) : v_(v) {}
   std::string Name() const override { return "SubtractValue"; }
+  std::string ParamSignature() const override { return ParamNumber(v_); }
   double Apply(const double& x) const override { return x - v_; }
   double value() const { return v_; }
 
@@ -51,6 +55,9 @@ class MeanCenterer : public Estimator<double, double> {
  public:
   explicit MeanCenterer(int weight = 1) : weight_(weight) {}
   std::string Name() const override { return "MeanCenterer"; }
+  std::string ParamSignature() const override {
+    return std::to_string(weight_);
+  }
   int Weight() const override { return weight_; }
 
   std::shared_ptr<Transformer<double, double>> Fit(
@@ -103,6 +110,9 @@ class FixedDimMap
   FixedDimMap(int64_t in_dim, int64_t out_dim)
       : in_dim_(in_dim), out_dim_(out_dim) {}
   std::string Name() const override { return "FixedDimMap"; }
+  std::string ParamSignature() const override {
+    return std::to_string(in_dim_) + "x" + std::to_string(out_dim_);
+  }
 
   std::vector<double> Apply(const std::vector<double>& x) const override {
     return std::vector<double>(static_cast<size_t>(out_dim_),

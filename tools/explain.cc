@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/plan_validator.h"
+#include "src/cache/artifact_catalog.h"
 #include "src/common/string_util.h"
 #include "src/core/executor.h"
 #include "src/obs/calibration.h"
@@ -47,6 +49,23 @@ bool TakeValue(const char* arg, const char* prefix, std::string* out) {
   if (std::strncmp(arg, prefix, n) != 0) return false;
   *out = arg + n;
   return true;
+}
+
+/// Renders one warm-fit reuse decision as a JSON object.
+std::string ReuseDecisionJson(const obs::ReuseDecision& d) {
+  std::string out = "{\"node\":" + std::to_string(d.node_id) + ",\"name\":\"" +
+                    JsonEscape(d.node_name) + "\",\"fingerprint\":\"" +
+                    JsonEscape(d.fingerprint) + "\",\"accepted\":" +
+                    (d.accepted ? "true" : "false");
+  if (d.accepted) {
+    out += ",\"tier\":\"" + JsonEscape(d.tier) +
+           "\",\"load_seconds\":" + std::to_string(d.load_seconds) +
+           ",\"recompute_seconds\":" + std::to_string(d.recompute_seconds) +
+           ",\"pruned\":" + std::to_string(d.pruned.size());
+  } else {
+    out += ",\"reason\":\"" + JsonEscape(d.reason) + "\"";
+  }
+  return out + "}";
 }
 
 int Run(int argc, char** argv) {
@@ -88,6 +107,7 @@ int Run(int argc, char** argv) {
   const auto targets = tools::ShippedWorkloads();
   int matched = 0;
   int strict_failures = 0;
+  int total_reuse_accepted = 0;
   bool first = true;
   if (json) std::printf("[");
   for (const tools::ShippedWorkload& target : targets) {
@@ -107,11 +127,16 @@ int Run(int argc, char** argv) {
 
     const ClusterResourceDescriptor resources =
         ClusterResourceDescriptor::R3_4xlarge(4);
+    // In-process, memory-only artifact catalog: the cold fit below
+    // publishes its pure-lineage intermediates, and a second (warm) fit
+    // then exercises the cross-run ReusePass against them.
+    cache::ArtifactCatalog catalog{cache::CatalogConfig{}};
     PipelineExecutor executor(resources, OptimizationConfig::Full());
     executor.context()->set_tracer(&tracer);
     executor.context()->set_metrics(&metrics);
     executor.context()->set_profile_store(&store);
     executor.context()->set_timeline(&timeline);
+    executor.context()->set_artifact_catalog(&catalog);
     if (fault_plan.Enabled()) {
       executor.context()->set_fault_plan(&fault_plan);
     }
@@ -122,6 +147,32 @@ int Run(int argc, char** argv) {
     const obs::OptimizerDecisionLog& log = *fitted->plan().decision_log;
     const obs::CalibrationReport calibration =
         obs::BuildCalibrationFromSpans(tracer.Spans(), resources);
+
+    // Warm fit: the same workload again, against the catalog the cold fit
+    // just populated — the ReusePass rewrites the fingerprint-matched
+    // prefix into catalog reads. Separate sinks keep the primary report
+    // above identical to a cold explain.
+    obs::TraceRecorder warm_tracer;
+    obs::MetricsRegistry warm_metrics;
+    obs::ResourceTimeline warm_timeline;
+    PipelineExecutor warm_executor(resources, OptimizationConfig::Full());
+    warm_executor.context()->set_tracer(&warm_tracer);
+    warm_executor.context()->set_metrics(&warm_metrics);
+    warm_executor.context()->set_timeline(&warm_timeline);
+    warm_executor.context()->set_artifact_catalog(&catalog);
+    if (fault_plan.Enabled()) {
+      warm_executor.context()->set_fault_plan(&fault_plan);
+    }
+    PipelineReport warm_report;
+    const auto warm = warm_executor.FitGraph(*target.graph, target.placeholder,
+                                             target.sink, &warm_report);
+    const std::vector<obs::ReuseDecision> reuse_decisions =
+        warm->plan().decision_log->ReuseDecisions();
+    int reuse_accepted = 0;
+    for (const obs::ReuseDecision& d : reuse_decisions) {
+      if (d.accepted) ++reuse_accepted;
+    }
+    total_reuse_accepted += reuse_accepted;
 
     // Statically inferred dataflow facts for every live plan node,
     // surfaced alongside the decision log. Under --strict, a live node
@@ -219,15 +270,48 @@ int Run(int argc, char** argv) {
           ++strict_failures;
         }
       }
+
+      // Cross-run reuse provenance over the warm fit: every rejection must
+      // carry a reason, and the rewritten plan must pass the reuse.* rules
+      // both structurally and against the live catalog.
+      for (const obs::ReuseDecision& d : reuse_decisions) {
+        if (!d.accepted && d.reason.empty()) {
+          std::fprintf(stderr,
+                       "explain: %s: rejected reuse candidate (node %d) has "
+                       "no logged reason\n",
+                       target.name.c_str(), d.node_id);
+          ++strict_failures;
+        }
+      }
+      analysis::ValidationReport reuse_report =
+          analysis::ValidateReuseMarkers(warm->plan());
+      reuse_report.Merge(cache::ValidateReuse(warm->plan(), catalog));
+      if (!reuse_report.ok()) {
+        std::fprintf(stderr, "explain: %s: warm plan fails reuse.* rules:\n%s",
+                     target.name.c_str(), reuse_report.ToString().c_str());
+        ++strict_failures;
+      }
     }
+
+    std::string reuse_json =
+        "{\"cold_total_seconds\":" +
+        std::to_string(report.total_train_seconds) +
+        ",\"warm_total_seconds\":" +
+        std::to_string(warm_report.total_train_seconds) +
+        ",\"accepted\":" + std::to_string(reuse_accepted) + ",\"decisions\":[";
+    for (size_t i = 0; i < reuse_decisions.size(); ++i) {
+      if (i > 0) reuse_json += ",";
+      reuse_json += ReuseDecisionJson(reuse_decisions[i]);
+    }
+    reuse_json += "]}";
 
     if (json) {
       std::printf(
           "%s{\"workload\":\"%s\",\"decision_log\":%s,"
-          "\"timeline\":%s,\"calibration\":%s,\"dataflow\":%s",
+          "\"timeline\":%s,\"calibration\":%s,\"dataflow\":%s,\"reuse\":%s",
           first ? "" : ",\n", target.name.c_str(), log.ToJson().c_str(),
           timeline.ToJson().c_str(), calibration.ToJson().c_str(),
-          dataflow_json.c_str());
+          dataflow_json.c_str(), reuse_json.c_str());
       if (runtime_only) {
         std::printf(",\"servable_plan\":%s",
                     fitted->plan().ToJson(true).c_str());
@@ -246,6 +330,23 @@ int Run(int argc, char** argv) {
                     pn.cardinality.ToString().c_str(),
                     EffectClassName(pn.effect));
       }
+      std::printf("--- cross-run reuse (warm fit) ---\n");
+      std::printf("  cold total=%s warm total=%s\n",
+                  HumanSeconds(report.total_train_seconds).c_str(),
+                  HumanSeconds(warm_report.total_train_seconds).c_str());
+      for (const obs::ReuseDecision& d : reuse_decisions) {
+        if (d.accepted) {
+          std::printf(
+              "  node %d %s reused from %s: load=%s vs recompute=%s "
+              "(prunes %zu)\n",
+              d.node_id, d.node_name.c_str(), d.tier.c_str(),
+              HumanSeconds(d.load_seconds).c_str(),
+              HumanSeconds(d.recompute_seconds).c_str(), d.pruned.size());
+        } else {
+          std::printf("  node %d %s rejected: %s\n", d.node_id,
+                      d.node_name.c_str(), d.reason.c_str());
+        }
+      }
       if (runtime_only) {
         std::printf("--- servable plan (runtime mask) ---\n%s\n",
                     fitted->plan().ToString(true).c_str());
@@ -257,6 +358,14 @@ int Run(int argc, char** argv) {
   if (!wanted.empty() && matched != static_cast<int>(wanted.size())) {
     std::fprintf(stderr, "explain: unknown workload name\n");
     return 2;
+  }
+  // The warm fits ran against catalogs the cold fits populated; a shipped
+  // workload set where not a single reuse lands means the rewrite is dead.
+  if (strict && matched > 0 && total_reuse_accepted == 0) {
+    std::fprintf(stderr,
+                 "explain: no workload produced an accepted cross-run reuse "
+                 "decision on its warm fit\n");
+    ++strict_failures;
   }
   return strict_failures > 0 ? 1 : 0;
 }

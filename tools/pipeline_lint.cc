@@ -1,12 +1,14 @@
 // pipeline_lint: run every shipped workload pipeline through the static
-// analysis layer (src/analysis), four times per workload — first the plan
+// analysis layer (src/analysis), five times per workload — first the plan
 // validator on the logical graph as submitted, then on the compiled
 // PhysicalPlan IR (post-CSE graph plus the materialization plan), then the
 // dataflow engine (shape/cardinality/effect inference with the shape.* /
-// card.* / memory.* / effect.* rules), and finally the servable
-// (apply-masked) view of the compiled plan — so a change that breaks an
-// invariant, including one that would only abort at serve time, is caught
-// here as well as at fit time.
+// card.* / memory.* / effect.* rules), then the servable (apply-masked)
+// view of the compiled plan, and finally the cross-run-reuse view: the
+// workload recompiled warm against a catalog a fit just populated, held to
+// the reuse.* rules — so a change that breaks an invariant, including one
+// that would only abort at serve time or on a reuse-rewritten plan, is
+// caught here as well as at fit time.
 //
 // Diagnostics are deduplicated (the stages re-derive overlapping findings)
 // and sorted errors-first. A checked-in suppression baseline grandfathers
@@ -32,6 +34,7 @@
 
 #include "src/analysis/dataflow.h"
 #include "src/analysis/plan_validator.h"
+#include "src/cache/artifact_catalog.h"
 #include "src/core/executor.h"
 #include "src/sim/resources.h"
 #include "tools/shipped_workloads.h"
@@ -123,6 +126,19 @@ int Run(int argc, char** argv) {
       // a runtime path a PipelineServer could host (no train-only
       // terminals, no unbound sources inside the runtime mask).
       report.Merge(analysis::ValidateServablePlan(*plan));
+
+      // Stage 5: the cross-run-reuse view — fit once against a fresh
+      // memory-only catalog, recompile warm so the ReusePass rewrites the
+      // matched prefix into catalog reads, and hold the rewritten plan to
+      // the reuse.* rules (structurally and against the live catalog).
+      cache::ArtifactCatalog catalog{cache::CatalogConfig{}};
+      executor.context()->set_artifact_catalog(&catalog);
+      executor.FitGraph(*target.graph, target.placeholder, target.sink,
+                        nullptr);
+      const auto warm_plan =
+          executor.Compile(*target.graph, target.placeholder, target.sink);
+      report.Merge(analysis::ValidateReuseMarkers(*warm_plan));
+      report.Merge(cache::ValidateReuse(*warm_plan, catalog));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "pipeline_lint: %s: internal error: %s\n",
                    target.name.c_str(), e.what());
